@@ -1,0 +1,45 @@
+"""Shared infrastructure for the experiment benchmarks (E1–E10).
+
+Each benchmark computes an experiment's data series, asserts the
+paper's qualitative claim about its *shape*, records a human-readable
+table, and uses pytest-benchmark to time a representative unit of the
+pipeline.  Recorded tables are printed in the terminal summary and
+written to ``benchmarks/results/`` so EXPERIMENTS.md can reference
+them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_TABLES: list[tuple[str, str]] = []
+
+
+@pytest.fixture()
+def record_table():
+    """Record a named results table for the terminal summary."""
+
+    def _record(title: str, text: str) -> None:
+        _TABLES.append((title, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        slug = "".join(c if c.isalnum() else "_" for c in title.lower())
+        (_RESULTS_DIR / f"{slug}.txt").write_text(text + "\n",
+                                                  encoding="utf-8")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("experiment result tables")
+    for title, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"── {title} " + "─" * max(
+            0, 68 - len(title)))
+        for line in text.split("\n"):
+            terminalreporter.write_line(line)

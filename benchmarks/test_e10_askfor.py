@@ -1,0 +1,59 @@
+"""E10 — Askfor dynamic work distribution (§3.3, [LO83]).
+
+Claim/shape: "the degree of concurrency is not known at compile time.
+Rather the program can request during run time that a new concurrent
+instance of the code segment is executed."  A binary tree of work
+units (each spawning two smaller ones) is unrollable only at run time;
+the askfor pool keeps all processes busy, so completion time scales
+with the force size, and the termination protocol always processes
+exactly 2^depth - 1 units.
+"""
+
+from repro.core import HEP, SEQUENT_BALANCE, force_compile_and_run, programs
+
+DEPTH = 8
+PROCESS_COUNTS = (1, 2, 4, 8)
+MACHINES_TESTED = (SEQUENT_BALANCE, HEP)
+
+
+def _measure():
+    # Each node carries real computation (a 150-iteration inner loop),
+    # so the dynamic distribution has work to balance beyond the
+    # bookkeeping itself.
+    source = programs.render("askfor_tree", depth=DEPTH, qsize=1024,
+                             work=150)
+    nodes = 2 ** DEPTH - 1
+    data = {}
+    for machine in MACHINES_TESTED:
+        for nproc in PROCESS_COUNTS:
+            result = force_compile_and_run(source, machine, nproc)
+            assert result.output == [f"NODES {nodes}"], \
+                (machine.name, nproc)
+            data[(machine.key, nproc)] = result.makespan
+    return data
+
+
+def test_e10_askfor_scaling(benchmark, record_table):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    nodes = 2 ** DEPTH - 1
+    lines = [f"E10: askfor over a dynamic tree of {nodes} work units "
+             f"(depth {DEPTH}); exact unit count asserted in every run",
+             f"{'machine':18s}" + "".join(f"{f'P={p}':>11s}"
+                                          for p in PROCESS_COUNTS)
+             + f"{'S(4)':>8s}"]
+    for machine in MACHINES_TESTED:
+        spans = [data[(machine.key, p)] for p in PROCESS_COUNTS]
+        speedup = spans[0] / spans[2]
+        lines.append(f"{machine.name:18s}" +
+                     "".join(f"{s:>11d}" for s in spans) +
+                     f"{speedup:>7.2f}x")
+    record_table("E10 askfor dynamic distribution", "\n".join(lines))
+
+    for machine in MACHINES_TESTED:
+        # Dynamic distribution gains from more processes...
+        assert data[(machine.key, 4)] < data[(machine.key, 1)], \
+            machine.name
+    # ...and the cheap-synchronization HEP scales better.
+    hep4 = data[("hep", 1)] / data[("hep", 4)]
+    seq4 = data[("sequent-balance", 1)] / data[("sequent-balance", 4)]
+    assert hep4 > seq4

@@ -1,0 +1,93 @@
+"""E11 (ablation) — three schedulers × three load patterns.
+
+An ablation of the work-distribution design space behind §3.3: the
+Force's cyclic prescheduling vs a blocked static distribution vs
+selfscheduling, under uniform, triangular (front-loaded) and
+stride-resonant loads.  Expected shape:
+
+* uniform — any static map wins (no sync);
+* triangular — cyclic stays balanced, blocked gives one process the
+  heavy front block, selfscheduling pays locks but balances;
+* stride-resonant (heavy every NPROC-th index) — cyclic collapses
+  (all heavy indices on one process), blocked and selfsched survive.
+"""
+
+from repro.core import SEQUENT_BALANCE, force_compile_and_run
+from repro._util.text import strip_margin
+
+NPROC = 4
+N_ITER = 64
+
+_TEMPLATE = """
+    Force ABLA of NP ident ME
+    Private INTEGER I, J, W
+    Shared INTEGER SINK
+    End declarations
+    Barrier
+          SINK = 0
+    End barrier
+    {open_loop}
+          {weight_code}
+          DO 5 J = 1, W
+            SINK = SINK
+    5     CONTINUE
+    {close_loop}
+    Join
+          END
+"""
+
+_LOOPS = {
+    "cyclic": (f"Presched DO 100 I = 1, {N_ITER}",
+               "100 End presched DO"),
+    "blocked": (f"Blocksched DO 100 I = 1, {N_ITER}",
+                "100 End blocksched DO"),
+    "selfsched": (f"Selfsched DO 100 I = 1, {N_ITER}",
+                  "100 End Selfsched DO"),
+}
+
+_LOADS = {
+    "uniform": "W = 100",
+    "triangular": f"W = 3 * ({N_ITER} - I)",
+    "resonant": (f"IF (MOD(I, {NPROC}) .EQ. 1) THEN\n"
+                 "            W = 800\n"
+                 "          ELSE\n"
+                 "            W = 4\n"
+                 "          END IF"),
+}
+
+
+def _measure():
+    spans = {}
+    for load, weight_code in _LOADS.items():
+        for scheduler, (open_loop, close_loop) in _LOOPS.items():
+            source = strip_margin(_TEMPLATE).format(
+                open_loop=open_loop, close_loop=close_loop,
+                weight_code=weight_code)
+            result = force_compile_and_run(source, SEQUENT_BALANCE, NPROC)
+            spans[(load, scheduler)] = result.makespan
+    return spans
+
+
+def test_e11_scheduling_ablation(benchmark, record_table):
+    spans = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [f"E11 (ablation): makespan by scheduler x load "
+             f"({SEQUENT_BALANCE.name}, nproc={NPROC}, {N_ITER} iters)",
+             f"{'load':12s}" + "".join(f"{s:>12s}" for s in _LOOPS)
+             + f"{'best':>12s}"]
+    for load in _LOADS:
+        row = {s: spans[(load, s)] for s in _LOOPS}
+        best = min(row, key=row.get)
+        lines.append(f"{load:12s}" + "".join(
+            f"{row[s]:>12d}" for s in _LOOPS) + f"{best:>12s}")
+    record_table("E11 scheduling ablation", "\n".join(lines))
+
+    # Uniform: static distributions beat selfscheduling.
+    assert spans[("uniform", "cyclic")] < spans[("uniform", "selfsched")]
+    assert spans[("uniform", "blocked")] < spans[("uniform", "selfsched")]
+    # Triangular: cyclic stays balanced, blocked collapses.
+    assert spans[("triangular", "cyclic")] < \
+        spans[("triangular", "blocked")]
+    # Resonant: cyclic collapses; both alternatives beat it.
+    assert spans[("resonant", "blocked")] < spans[("resonant", "cyclic")]
+    assert spans[("resonant", "selfsched")] < \
+        spans[("resonant", "cyclic")]

@@ -1,0 +1,84 @@
+"""E12 (ablation) — the Flex/32 combined lock's spin budget.
+
+§4.1.3 describes the Flex's lock as "spinlock for limited time, then
+make operating system call".  How long should the limited time be?
+This ablation sweeps the spin budget against a mix of short and long
+critical sections.  The objective is **consumed processor cycles**
+(busy time), not makespan: with a dedicated CPU per process and no bus
+contention modelled, pure spinning never lengthens the critical path —
+what it wastes is the processor itself, which is what the combined
+lock exists to save.  Too small a budget pays OS overhead even for
+short waits; too large burns the CPU through long ones; the useful
+budgets sit near the typical short-wait length — the design point the
+real machine chose (120 cycles).
+"""
+
+from dataclasses import replace
+
+from repro.machines import FLEX_32
+from repro.sim import AcquireLock, Cost, ReleaseLock, Scheduler
+
+BUDGETS = (10, 60, 120, 500, 5_000, 50_000)
+NPROC = 2
+ROUNDS = 24
+SHORT, LONG = 40, 4_000
+GAP = 60
+LONG_EVERY = 6
+
+
+def _mixed_workload_makespan(machine):
+    """Lightly contended lock: mostly short holds, occasional long
+    ones — the regime the combined lock was designed for.  Waits are
+    usually a few hundred cycles (convoy of short sections), rarely a
+    few thousand (behind a long section)."""
+    scheduler = Scheduler(machine)
+    lock = scheduler.new_lock("L")
+
+    def worker(me):
+        yield Cost(me * 15)        # offset so most waits are short
+        for round_no in range(ROUNDS):
+            yield AcquireLock(lock)
+            hold = LONG if round_no % LONG_EVERY == me else SHORT
+            yield Cost(hold)
+            yield ReleaseLock(lock)
+            yield Cost(GAP)
+
+    for me in range(NPROC):
+        scheduler.spawn(worker(me))
+    stats = scheduler.run()
+    return stats
+
+
+def _sweep():
+    data = {}
+    for budget in BUDGETS:
+        machine = replace(FLEX_32, combined_spin_limit=budget)
+        stats = _mixed_workload_makespan(machine)
+        data[budget] = (stats.makespan, stats.total_busy,
+                        stats.spin_cycles, stats.context_switches)
+    return data
+
+
+def test_e12_spin_budget_sweep(benchmark, record_table):
+    data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    lines = [f"E12 (ablation): combined-lock spin budget sweep "
+             f"(Flex/32 model, {NPROC} processes, alternating "
+             f"{SHORT}/{LONG}-cycle sections)",
+             f"{'budget':>8s}{'makespan':>11s}{'busy cyc':>11s}"
+             f"{'spin cyc':>10s}{'ctx sw':>8s}"]
+    for budget in BUDGETS:
+        makespan, busy, spin, switches = data[budget]
+        lines.append(f"{budget:>8d}{makespan:>11d}{busy:>11d}"
+                     f"{spin:>10d}{switches:>8d}")
+    best = min(BUDGETS, key=lambda b: data[b][1])
+    lines.append(f"best budget (by busy cycles): {best} "
+                 f"(factory Flex/32 setting: "
+                 f"{FLEX_32.combined_spin_limit})")
+    record_table("E12 spin budget ablation", "\n".join(lines))
+
+    # Shape: tiny budgets context-switch on everything; huge budgets
+    # never switch but burn spin cycles on the long sections.
+    assert data[10][3] > data[50_000][3]
+    assert data[50_000][2] > data[10][2]
+    # The best budget (wasted-cycle objective) is an interior point.
+    assert best not in (BUDGETS[0], BUDGETS[-1])

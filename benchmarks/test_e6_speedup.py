@@ -1,0 +1,56 @@
+"""E6 — Speedup with a process-count-independent program (§1, §3).
+
+Claim/shape: one Jacobi source runs at any force size with identical
+output; speedup at P=8 is strong on machines with cheap process
+creation and synchronization (HEP, Alliant), moderate on the spinlock
+fork machines (Encore, Sequent), and poor where fork and locks are
+expensive (Cray-2) — the grain-size argument of §4.1.1.
+"""
+
+from repro.core import MACHINES, force_run, force_translate, programs
+
+PROCESS_COUNTS = (1, 2, 4, 8)
+
+
+def _measure():
+    source = programs.render("jacobi", n=384, iters=60)
+    table = {}
+    output = None
+    for machine in MACHINES.values():
+        translation = force_translate(source, machine)
+        for nproc in PROCESS_COUNTS:
+            result = force_run(translation, nproc)
+            if output is None:
+                output = result.output
+            assert result.output == output, (machine.name, nproc)
+            table[(machine.key, nproc)] = result.makespan
+    return table
+
+
+def test_e6_speedup_curves(benchmark, record_table):
+    table = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = ["E6: Jacobi (384 points, 60 sweeps) makespan and speedup",
+             f"{'machine':18s}" + "".join(f"{f'P={p}':>11s}"
+                                          for p in PROCESS_COUNTS)
+             + f"{'S(8)':>8s}"]
+    speedups = {}
+    for machine in MACHINES.values():
+        spans = [table[(machine.key, p)] for p in PROCESS_COUNTS]
+        speedup = spans[0] / spans[-1]
+        speedups[machine.key] = speedup
+        lines.append(f"{machine.name:18s}" +
+                     "".join(f"{s:>11d}" for s in spans) +
+                     f"{speedup:>7.2f}x")
+    record_table("E6 Jacobi speedup vs process count", "\n".join(lines))
+
+    # Shape claims.
+    assert speedups["hep"] > 4.0
+    assert speedups["alliant-fx8"] > 3.0
+    assert speedups["encore-multimax"] > 1.5
+    assert speedups["sequent-balance"] > 1.5
+    # Expensive process creation + OS locks: the Cray-2 gains least.
+    assert speedups["cray-2"] == min(speedups.values())
+    # Everyone gains something at P=2 (work dominates at this grain).
+    for machine in MACHINES.values():
+        assert table[(machine.key, 2)] < table[(machine.key, 1)], \
+            machine.name

@@ -1,0 +1,59 @@
+"""E7 — "Only a small portion of the preprocessor is machine
+dependent" (§4.3, §5).
+
+We measure it: definition lines (and macro counts) of each machine's
+machine-dependent set against the shared machine-independent library.
+The paper's portability argument requires the per-port fraction to be
+small; we assert every machdep set is under a third of the total.
+"""
+
+from repro.machines import MACHINES
+from repro.macros import (
+    MACHDEP_INTERFACE,
+    machdep_definitions,
+    machindep_definitions,
+)
+
+
+def _count_lines(text: str) -> int:
+    return sum(1 for line in text.split("\n")
+               if line.strip() and not line.strip().startswith("dnl"))
+
+
+def _count_macros(text: str) -> int:
+    return text.count("define(`")
+
+
+def _measure():
+    indep_lines = _count_lines(machindep_definitions())
+    indep_macros = _count_macros(machindep_definitions())
+    per_machine = {}
+    for machine in MACHINES.values():
+        text = machdep_definitions(machine)
+        per_machine[machine.key] = (_count_lines(text), _count_macros(text))
+    return indep_lines, indep_macros, per_machine
+
+
+def test_e7_machine_dependent_fraction(benchmark, record_table):
+    indep_lines, indep_macros, per_machine = benchmark(
+        _measure)
+    lines = ["E7: size of the machine-dependent macro layer per port",
+             f"machine-independent library: {indep_lines} lines, "
+             f"{indep_macros} macros (shared by all six ports)",
+             "",
+             f"{'machine':18s}{'lines':>7s}{'macros':>8s}"
+             f"{'fraction of total':>19s}"]
+    for machine in MACHINES.values():
+        dep_lines, dep_macros = per_machine[machine.key]
+        fraction = dep_lines / (dep_lines + indep_lines)
+        lines.append(f"{machine.name:18s}{dep_lines:>7d}{dep_macros:>8d}"
+                     f"{fraction:>18.1%}")
+    record_table("E7 machine-dependent fraction", "\n".join(lines))
+
+    for machine in MACHINES.values():
+        dep_lines, dep_macros = per_machine[machine.key]
+        fraction = dep_lines / (dep_lines + indep_lines)
+        assert fraction < 0.34, \
+            f"{machine.name}: machdep fraction {fraction:.0%} not small"
+        # Every port supplies the complete (small) interface.
+        assert dep_macros >= len(MACHDEP_INTERFACE) - 1

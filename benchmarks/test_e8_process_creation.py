@@ -1,0 +1,80 @@
+"""E8 — Process creation models and grain size (§4.1.1).
+
+Claim/shape: "The standard UNIX fork/join process control model ...
+has a large process creation and context switching cost.  This
+prevents fine grained parallelism."  On the HEP, creation is a
+subroutine call.  We sweep the grain (work per program) and find,
+per machine, the grain at which a 4-process force first beats serial
+execution — the HEP's break-even grain is orders of magnitude smaller
+than the fork machines'.
+"""
+
+from repro.core import ENCORE_MULTIMAX, HEP, MACHINES, \
+    force_compile_and_run
+from repro._util.text import strip_margin
+
+GRAINS = (10, 100, 1_000, 10_000, 100_000)
+
+_TEMPLATE = """
+    Force GRAIN of NP ident ME
+    Private INTEGER I, J
+    End declarations
+    Presched DO 100 I = 1, {total}
+          J = I + 1
+    100 End presched DO
+    Join
+          END
+"""
+
+
+def _makespan(machine, total, nproc):
+    source = strip_margin(_TEMPLATE).format(total=total)
+    return force_compile_and_run(source, machine, nproc).makespan
+
+
+def _measure():
+    data = {}
+    for machine in MACHINES.values():
+        for grain in GRAINS:
+            serial = _makespan(machine, grain, 1)
+            parallel = _makespan(machine, grain, 4)
+            data[(machine.key, grain)] = (serial, parallel)
+    return data
+
+
+def test_e8_creation_cost_vs_grain(benchmark, record_table):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = ["E8: loop of N trivial iterations; P=4 vs serial "
+             "(parallel/serial ratio; <1 means the force pays off)",
+             f"{'machine':18s}" + "".join(f"{f'N={g}':>11s}"
+                                          for g in GRAINS)
+             + f"{'create cost':>13s}"]
+    breakeven = {}
+    for machine in MACHINES.values():
+        ratios = []
+        for grain in GRAINS:
+            serial, parallel = data[(machine.key, grain)]
+            ratios.append(parallel / serial)
+        first = next((g for g, r in zip(GRAINS, ratios) if r < 1.0), None)
+        breakeven[machine.key] = first
+        lines.append(f"{machine.name:18s}" +
+                     "".join(f"{r:>11.2f}" for r in ratios) +
+                     f"{machine.costs.process_create:>13d}")
+    lines.append("")
+    lines.append("break-even grain: " + ", ".join(
+        f"{m.name}={breakeven[m.key]}" for m in MACHINES.values()))
+    record_table("E8 process creation vs grain size", "\n".join(lines))
+
+    # The HEP profits from a much finer grain than any fork machine.
+    assert breakeven["hep"] is not None
+    for key, first in breakeven.items():
+        if key != "hep" and first is not None:
+            assert breakeven["hep"] <= first
+    # At the finest grain, fork machines lose badly; the HEP does not.
+    hep_fine = data[("hep", 10)]
+    encore_fine = data[("encore-multimax", 10)]
+    assert hep_fine[1] / hep_fine[0] < encore_fine[1] / encore_fine[0]
+    # At the coarsest grain everyone wins.
+    for machine in MACHINES.values():
+        serial, parallel = data[(machine.key, GRAINS[-1])]
+        assert parallel < serial, machine.name

@@ -1,0 +1,54 @@
+"""E9 — Produce/Consume: hardware full/empty vs the two-lock protocol
+(§4.2).
+
+Claim/shape: "With the exception of the HEP computer which provided a
+hardware full/empty state for every memory cell, all other machines
+require the use of two locks for implementation of the full/empty
+state."  A producer/consumer pipeline therefore pays two lock
+operations per transfer everywhere except the HEP, whose transfers
+cost a few cycles of memory-pipeline latency.
+"""
+
+from repro.core import MACHINES, force_compile_and_run, programs
+
+ITEMS = 30
+
+
+def _measure():
+    source = programs.render("pipeline", items=ITEMS)
+    data = {}
+    for machine in MACHINES.values():
+        result = force_compile_and_run(source, machine, nproc=2)
+        expected = sum(k * k for k in range(1, ITEMS + 1))
+        assert result.output == [f"SINK {expected}"], machine.name
+        # Subtract process management to isolate the transfer path.
+        startup = 2 * machine.costs.process_create
+        per_item = (result.makespan - startup) / ITEMS
+        data[machine.key] = (result.makespan, per_item,
+                             result.stats.lock_acquisitions)
+    return data
+
+
+def test_e9_async_variable_protocols(benchmark, record_table):
+    data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    lines = [f"E9: {ITEMS}-item producer/consumer pipeline, nproc=2",
+             f"{'machine':18s}{'makespan':>10s}{'cyc/item':>10s}"
+             f"{'lock ops':>9s}{'protocol':>22s}"]
+    for machine in MACHINES.values():
+        makespan, per_item, locks = data[machine.key]
+        protocol = ("hardware full/empty"
+                    if machine.key == "hep" else "two locks per var")
+        lines.append(f"{machine.name:18s}{makespan:>10d}{per_item:>10.1f}"
+                     f"{locks:>9d}{protocol:>22s}")
+    record_table("E9 async variable protocols", "\n".join(lines))
+
+    # The HEP needs no lock traffic on the transfer path; two-lock
+    # machines pay >= 2 lock acquisitions per produced item.
+    hep_locks = data["hep"][2]
+    for machine in MACHINES.values():
+        if machine.key == "hep":
+            continue
+        assert data[machine.key][2] >= hep_locks + 2 * ITEMS, machine.name
+    # And the HEP moves items cheapest.
+    hep_per_item = data["hep"][1]
+    assert all(hep_per_item <= data[m.key][1] for m in MACHINES.values())

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Jacobi relaxation: speedup vs process count on every machine.
+
+This is the kind of numerical workload the Force grew up on ("a
+parallel programming language ... which evolved in the course of
+implementing numerical algorithms", §2).  A 1-D heat rod relaxes under
+prescheduled DOALL sweeps separated by barriers; the experiment sweeps
+the force size and reports simulated speedup — demonstrating that the
+*program* is independent of the number of processes (§1).
+
+Run:  python examples/jacobi_heat.py
+"""
+
+from repro.core import MACHINES, force_run, force_translate, programs
+
+
+def main() -> None:
+    source = programs.render("jacobi", n=384, iters=60)
+    process_counts = (1, 2, 4, 8)
+
+    print("Jacobi relaxation, 384-point rod, 60 sweeps")
+    print(f"{'machine':18s}" +
+          "".join(f"  P={p:<8d}" for p in process_counts) + "  speedup@8")
+    reference_output = None
+    for machine in MACHINES.values():
+        translation = force_translate(source, machine)
+        spans = []
+        for nproc in process_counts:
+            result = force_run(translation, nproc)
+            if reference_output is None:
+                reference_output = result.output
+            assert result.output == reference_output, \
+                "output must not depend on machine or process count"
+            spans.append(result.makespan)
+        speedup = spans[0] / spans[-1]
+        cells = "".join(f"  {span:<9d}" for span in spans)
+        print(f"{machine.name:18s}{cells}  {speedup:5.2f}x")
+    print(f"\nProgram output (identical in all runs): {reference_output}")
+    print("Shapes to notice: the HEP and Alliant (cheap process "
+          "creation) speed up best;\nthe Cray-2's expensive fork and "
+          "OS locks make fine-grained barriers costly —\nexactly the "
+          "machine dependence the paper says the Force hides from the "
+          "*program*.")
+
+
+if __name__ == "__main__":
+    main()

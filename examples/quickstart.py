@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run one Force program on all six machines.
+
+The program computes sum(1..100) with a selfscheduled DOALL and a
+critical-section reduction — the portable shared-memory style of the
+paper.  The same source runs unchanged everywhere; only the simulated
+cost profile differs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import MACHINES, force_compile_and_run
+from repro._util.text import strip_margin
+
+SOURCE = strip_margin("""
+    Force QUICK of NP ident ME
+    Shared INTEGER TOTAL
+    Private INTEGER K
+    End declarations
+    Barrier
+          TOTAL = 0
+    End barrier
+    Selfsched DO 100 K = 1, 100
+          Critical SUMLCK
+          TOTAL = TOTAL + K
+          End critical
+    100 End Selfsched DO
+    Barrier
+          WRITE(*,*) "SUM(1..100) =", TOTAL
+    End barrier
+    Join
+          END
+""")
+
+
+def main() -> None:
+    nproc = 4
+    print(f"Running the same Force program on {len(MACHINES)} machines "
+          f"with {nproc} processes each:\n")
+    print(f"{'machine':18s} {'output':22s} {'makespan':>10s} "
+          f"{'locks':>7s} {'spin':>8s} {'ctx-sw':>7s}")
+    for machine in MACHINES.values():
+        result = force_compile_and_run(SOURCE, machine, nproc)
+        stats = result.stats
+        print(f"{machine.name:18s} {result.output[0]:22s} "
+              f"{stats.makespan:>10d} {stats.lock_acquisitions:>7d} "
+              f"{stats.spin_cycles:>8d} {stats.context_switches:>7d}")
+    print("\nSame answer everywhere; machine-specific synchronization "
+          "costs (spin vs syscall locks, process creation) shape the "
+          "makespans.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Reproduction of *The Force: A Highly Portable Parallel Programming
+Language* (Jordan, Benten, Alaghband, Jakob; ICPP 1989).
+
+Start with :mod:`repro.core` (the pipeline API and sample programs) or
+:mod:`repro.runtime` (the Force programming model over Python threads).
+See README.md for the architecture, DESIGN.md for the system inventory
+and experiment map, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+__paper__ = ("The Force: A Highly Portable Parallel Programming "
+             "Language, ICPP 1989")

@@ -1,0 +1,22 @@
+"""Internal utilities shared across the reproduction packages."""
+
+from repro._util.errors import (
+    ForceError,
+    ForceSyntaxError,
+    MacroError,
+    FortranError,
+    SimulationError,
+    MachineError,
+)
+from repro._util.text import SourceLocation, strip_margin
+
+__all__ = [
+    "ForceError",
+    "ForceSyntaxError",
+    "MacroError",
+    "FortranError",
+    "SimulationError",
+    "MachineError",
+    "SourceLocation",
+    "strip_margin",
+]

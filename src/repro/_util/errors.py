@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Force reproduction.
+
+Every subsystem raises a subclass of :class:`ForceError` so callers can
+catch reproduction-level failures without swallowing genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ForceError(Exception):
+    """Base class for all errors raised by the ``repro`` packages."""
+
+
+class ForceSyntaxError(ForceError):
+    """A Force source program is malformed.
+
+    Carries the source line number (1-based) when known so that
+    diagnostics can point back at user code.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 filename: str | None = None) -> None:
+        self.line = line
+        self.filename = filename
+        prefix = ""
+        if filename is not None:
+            prefix += f"{filename}:"
+        if line is not None:
+            prefix += f"{line}:"
+        if prefix:
+            prefix += " "
+        super().__init__(prefix + message)
+
+
+class MacroError(ForceError):
+    """The macro processor hit an unrecoverable condition.
+
+    Examples: unbalanced quotes, ``popdef`` on an undefined macro,
+    expansion recursion past the configured limit.
+    """
+
+
+class FortranError(ForceError):
+    """Error from the Fortran front end or interpreter."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 unit: str | None = None) -> None:
+        self.line = line
+        self.unit = unit
+        prefix = ""
+        if unit is not None:
+            prefix += f"in {unit}: "
+        if line is not None:
+            prefix += f"line {line}: "
+        super().__init__(prefix + message)
+
+
+class SimulationError(ForceError):
+    """The discrete-event simulator detected an inconsistency.
+
+    Most commonly: deadlock (no runnable process and simulated time
+    cannot advance), or a process finishing while still holding a lock.
+    """
+
+
+class MachineError(ForceError):
+    """A machine model constraint was violated.
+
+    Examples: shared variable placed outside the shared page region on
+    the Encore, sharing not page-aligned on the Alliant, lock resource
+    exhaustion on machines where locks are scarce.
+    """

@@ -1,0 +1,31 @@
+"""Small text utilities used by the preprocessor stages."""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A position in an input file: 1-based line, optional filename."""
+
+    line: int
+    filename: str | None = None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        if self.filename:
+            return f"{self.filename}:{self.line}"
+        return f"line {self.line}"
+
+
+def strip_margin(block: str) -> str:
+    """Dedent a triple-quoted source block and drop the leading newline.
+
+    Convenience for writing Force/Fortran programs inline in tests and
+    examples without fighting indentation.
+    """
+    out = textwrap.dedent(block)
+    if out.startswith("\n"):
+        out = out[1:]
+    return out

@@ -1,0 +1,66 @@
+"""Public API of the Force reproduction.
+
+Most users need only this module::
+
+    from repro.core import force_compile_and_run, get_machine
+
+    result = force_compile_and_run(source, get_machine("hep"), nproc=8)
+    print(result.output, result.makespan)
+
+For writing Force-style parallel programs directly in Python (real
+threads, no Fortran), see :mod:`repro.runtime`.
+"""
+
+from repro.machines import (
+    ALLIANT_FX8,
+    CRAY_2,
+    ENCORE_MULTIMAX,
+    FLEX_32,
+    HEP,
+    MACHINES,
+    MachineModel,
+    SEQUENT_BALANCE,
+    get_machine,
+    machine_names,
+)
+from repro.pipeline import (
+    RunResult,
+    TranslationResult,
+    force_compile_and_run,
+    force_run,
+    force_translate,
+)
+from repro.core import programs
+from repro._util.errors import (
+    ForceError,
+    ForceSyntaxError,
+    FortranError,
+    MacroError,
+    MachineError,
+    SimulationError,
+)
+
+__all__ = [
+    "ALLIANT_FX8",
+    "CRAY_2",
+    "ENCORE_MULTIMAX",
+    "FLEX_32",
+    "HEP",
+    "MACHINES",
+    "MachineModel",
+    "SEQUENT_BALANCE",
+    "get_machine",
+    "machine_names",
+    "RunResult",
+    "TranslationResult",
+    "force_compile_and_run",
+    "force_run",
+    "force_translate",
+    "programs",
+    "ForceError",
+    "ForceSyntaxError",
+    "FortranError",
+    "MacroError",
+    "MachineError",
+    "SimulationError",
+]

@@ -1,0 +1,309 @@
+"""A library of Force sample programs.
+
+These are the workloads the tests, examples and benchmarks share.  All
+are written in the Force dialect documented in
+:mod:`repro.sedstage.force_rules` (statements at column 7, Force
+keywords capitalised) and produce deterministic output, so the
+portability experiment (E1) can diff their output across machines.
+
+Each entry is parameterised with ``str.format``-style fields where a
+size matters; ``render(name, **params)`` fills the defaults in.
+"""
+
+from __future__ import annotations
+
+from repro._util.text import strip_margin
+
+#: name -> (source template, default parameters)
+SAMPLES: dict[str, tuple[str, dict]] = {}
+
+
+def register(name: str, template: str, **defaults) -> None:
+    SAMPLES[name] = (strip_margin(template), defaults)
+
+
+def render(name: str, **params) -> str:
+    """Instantiate a sample program with the given parameters."""
+    template, defaults = SAMPLES[name]
+    merged = dict(defaults)
+    merged.update(params)
+    return template.format(**merged)
+
+
+def sample_names() -> list[str]:
+    return list(SAMPLES)
+
+
+# ----------------------------------------------------------------------
+# 1. Critical-section sum: every construct's "hello world".
+# ----------------------------------------------------------------------
+register("sum_critical", """
+    Force SUMMER of NP ident ME
+    Shared INTEGER TOTAL
+    End declarations
+    Barrier
+          TOTAL = 0
+    End barrier
+    Selfsched DO 100 K = 1, {n}
+          Critical LCK
+          TOTAL = TOTAL + K
+          End critical
+    100 End Selfsched DO
+    Barrier
+          WRITE(*,*) "TOTAL", TOTAL
+    End barrier
+    Join
+          END
+""", n=50)
+
+# ----------------------------------------------------------------------
+# 2. Jacobi relaxation on a 1-D rod: the classic numerical kernel the
+#    Force was built for.  Prescheduled DOALL + barrier per sweep.
+# ----------------------------------------------------------------------
+register("jacobi", """
+    Force JACOBI of NP ident ME
+    Shared REAL U({n}), UNEW({n})
+    Shared INTEGER NSIZE
+    Private INTEGER I, ITER
+    End declarations
+    Barrier
+          NSIZE = {n}
+          DO 5 I = 1, NSIZE
+            U(I) = 0.0
+    5     CONTINUE
+          U(1) = 100.0
+          U(NSIZE) = 100.0
+    End barrier
+          DO 50 ITER = 1, {iters}
+          Presched DO 10 I = 2, NSIZE - 1
+            UNEW(I) = 0.5 * (U(I - 1) + U(I + 1))
+    10    End presched DO
+          Barrier
+          End barrier
+          Presched DO 20 I = 2, NSIZE - 1
+            U(I) = UNEW(I)
+    20    End presched DO
+          Barrier
+          End barrier
+    50    CONTINUE
+    Barrier
+          WRITE(*,*) "PROBE", NINT(1000.0 * U(4)), NINT(1000.0 * U(NSIZE / 2))
+    End barrier
+    Join
+          END
+""", n=16, iters=30)
+
+# ----------------------------------------------------------------------
+# 3. Dot product with selfscheduled distribution and a critical
+#    reduction.
+# ----------------------------------------------------------------------
+register("dot_product", """
+    Force DOTPRD of NP ident ME
+    Shared REAL X({n}), Y({n}), RESULT
+    Private REAL PART
+    Private INTEGER I
+    End declarations
+    Barrier
+          RESULT = 0.0
+          DO 5 I = 1, {n}
+            X(I) = FLOAT(I)
+            Y(I) = 2.0
+    5     CONTINUE
+    End barrier
+          PART = 0.0
+    Selfsched DO 100 I = 1, {n}
+          PART = PART + X(I) * Y(I)
+    100 End Selfsched DO
+          Critical RSUM
+          RESULT = RESULT + PART
+          End critical
+    Barrier
+          WRITE(*,*) "DOT", NINT(RESULT)
+    End barrier
+    Join
+          END
+""", n=40)
+
+# ----------------------------------------------------------------------
+# 4. Producer/consumer pipeline over an asynchronous variable.
+# ----------------------------------------------------------------------
+register("pipeline", """
+    Force PIPE of NP ident ME
+    Async INTEGER CHAN
+    Shared INTEGER SINK
+    Private INTEGER V, K
+    End declarations
+    Barrier
+          SINK = 0
+    End barrier
+          IF (ME .EQ. 1) THEN
+            DO 10 K = 1, {items}
+          Produce CHAN = K * K
+    10      CONTINUE
+          END IF
+          IF (ME .EQ. 2) THEN
+            DO 20 K = 1, {items}
+          Consume CHAN into V
+          SINK = SINK + V
+    20      CONTINUE
+          END IF
+    Barrier
+          WRITE(*,*) "SINK", SINK
+    End barrier
+    Join
+          END
+""", items=8)
+
+# ----------------------------------------------------------------------
+# 5. Pcase: independent sections, one conditional.
+# ----------------------------------------------------------------------
+register("sections", """
+    Force SECT of NP ident ME
+    Shared INTEGER R(4)
+    End declarations
+    Pcase
+    Usect
+          R(1) = 10
+    Usect
+          R(2) = 20
+    Usect
+          R(3) = 30
+    Csect (NP .GE. 1)
+          R(4) = 40
+    End pcase
+    Barrier
+          WRITE(*,*) R(1) + R(2) + R(3) + R(4)
+    End barrier
+    Join
+          END
+""")
+
+# ----------------------------------------------------------------------
+# 6. Askfor: dynamic tree-shaped work (each unit may spawn two more).
+# ----------------------------------------------------------------------
+register("askfor_tree", """
+    Force TREE of NP ident ME
+    Taskq WORK({qsize})
+    Shared INTEGER COUNT
+    Private INTEGER W, J, DUMMY
+    End declarations
+    Barrier
+          COUNT = 0
+          CALL FRCQPT("WORK", {depth})
+    End barrier
+          DUMMY = 0
+    Askfor 300 W from WORK
+          IF (W .GT. 1) THEN
+          Putwork WORK = W - 1
+          Putwork WORK = W - 1
+          END IF
+          DO 10 J = 1, {work}
+            DUMMY = DUMMY + 1
+    10    CONTINUE
+          Critical CNT
+          COUNT = COUNT + 1
+          End critical
+    300 End askfor
+    Barrier
+          WRITE(*,*) "NODES", COUNT
+    End barrier
+    Join
+          END
+""", qsize=512, depth=5, work=1)
+
+# ----------------------------------------------------------------------
+# 7. Doubly nested DOALL: matrix scale, both scheduling flavours.
+# ----------------------------------------------------------------------
+register("matrix_scale", """
+    Force MSCALE of NP ident ME
+    Shared INTEGER A({rows}, {cols}), CK
+    End declarations
+    Presched DO2 20 I = 1, {rows}; J = 1, {cols}
+          A(I, J) = I + J
+    20 End presched DO2
+    Barrier
+    End barrier
+    Selfsched DO2 30 I = 1, {rows}; J = 1, {cols}
+          A(I, J) = A(I, J) * 2
+    30 End selfsched DO2
+    Barrier
+          CK = A(1, 1) + A({rows}, {cols}) + A(2, 1)
+          WRITE(*,*) "CHECK", CK
+    End barrier
+    Join
+          END
+""", rows=4, cols=5)
+
+# ----------------------------------------------------------------------
+# 8. LU decomposition without pivoting (Gaussian elimination), the
+#    numerical-linear-algebra workload of the Force group: the outer
+#    elimination step is sequential, each update sweep is a
+#    prescheduled DOALL over rows, synchronised by a barrier.
+# ----------------------------------------------------------------------
+register("lu_decomposition", """
+    Force LUDEC of NP ident ME
+    Shared REAL A({n}, {n}), CHKSUM
+    Shared INTEGER NSIZE
+    Private INTEGER I, J, K
+    End declarations
+    Barrier
+          NSIZE = {n}
+          DO 6 J = 1, NSIZE
+          DO 5 I = 1, NSIZE
+            A(I, J) = 1.0 / FLOAT(I + J)
+            IF (I .EQ. J) A(I, J) = A(I, J) + FLOAT(NSIZE)
+    5     CONTINUE
+    6     CONTINUE
+    End barrier
+          DO 50 K = 1, NSIZE - 1
+          Presched DO 10 I = K + 1, NSIZE
+            A(I, K) = A(I, K) / A(K, K)
+            DO 20 J = K + 1, NSIZE
+              A(I, J) = A(I, J) - A(I, K) * A(K, J)
+    20      CONTINUE
+    10    End presched DO
+          Barrier
+          End barrier
+    50    CONTINUE
+    Barrier
+          CHKSUM = 0.0
+          DO 60 K = 1, NSIZE
+            CHKSUM = CHKSUM + A(K, K)
+    60    CONTINUE
+          WRITE(*,*) "TRACEU", NINT(1000.0 * CHKSUM)
+    End barrier
+    Join
+          END
+""", n=8)
+
+# ----------------------------------------------------------------------
+# 9. Parallel Force subroutine called by all processes.
+# ----------------------------------------------------------------------
+register("subroutine_call", """
+    Force DRIVERP of NP ident ME
+    Shared INTEGER BASE
+    End declarations
+    Barrier
+          BASE = 1000
+    End barrier
+    Forcecall ADDUP(BASE)
+    Join
+          END
+    Forcesub ADDUP(START) of NP ident ME
+    Shared INTEGER ACC
+    Private INTEGER K
+    End declarations
+    Barrier
+          ACC = START
+    End barrier
+    Selfsched DO 100 K = 1, 10
+          Critical ALCK
+          ACC = ACC + K
+          End critical
+    100 End Selfsched DO
+    Barrier
+          WRITE(*,*) "ACC", ACC
+    End barrier
+          RETURN
+          END
+""")

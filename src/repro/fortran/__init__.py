@@ -1,0 +1,85 @@
+"""A Fortran-77 subset front end and interpreter.
+
+The Force is a Fortran language extension; after the sed and m4 stages,
+a Force program *is* Fortran plus calls into the Force runtime library.
+On the paper's machines the manufacturer's Fortran compiler finished the
+job (§4.3); here this package plays that role, executing the expanded
+code directly.
+
+The dialect ("F77 subset, relaxed form") covers what macro-expanded
+Force programs and realistic numerical kernels need:
+
+* program units: ``PROGRAM``, ``SUBROUTINE``, ``FUNCTION`` … ``END``;
+* types ``INTEGER``, ``REAL``, ``DOUBLE PRECISION``, ``LOGICAL``,
+  ``CHARACTER``; arrays with constant or adjustable bounds, including
+  explicit lower bounds (``A(0:N)``);
+* ``COMMON`` blocks (name + position matched), ``PARAMETER``, ``DATA``,
+  ``DIMENSION``, ``EXTERNAL``;
+* assignment, logical ``IF``, block ``IF/ELSE IF/ELSE/END IF``,
+  ``DO``-loops (labelled terminal or ``END DO``), ``GO TO``,
+  ``CONTINUE``, ``CALL``, ``RETURN``, ``STOP``, list-directed
+  ``WRITE(*,*)``/``PRINT *``;
+* the usual intrinsics (``ABS``, ``MOD``, ``MAX``, ``SQRT`` …) and user
+  functions.
+
+Layout is relaxed fixed-form: a statement is one line, optionally
+preceded by a numeric label; ``C``/``*``/``!`` in column one start a
+comment; a trailing ``&`` continues the statement on the next line.
+Identifiers are case-insensitive (normalised to upper case).
+"""
+
+from repro.fortran.lexer import tokenize_statement, Token, TokenKind
+from repro.fortran.parser import parse_source, ProgramUnit, Program
+from repro.fortran.interp import (
+    ArgRef,
+    ArrayRef,
+    Cell,
+    CellRef,
+    CommonProvider,
+    Cost,
+    ElementRef,
+    ExternalCallHandler,
+    Frame,
+    Halt,
+    Interpreter,
+    StopSignal,
+    ValueRef,
+    drain,
+)
+from repro.fortran.values import (
+    FArray,
+    FType,
+    FValue,
+    coerce_assign,
+    ftype_of,
+)
+from repro._util.errors import FortranError
+
+__all__ = [
+    "tokenize_statement",
+    "Token",
+    "TokenKind",
+    "parse_source",
+    "ProgramUnit",
+    "Program",
+    "ArgRef",
+    "ArrayRef",
+    "Cell",
+    "CellRef",
+    "CommonProvider",
+    "Cost",
+    "ElementRef",
+    "ExternalCallHandler",
+    "Frame",
+    "Halt",
+    "Interpreter",
+    "StopSignal",
+    "ValueRef",
+    "drain",
+    "FArray",
+    "FType",
+    "FValue",
+    "coerce_assign",
+    "ftype_of",
+    "FortranError",
+]

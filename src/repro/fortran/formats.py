@@ -1,0 +1,179 @@
+"""FORMAT-directed output for the F77 subset.
+
+Supports the descriptors that period numerical codes actually used:
+
+* ``Iw``       — integer, right-justified in ``w`` columns;
+* ``Fw.d``     — fixed-point real;
+* ``Ew.d``     — exponential real (``0.dddE±ee`` form);
+* ``Aw`` / ``A`` — character (width optional);
+* ``Lw``       — logical (``T``/``F`` right-justified);
+* ``nX``       — ``n`` blanks;
+* ``'text'``   — literal;
+* ``/``        — line break;
+* ``rD``       — repeat count on any of the above (``3I5``);
+* ``r(...)``   — repeated groups, one nesting level.
+
+If the items outlast the format, the format rescans from the last
+top-level group (the F77 reversion rule, simplified to: rescan the
+whole format on a fresh line).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro._util.errors import FortranError
+from repro.fortran.values import FValue
+
+
+@dataclass(frozen=True)
+class _Edit:
+    kind: str            # I F E A L X LIT SLASH
+    width: int = 0
+    decimals: int = 0
+    text: str = ""
+
+
+def parse_format(text: str) -> list[_Edit]:
+    """Parse the body of a FORMAT statement (text between parens)."""
+    items: list[_Edit] = []
+    for token in _split_top_level(text):
+        items.extend(_parse_token(token))
+    return items
+
+
+def _split_top_level(text: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    in_string = False
+    for ch in text:
+        if in_string:
+            current.append(ch)
+            if ch == "'":
+                in_string = False
+            continue
+        if ch == "'":
+            in_string = True
+            current.append(ch)
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+            continue
+        current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+_SIMPLE = re.compile(
+    r"^(\d*)([IFEAL])(\d+)?(?:\.(\d+))?$", re.IGNORECASE)
+_BLANKS = re.compile(r"^(\d+)X$", re.IGNORECASE)
+_GROUP = re.compile(r"^(\d*)\((.*)\)$")
+
+
+def _parse_token(token: str) -> list[_Edit]:
+    if not token:
+        return []
+    if token == "/":
+        return [_Edit("SLASH")]
+    if token.startswith("'"):
+        if not token.endswith("'") or len(token) < 2:
+            raise FortranError(f"bad FORMAT literal {token!r}")
+        return [_Edit("LIT", text=token[1:-1].replace("''", "'"))]
+    match = _BLANKS.match(token)
+    if match:
+        return [_Edit("X", width=int(match.group(1)))]
+    match = _GROUP.match(token)
+    if match:
+        repeat = int(match.group(1) or 1)
+        inner = parse_format(match.group(2))
+        return inner * repeat
+    match = _SIMPLE.match(token)
+    if match:
+        repeat = int(match.group(1) or 1)
+        kind = match.group(2).upper()
+        width = int(match.group(3) or 0)
+        decimals = int(match.group(4) or 0)
+        if kind in ("I", "F", "E", "L") and width == 0:
+            raise FortranError(f"descriptor {token!r} needs a width")
+        return [_Edit(kind, width=width, decimals=decimals)] * repeat
+    raise FortranError(f"unsupported FORMAT descriptor {token!r}")
+
+
+def apply_format(edits: list[_Edit], values: list[FValue]) -> list[str]:
+    """Produce output lines from edit descriptors and values."""
+    lines: list[str] = []
+    current: list[str] = []
+    remaining = list(values)
+
+    def flush() -> None:
+        lines.append("".join(current))
+        current.clear()
+
+    guard = 0
+    while True:
+        guard += 1
+        if guard > 10_000:
+            raise FortranError("FORMAT reversion did not consume items")
+        for edit in edits:
+            if edit.kind == "LIT":
+                current.append(edit.text)
+            elif edit.kind == "X":
+                current.append(" " * edit.width)
+            elif edit.kind == "SLASH":
+                flush()
+            else:
+                if not remaining:
+                    flush()
+                    return lines
+                current.append(_render(edit, remaining.pop(0)))
+        if not remaining:
+            flush()
+            return lines
+        flush()   # reversion: fresh line, rescan the format
+
+
+def _render(edit: _Edit, value: FValue) -> str:
+    if edit.kind == "I":
+        text = str(int(value))
+    elif edit.kind == "F":
+        text = f"{float(value):.{edit.decimals}f}"
+    elif edit.kind == "E":
+        mantissa_digits = max(edit.decimals, 1)
+        text = _e_format(float(value), mantissa_digits)
+    elif edit.kind == "L":
+        text = "T" if value else "F"
+    elif edit.kind == "A":
+        text = str(value)
+        if edit.width:
+            text = text[:edit.width].rjust(edit.width)
+        return text
+    else:   # pragma: no cover
+        raise FortranError(f"cannot render edit {edit}")
+    if edit.width and len(text) > edit.width:
+        return "*" * edit.width       # field overflow, as in Fortran
+    return text.rjust(edit.width)
+
+
+def _e_format(value: float, digits: int) -> str:
+    """Fortran Ew.d form: 0.dddE+ee."""
+    if value == 0.0:
+        mantissa, exponent = 0.0, 0
+    else:
+        from math import floor, log10
+        exponent = floor(log10(abs(value))) + 1
+        mantissa = value / 10.0 ** exponent
+        # Rounding may push the mantissa to 1.0; renormalise.
+        if round(abs(mantissa), digits) >= 1.0:
+            mantissa /= 10.0
+            exponent += 1
+    return f"{mantissa:.{digits}f}".replace("0.", "0.", 1) + \
+        f"E{exponent:+03d}"

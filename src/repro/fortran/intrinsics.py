@@ -1,0 +1,92 @@
+"""Fortran intrinsic functions for the F77 subset."""
+
+from __future__ import annotations
+
+import math
+
+from repro._util.errors import FortranError
+
+
+def _int_args(args):
+    return [int(a) for a in args]
+
+
+def _f(args):
+    return [float(a) for a in args]
+
+
+def _sign(a, b):
+    magnitude = abs(a)
+    return magnitude if b >= 0 else -magnitude
+
+
+def _check_numeric(name, args):
+    for a in args:
+        if isinstance(a, (bool, str)):
+            raise FortranError(f"{name}: non-numeric argument {a!r}")
+
+
+# name -> (min arity, max arity or None for variadic, implementation)
+INTRINSICS = {
+    "ABS": (1, 1, lambda a: abs(a[0])),
+    "IABS": (1, 1, lambda a: abs(int(a[0]))),
+    "DABS": (1, 1, lambda a: abs(float(a[0]))),
+    "MOD": (2, 2, lambda a: math.fmod(a[0], a[1]) if isinstance(a[0], float)
+            or isinstance(a[1], float) else int(math.fmod(a[0], a[1]))),
+    "AMOD": (2, 2, lambda a: math.fmod(float(a[0]), float(a[1]))),
+    "DMOD": (2, 2, lambda a: math.fmod(float(a[0]), float(a[1]))),
+    "MAX": (2, None, lambda a: max(a)),
+    "MAX0": (2, None, lambda a: max(_int_args(a))),
+    "AMAX1": (2, None, lambda a: max(_f(a))),
+    "DMAX1": (2, None, lambda a: max(_f(a))),
+    "MIN": (2, None, lambda a: min(a)),
+    "MIN0": (2, None, lambda a: min(_int_args(a))),
+    "AMIN1": (2, None, lambda a: min(_f(a))),
+    "DMIN1": (2, None, lambda a: min(_f(a))),
+    "SQRT": (1, 1, lambda a: math.sqrt(float(a[0]))),
+    "DSQRT": (1, 1, lambda a: math.sqrt(float(a[0]))),
+    "EXP": (1, 1, lambda a: math.exp(float(a[0]))),
+    "DEXP": (1, 1, lambda a: math.exp(float(a[0]))),
+    "LOG": (1, 1, lambda a: math.log(float(a[0]))),
+    "ALOG": (1, 1, lambda a: math.log(float(a[0]))),
+    "DLOG": (1, 1, lambda a: math.log(float(a[0]))),
+    "LOG10": (1, 1, lambda a: math.log10(float(a[0]))),
+    "ALOG10": (1, 1, lambda a: math.log10(float(a[0]))),
+    "SIN": (1, 1, lambda a: math.sin(float(a[0]))),
+    "DSIN": (1, 1, lambda a: math.sin(float(a[0]))),
+    "COS": (1, 1, lambda a: math.cos(float(a[0]))),
+    "DCOS": (1, 1, lambda a: math.cos(float(a[0]))),
+    "TAN": (1, 1, lambda a: math.tan(float(a[0]))),
+    "ATAN": (1, 1, lambda a: math.atan(float(a[0]))),
+    "ATAN2": (2, 2, lambda a: math.atan2(float(a[0]), float(a[1]))),
+    "INT": (1, 1, lambda a: int(a[0])),
+    "IFIX": (1, 1, lambda a: int(a[0])),
+    "IDINT": (1, 1, lambda a: int(a[0])),
+    "NINT": (1, 1, lambda a: int(round(float(a[0])))),
+    "REAL": (1, 1, lambda a: float(a[0])),
+    "FLOAT": (1, 1, lambda a: float(a[0])),
+    "DBLE": (1, 1, lambda a: float(a[0])),
+    "SIGN": (2, 2, lambda a: _sign(a[0], a[1])),
+    "ISIGN": (2, 2, lambda a: int(_sign(int(a[0]), int(a[1])))),
+    "DIM": (2, 2, lambda a: max(a[0] - a[1], 0)),
+    "IDIM": (2, 2, lambda a: max(int(a[0]) - int(a[1]), 0)),
+    "LEN": (1, 1, lambda a: len(str(a[0]))),
+    "ICHAR": (1, 1, lambda a: ord(str(a[0])[0])),
+    "CHAR": (1, 1, lambda a: chr(int(a[0]))),
+}
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS
+
+
+def call_intrinsic(name: str, args: list):
+    """Evaluate intrinsic ``name`` on evaluated arguments."""
+    low, high, func = INTRINSICS[name]
+    if len(args) < low or (high is not None and len(args) > high):
+        raise FortranError(f"{name}: expected "
+                           f"{low if high == low else f'{low}+'} args, "
+                           f"got {len(args)}")
+    if name not in ("LEN", "ICHAR", "CHAR"):
+        _check_numeric(name, args)
+    return func(args)

@@ -1,0 +1,134 @@
+"""Tokenizer for the F77 subset.
+
+Works on one logical statement at a time (continuations are merged by
+the line assembler in :mod:`repro.fortran.parser`).  Produces a flat
+token list; identifiers and keywords are both NAME tokens — the parser
+decides which names are keywords by position, as Fortran requires.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro._util.errors import FortranError
+
+
+class TokenKind(Enum):
+    NAME = auto()
+    INT = auto()
+    REAL = auto()
+    STRING = auto()
+    OP = auto()        # + - * / ** ( ) , = : // and dot-operators
+    EOS = auto()       # end of statement
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: int
+
+    def is_op(self, text: str) -> bool:
+        return self.kind is TokenKind.OP and self.text == text
+
+    def is_name(self, text: str) -> bool:
+        return self.kind is TokenKind.NAME and self.text == text
+
+
+_DOT_OP = re.compile(r"\.(EQ|NE|LT|LE|GT|GE|AND|OR|NOT|EQV|NEQV|TRUE|FALSE)\.",
+                     re.IGNORECASE)
+# A REAL literal needs a digit on at least one side of the dot and must
+# not be a dot-operator (handled before this pattern is tried).
+_NUMBER = re.compile(
+    r"(\d+\.\d*([EDed][+-]?\d+)?|\.\d+([EDed][+-]?\d+)?"
+    r"|\d+[EDed][+-]?\d+|\d+)")
+_NAME = re.compile(r"[A-Za-z][A-Za-z0-9_$]*")
+_MULTI_OPS = ("**", "//", "::")
+_SINGLE_OPS = "+-*/(),=:<>"
+
+
+def tokenize_statement(text: str, *, line: int | None = None) -> list[Token]:
+    """Tokenize one logical statement (label already stripped)."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+        if ch in "'\"":
+            i, token = _scan_string(text, i, line)
+            tokens.append(token)
+            continue
+        if ch == ".":
+            match = _DOT_OP.match(text, i)
+            if match:
+                tokens.append(Token(TokenKind.OP, match.group(0).upper(), i))
+                i = match.end()
+                continue
+            match = _NUMBER.match(text, i)
+            if match:
+                tokens.append(Token(TokenKind.REAL, match.group(0).upper(), i))
+                i = match.end()
+                continue
+            raise FortranError(f"stray '.' at column {i} in {text!r}",
+                               line=line)
+        if ch.isdigit():
+            # Disambiguate `1.EQ.2`: the dot belongs to the operator.
+            intpart = re.match(r"\d+", text[i:])
+            after = i + intpart.end()
+            if after < n and text[after] == "." and _DOT_OP.match(text, after):
+                tokens.append(Token(TokenKind.INT, intpart.group(0), i))
+                i = after
+                continue
+            match = _NUMBER.match(text, i)
+            assert match is not None
+            literal = match.group(0)
+            kind = TokenKind.INT if literal.isdigit() else TokenKind.REAL
+            tokens.append(Token(kind, literal.upper(), i))
+            i = match.end()
+            continue
+        match = _NAME.match(text, i)
+        if match:
+            tokens.append(Token(TokenKind.NAME, match.group(0).upper(), i))
+            i = match.end()
+            continue
+        took_multi = False
+        for op in _MULTI_OPS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, i))
+                i += len(op)
+                took_multi = True
+                break
+        if took_multi:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token(TokenKind.OP, ch, i))
+            i += 1
+            continue
+        raise FortranError(f"unexpected character {ch!r} at column {i} "
+                           f"in {text!r}", line=line)
+    tokens.append(Token(TokenKind.EOS, "", n))
+    return tokens
+
+
+def _scan_string(text: str, start: int, line: int | None):
+    """Scan a quoted literal; doubled quotes escape themselves."""
+    quote = text[start]
+    i = start + 1
+    out: list[str] = []
+    while i < len(text):
+        ch = text[i]
+        if ch == quote:
+            if i + 1 < len(text) and text[i + 1] == quote:
+                out.append(quote)
+                i += 2
+                continue
+            return i + 1, Token(TokenKind.STRING, "".join(out), start)
+        out.append(ch)
+        i += 1
+    raise FortranError(f"unterminated string starting at column {start} "
+                       f"in {text!r}", line=line)

@@ -1,0 +1,259 @@
+"""Runtime values for the F77 subset interpreter.
+
+Scalar values are plain Python objects (``int``, ``float``, ``bool``,
+``str``) tagged by a declared :class:`FType`.  Arrays are
+:class:`FArray` — a numpy-backed block with Fortran dimension semantics
+(column-major storage order, per-dimension lower bounds, default 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro._util.errors import FortranError
+
+
+class FType(Enum):
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    DOUBLE = "DOUBLE PRECISION"
+    LOGICAL = "LOGICAL"
+    CHARACTER = "CHARACTER"
+
+    @property
+    def numpy_dtype(self):
+        return {
+            FType.INTEGER: np.int64,
+            FType.REAL: np.float64,   # we do not model 32-bit rounding
+            FType.DOUBLE: np.float64,
+            FType.LOGICAL: np.bool_,
+            FType.CHARACTER: object,
+        }[self]
+
+    @property
+    def zero(self):
+        return {
+            FType.INTEGER: 0,
+            FType.REAL: 0.0,
+            FType.DOUBLE: 0.0,
+            FType.LOGICAL: False,
+            FType.CHARACTER: "",
+        }[self]
+
+
+#: A scalar Fortran value as represented in Python.
+FValue = int | float | bool | str
+
+
+def parse_type_name(name: str) -> FType:
+    """Map a declaration keyword (already upper-cased) to an FType."""
+    cleaned = " ".join(name.split())
+    if cleaned.startswith("CHARACTER"):
+        return FType.CHARACTER
+    try:
+        return FType(cleaned)
+    except ValueError as exc:
+        raise FortranError(f"unknown type {name!r}") from exc
+
+
+def default_type_for(name: str) -> FType:
+    """Implicit typing: I-N are INTEGER, everything else REAL."""
+    return FType.INTEGER if name[0] in "IJKLMN" else FType.REAL
+
+
+def ftype_of(value: FValue) -> FType:
+    """Classify a Python scalar as a Fortran type."""
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return FType.LOGICAL
+    if isinstance(value, (int, np.integer)):
+        return FType.INTEGER
+    if isinstance(value, (float, np.floating)):
+        return FType.REAL
+    if isinstance(value, str):
+        return FType.CHARACTER
+    raise FortranError(f"value {value!r} has no Fortran type")
+
+
+def coerce_assign(ftype: FType, value: FValue) -> FValue:
+    """Convert ``value`` for assignment into a variable of ``ftype``.
+
+    Follows F77 rules: numeric types interconvert (REAL→INTEGER
+    truncates toward zero); LOGICAL and CHARACTER only accept their own
+    kind.
+    """
+    if ftype is FType.INTEGER:
+        if isinstance(value, bool) or isinstance(value, str):
+            raise FortranError(f"cannot assign {ftype_of(value).value} "
+                               "to INTEGER")
+        return int(value)
+    if ftype in (FType.REAL, FType.DOUBLE):
+        if isinstance(value, bool) or isinstance(value, str):
+            raise FortranError(f"cannot assign {ftype_of(value).value} "
+                               f"to {ftype.value}")
+        return float(value)
+    if ftype is FType.LOGICAL:
+        if not isinstance(value, (bool, np.bool_)):
+            raise FortranError("cannot assign non-LOGICAL to LOGICAL")
+        return bool(value)
+    if ftype is FType.CHARACTER:
+        if not isinstance(value, str):
+            raise FortranError("cannot assign non-CHARACTER to CHARACTER")
+        return value
+    raise FortranError(f"unsupported type {ftype}")  # pragma: no cover
+
+
+@dataclass
+class FArray:
+    """A Fortran array: numpy storage + per-dimension lower bounds.
+
+    ``fe_holder`` is a one-slot shared box for the lazily-allocated
+    per-element full/empty state used by the HEP machine model
+    (hardware access state on every memory cell).  It is *shared
+    between all views* of the same storage (``reinterpret`` passes it
+    along), and indexed by flat storage position, so a produce through
+    one process's view of a COMMON block is seen by every other
+    process's view.
+    """
+
+    ftype: FType
+    lower: tuple[int, ...]
+    shape: tuple[int, ...]
+    data: np.ndarray
+    fe_holder: list = None  # [np.ndarray | None]; shared across views
+
+    def __post_init__(self) -> None:
+        if self.fe_holder is None:
+            self.fe_holder = [None]
+
+    def storage_id(self) -> int:
+        """Identity of the underlying buffer, stable across views."""
+        interface = self.data.__array_interface__
+        return interface["data"][0]
+
+    def flat_index(self, subscripts: tuple[int, ...]) -> int:
+        """Flat (column-major) storage position of an element —
+        identical for every view of the same storage."""
+        zero_based = self._index(subscripts)
+        return int(np.ravel_multi_index(zero_based, self.shape,
+                                        order="F"))
+
+    def fe_state(self, subscripts: tuple[int, ...]) -> bool:
+        fe = self.fe_holder[0]
+        index = self.flat_index(subscripts)
+        if fe is None or index >= len(fe):
+            return False
+        return bool(fe[index])
+
+    def set_fe(self, subscripts: tuple[int, ...], full: bool) -> None:
+        index = self.flat_index(subscripts)
+        fe = self.fe_holder[0]
+        if fe is None or len(fe) <= index:
+            grown = np.zeros(max(self.size, index + 1,
+                                 0 if fe is None else len(fe)),
+                             dtype=np.bool_)
+            if fe is not None:
+                grown[:len(fe)] = fe
+            self.fe_holder[0] = grown
+        self.fe_holder[0][index] = full
+
+    @classmethod
+    def allocate(cls, ftype: FType, bounds: list[tuple[int, int]]) -> FArray:
+        """Create a zero-filled array from (lower, upper) bound pairs."""
+        lower = tuple(lo for lo, _ in bounds)
+        shape = tuple(hi - lo + 1 for lo, hi in bounds)
+        if any(extent <= 0 for extent in shape):
+            raise FortranError(f"non-positive array extent in bounds "
+                               f"{bounds}")
+        if ftype is FType.CHARACTER:
+            data = np.full(shape, "", dtype=object, order="F")
+        else:
+            data = np.zeros(shape, dtype=ftype.numpy_dtype, order="F")
+        return cls(ftype=ftype, lower=lower, shape=shape, data=data)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def _index(self, subscripts: tuple[int, ...]) -> tuple[int, ...]:
+        if len(subscripts) != len(self.shape):
+            raise FortranError(
+                f"array rank {len(self.shape)} referenced with "
+                f"{len(subscripts)} subscripts")
+        out = []
+        for sub, lo, extent in zip(subscripts, self.lower, self.shape):
+            offset = int(sub) - lo
+            if not 0 <= offset < extent:
+                raise FortranError(
+                    f"subscript {sub} out of bounds [{lo}, {lo + extent - 1}]")
+            out.append(offset)
+        return tuple(out)
+
+    def get(self, subscripts: tuple[int, ...]) -> FValue:
+        raw = self.data[self._index(subscripts)]
+        if self.ftype is FType.INTEGER:
+            return int(raw)
+        if self.ftype in (FType.REAL, FType.DOUBLE):
+            return float(raw)
+        if self.ftype is FType.LOGICAL:
+            return bool(raw)
+        return raw if raw is not None else ""
+
+    def set(self, subscripts: tuple[int, ...], value: FValue) -> None:
+        self.data[self._index(subscripts)] = coerce_assign(self.ftype, value)
+
+    def fill(self, value: FValue) -> None:
+        self.data[...] = coerce_assign(self.ftype, value)
+
+    def copy(self) -> FArray:
+        fe = self.fe_holder[0]
+        holder = [fe.copy() if fe is not None else None]
+        return FArray(self.ftype, self.lower, self.shape,
+                      self.data.copy(), holder)
+
+    def reinterpret(self, bounds: list[tuple[int, int]]) -> FArray:
+        """View this array's storage with new Fortran bounds.
+
+        Implements the F77 storage-association rule for arrays passed as
+        arguments: the callee's declared shape maps onto the caller's
+        storage in column-major order.  The view aliases the original
+        data (writes are visible to the caller); the new size must not
+        exceed the existing storage.
+        """
+        lower = tuple(lo for lo, _ in bounds)
+        shape = tuple(hi - lo + 1 for lo, hi in bounds)
+        new_size = 1
+        for extent in shape:
+            if extent <= 0:
+                raise FortranError(
+                    f"non-positive extent in reinterpreted bounds {bounds}")
+            new_size *= extent
+        flat = self.data.reshape(-1, order="F")
+        if new_size > flat.shape[0]:
+            raise FortranError(
+                f"dummy array of {new_size} elements exceeds actual "
+                f"argument of {flat.shape[0]}")
+        view = flat[:new_size].reshape(shape, order="F")
+        # Views share the full/empty state box with their base.
+        return FArray(self.ftype, lower, shape, view, self.fe_holder)
+
+
+def format_value(value: FValue) -> str:
+    """Render a value the way list-directed output prints it.
+
+    Deliberately simple and deterministic (not column-padded like real
+    Fortran): integers plain, logicals as T/F, reals with repr-style
+    shortest form.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return "T" if value else "F"
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return repr(value)
+    return str(value)

@@ -1,0 +1,203 @@
+"""Integer expression evaluator for the m4 ``eval`` builtin.
+
+Implements the m4 operator set on Python integers with C-like semantics:
+``|| && | ^ & == != < <= > >= << >> + - * / % ** ! ~`` and unary minus,
+with parentheses.  Division truncates toward zero as in C (and m4).
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import MacroError
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    # ----- lexer helpers -------------------------------------------------
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _peek(self, n: int = 1) -> str:
+        return self.text[self.pos:self.pos + n]
+
+    def _take(self, token: str) -> bool:
+        self._skip_ws()
+        if self.text.startswith(token, self.pos):
+            self.pos += len(token)
+            return True
+        return False
+
+    # ----- grammar (precedence climbing, lowest first) -------------------
+    def parse(self) -> int:
+        value = self._or()
+        self._skip_ws()
+        if self.pos != len(self.text):
+            raise MacroError(
+                f"eval: trailing garbage at column {self.pos} in {self.text!r}")
+        return value
+
+    def _or(self) -> int:
+        left = self._and()
+        while self._take("||"):
+            right = self._and()
+            left = 1 if (left or right) else 0
+        return left
+
+    def _and(self) -> int:
+        left = self._bitor()
+        while self._take("&&"):
+            right = self._bitor()
+            left = 1 if (left and right) else 0
+        return left
+
+    def _bitor(self) -> int:
+        left = self._bitxor()
+        while True:
+            self._skip_ws()
+            if self._peek(2) != "||" and self._take("|"):
+                left = left | self._bitxor()
+            else:
+                return left
+
+    def _bitxor(self) -> int:
+        left = self._bitand()
+        while self._take("^"):
+            left = left ^ self._bitand()
+        return left
+
+    def _bitand(self) -> int:
+        left = self._equality()
+        while True:
+            self._skip_ws()
+            if self._peek(2) != "&&" and self._take("&"):
+                left = left & self._equality()
+            else:
+                return left
+
+    def _equality(self) -> int:
+        left = self._relational()
+        while True:
+            if self._take("=="):
+                left = 1 if left == self._relational() else 0
+            elif self._take("!="):
+                left = 1 if left != self._relational() else 0
+            else:
+                return left
+
+    def _relational(self) -> int:
+        left = self._shift()
+        while True:
+            if self._take("<="):
+                left = 1 if left <= self._shift() else 0
+            elif self._take(">="):
+                left = 1 if left >= self._shift() else 0
+            else:
+                self._skip_ws()
+                nxt = self._peek(2)
+                if nxt not in ("<<", ">>") and self._take("<"):
+                    left = 1 if left < self._shift() else 0
+                elif nxt not in ("<<", ">>") and self._take(">"):
+                    left = 1 if left > self._shift() else 0
+                else:
+                    return left
+
+    def _shift(self) -> int:
+        left = self._additive()
+        while True:
+            if self._take("<<"):
+                left = left << self._additive()
+            elif self._take(">>"):
+                left = left >> self._additive()
+            else:
+                return left
+
+    def _additive(self) -> int:
+        left = self._multiplicative()
+        while True:
+            if self._take("+"):
+                left = left + self._multiplicative()
+            elif self._take("-"):
+                left = left - self._multiplicative()
+            else:
+                return left
+
+    def _multiplicative(self) -> int:
+        left = self._power()
+        while True:
+            self._skip_ws()
+            if self._peek(2) != "**" and self._take("*"):
+                left = left * self._power()
+            elif self._take("/"):
+                right = self._power()
+                if right == 0:
+                    raise MacroError("eval: division by zero")
+                # C semantics: truncate toward zero.
+                left = int(left / right) if (left < 0) != (right < 0) \
+                    else left // right
+            elif self._take("%"):
+                right = self._power()
+                if right == 0:
+                    raise MacroError("eval: modulo by zero")
+                # C semantics: remainder has the sign of the dividend.
+                left = left - int(left / right) * right if right else 0
+            else:
+                return left
+
+    def _power(self) -> int:
+        left = self._unary()
+        if self._take("**"):
+            # Right associative.
+            right = self._power()
+            if right < 0:
+                raise MacroError("eval: negative exponent")
+            return left ** right
+        return left
+
+    def _unary(self) -> int:
+        self._skip_ws()
+        if self._take("-"):
+            return -self._unary()
+        if self._take("+"):
+            return self._unary()
+        if self._take("!"):
+            return 0 if self._unary() else 1
+        if self._take("~"):
+            return ~self._unary()
+        return self._primary()
+
+    def _primary(self) -> int:
+        self._skip_ws()
+        if self._take("("):
+            value = self._or()
+            if not self._take(")"):
+                raise MacroError(f"eval: missing ')' in {self.text!r}")
+            return value
+        start = self.pos
+        if self._peek(2).lower() == "0x":
+            self.pos += 2
+            while self.pos < len(self.text) and \
+                    self.text[self.pos] in "0123456789abcdefABCDEF":
+                self.pos += 1
+            if self.pos == start + 2:
+                raise MacroError(f"eval: bad hex literal in {self.text!r}")
+            return int(self.text[start:self.pos], 16)
+        while self.pos < len(self.text) and self.text[self.pos].isdigit():
+            self.pos += 1
+        if self.pos == start:
+            raise MacroError(
+                f"eval: expected number at column {self.pos} in {self.text!r}")
+        literal = self.text[start:self.pos]
+        if literal.startswith("0") and len(literal) > 1:
+            return int(literal, 8)  # m4 honours C octal literals
+        return int(literal)
+
+
+def eval_expression(text: str) -> int:
+    """Evaluate an m4 ``eval`` expression, raising MacroError on error."""
+    stripped = text.strip()
+    if not stripped:
+        raise MacroError("eval: empty expression")
+    return _Parser(stripped).parse()

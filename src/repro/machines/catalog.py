@@ -1,0 +1,172 @@
+"""The six machines the Force was ported to (§2, §4 of the paper).
+
+Cycle costs are stylised relative magnitudes consistent with the
+paper's qualitative claims (fork is expensive, HEP process creation is
+a subroutine call, OS locks cost far more than spinlocks) and with
+period literature; they are not measured hardware numbers.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import MachineError
+from repro.machines.model import (
+    CostTable,
+    LockType,
+    MachineModel,
+    ProcessModel,
+    SharingBinding,
+)
+
+#: Denelcor HEP: hardware full/empty bit on every memory cell, process
+#: creation by subroutine call — the machine the Force grew up on.
+HEP = MachineModel(
+    name="HEP",
+    vendor="Denelcor",
+    processors=16,
+    process_model=ProcessModel.SUBROUTINE_SPAWN,
+    lock_type=LockType.HARDWARE_FE,
+    sharing_binding=SharingBinding.COMPILE_TIME,
+    page_size=0,
+    costs=CostTable(
+        lock_acquire=2,
+        lock_release=2,
+        spin_retry=1,
+        syscall_overhead=0,
+        context_switch=20,
+        process_create=60,          # "create processes with a subroutine call"
+        shared_access_penalty=1,
+    ),
+)
+
+#: Flexible Flex/32: compile-time sharing like the HEP, but a combined
+#: spin-then-syscall lock.
+FLEX_32 = MachineModel(
+    name="Flex/32",
+    vendor="Flexible Computer",
+    processors=8,
+    process_model=ProcessModel.UNIX_FORK,
+    lock_type=LockType.COMBINED,
+    sharing_binding=SharingBinding.COMPILE_TIME,
+    page_size=0,
+    combined_spin_limit=120,
+    costs=CostTable(
+        lock_acquire=12,
+        lock_release=10,
+        spin_retry=6,
+        syscall_overhead=500,
+        context_switch=300,
+        process_create=12_000,
+        shared_access_penalty=3,
+    ),
+)
+
+#: Encore Multimax: run-time shared pages; the Force pads the shared
+#: area at both ends to keep private data off shared pages.
+ENCORE_MULTIMAX = MachineModel(
+    name="Encore Multimax",
+    vendor="Encore",
+    processors=20,
+    process_model=ProcessModel.UNIX_FORK,
+    lock_type=LockType.SPIN,
+    sharing_binding=SharingBinding.RUN_TIME,
+    page_size=4096,
+    shared_padded_both_ends=True,
+    costs=CostTable(
+        lock_acquire=10,
+        lock_release=8,
+        spin_retry=7,
+        syscall_overhead=600,
+        context_switch=350,
+        process_create=15_000,
+        shared_access_penalty=2,
+    ),
+)
+
+#: Sequent Balance: link-time sharing via generated startup routines and
+#: a two-run linker-command pipe.
+SEQUENT_BALANCE = MachineModel(
+    name="Sequent Balance",
+    vendor="Sequent",
+    processors=12,
+    process_model=ProcessModel.UNIX_FORK,
+    lock_type=LockType.SPIN,
+    sharing_binding=SharingBinding.LINK_TIME,
+    page_size=4096,
+    costs=CostTable(
+        lock_acquire=11,
+        lock_release=9,
+        spin_retry=8,
+        syscall_overhead=650,
+        context_switch=400,
+        process_create=16_000,
+        shared_access_penalty=2,
+    ),
+)
+
+#: Alliant FX/8: fork shares all data segments (only the stack is
+#: private); sharing must start on a page boundary.
+ALLIANT_FX8 = MachineModel(
+    name="Alliant FX/8",
+    vendor="Alliant",
+    processors=8,
+    process_model=ProcessModel.SHARED_DATA_FORK,
+    lock_type=LockType.SPIN,
+    sharing_binding=SharingBinding.RUN_TIME,
+    page_size=8192,
+    shared_starts_on_page=True,
+    costs=CostTable(
+        lock_acquire=6,
+        lock_release=5,
+        spin_retry=4,
+        syscall_overhead=450,
+        context_switch=250,
+        process_create=4_000,       # lighter: only the stack is copied
+        shared_access_penalty=1,
+    ),
+)
+
+#: Cray-2: OS-managed (system call) locks, and locks are a scarce
+#: resource (§4.1.3's closing remark).
+CRAY_2 = MachineModel(
+    name="Cray-2",
+    vendor="Cray Research",
+    processors=4,
+    process_model=ProcessModel.UNIX_FORK,
+    lock_type=LockType.SYSCALL,
+    sharing_binding=SharingBinding.COMPILE_TIME,
+    page_size=0,
+    lock_limit=32,
+    costs=CostTable(
+        statement_scale=1,
+        lock_acquire=30,
+        lock_release=25,
+        spin_retry=0,
+        syscall_overhead=900,
+        context_switch=500,
+        process_create=25_000,
+        shared_access_penalty=1,
+    ),
+)
+
+#: All six ports, keyed by :attr:`MachineModel.key`.
+MACHINES: dict[str, MachineModel] = {
+    m.key: m for m in
+    (HEP, FLEX_32, ENCORE_MULTIMAX, SEQUENT_BALANCE, ALLIANT_FX8, CRAY_2)
+}
+
+
+def machine_names() -> list[str]:
+    """Registry keys, in the paper's porting order."""
+    return list(MACHINES)
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look a machine up by key or (case-insensitive) display name."""
+    key = name.lower().replace(" ", "-").replace("/", "")
+    if key in MACHINES:
+        return MACHINES[key]
+    for machine in MACHINES.values():
+        if machine.name.lower() == name.lower():
+            return machine
+    raise MachineError(
+        f"unknown machine {name!r}; available: {', '.join(MACHINES)}")

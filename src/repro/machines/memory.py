@@ -1,0 +1,180 @@
+"""Shared-memory layout emulation (§4.1.2).
+
+On the Encore, sharing happens at run time through shared pages, and
+"it is in general the programmer's responsibility to ensure that shared
+variables are within the shared page boundaries and that private
+variables are not.  The Force relieves the programmer from this
+responsibility by calculating the address of shared pages and padding
+the extra space at the beginning and the end of the shared area".  The
+Alliant is similar except "all sharing must start at the beginning of a
+page".
+
+This module reproduces that address arithmetic: given the shared and
+private variables of a program, it lays out a data segment, inserts the
+machine-required padding, and exposes invariant checks that the tests
+(and experiment E1) assert for every machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import MachineError
+from repro.machines.model import MachineModel, SharingBinding
+
+#: Bytes per element for layout purposes (period 32-bit machines used
+#: 4-byte numeric storage units; DOUBLE PRECISION takes two).
+TYPE_SIZES = {
+    "INTEGER": 4,
+    "REAL": 4,
+    "LOGICAL": 4,
+    "DOUBLE PRECISION": 8,
+    "CHARACTER": 1,
+}
+
+
+@dataclass(frozen=True)
+class VariableSpec:
+    """A variable to place: name, Fortran type keyword, element count."""
+
+    name: str
+    ftype: str = "INTEGER"
+    elements: int = 1
+
+    @property
+    def size(self) -> int:
+        try:
+            return TYPE_SIZES[self.ftype] * self.elements
+        except KeyError as exc:
+            raise MachineError(f"no size for type {self.ftype!r}") from exc
+
+
+@dataclass
+class Placement:
+    """A variable's resolved address range [start, end)."""
+
+    spec: VariableSpec
+    start: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.spec.size
+
+
+@dataclass
+class SharedRegionPlan:
+    """The computed layout: shared region bounds plus all placements."""
+
+    machine: MachineModel
+    shared_start: int
+    shared_end: int               # exclusive; padded per machine rules
+    shared: list[Placement] = field(default_factory=list)
+    private: list[Placement] = field(default_factory=list)
+    padding_bytes: int = 0
+
+    def placement(self, name: str) -> Placement:
+        for p in self.shared + self.private:
+            if p.spec.name == name:
+                return p
+        raise MachineError(f"no variable named {name} in layout")
+
+    # -- invariants asserted by tests and E1 ---------------------------
+    def check(self) -> None:
+        """Raise MachineError if any §4.1.2 constraint is violated."""
+        machine = self.machine
+        page = machine.page_size
+        for p in self.shared:
+            if not (self.shared_start <= p.start and
+                    p.end <= self.shared_end):
+                raise MachineError(
+                    f"shared variable {p.spec.name} at [{p.start},{p.end}) "
+                    f"outside shared region [{self.shared_start},"
+                    f"{self.shared_end})")
+        for p in self.private:
+            if p.start < self.shared_end and p.end > self.shared_start:
+                raise MachineError(
+                    f"private variable {p.spec.name} overlaps the shared "
+                    "region")
+        if page and (machine.shared_starts_on_page or
+                     machine.shared_padded_both_ends):
+            if self.shared_start % page != 0:
+                raise MachineError(
+                    f"shared region starts at {self.shared_start}, not on "
+                    f"a {page}-byte page boundary")
+        if page and machine.shared_padded_both_ends:
+            if self.shared_end % page != 0:
+                raise MachineError(
+                    f"shared region ends at {self.shared_end}, not on a "
+                    f"page boundary")
+
+
+class MemoryLayout:
+    """Builds a :class:`SharedRegionPlan` for one machine.
+
+    The data segment is laid out as: private variables, then the shared
+    region (aligned/padded per machine), then remaining private
+    variables would follow — we place all privates first, which yields
+    the worst-case padding the paper's implementation must absorb.
+    """
+
+    def __init__(self, machine: MachineModel) -> None:
+        self.machine = machine
+
+    def plan(self, shared: list[VariableSpec],
+             private: list[VariableSpec],
+             *, base_address: int = 0) -> SharedRegionPlan:
+        machine = self.machine
+        page = machine.page_size
+        cursor = base_address
+        private_placements: list[Placement] = []
+        for spec in private:
+            cursor = _align(cursor, TYPE_SIZES.get(spec.ftype, 4))
+            private_placements.append(Placement(spec, cursor))
+            cursor += spec.size
+
+        pad_before = 0
+        if page and (machine.shared_starts_on_page or
+                     machine.shared_padded_both_ends):
+            aligned = _align(cursor, page)
+            pad_before = aligned - cursor
+            cursor = aligned
+        shared_start = cursor
+
+        shared_placements: list[Placement] = []
+        for spec in shared:
+            cursor = _align(cursor, TYPE_SIZES.get(spec.ftype, 4))
+            shared_placements.append(Placement(spec, cursor))
+            cursor += spec.size
+
+        pad_after = 0
+        if page and machine.shared_padded_both_ends:
+            aligned = _align(cursor, page)
+            pad_after = aligned - cursor
+            cursor = aligned
+        elif page and machine.shared_starts_on_page:
+            aligned = _align(cursor, page)
+            pad_after = aligned - cursor
+            cursor = aligned
+        shared_end = cursor
+
+        if machine.sharing_binding is SharingBinding.COMPILE_TIME and page:
+            raise MachineError(  # pragma: no cover - config sanity
+                f"{machine.name}: compile-time sharing should not have "
+                "page constraints")
+
+        plan = SharedRegionPlan(
+            machine=machine,
+            shared_start=shared_start,
+            shared_end=shared_end,
+            shared=shared_placements,
+            private=private_placements,
+            padding_bytes=pad_before + pad_after,
+        )
+        return plan
+
+
+def _align(value: int, alignment: int) -> int:
+    if alignment <= 1:
+        return value
+    remainder = value % alignment
+    return value if remainder == 0 else value + alignment - remainder

@@ -1,0 +1,113 @@
+"""Machine model dataclasses: the axes of variation from §4.1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ProcessModel(Enum):
+    """How a force of processes is created (§4.1.1)."""
+
+    #: Standard UNIX fork/join: full copy of data and stack per child.
+    UNIX_FORK = "unix-fork"
+    #: Alliant variant: all data segments shared, only the stack copied.
+    SHARED_DATA_FORK = "shared-data-fork"
+    #: HEP: a subroutine call creates a process; returning ends it.
+    SUBROUTINE_SPAWN = "subroutine-spawn"
+
+
+class LockType(Enum):
+    """The generic lock mechanism each system provides (§4.1.3)."""
+
+    #: Spin with test&set on a shared variable (Sequent, Encore).
+    SPIN = "spin"
+    #: The operating system parks waiters via the scheduler (Cray).
+    SYSCALL = "syscall"
+    #: Spin for a bounded time, then make an OS call (Flex).
+    COMBINED = "combined"
+    #: Hardware full/empty access state on every memory cell (HEP).
+    HARDWARE_FE = "hardware-fe"
+
+
+class SharingBinding(Enum):
+    """When shared memory is identified (§4.1.2)."""
+
+    COMPILE_TIME = "compile-time"   # HEP, Flex, Cray-2
+    LINK_TIME = "link-time"         # Sequent (two-run linker protocol)
+    RUN_TIME = "run-time"           # Encore, Alliant (shared pages)
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Cycle costs charged by the simulator.
+
+    Values are stylised (relative magnitudes from the paper's
+    qualitative statements and period literature), not measured
+    hardware figures; EXPERIMENTS.md discusses calibration.
+    """
+
+    #: Multiplier applied to every Fortran statement's node-count weight.
+    statement_scale: int = 1
+    #: Acquiring an uncontended lock.
+    lock_acquire: int = 10
+    #: Releasing a lock.
+    lock_release: int = 8
+    #: One test&set retry while spinning (burned CPU per poll).
+    spin_retry: int = 6
+    #: Entering the OS for a syscall lock (both acquire and wake paths).
+    syscall_overhead: int = 400
+    #: Rescheduling a parked process.
+    context_switch: int = 250
+    #: Creating one process in the force.
+    process_create: int = 2_000
+    #: Extra latency on each shared-memory synchronization access.
+    shared_access_penalty: int = 2
+
+    def scaled(self, **overrides) -> "CostTable":
+        """Return a copy with selected fields replaced (for ablations)."""
+        from dataclasses import replace
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A complete description of one target multiprocessor."""
+
+    name: str
+    vendor: str
+    processors: int                 #: processors in our reference config
+    process_model: ProcessModel
+    lock_type: LockType
+    sharing_binding: SharingBinding
+    page_size: int                  #: bytes; 0 = no page constraints
+    #: Shared region must begin exactly on a page boundary (Alliant).
+    shared_starts_on_page: bool = False
+    #: Shared region padded at both ends to page boundaries (Encore).
+    shared_padded_both_ends: bool = False
+    #: Maximum number of lock variables (0 = unlimited).  On some
+    #: machines locks are scarce resources (§4.1.3).
+    lock_limit: int = 0
+    #: Spin budget (cycles) before a COMBINED lock falls back to the OS.
+    combined_spin_limit: int = 0
+    costs: CostTable = field(default_factory=CostTable)
+
+    def __post_init__(self) -> None:
+        if self.processors <= 0:
+            raise ValueError(f"{self.name}: processors must be positive")
+        if self.lock_type is LockType.COMBINED and \
+                self.combined_spin_limit <= 0:
+            raise ValueError(f"{self.name}: combined lock needs a spin "
+                             "limit")
+
+    @property
+    def key(self) -> str:
+        """Short lower-case identifier (CLI / registry key)."""
+        return self.name.lower().replace(" ", "-").replace("/", "")
+
+    def describe(self) -> str:
+        """One-paragraph human description (used by the CLI)."""
+        return (f"{self.vendor} {self.name}: {self.processors} processors, "
+                f"{self.process_model.value} process creation, "
+                f"{self.lock_type.value} locks, "
+                f"{self.sharing_binding.value} memory sharing")

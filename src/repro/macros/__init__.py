@@ -1,0 +1,29 @@
+"""The two-level Force macro library (§4 of the paper).
+
+* :mod:`repro.macros.machdep` — one module per machine defining the
+  **machine-dependent** macros: ``mi_lock``/``mi_unlock``,
+  produce/consume/void/async-init, shared-block registration, and the
+  driver/process-creation fragments.  These are the *only* macros that
+  change between ports.
+* :mod:`repro.macros.machindep` — the **machine-independent** macros:
+  utility macros (list processing, label generation), statement macros
+  (``barrier_begin``, ``selfsched_do``, ``pcase`` …) and internal
+  macros, all written against the ``mi_*`` interface.
+
+``build_processor(machine)`` returns an m4 engine loaded with the right
+layering for a machine, ready to expand a sed-translated Force program.
+"""
+
+from repro.macros.loader import (
+    build_processor,
+    machdep_definitions,
+    machindep_definitions,
+    MACHDEP_INTERFACE,
+)
+
+__all__ = [
+    "build_processor",
+    "machdep_definitions",
+    "machindep_definitions",
+    "MACHDEP_INTERFACE",
+]

@@ -1,0 +1,62 @@
+"""Layering the two macro levels onto an m4 engine.
+
+``build_processor(machine)`` loads the machine-dependent definitions
+for one machine, then the machine-independent library on top — exactly
+the two-step replacement of §4.3 — and validates that the machdep set
+provides the complete ``mi_*`` interface.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import MacroError
+from repro.m4 import M4Processor
+from repro.machines.model import MachineModel
+from repro.macros.machdep import MACHDEP_MODULES
+from repro.macros.machindep import MACHINE_INDEPENDENT_DEFS
+
+#: The complete machine-dependent macro interface.  A port of the Force
+#: to a new machine must define exactly these (plus whatever helpers it
+#: wants); ``build_processor`` enforces it.
+MACHDEP_INTERFACE = (
+    "mi_lock",
+    "mi_unlock",
+    "mi_init_lock",
+    "mi_produce",
+    "mi_consume",
+    "mi_copy",
+    "mi_void",
+    "mi_async_extra",
+    "mi_register_shared",
+    "mi_driver_startup",
+    "mi_emit_startup_unit",
+    "mi_spawn_processes",
+    "force_environment",
+)
+
+
+def machdep_definitions(machine: MachineModel) -> str:
+    """The machine-dependent m4 definition file for ``machine``."""
+    try:
+        module = MACHDEP_MODULES[machine.key]
+    except KeyError as exc:
+        raise MacroError(
+            f"no machine-dependent macro set for {machine.name}") from exc
+    return module.DEFINITIONS
+
+
+def machindep_definitions() -> str:
+    """The machine-independent m4 definition file (same for all)."""
+    return MACHINE_INDEPENDENT_DEFS
+
+
+def build_processor(machine: MachineModel) -> M4Processor:
+    """An m4 engine ready to expand a sed-translated Force program."""
+    m4 = M4Processor()
+    m4.load_definitions(machdep_definitions(machine))
+    missing = [name for name in MACHDEP_INTERFACE if not m4.is_defined(name)]
+    if missing:
+        raise MacroError(
+            f"{machine.name} machine-dependent macros incomplete: "
+            f"missing {', '.join(missing)}")
+    m4.load_definitions(machindep_definitions())
+    return m4

@@ -1,0 +1,29 @@
+"""Machine-dependent macro definition sets, one module per port.
+
+Each module exposes ``DEFINITIONS`` — an m4 definition file (a string)
+providing the macros listed in
+:data:`repro.macros.loader.MACHDEP_INTERFACE`.  Porting the Force to a
+new machine means writing one of these files; experiment E7 counts how
+small they are relative to the shared machine-independent layer.
+"""
+
+from repro.macros.machdep import (
+    alliant,
+    cray2,
+    encore,
+    flex32,
+    hep,
+    sequent,
+)
+
+#: machine key -> machine-dependent m4 definitions
+MACHDEP_MODULES = {
+    "hep": hep,
+    "flex32": flex32,
+    "encore-multimax": encore,
+    "sequent-balance": sequent,
+    "alliant-fx8": alliant,
+    "cray-2": cray2,
+}
+
+__all__ = ["MACHDEP_MODULES"]

@@ -1,0 +1,22 @@
+r"""Machine-dependent macros: Alliant FX/8.
+
+Like the Encore, sharing is established at run time, except that all
+sharing must start at the beginning of a page; the fork variant shares
+all data segments and copies only the stack, so process creation is
+lighter than a full UNIX fork.
+"""
+
+from repro.macros.machdep.common import (
+    environment_macro,
+    fork_driver,
+    startup_registration,
+    two_lock_async_macros,
+)
+
+DEFINITIONS = (
+    "dnl --- Alliant FX/8 machine-dependent Force macros ---------------\n"
+    + two_lock_async_macros("SPINLK", "SPINUN")
+    + startup_registration(driver_calls_startup=True)
+    + fork_driver()
+    + environment_macro()
+)

@@ -1,0 +1,79 @@
+r"""Shared fragments for software-lock machine-dependent macro sets.
+
+Machines whose locks are software mutual exclusion (spin, syscall or
+combined — everything except the HEP) implement the Force full/empty
+state with the paper's two-lock protocol (§4.2): each asynchronous
+variable V gets locks ZZE<V> and ZZF<V>; empty ⇔ E locked ∧ F unlocked,
+full ⇔ F locked ∧ E unlocked.
+
+Each machine's module composes these fragments with its own lock call
+names and driver/startup strategy, so the resulting DEFINITIONS string
+remains the complete per-machine artifact the paper describes (and E7
+measures).
+"""
+
+from __future__ import annotations
+
+
+def two_lock_async_macros(lock_call: str, unlock_call: str) -> str:
+    """Produce/Consume/Copy/Void via the two-lock protocol."""
+    return rf"""dnl --- two-lock full/empty protocol (paper section 4.2) --------------
+define(`mi_lock', `CALL {lock_call}($1)')dnl
+define(`mi_unlock', `CALL {unlock_call}($1)')dnl
+define(`mi_init_lock', `CALL FRCLKI($1, $2)')dnl
+define(`mi_produce', `C `produce' $1
+      CALL {lock_call}(ZZF`'zz_base(`$1')`'zz_subs(`$1'))
+      $1 = $2
+      CALL {unlock_call}(ZZE`'zz_base(`$1')`'zz_subs(`$1'))')dnl
+define(`mi_consume', `C `consume' $1
+      CALL {lock_call}(ZZE`'zz_base(`$1')`'zz_subs(`$1'))
+      $2 = $1
+      CALL {unlock_call}(ZZF`'zz_base(`$1')`'zz_subs(`$1'))')dnl
+define(`mi_copy', `C `copy' $1 (read leaving full)
+      CALL {lock_call}(ZZE`'zz_base(`$1')`'zz_subs(`$1'))
+      $2 = $1
+      CALL {unlock_call}(ZZE`'zz_base(`$1')`'zz_subs(`$1'))')dnl
+define(`mi_void', `      CALL FRCVOD(ZZE`'zz_base(`$1')`'zz_subs(`$1'), ZZF`'zz_base(`$1')`'zz_subs(`$1'))')dnl
+define(`mi_async_extra', `      LOGICAL ZZE$1`'$2, ZZF$1`'$2
+      COMMON /ZZB$1/ ZZE$1, ZZF$1
+mi_register_shared(`ZZB$1')
+      CALL FRCAIN($1, ZZE$1, ZZF$1)')dnl
+"""
+
+
+def environment_macro() -> str:
+    """The Force parallel-environment declarations (barrier state)."""
+    return r"""define(`force_environment', `      COMMON /FRCENV/ ZZNBAR, BARWIN, BARWOT
+      INTEGER ZZNBAR
+      LOGICAL BARWIN, BARWOT
+mi_register_shared(`FRCENV')')dnl
+"""
+
+
+def directive_registration() -> str:
+    """Compile-time sharing: emit a compiler directive (HEP/Flex/Cray)."""
+    return r"""define(`mi_register_shared', `C$FORCE SHARED $1')dnl
+define(`mi_driver_startup', `C compile-time shared memory: no startup call')dnl
+define(`mi_emit_startup_unit', `')dnl
+"""
+
+
+def startup_registration(*, driver_calls_startup: bool) -> str:
+    """Link/run-time sharing: registrations collect into the startup
+    subroutine (diversion 3); optionally the driver calls it at run
+    time (Encore/Alliant) — on the Sequent the linker pass runs it."""
+    driver = ("      CALL ZZSTRT" if driver_calls_startup
+              else "C startup executed by the two-run linker protocol")
+    return rf"""define(`mi_register_shared', `divert(3)      CALL FRCSHB("$1")
+divert(0)')dnl
+define(`mi_driver_startup', `{driver}')dnl
+define(`mi_emit_startup_unit', `      SUBROUTINE ZZSTRT
+undivert(3)      CALL FRCPAG
+      END')dnl
+"""
+
+
+def fork_driver(spawn_call: str = "FRKALL") -> str:
+    """Driver fragments for fork-model machines."""
+    return rf"""define(`mi_spawn_processes', `      CALL {spawn_call}("ZZMAIN")')dnl
+"""

@@ -1,0 +1,22 @@
+r"""Machine-dependent macros: Cray-2.
+
+Locks are operating-system calls (``SYSLCK``/``SYSUNL``) — the OS
+handles a list of locked processes in cooperation with the scheduler —
+and locks are a scarce resource.  Shared memory is identified at
+compile time via directives.
+"""
+
+from repro.macros.machdep.common import (
+    directive_registration,
+    environment_macro,
+    fork_driver,
+    two_lock_async_macros,
+)
+
+DEFINITIONS = (
+    "dnl --- Cray-2 machine-dependent Force macros ---------------------\n"
+    + two_lock_async_macros("SYSLCK", "SYSUNL")
+    + directive_registration()
+    + fork_driver()
+    + environment_macro()
+)

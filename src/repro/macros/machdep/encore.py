@@ -1,0 +1,22 @@
+r"""Machine-dependent macros: Encore Multimax.
+
+Software spinlocks like the Sequent, but shared memory is identified at
+**run time**: the driver calls the generated startup subroutine before
+creating the force, and the runtime computes shared-page addresses with
+padding at both ends of the shared area (``FRCPAG``).
+"""
+
+from repro.macros.machdep.common import (
+    environment_macro,
+    fork_driver,
+    startup_registration,
+    two_lock_async_macros,
+)
+
+DEFINITIONS = (
+    "dnl --- Encore Multimax machine-dependent Force macros ------------\n"
+    + two_lock_async_macros("SPINLK", "SPINUN")
+    + startup_registration(driver_calls_startup=True)
+    + fork_driver()
+    + environment_macro()
+)

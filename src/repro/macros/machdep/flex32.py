@@ -1,0 +1,21 @@
+r"""Machine-dependent macros: Flex/32.
+
+A combined lock — spin for a limited time, then make an operating
+system call (``CMBLCK``/``CMBUNL``).  Shared variables are declared at
+compile time, as on the HEP, via directives.
+"""
+
+from repro.macros.machdep.common import (
+    directive_registration,
+    environment_macro,
+    fork_driver,
+    two_lock_async_macros,
+)
+
+DEFINITIONS = (
+    "dnl --- Flex/32 machine-dependent Force macros --------------------\n"
+    + two_lock_async_macros("CMBLCK", "CMBUNL")
+    + directive_registration()
+    + fork_driver()
+    + environment_macro()
+)

@@ -1,0 +1,29 @@
+r"""Machine-dependent macros: Denelcor HEP.
+
+The HEP provides a hardware full/empty access-state bit on every memory
+cell, so locks and Produce/Consume map directly onto asynchronous
+memory operations (``HEPLKW``/``HEPLKS`` wait-lock/set-unlock,
+``HEPPRD``/``HEPCON``/``HEPCPY``/``HEPVOD``) — no two-lock protocol.
+Processes are created by subroutine call (``HEPSPN``) and shared memory
+is identified at compile time via directives.
+"""
+
+from repro.macros.machdep.common import environment_macro
+
+DEFINITIONS = r"""dnl --- HEP machine-dependent Force macros ----------------------------
+define(`mi_lock', `CALL HEPLKW($1)')dnl
+define(`mi_unlock', `CALL HEPLKS($1)')dnl
+define(`mi_init_lock', `CALL FRCLKI($1, $2)')dnl
+define(`mi_produce', `C `produce' $1 (hardware full/empty)
+      CALL HEPPRD($1, $2)')dnl
+define(`mi_consume', `C `consume' $1 (hardware full/empty)
+      CALL HEPCON($1, $2)')dnl
+define(`mi_copy', `C `copy' $1 (hardware full/empty)
+      CALL HEPCPY($1, $2)')dnl
+define(`mi_void', `      CALL HEPVOD($1)')dnl
+define(`mi_async_extra', `      CALL HEPVIN($1)')dnl
+define(`mi_register_shared', `C$FORCE SHARED $1')dnl
+define(`mi_driver_startup', `C compile-time shared memory: no startup call')dnl
+define(`mi_emit_startup_unit', `')dnl
+define(`mi_spawn_processes', `      CALL HEPSPN("ZZMAIN")')dnl
+""" + environment_macro()

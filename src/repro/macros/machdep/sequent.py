@@ -1,0 +1,24 @@
+r"""Machine-dependent macros: Sequent Balance.
+
+Software test&set spinlocks (``SPINLK``/``SPINUN``); processes created
+with UNIX fork (full copy of data and stack); shared variables bound at
+**link time**: the generated startup subroutine registers every shared
+block, and the program is run twice — the first run executes only the
+startup routines to produce linker commands (emulated by the pipeline's
+two-run protocol).
+"""
+
+from repro.macros.machdep.common import (
+    environment_macro,
+    fork_driver,
+    startup_registration,
+    two_lock_async_macros,
+)
+
+DEFINITIONS = (
+    "dnl --- Sequent Balance machine-dependent Force macros ------------\n"
+    + two_lock_async_macros("SPINLK", "SPINUN")
+    + startup_registration(driver_calls_startup=False)
+    + fork_driver()
+    + environment_macro()
+)

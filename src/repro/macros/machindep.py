@@ -1,0 +1,283 @@
+r"""The machine-independent Force macro layer (§4.2 of the paper).
+
+These m4 definitions implement every Force statement in terms of the
+``mi_*`` machine-dependent interface (locks, produce/consume, shared
+registration, driver fragments).  They are loaded unchanged for all six
+machines — the paper's central portability claim, measured by
+experiment E7.
+
+The three categories from the paper:
+
+* **utility macros** — list processing (``zz_first`` …), dimension
+  stripping for COMMON declarations (``zz_base``/``zz_subs``), label
+  generation (``zz_newlabel``);
+* **statement macros** — one per Force statement, translating it into
+  Fortran plus low-level machine-dependent macro calls (the
+  ``selfsched_do`` expansion follows the paper's §4.2 listing, which
+  experiment E2 checks structurally);
+* **internal macros** — entry/exit synchronization fragments shared by
+  several statement macros.
+
+Conventions:
+
+* ``mi_lock(var)`` / ``mi_unlock(var)`` expand to the bare machine CALL
+  (no indentation) — this layer supplies column position and labels;
+* ``mi_register_shared(block)`` occupies a line of its own: it expands
+  to a compiler directive on compile-time-sharing machines and to
+  nothing (the registration goes to diversion 3, the startup routine
+  body) on link/run-time machines;
+* generated identifiers are prefixed ``ZZ``; generated statement labels
+  count up from 90001; generated string literals use double quotes so
+  they cannot collide with the m4 quote characters.
+"""
+
+MACHINE_INDEPENDENT_DEFS = r"""dnl --- Force machine-independent macro library ----------------------
+dnl
+dnl === utility macros ================================================
+define(`zz_first', `$1')dnl
+define(`zz_second', `$2')dnl
+define(`zz_third', `ifelse(`$3', `', `1', `$3')')dnl
+define(`zz_parenpos', `index(`$1', `(')')dnl
+define(`zz_base', `ifelse(zz_parenpos(`$1'), -1, `$1', `substr(`$1', 0, zz_parenpos(`$1'))')')dnl
+define(`zz_subs', `ifelse(zz_parenpos(`$1'), -1, `', `substr(`$1', zz_parenpos(`$1'))')')dnl
+define(`ZZLBLC', `90000')dnl
+define(`zz_newlabel', `define(`ZZLBLC', incr(ZZLBLC))ZZLBLC')dnl
+define(`zz_endlabel', `ifelse(`$1', `', `ZZDOL', `$1')')dnl
+dnl === program structure =============================================
+define(`force_main', `define(`ZZUNIT', `$1')define(`ZZMAIN', `$1')define(`ZZNPID', `$2')define(`ZZMEID', `$3')dnl
+      SUBROUTINE $1($3, $2)
+      INTEGER $3, $2
+force_environment')dnl
+define(`force_sub', `define(`ZZUNIT', `$1')define(`ZZNPID', `$3')define(`ZZMEID', `$4')dnl
+      SUBROUTINE $1($4, $3`'ifelse(`$2', `', `', `, $2'))
+      INTEGER $4, $3
+force_environment')dnl
+define(`forcecall', `      CALL $1(ZZMEID, ZZNPID`'ifelse(`$2', `', `', `, $2'))')dnl
+define(`externf', `C Force external subroutine: $1')dnl
+define(`end_declarations', `C --- end of Force declarations ---')dnl
+define(`join_force', `barrier_begin()
+barrier_end()
+      RETURN')dnl
+dnl === barrier =======================================================
+define(`barrier_begin', `pushdef(`ZZBLBL', zz_newlabel)dnl
+C barrier entry
+      mi_lock(`BARWIN')
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .LT. ZZNPID) THEN
+      mi_unlock(`BARWIN')
+      mi_lock(`BARWOT')
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      mi_unlock(`BARWIN')
+      ELSE
+      mi_unlock(`BARWOT')
+      END IF
+      GO TO ZZBLBL
+      END IF
+C barrier section (one process)')dnl
+define(`barrier_end', `C barrier exit
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      mi_unlock(`BARWIN')
+      ELSE
+      mi_unlock(`BARWOT')
+      END IF
+ZZBLBL CONTINUE`'popdef(`ZZBLBL')')dnl
+dnl === critical sections =============================================
+define(`critical', `pushdef(`ZZCRIT', `$1')dnl
+      LOGICAL $1
+      COMMON /ZZK$1/ $1
+mi_register_shared(`ZZK$1')
+      mi_lock(`$1')')dnl
+define(`end_critical', `      mi_unlock(ZZCRIT)`'popdef(`ZZCRIT')')dnl
+dnl === declarations ==================================================
+define(`shared_decl', `zz_shr_each(`$1', $2)')dnl
+define(`zz_shr_each', `zz_shr_one(`$1', `$2')`'ifelse(`$3', `', `', `
+zz_shr_each(`$1', shift(shift($@)))')')dnl
+define(`zz_shr_one', `      $1 $2
+      COMMON /ZZS`'zz_base(`$2')/ zz_base(`$2')
+mi_register_shared(`ZZS`'zz_base(`$2')')')dnl
+define(`private_decl', `      $1 $2')dnl
+define(`async_decl', `zz_asy_each(`$1', $2)')dnl
+define(`zz_asy_each', `zz_asy_one(`$1', `$2')`'ifelse(`$3', `', `', `
+zz_asy_each(`$1', shift(shift($@)))')')dnl
+define(`zz_asy_one', `      $1 $2
+      COMMON /ZZA`'zz_base(`$2')/ zz_base(`$2')
+mi_register_shared(`ZZA`'zz_base(`$2')')
+mi_async_extra(zz_base(`$2'), zz_subs(`$2'))')dnl
+define(`shared_common_decl', `      COMMON /$1/ $2
+mi_register_shared(`$1')')dnl
+define(`private_common_decl', `C Force private common block $1
+      COMMON /$1/ $2')dnl
+define(`async_common_decl', `      COMMON /$1/ $2
+mi_register_shared(`$1')
+zz_asyc_each($2)')dnl
+define(`zz_asyc_each', `mi_async_extra(zz_base(`$1'), `')`'ifelse(`$2', `', `', `
+zz_asyc_each(shift($@))')')dnl
+dnl === data synchronization ==========================================
+define(`produce', `mi_produce(`$1', `$2')')dnl
+define(`consume', `mi_consume(`$1', `$2')')dnl
+define(`copyasync', `mi_copy(`$1', `$2')')dnl
+define(`voidasync', `mi_void(`$1')')dnl
+dnl === prescheduled DOALL ============================================
+define(`presched_do', `pushdef(`ZZDOL', `$1')dnl
+C prescheduled loop ($1): cyclic `index' distribution
+      DO $1 $2 = (zz_first($3)) + (ZZMEID - 1) * (zz_third($3)),
+     & zz_second($3), ZZNPID * (zz_third($3))')dnl
+define(`end_presched_do', `zz_endlabel(`$1') CONTINUE`'popdef(`ZZDOL')')dnl
+dnl --- blocked variant (scheduling ablation; not in the paper) -------
+define(`blocksched_do', `pushdef(`ZZDOL', `$1')dnl
+      INTEGER ZZT$1, ZZA$1, ZZZ$1, ZZP$1
+C prescheduled loop ($1): blocked `index' distribution
+      ZZT$1 = ((zz_second($3)) - (zz_first($3)) + (zz_third($3)))
+     & / (zz_third($3))
+      ZZA$1 = ((ZZMEID - 1) * ZZT$1) / ZZNPID
+      ZZZ$1 = (ZZMEID * ZZT$1) / ZZNPID - 1
+      DO $1 ZZP$1 = ZZA$1, ZZZ$1
+      $2 = (zz_first($3)) + ZZP$1 * (zz_third($3))')dnl
+define(`end_blocksched_do', `zz_endlabel(`$1') CONTINUE`'popdef(`ZZDOL')')dnl
+dnl === selfscheduled DOALL (the paper's section 4.2 expansion) =======
+define(`selfsched_do', `pushdef(`ZZDOL', `$1')dnl
+      INTEGER ZZI$1
+      COMMON /ZZC$1/ ZZI$1
+      LOGICAL ZZL$1
+      COMMON /ZZD$1/ ZZL$1
+mi_register_shared(`ZZC$1')
+mi_register_shared(`ZZD$1')
+C loop entry code
+      mi_lock(`BARWIN')
+      IF (ZZNBAR .EQ. 0) THEN
+C initialize loop `index'
+        ZZI$1 = (zz_first($3))
+      END IF
+C report arrival of processes
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPID) THEN
+      mi_unlock(`BARWOT')
+      ELSE
+      mi_unlock(`BARWIN')
+      END IF
+C self scheduled loop `index' distribution
+$1 mi_lock(`ZZL$1')
+C get next `index' value
+      $2 = ZZI$1
+      ZZI$1 = $2 + (zz_third($3))
+      mi_unlock(`ZZL$1')
+C test for completion
+      IF (((zz_third($3)) .GT. 0 .AND. $2 .LE. (zz_second($3))) .OR. ((zz_third($3)) .LT. 0 .AND. $2 .GE. (zz_second($3)))) THEN')dnl
+define(`end_selfsched_do', `      GO TO zz_endlabel(`$1')
+      END IF
+C loop exit code
+      mi_lock(`BARWOT')
+C report exit of processes
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      mi_unlock(`BARWIN')
+      ELSE
+      mi_unlock(`BARWOT')
+      END IF`'popdef(`ZZDOL')')dnl
+dnl === doubly nested DOALLs (linearized index pairs) =================
+define(`presched_do2', `pushdef(`ZZDOL', `$1')dnl
+      INTEGER ZZP$1, ZZW$1, ZZQ$1
+C prescheduled doubly nested loop ($1)
+      ZZW$1 = ((zz_second($5)) - (zz_first($5)) + (zz_third($5)))
+     & / (zz_third($5))
+      ZZQ$1 = ZZW$1 * (((zz_second($3)) - (zz_first($3))
+     & + (zz_third($3))) / (zz_third($3)))
+      DO $1 ZZP$1 = ZZMEID - 1, ZZQ$1 - 1, ZZNPID
+      $2 = (zz_first($3)) + (ZZP$1 / ZZW$1) * (zz_third($3))
+      $4 = (zz_first($5)) + MOD(ZZP$1, ZZW$1) * (zz_third($5))')dnl
+define(`end_presched_do2', `zz_endlabel(`$1') CONTINUE`'popdef(`ZZDOL')')dnl
+define(`selfsched_do2', `pushdef(`ZZDOL', `$1')dnl
+      INTEGER ZZI$1, ZZT$1, ZZW$1, ZZP$1
+      COMMON /ZZC$1/ ZZI$1, ZZT$1, ZZW$1
+      LOGICAL ZZL$1
+      COMMON /ZZD$1/ ZZL$1
+mi_register_shared(`ZZC$1')
+mi_register_shared(`ZZD$1')
+C loop entry code
+      mi_lock(`BARWIN')
+      IF (ZZNBAR .EQ. 0) THEN
+        ZZW$1 = ((zz_second($5)) - (zz_first($5)) + (zz_third($5)))
+     & / (zz_third($5))
+        ZZT$1 = ZZW$1 * (((zz_second($3)) - (zz_first($3))
+     & + (zz_third($3))) / (zz_third($3)))
+        ZZI$1 = 0
+      END IF
+      ZZNBAR = ZZNBAR + 1
+      IF (ZZNBAR .EQ. ZZNPID) THEN
+      mi_unlock(`BARWOT')
+      ELSE
+      mi_unlock(`BARWIN')
+      END IF
+C self scheduled `index' pair distribution
+$1 mi_lock(`ZZL$1')
+      ZZP$1 = ZZI$1
+      ZZI$1 = ZZP$1 + 1
+      mi_unlock(`ZZL$1')
+      IF (ZZP$1 .LT. ZZT$1) THEN
+      $2 = (zz_first($3)) + (ZZP$1 / ZZW$1) * (zz_third($3))
+      $4 = (zz_first($5)) + MOD(ZZP$1, ZZW$1) * (zz_third($5))')dnl
+define(`end_selfsched_do2', `      GO TO zz_endlabel(`$1')
+      END IF
+C loop exit code
+      mi_lock(`BARWOT')
+      ZZNBAR = ZZNBAR - 1
+      IF (ZZNBAR .EQ. 0) THEN
+      mi_unlock(`BARWIN')
+      ELSE
+      mi_unlock(`BARWOT')
+      END IF`'popdef(`ZZDOL')')dnl
+dnl === Pcase =========================================================
+define(`ZZPCC', `0')dnl
+define(`pcase', `define(`ZZPCC', incr(ZZPCC))pushdef(`ZZPCID', ZZPCC)pushdef(`ZZPCN', `0')pushdef(`ZZPCOPEN', `0')pushdef(`ZZPCVAR', `$1')dnl
+ifelse(`$1', `', `C prescheduled `pcase'', `C selfscheduled `pcase' on $1
+      LOGICAL ZZK$1
+      COMMON /ZZKC$1/ ZZK$1
+mi_register_shared(`ZZKC$1')
+      INTEGER ZZMY`'ZZPCID
+      ZZMY`'ZZPCID = 0')')dnl
+define(`zz_close_sect', `ifelse(ZZPCOPEN, `1', `      END IF
+')define(`ZZPCOPEN', `1')')dnl
+define(`zz_cond_and', `ifelse(`$1', `', `', ` .AND. ($1)')')dnl
+define(`zz_sect_header', `ifelse(ZZPCVAR, `', `      IF (MOD(ZZPCN - 1, ZZNPID) .EQ. ZZMEID - 1`'zz_cond_and(`$1')) THEN', `      IF (ZZMY`'ZZPCID .LT. ZZPCN) THEN
+      mi_lock(`ZZK`'ZZPCVAR')
+      ZZPCVAR = ZZPCVAR + 1
+      ZZMY`'ZZPCID = ZZPCVAR
+      mi_unlock(`ZZK`'ZZPCVAR')
+      END IF
+      IF (ZZMY`'ZZPCID .EQ. ZZPCN`'zz_cond_and(`$1')) THEN')')dnl
+define(`usect', `zz_close_sect`'define(`ZZPCN', incr(ZZPCN))dnl
+C `pcase' section ZZPCN
+zz_sect_header(`')')dnl
+define(`csect', `zz_close_sect`'define(`ZZPCN', incr(ZZPCN))dnl
+C `pcase' conditional section ZZPCN
+zz_sect_header(`$1')')dnl
+define(`end_pcase', `zz_close_sect`'dnl
+C end `pcase'
+popdef(`ZZPCID')popdef(`ZZPCN')popdef(`ZZPCOPEN')popdef(`ZZPCVAR')dnl')dnl
+dnl === Askfor ========================================================
+define(`taskq_decl', `      CALL FRCQIN("$1", $2)')dnl
+define(`askfor', `      LOGICAL ZZG$1
+$1 CALL FRCQGT("$3", $2, ZZG$1)
+      IF (ZZG$1) THEN')dnl
+define(`putwork', `      CALL FRCQPT("$1", $2)')dnl
+define(`end_askfor', `      GO TO $1
+      END IF')dnl
+dnl === driver generation =============================================
+define(`force_finalize', `C$FORCE BEGIN DRIVER
+      PROGRAM FORCED
+mi_driver_startup
+      CALL ZZENVI
+mi_spawn_processes
+      CALL FRCJON
+      END
+C$FORCE END DRIVER
+      SUBROUTINE ZZENVI
+force_environment
+      ZZNBAR = 0
+      mi_init_lock(`BARWIN', `0')
+      mi_init_lock(`BARWOT', `1')
+      END
+mi_emit_startup_unit')dnl
+"""

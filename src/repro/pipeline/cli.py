@@ -1,0 +1,118 @@
+"""Command-line interface: ``force translate|run|machines``.
+
+Examples::
+
+    force machines
+    force translate program.frc --machine sequent-balance
+    force run program.frc --machine hep --nproc 8 --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._util.errors import ForceError
+from repro.machines import get_machine, MACHINES
+from repro.pipeline.compile import force_translate
+from repro.pipeline.run import force_run
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="force",
+        description="The Force parallel language — reproduction pipeline")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    machines = sub.add_parser("machines",
+                              help="list the supported machine models")
+    machines.set_defaults(func=_cmd_machines)
+
+    translate = sub.add_parser("translate",
+                               help="preprocess a Force program to Fortran")
+    translate.add_argument("source", help="Force source file")
+    translate.add_argument("--machine", default="sequent-balance")
+    translate.add_argument("--stage", choices=["sed", "fortran"],
+                           default="fortran",
+                           help="which intermediate form to print")
+    translate.set_defaults(func=_cmd_translate)
+
+    run = sub.add_parser("run", help="simulate a Force program")
+    run.add_argument("source", help="Force source file")
+    run.add_argument("--machine", default="sequent-balance")
+    run.add_argument("--nproc", type=int, default=4)
+    run.add_argument("--stats", action="store_true",
+                     help="print simulation statistics")
+    run.add_argument("--trace", action="store_true",
+                     help="print a simulated-time event timeline")
+    run.add_argument("--utilization", action="store_true",
+                     help="print per-process utilization bars")
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    for machine in MACHINES.values():
+        print(f"{machine.key:18s} {machine.describe()}")
+    return 0
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    result = force_translate(_read(args.source), machine)
+    print(result.sed_output if args.stage == "sed" else result.fortran)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    machine = get_machine(args.machine)
+    translation = force_translate(_read(args.source), machine)
+    result = force_run(translation, args.nproc, trace=args.trace)
+    for line in result.output:
+        print(line)
+    if args.trace:
+        from repro.sim.timeline import lock_contention_report, \
+            render_timeline
+        print(render_timeline(result.trace), file=sys.stderr)
+        print("--- lock contention ---", file=sys.stderr)
+        print(lock_contention_report(result.trace), file=sys.stderr)
+    if args.utilization:
+        from repro.sim.timeline import render_utilization
+        print(render_utilization(result.stats), file=sys.stderr)
+    if args.stats:
+        stats = result.stats
+        print(f"--- {machine.name}, {args.nproc} processes ---",
+              file=sys.stderr)
+        print(f"makespan:            {stats.makespan} cycles",
+              file=sys.stderr)
+        print(f"utilization:         {stats.utilization:.2%}",
+              file=sys.stderr)
+        print(f"lock acquisitions:   {stats.lock_acquisitions} "
+              f"({stats.contended_acquisitions} contended)",
+              file=sys.stderr)
+        print(f"spin cycles:         {stats.spin_cycles}", file=sys.stderr)
+        print(f"context switches:    {stats.context_switches}",
+              file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ForceError as exc:
+        print(f"force: error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"force: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

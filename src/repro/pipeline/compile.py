@@ -1,0 +1,65 @@
+"""Force → Fortran translation (sed stage + two-level m4 expansion)."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro._util.errors import ForceError
+from repro.machines.model import MachineModel
+from repro.macros import build_processor
+from repro.sedstage import translate_force_source
+
+_DRIVER_BEGIN = "C$FORCE BEGIN DRIVER"
+_DRIVER_END = "C$FORCE END DRIVER"
+_DIRECTIVE = re.compile(r"^C\$FORCE\s+SHARED\s+(\w+)\s*$", re.MULTILINE)
+
+
+@dataclass
+class TranslationResult:
+    """Everything the compile step produces for one (program, machine)."""
+
+    machine: MachineModel
+    force_source: str          #: the original Force program
+    sed_output: str            #: after the stream-editor stage
+    fortran: str               #: final Fortran (driver relocated to top)
+    shared_directives: list[str] = field(default_factory=list)
+
+    @property
+    def has_startup_unit(self) -> bool:
+        return "SUBROUTINE ZZSTRT" in self.fortran
+
+
+def force_translate(source: str, machine: MachineModel) -> TranslationResult:
+    """Run the full preprocessing pipeline for one machine.
+
+    Returns the translated Fortran with the machine-dependent driver
+    module moved to the beginning of the code (§4.3), plus the list of
+    compile-time shared-memory directives found (empty on link-/run-
+    time binding machines).
+    """
+    sed_output = translate_force_source(source)
+    m4 = build_processor(machine)
+    expanded = m4.process(sed_output + "\nforce_finalize()\n")
+    fortran = _relocate_driver(expanded)
+    directives = _DIRECTIVE.findall(fortran)
+    return TranslationResult(
+        machine=machine,
+        force_source=source,
+        sed_output=sed_output,
+        fortran=fortran,
+        shared_directives=directives,
+    )
+
+
+def _relocate_driver(expanded: str) -> str:
+    """Move the generated driver block to the top of the file."""
+    begin = expanded.find(_DRIVER_BEGIN)
+    end = expanded.find(_DRIVER_END)
+    if begin < 0 or end < 0:
+        raise ForceError("macro expansion produced no driver block "
+                         "(is this a Force program?)")
+    end += len(_DRIVER_END)
+    driver = expanded[begin:end]
+    rest = expanded[:begin] + expanded[end:]
+    return driver + "\n" + rest

@@ -1,0 +1,179 @@
+"""Execute translated Force programs on the simulated machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import ForceError, SimulationError
+from repro.fortran.interp import (
+    ArgRef,
+    ExternalCallHandler,
+    Frame,
+    Interpreter,
+    StopSignal,
+    drain,
+)
+from repro.fortran.parser import Program, parse_source
+from repro.machines.memory import MemoryLayout, SharedRegionPlan, VariableSpec
+from repro.machines.model import MachineModel, SharingBinding
+from repro.pipeline.compile import TranslationResult, force_translate
+from repro.sim.events import HaltSim
+from repro.sim.force_runtime import ForceRuntime, SharingRegistry
+from repro.sim.scheduler import Scheduler, SimStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated Force execution."""
+
+    machine: MachineModel
+    nproc: int
+    stats: SimStats
+    #: program output lines ordered by (simulated time, process id)
+    output: list[str]
+    #: raw (time, process-name, line) triples
+    output_records: list[tuple[int, str, str]]
+    translation: TranslationResult
+    registry: SharingRegistry
+    #: linker commands produced by the Sequent two-run protocol
+    linker_commands: list[str] = field(default_factory=list)
+    memory_plan: SharedRegionPlan | None = None
+    #: (time, process, event) triples when run with ``trace=True``
+    trace: list[tuple[int, str, str]] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> int:
+        return self.stats.makespan
+
+
+class _StartupCollector(ExternalCallHandler):
+    """Run 1 of the Sequent protocol: execute only the startup routine,
+    collecting FRCSHB registrations as linker commands."""
+
+    def __init__(self) -> None:
+        self.blocks: list[str] = []
+
+    def is_external(self, name: str) -> bool:
+        return name in ("FRCSHB", "FRCPAG")
+
+    def call(self, name: str, args: list[ArgRef], frame: Frame):
+        if name == "FRCSHB":
+            self.blocks.append(str(args[0].get()).upper())
+        yield from ()
+
+
+def force_run(translation: TranslationResult, nproc: int, *,
+              max_events: int = 20_000_000,
+              trace: bool = False,
+              processors: int | None = None,
+              unlimited_processors: bool = False) -> RunResult:
+    """Simulate a translated Force program with ``nproc`` processes.
+
+    By default the simulation honours the machine's processor count
+    (run-to-block time-sharing beyond it).  ``processors`` overrides
+    the capacity; ``unlimited_processors=True`` gives every process an
+    ideal CPU (algorithm-measurement mode).
+    """
+    machine = translation.machine
+    if nproc <= 0:
+        raise ForceError("nproc must be positive")
+    if processors is None and not unlimited_processors:
+        processors = machine.processors
+    program = parse_source(translation.fortran)
+    registry = SharingRegistry()
+
+    # Compile-time binding: directives carry the shared blocks.
+    for block in translation.shared_directives:
+        registry.register(block)
+
+    # Link-time binding (Sequent): run the startup routine first, pipe
+    # the "linker commands" into the registry, then run for real.
+    linker_commands: list[str] = []
+    if machine.sharing_binding is SharingBinding.LINK_TIME:
+        collector = _StartupCollector()
+        startup_interp = Interpreter(program, external=collector)
+        if "ZZSTRT" in program.units:
+            drain(startup_interp.run_unit(program.unit("ZZSTRT"), []))
+        for block in collector.blocks:
+            linker_commands.append(f"-Z SHARED={block}")
+            registry.register(block)
+
+    scheduler = Scheduler(machine, max_events=max_events, trace=trace,
+                          processors=processors)
+    runtime = ForceRuntime(scheduler, machine, nproc, program,
+                           registry=registry)
+    records: list[tuple[int, str, str]] = []
+
+    def on_output(line: str, frame: Frame) -> None:
+        process = frame.process
+        when = process.clock if process is not None else 0
+        who = process.name if process is not None else "driver"
+        records.append((when, who, line))
+
+    interp = Interpreter(program, external=runtime,
+                         commons=runtime.provider, on_output=on_output)
+    runtime.interpreter = interp
+
+    driver_holder: list = []
+
+    def driver_body():
+        try:
+            yield from interp.run_unit(program.unit("FORCED"), [],
+                                       process=driver_holder[0])
+        except StopSignal as stop:
+            yield HaltSim(stop.message)
+
+    driver = scheduler.spawn(driver_body(), name="driver")
+    driver_holder.append(driver)
+    stats = scheduler.run()
+
+    ordered = sorted(range(len(records)),
+                     key=lambda i: (records[i][0], records[i][1], i))
+    output = [records[i][2] for i in ordered]
+    memory_plan = _build_memory_plan(runtime) \
+        if runtime.page_plan_requested else None
+    return RunResult(
+        machine=machine,
+        nproc=nproc,
+        stats=stats,
+        output=output,
+        output_records=[records[i] for i in ordered],
+        translation=translation,
+        registry=registry,
+        linker_commands=linker_commands,
+        memory_plan=memory_plan,
+        trace=scheduler.trace,
+    )
+
+
+def force_compile_and_run(source: str, machine: MachineModel, nproc: int,
+                          **kwargs) -> RunResult:
+    """Convenience: translate then simulate in one call."""
+    return force_run(force_translate(source, machine), nproc, **kwargs)
+
+
+def _build_memory_plan(runtime: ForceRuntime) -> SharedRegionPlan | None:
+    """Model the shared-page address arithmetic from observed layouts.
+
+    The real Encore/Alliant implementations compute these addresses in
+    the startup routine; we reconstruct the same layout from the COMMON
+    blocks the run actually touched, then check the machine invariants.
+    """
+    provider = runtime.provider
+    shared_specs: list[VariableSpec] = []
+    private_specs: list[VariableSpec] = []
+    for block, layout in sorted(provider.layouts.items()):
+        target = shared_specs if runtime.registry.is_shared(block) \
+            else private_specs
+        for name, ftype, bounds in layout:
+            elements = 1
+            if bounds:
+                for lo, hi in bounds:
+                    elements *= hi - lo + 1
+            target.append(VariableSpec(f"{block}.{name}",
+                                       ftype.value, elements))
+    if not shared_specs:
+        return None
+    plan = MemoryLayout(runtime.machine).plan(shared_specs, private_specs)
+    plan.check()
+    return plan

@@ -1,0 +1,83 @@
+"""The Askfor monitor [LO83]: dynamic work distribution (§3.3).
+
+"This construct provides a means of work distribution in cases where
+the degree of concurrency is not known at compile time" — workers ask
+for work; any worker may add more; the monitor detects global
+termination when the pool is empty and no worker still holds an item.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterator
+
+from repro._util.errors import ForceError
+
+
+class AskforMonitor:
+    """A work pool with built-in termination detection."""
+
+    def __init__(self, initial: list | None = None) -> None:
+        self._items: deque = deque(initial or [])
+        self._condition = threading.Condition()
+        self._holders = 0
+        self._done = False
+        self.total_put = len(self._items)
+        self.total_got = 0
+
+    def put(self, item: Any) -> None:
+        """Add a work item (callable from inside a worker's body)."""
+        with self._condition:
+            if self._done:
+                raise ForceError("putwork after the pool terminated")
+            self._items.append(item)
+            self.total_put += 1
+            self._condition.notify()
+
+    def get(self) -> tuple[bool, Any]:
+        """Ask for work: (True, item), or (False, None) at termination.
+
+        A call to ``get`` also marks the caller's previous item (if
+        any) complete — matching the Force askfor loop structure where
+        each worker alternates get/process.
+        """
+        with self._condition:
+            if self._holders_includes_me():
+                self._holders -= 1
+                self._release_me()
+                self._condition.notify_all()
+            while True:
+                if self._items:
+                    self._holders += 1
+                    self._mark_me_holder()
+                    self.total_got += 1
+                    return True, self._items.popleft()
+                if self._done or self._holders == 0:
+                    self._done = True
+                    self._condition.notify_all()
+                    return False, None
+                self._condition.wait()
+
+    # -- holder tracking (thread-identity based) -----------------------
+    def _mark_me_holder(self) -> None:
+        holders = getattr(self, "_holder_threads", None)
+        if holders is None:
+            holders = set()
+            self._holder_threads = holders
+        holders.add(threading.get_ident())
+
+    def _holders_includes_me(self) -> bool:
+        holders = getattr(self, "_holder_threads", set())
+        return threading.get_ident() in holders
+
+    def _release_me(self) -> None:
+        self._holder_threads.discard(threading.get_ident())
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate work items until global termination."""
+        while True:
+            got, item = self.get()
+            if not got:
+                return
+            yield item

@@ -1,0 +1,100 @@
+"""Asynchronous (full/empty) variables for the native runtime (§3.4).
+
+An :class:`AsyncVariable` carries a value plus a full/empty state:
+
+* ``produce(v)`` waits for empty, writes, sets full;
+* ``consume()`` waits for full, reads, sets empty;
+* ``copy()`` waits for full, reads, leaves full;
+* ``void()`` forces empty regardless of state;
+* ``isfull`` tests the state without blocking.
+
+On the HEP this was a hardware bit per memory cell; elsewhere the Force
+used two locks per variable.  Here a condition variable provides the
+same atomic state transition semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro._util.errors import ForceError
+
+
+class AsyncVariable:
+    """One full/empty cell."""
+
+    __slots__ = ("_value", "_full", "_condition")
+
+    def __init__(self, value: Any = None, *, full: bool = False) -> None:
+        self._value = value
+        self._full = full
+        self._condition = threading.Condition()
+
+    @property
+    def isfull(self) -> bool:
+        with self._condition:
+            return self._full
+
+    def produce(self, value: Any, *, timeout: float | None = None) -> None:
+        """Wait for empty, write ``value``, set full."""
+        with self._condition:
+            if not self._condition.wait_for(lambda: not self._full,
+                                            timeout=timeout):
+                raise ForceError("produce timed out (variable stayed full)")
+            self._value = value
+            self._full = True
+            self._condition.notify_all()
+
+    def consume(self, *, timeout: float | None = None) -> Any:
+        """Wait for full, read, set empty."""
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._full,
+                                            timeout=timeout):
+                raise ForceError("consume timed out (variable stayed empty)")
+            value = self._value
+            self._full = False
+            self._condition.notify_all()
+            return value
+
+    def copy(self, *, timeout: float | None = None) -> Any:
+        """Wait for full, read, leave full."""
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._full,
+                                            timeout=timeout):
+                raise ForceError("copy timed out (variable stayed empty)")
+            return self._value
+
+    def void(self) -> None:
+        """Set the state to empty regardless of its previous state."""
+        with self._condition:
+            self._full = False
+            self._condition.notify_all()
+
+
+class AsyncArray:
+    """An array of full/empty cells (HEP-style per-element state)."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ForceError("AsyncArray size must be positive")
+        self._cells = [AsyncVariable() for _ in range(size)]
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __getitem__(self, index: int) -> AsyncVariable:
+        return self._cells[index]
+
+    def produce(self, index: int, value: Any, **kw) -> None:
+        self._cells[index].produce(value, **kw)
+
+    def consume(self, index: int, **kw) -> Any:
+        return self._cells[index].consume(**kw)
+
+    def copy(self, index: int, **kw) -> Any:
+        return self._cells[index].copy(**kw)
+
+    def void_all(self) -> None:
+        for cell in self._cells:
+            cell.void()

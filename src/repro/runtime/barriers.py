@@ -1,0 +1,254 @@
+"""Barrier algorithms, after Arenstorf & Jordan [AJ87].
+
+The paper's barrier macro builds on the two-lock central counter; the
+cited technical report compares that against structured algorithms.
+This module implements four of them over real threads:
+
+* :class:`CentralCounterBarrier` — the Force's own two-lock counter
+  barrier, with a *barrier section* executed by exactly one process
+  while the rest wait (the paper's ``Barrier``/``End barrier``);
+* :class:`SenseReversingBarrier` — central counter with sense reversal
+  (one atomic counter, no handoff chain);
+* :class:`TournamentBarrier` — log₂(P) rounds of pairwise matches;
+* :class:`DisseminationBarrier` — log₂(P) rounds of staged signalling.
+
+All are reusable (safe to call in a loop) and support any P ≥ 1.  The
+simulator-side cost comparison is experiment E3; these give the same
+algorithms real-concurrency semantics and tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro._util.errors import ForceError
+
+
+class Barrier:
+    """Common interface: ``wait(me)`` blocks until all P arrive.
+
+    ``wait`` returns True for exactly one caller per episode (the one
+    allowed to run the barrier section in Force semantics); with
+    ``run_section`` the section callable runs under that guarantee
+    *before* any process is released.
+    """
+
+    def __init__(self, nproc: int) -> None:
+        if nproc < 1:
+            raise ForceError("barrier needs at least one process")
+        self.nproc = nproc
+
+    def wait(self, me: int) -> bool:
+        raise NotImplementedError
+
+    def run_section(self, me: int, section: Callable[[], None]) -> None:
+        """Arrive; one process runs ``section`` before anyone leaves."""
+        raise NotImplementedError
+
+
+class CentralCounterBarrier(Barrier):
+    """The Force barrier: counter + two gate locks (§4.2 expansion).
+
+    ``barwin`` admits arrivals one at a time; the last arrival runs the
+    barrier section while holding it, then releases everyone through
+    ``barwot``.  Any thread may release either lock, exactly like the
+    paper's binary-semaphore locks.
+    """
+
+    def __init__(self, nproc: int) -> None:
+        super().__init__(nproc)
+        self._count = 0
+        self._barwin = threading.Semaphore(1)   # unlocked
+        self._barwot = threading.Semaphore(0)   # locked
+
+    def wait(self, me: int) -> bool:
+        return self._arrive(None)
+
+    def run_section(self, me: int, section: Callable[[], None]) -> None:
+        self._arrive(section)
+
+    def _arrive(self, section: Callable[[], None] | None) -> bool:
+        self._barwin.acquire()
+        self._count += 1
+        if self._count < self.nproc:
+            self._barwin.release()
+            self._barwot.acquire()
+            self._count -= 1
+            if self._count == 0:
+                self._barwin.release()
+            else:
+                self._barwot.release()
+            return False
+        # Last arrival: barwin stays held, run the section.
+        if section is not None:
+            section()
+        self._count -= 1
+        if self._count == 0:
+            self._barwin.release()
+        else:
+            self._barwot.release()
+        return True
+
+
+class SenseReversingBarrier(Barrier):
+    """Central counter with per-episode sense reversal."""
+
+    def __init__(self, nproc: int) -> None:
+        super().__init__(nproc)
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sense = False
+        self._condition = threading.Condition(self._lock)
+
+    def wait(self, me: int) -> bool:
+        return self.run_section(me, None)
+
+    def run_section(self, me: int,
+                    section: Callable[[], None] | None) -> bool:
+        with self._condition:
+            my_sense = self._sense
+            self._count += 1
+            if self._count == self.nproc:
+                if section is not None:
+                    section()
+                self._count = 0
+                self._sense = not self._sense
+                self._condition.notify_all()
+                return True
+            while self._sense == my_sense:
+                self._condition.wait()
+            return False
+
+
+class _RoundFlags:
+    """Per-process, per-round flags for the log-depth barriers."""
+
+    def __init__(self, nproc: int, rounds: int) -> None:
+        self.events = [[threading.Event() for _ in range(rounds)]
+                       for _ in range(nproc)]
+
+    def signal(self, proc: int, rnd: int) -> None:
+        self.events[proc][rnd].set()
+
+    def await_and_clear(self, proc: int, rnd: int) -> None:
+        event = self.events[proc][rnd]
+        event.wait()
+        event.clear()
+
+
+def _rounds_for(nproc: int) -> int:
+    rounds = 0
+    span = 1
+    while span < nproc:
+        span *= 2
+        rounds += 1
+    return rounds
+
+
+class DisseminationBarrier(Barrier):
+    """Dissemination (butterfly-style) barrier: ⌈log₂P⌉ rounds.
+
+    In round k, process i signals process (i + 2^k) mod P and waits for
+    a signal from (i - 2^k) mod P.  No process is special; with P not a
+    power of two the pattern still synchronises all processes.
+
+    Two parity-alternated flag sets make the barrier reusable: a fast
+    process entering episode e+1 signals into the other set, so it can
+    never consume or collapse a signal still pending from episode e
+    (the construction of Mellor-Crummey & Scott).
+    """
+
+    def __init__(self, nproc: int) -> None:
+        super().__init__(nproc)
+        self._rounds = _rounds_for(nproc)
+        self._flags = (_RoundFlags(nproc, max(self._rounds, 1)),
+                       _RoundFlags(nproc, max(self._rounds, 1)))
+        #: per-process episode parity; slot i touched only by process i
+        self._parity = [0] * nproc
+        self._section_gate = SenseReversingBarrier(nproc)
+
+    def wait(self, me: int) -> bool:
+        index = me - 1
+        flags = self._flags[self._parity[index]]
+        self._parity[index] ^= 1
+        distance = 1
+        for rnd in range(self._rounds):
+            partner = (index + distance) % self.nproc
+            flags.signal(partner, rnd)
+            flags.await_and_clear(index, rnd)
+            distance *= 2
+        return index == 0
+
+    def run_section(self, me: int, section: Callable[[], None]) -> None:
+        # Dissemination has no single releasing process, so the section
+        # guarantee is delegated to a sense-reversing episode after the
+        # dissemination rounds complete.
+        self.wait(me)
+        self._section_gate.run_section(me, section)
+
+
+class TournamentBarrier(Barrier):
+    """Tournament barrier: pairwise matches up a binary tree.
+
+    Losers wait; winners advance.  The overall champion (process 1)
+    runs the section and releases everyone down the tree.
+    """
+
+    def __init__(self, nproc: int) -> None:
+        super().__init__(nproc)
+        self._rounds = _rounds_for(nproc)
+        self._arrive = _RoundFlags(nproc, max(self._rounds, 1))
+        self._release = _RoundFlags(nproc, max(self._rounds, 1))
+
+    def wait(self, me: int) -> bool:
+        return self.run_section(me, None)
+
+    def run_section(self, me: int,
+                    section: Callable[[], None] | None) -> bool:
+        index = me - 1
+        wins = []
+        for rnd in range(self._rounds):
+            step = 1 << rnd
+            if index % (2 * step) == 0:
+                partner = index + step
+                if partner < self.nproc:
+                    self._arrive.await_and_clear(index, rnd)
+                wins.append(rnd)
+            else:
+                partner = index - step
+                self._arrive.signal(partner, rnd)
+                # Lose: wait for release from the partner, then fan out.
+                self._release.await_and_clear(index, rnd)
+                for done in reversed(wins):
+                    down = index + (1 << done)
+                    if down < self.nproc:
+                        self._release.signal(down, done)
+                return False
+        # Champion.
+        if section is not None:
+            section()
+        for done in reversed(wins):
+            down = index + (1 << done)
+            if down < self.nproc:
+                self._release.signal(down, done)
+        return True
+
+
+BARRIER_ALGORITHMS: dict[str, type[Barrier]] = {
+    "central-counter": CentralCounterBarrier,
+    "sense-reversing": SenseReversingBarrier,
+    "dissemination": DisseminationBarrier,
+    "tournament": TournamentBarrier,
+}
+
+
+def make_barrier(algorithm: str, nproc: int) -> Barrier:
+    """Instantiate a barrier by algorithm name."""
+    try:
+        cls = BARRIER_ALGORITHMS[algorithm]
+    except KeyError as exc:
+        raise ForceError(
+            f"unknown barrier algorithm {algorithm!r}; available: "
+            f"{', '.join(BARRIER_ALGORITHMS)}") from exc
+    return cls(nproc)

@@ -1,0 +1,252 @@
+"""The native Force: global parallelism over real threads.
+
+One :class:`Force` instance executes one *program* — a callable of
+``(force, me)`` — on ``nproc`` threads, mirroring the paper's model:
+work is not assigned to specific processes but distributed over the
+whole force by the constructs; variables are either shared (named
+objects obtained from the force) or private (ordinary locals).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro._util.errors import ForceError
+from repro.runtime.askfor import AskforMonitor
+from repro.runtime.asyncvar import AsyncArray, AsyncVariable
+from repro.runtime.barriers import Barrier, make_barrier
+from repro.runtime.resolve import Resolve
+
+
+class ForceProgramError(ForceError):
+    """A process of the force raised; carries the original exception."""
+
+    def __init__(self, me: int, original: BaseException) -> None:
+        self.me = me
+        self.original = original
+        super().__init__(f"process {me} failed: {original!r}")
+
+
+class SharedCounter:
+    """A shared scalar cell (update it inside a critical section)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = 0) -> None:
+        self.value = value
+
+
+class _SelfschedLoop:
+    """One selfscheduled loop instance: the paper's entry/exit protocol.
+
+    Entry admits processes until all have arrived, the first arrival
+    initialising the shared index; the exit phase opens only once every
+    process has entered, so a fast process cannot re-enter the loop
+    (in an enclosing iteration) before slow ones arrive.
+    """
+
+    def __init__(self, nproc: int) -> None:
+        self.nproc = nproc
+        self._condition = threading.Condition()
+        self._phase = "entry"
+        self._inside = 0
+        self._next = 0
+
+    def iterate(self, first: int, last: int, step: int) -> Iterator[int]:
+        if step == 0:
+            raise ForceError("selfsched step must be nonzero")
+        with self._condition:
+            while self._phase != "entry":
+                self._condition.wait()
+            if self._inside == 0:
+                self._next = first
+            self._inside += 1
+            if self._inside == self.nproc:
+                self._phase = "exit"
+                self._condition.notify_all()
+        while True:
+            with self._condition:
+                value = self._next
+                self._next = value + step
+            if (step > 0 and value <= last) or \
+                    (step < 0 and value >= last):
+                yield value
+            else:
+                break
+        with self._condition:
+            while self._phase != "exit":
+                self._condition.wait()
+            self._inside -= 1
+            if self._inside == 0:
+                self._phase = "entry"
+                self._condition.notify_all()
+
+
+class Force:
+    """A force of ``nproc`` processes executing one program.
+
+    Process identifiers run 1..nproc, as in the Force.  All named
+    shared objects (counters, arrays, async variables, queues, loops)
+    are created on first use and shared by name.
+    """
+
+    def __init__(self, nproc: int, *,
+                 barrier_algorithm: str = "central-counter",
+                 timeout: float | None = 60.0) -> None:
+        if nproc < 1:
+            raise ForceError("a force needs at least one process")
+        self.nproc = nproc
+        self.timeout = timeout
+        self._barrier_algorithm = barrier_algorithm
+        self._registry_lock = threading.Lock()
+        self._reset_state()
+
+    def _reset_state(self) -> None:
+        self._barrier: Barrier = make_barrier(self._barrier_algorithm,
+                                              self.nproc)
+        self._criticals: dict[str, threading.Lock] = {}
+        self._shared: dict[str, Any] = {}
+        self._loops: dict[str, _SelfschedLoop] = {}
+        self._failures: list[ForceProgramError] = []
+
+    # ------------------------------------------------------------------
+    # running a program
+    # ------------------------------------------------------------------
+    def run(self, program: Callable[["Force", int], Any],
+            *args: Any) -> None:
+        """Execute ``program(force, me, *args)`` on every process."""
+        self._reset_state()
+
+        def body(me: int) -> None:
+            try:
+                program(self, me, *args)
+            except BaseException as exc:   # noqa: BLE001 - reported below
+                with self._registry_lock:
+                    self._failures.append(ForceProgramError(me, exc))
+
+        threads = [threading.Thread(target=body, args=(me,),
+                                    name=f"force-{me}", daemon=True)
+                   for me in range(1, self.nproc + 1)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(self.timeout)
+            if thread.is_alive():
+                raise ForceError(
+                    f"force did not terminate within {self.timeout}s "
+                    "(deadlock or missing barrier partner?)")
+        if self._failures:
+            raise self._failures[0]
+
+    # ------------------------------------------------------------------
+    # synchronization
+    # ------------------------------------------------------------------
+    def barrier(self, me: int | None = None) -> None:
+        """Wait for the whole force (§3.4)."""
+        self._barrier.wait(me if me is not None else 0)
+
+    def barrier_section(self, me: int,
+                        section: Callable[[], None]) -> None:
+        """Barrier whose section runs exactly once, before release."""
+        self._barrier.run_section(me, section)
+
+    @contextmanager
+    def critical(self, name: str = "default"):
+        """Named critical section: mutual exclusion across the force."""
+        with self._registry_lock:
+            lock = self._criticals.setdefault(name, threading.Lock())
+        with lock:
+            yield
+
+    # ------------------------------------------------------------------
+    # work distribution
+    # ------------------------------------------------------------------
+    def presched_range(self, me: int, first: int, last: int,
+                       step: int = 1) -> Iterator[int]:
+        """Prescheduled DOALL: cyclic index distribution, no sync."""
+        if step == 0:
+            raise ForceError("presched step must be nonzero")
+        value = first + (me - 1) * step
+        stride = self.nproc * step
+        while (step > 0 and value <= last) or \
+                (step < 0 and value >= last):
+            yield value
+            value += stride
+
+    def selfsched_range(self, label: str, first: int, last: int,
+                        step: int = 1) -> Iterator[int]:
+        """Selfscheduled DOALL: indices handed out on demand.
+
+        ``label`` identifies the loop (like the statement label in the
+        Force); all processes must use the same label for one loop.
+        """
+        with self._registry_lock:
+            loop = self._loops.get(label)
+            if loop is None:
+                loop = _SelfschedLoop(self.nproc)
+                self._loops[label] = loop
+        return loop.iterate(first, last, step)
+
+    def presched_pairs(self, me: int, outer: range,
+                       inner: range) -> Iterator[tuple[int, int]]:
+        """Prescheduled doubly-nested DOALL over index pairs."""
+        pairs = len(outer) * len(inner)
+        width = len(inner)
+        for k in range(me - 1, pairs, self.nproc):
+            yield outer[k // width], inner[k % width]
+
+    def pcase(self, me: int, *sections) -> None:
+        """Prescheduled Pcase: section k runs on process k mod nproc.
+
+        Each section is a callable, or a ``(condition, callable)`` pair
+        for a conditional section (``Csect``).
+        """
+        for k, section in enumerate(sections):
+            if isinstance(section, tuple):
+                condition, body = section
+                enabled = condition() if callable(condition) \
+                    else bool(condition)
+            else:
+                body, enabled = section, True
+            if enabled and k % self.nproc == (me - 1):
+                body()
+
+    def askfor(self, name: str, initial: list | None = None
+               ) -> AskforMonitor:
+        """The named Askfor work pool (created on first use)."""
+        return self._get_shared(name, lambda: AskforMonitor(initial))
+
+    def resolve(self, name: str, weights: dict[str, float]) -> Resolve:
+        """Partition the force into weighted components (extension)."""
+        return self._get_shared(name, lambda: Resolve(self.nproc, weights))
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def shared_counter(self, name: str, initial: Any = 0) -> SharedCounter:
+        """A named shared scalar (guard updates with ``critical``)."""
+        return self._get_shared(name, lambda: SharedCounter(initial))
+
+    def shared_array(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """A named shared numpy array (zero-initialised)."""
+        return self._get_shared(name, lambda: np.zeros(shape, dtype=dtype))
+
+    def async_var(self, name: str) -> AsyncVariable:
+        """A named asynchronous (full/empty) variable."""
+        return self._get_shared(name, AsyncVariable)
+
+    def async_array(self, name: str, size: int) -> AsyncArray:
+        """A named array of full/empty cells."""
+        return self._get_shared(name, lambda: AsyncArray(size))
+
+    def _get_shared(self, name: str, factory: Callable[[], Any]) -> Any:
+        with self._registry_lock:
+            obj = self._shared.get(name)
+            if obj is None:
+                obj = factory()
+                self._shared[name] = obj
+            return obj

@@ -1,0 +1,84 @@
+"""Resolve: partitioning the force into components (§3.3 extension).
+
+The paper lists Resolve as "a yet unimplemented concept, which would
+partition the set of processes into subsets executing different
+parallel code sections".  This module implements it for the native
+runtime: a :class:`Resolve` splits P processes into weighted components;
+each process learns its component and its rank *within* the component,
+and each component gets its own barrier so the sections can run as
+independent sub-forces.  ``unify()`` joins everyone back together.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro._util.errors import ForceError
+from repro.runtime.barriers import SenseReversingBarrier
+
+
+class Resolve:
+    """Partition ``nproc`` processes into weighted components.
+
+    ``weights`` are relative: ``Resolve(8, {"io": 1, "compute": 3})``
+    gives the io component 2 processes and compute 6.  Every component
+    receives at least one process when ``nproc >= len(weights)``.
+    """
+
+    def __init__(self, nproc: int, weights: dict[str, float]) -> None:
+        if not weights:
+            raise ForceError("Resolve needs at least one component")
+        if nproc < len(weights):
+            raise ForceError(
+                f"cannot resolve {nproc} processes into "
+                f"{len(weights)} components")
+        if any(w <= 0 for w in weights.values()):
+            raise ForceError("component weights must be positive")
+        self.nproc = nproc
+        self.names = list(weights)
+        total = sum(weights.values())
+        # Largest-remainder apportionment with a floor of 1 each.
+        raw = {name: nproc * w / total for name, w in weights.items()}
+        sizes = {name: max(1, int(raw[name])) for name in self.names}
+        while sum(sizes.values()) > nproc:
+            victim = max((n for n in self.names if sizes[n] > 1),
+                         key=lambda n: sizes[n] - raw[n])
+            sizes[victim] -= 1
+        remainders = sorted(self.names,
+                            key=lambda n: raw[n] - sizes[n], reverse=True)
+        i = 0
+        while sum(sizes.values()) < nproc:
+            sizes[remainders[i % len(remainders)]] += 1
+            i += 1
+        self.sizes = sizes
+        # Process 1..nproc assigned contiguously per component order.
+        self._assignment: dict[int, tuple[str, int]] = {}
+        me = 1
+        for name in self.names:
+            for rank in range(1, sizes[name] + 1):
+                self._assignment[me] = (name, rank)
+                me += 1
+        self._component_barriers = {
+            name: SenseReversingBarrier(sizes[name]) for name in self.names}
+        self._unify_barrier = SenseReversingBarrier(nproc)
+        self._lock = threading.Lock()
+
+    def component_of(self, me: int) -> tuple[str, int]:
+        """(component name, rank within component) for process ``me``."""
+        try:
+            return self._assignment[me]
+        except KeyError as exc:
+            raise ForceError(f"process id {me} outside 1..{self.nproc}") \
+                from exc
+
+    def size_of(self, name: str) -> int:
+        return self.sizes[name]
+
+    def component_barrier(self, me: int) -> None:
+        """Barrier over just this process's component sub-force."""
+        name, _rank = self.component_of(me)
+        self._component_barriers[name].wait(self.component_of(me)[1])
+
+    def unify(self, me: int) -> None:
+        """Join all components back into one force (full barrier)."""
+        self._unify_barrier.wait(me)

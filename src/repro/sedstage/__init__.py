@@ -1,0 +1,24 @@
+"""Stage 1 of the Force pipeline: a sed-style stream editor.
+
+§4.3 of the paper: *"The stream editor sed translates the Force syntax
+into parameterized function macros"*.  This package provides a sed
+dialect engine (:mod:`repro.sedstage.engine`) and the Force translation
+rule script (:mod:`repro.sedstage.force_rules`) that rewrites Force
+statements (``Barrier``, ``Selfsched DO`` …) into macro calls consumed
+by the m4 stage.
+
+Dialect notes: patterns are Python regular expressions (documented in
+README — the original used BREs); the command set is ``s``, ``y``,
+``d``, ``p``, ``q``, ``=``, ``i``/``a``/``c`` with numeric, ``$`` and
+regex addresses, ranges, and ``!`` negation.
+"""
+
+from repro.sedstage.engine import SedProgram, SedError
+from repro.sedstage.force_rules import FORCE_SED_SCRIPT, translate_force_source
+
+__all__ = [
+    "SedProgram",
+    "SedError",
+    "FORCE_SED_SCRIPT",
+    "translate_force_source",
+]

@@ -1,0 +1,379 @@
+"""A sed-dialect stream editor engine.
+
+Executes a parsed script over an input text line by line, maintaining
+the pattern space exactly like sed: each cycle reads a line, applies
+every matching command in order, then (unless deleted or suppressed)
+emits the pattern space.
+
+Supported grammar per script line (blank lines and ``#`` comments are
+skipped)::
+
+    [address[,address]][!]command
+
+    address  := NUMBER | $ | /regex/
+    command  := s/regex/replacement/[g][p][I]
+              | y/source-chars/dest-chars/
+              | d | p | q | =
+              | i\\ text   (insert before)
+              | a\\ text   (append after)
+              | c\\ text   (replace pattern space)
+              | h | H | g | G | x          (hold space)
+              | :label | b [label] | t [label]   (control flow)
+
+Replacements understand ``&`` (whole match), ``\\1``–``\\9`` and ``\\&``.
+Any punctuation character may serve as the ``s`` delimiter.  ``b``
+without a label ends the cycle for this line; ``t`` branches only if
+an ``s`` command substituted since the line was read (or the last
+``t``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro._util.errors import ForceError
+
+
+class SedError(ForceError):
+    """Malformed sed script or execution failure."""
+
+
+# ----------------------------------------------------------------------
+# addresses
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Address:
+    kind: str                     # 'line' | 'last' | 'regex'
+    line: int = 0
+    regex: re.Pattern | None = None
+
+    def matches(self, text: str, lineno: int, is_last: bool) -> bool:
+        if self.kind == "line":
+            return lineno == self.line
+        if self.kind == "last":
+            return is_last
+        assert self.regex is not None
+        return self.regex.search(text) is not None
+
+
+@dataclass
+class _Command:
+    name: str
+    addr1: _Address | None = None
+    addr2: _Address | None = None
+    negate: bool = False
+    # s/y payloads
+    pattern: re.Pattern | None = None
+    replacement: str = ""
+    flag_global: bool = False
+    flag_print: bool = False
+    # y payloads
+    table: dict[int, int] | None = None
+    # i/a/c payload
+    text: str = ""
+    # range-active state (mutable during a run; reset per execution)
+    in_range: bool = field(default=False, compare=False)
+
+    def selected(self, line: str, lineno: int, is_last: bool) -> bool:
+        if self.addr1 is None:
+            hit = True
+        elif self.addr2 is None:
+            hit = self.addr1.matches(line, lineno, is_last)
+        else:
+            # Two-address range, sed style.
+            if not self.in_range:
+                if self.addr1.matches(line, lineno, is_last):
+                    self.in_range = True
+                    hit = True
+                    # A range can close on the same line only for
+                    # line-number second addresses <= current.
+                    if self.addr2.kind == "line" and self.addr2.line <= lineno:
+                        self.in_range = False
+                else:
+                    hit = False
+            else:
+                hit = True
+                if self.addr2.matches(line, lineno, is_last):
+                    self.in_range = False
+        return hit != self.negate
+
+
+def _compile_replacement(repl: str) -> str:
+    r"""Convert sed replacement syntax to Python re.sub syntax.
+
+    sed's ``&`` becomes ``\g<0>``; ``\&`` a literal ``&``; ``\1`` stays.
+    Characters special to Python replacements are escaped.
+    """
+    out: list[str] = []
+    i = 0
+    while i < len(repl):
+        ch = repl[i]
+        if ch == "\\" and i + 1 < len(repl):
+            nxt = repl[i + 1]
+            if nxt.isdigit():
+                out.append("\\" + nxt)
+            elif nxt == "&":
+                out.append("&")
+            elif nxt == "\\":
+                out.append("\\\\")
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                out.append(re.escape(nxt) if nxt != "g" else "\\g")
+            i += 2
+            continue
+        if ch == "&":
+            out.append("\\g<0>")
+            i += 1
+            continue
+        if ch == "\\":
+            out.append("\\\\")
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+class SedProgram:
+    """A compiled sed script, reusable over many inputs."""
+
+    def __init__(self, script: str) -> None:
+        self.commands: list[_Command] = []
+        for raw in script.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            self.commands.append(self._parse_command(line))
+
+    # ------------------------------------------------------------------
+    # parsing
+    # ------------------------------------------------------------------
+    def _parse_command(self, line: str) -> _Command:
+        pos = 0
+        addr1, pos = self._parse_address(line, pos)
+        addr2 = None
+        if addr1 is not None and pos < len(line) and line[pos] == ",":
+            addr2, pos = self._parse_address(line, pos + 1)
+            if addr2 is None:
+                raise SedError(f"missing second address in {line!r}")
+        negate = False
+        while pos < len(line) and line[pos] in " \t":
+            pos += 1
+        if pos < len(line) and line[pos] == "!":
+            negate = True
+            pos += 1
+        while pos < len(line) and line[pos] in " \t":
+            pos += 1
+        if pos >= len(line):
+            raise SedError(f"missing command in {line!r}")
+        cmd_char = line[pos]
+        rest = line[pos + 1:]
+        command = _Command(name=cmd_char, addr1=addr1, addr2=addr2,
+                           negate=negate)
+        if cmd_char == "s":
+            self._parse_substitute(command, rest, line)
+        elif cmd_char == "y":
+            self._parse_transliterate(command, rest, line)
+        elif cmd_char in "dpq=hHgGx":
+            if rest.strip():
+                raise SedError(f"trailing garbage after {cmd_char!r} "
+                               f"in {line!r}")
+        elif cmd_char in "iac":
+            text = rest
+            if text.startswith("\\"):
+                text = text[1:]
+            command.text = text.lstrip(" \t")
+        elif cmd_char == ":":
+            if command.addr1 is not None:
+                raise SedError(f"label cannot take an address: {line!r}")
+            command.text = rest.strip()
+            if not command.text:
+                raise SedError(f"empty label in {line!r}")
+        elif cmd_char in "bt":
+            command.text = rest.strip()    # may be empty: end of cycle
+        else:
+            raise SedError(f"unknown command {cmd_char!r} in {line!r}")
+        return command
+
+    def _parse_address(self, line: str, pos: int):
+        while pos < len(line) and line[pos] in " \t":
+            pos += 1
+        if pos >= len(line):
+            return None, pos
+        ch = line[pos]
+        if ch.isdigit():
+            end = pos
+            while end < len(line) and line[end].isdigit():
+                end += 1
+            return _Address("line", line=int(line[pos:end])), end
+        if ch == "$":
+            return _Address("last"), pos + 1
+        if ch == "/":
+            end = pos + 1
+            while end < len(line):
+                if line[end] == "\\":
+                    end += 2
+                    continue
+                if line[end] == "/":
+                    break
+                end += 1
+            if end >= len(line):
+                raise SedError(f"unterminated address regex in {line!r}")
+            pattern = line[pos + 1:end].replace("\\/", "/")
+            try:
+                return _Address("regex", regex=re.compile(pattern)), end + 1
+            except re.error as exc:
+                raise SedError(f"bad address regex {pattern!r}: {exc}") \
+                    from exc
+        return None, pos
+
+    def _split_delimited(self, text: str, line: str, parts: int):
+        if not text:
+            raise SedError(f"missing delimiter in {line!r}")
+        delim = text[0]
+        fields: list[str] = []
+        current: list[str] = []
+        i = 1
+        while i < len(text) and len(fields) < parts:
+            ch = text[i]
+            if ch == "\\" and i + 1 < len(text) and text[i + 1] == delim:
+                current.append(delim)
+                i += 2
+                continue
+            if ch == delim:
+                fields.append("".join(current))
+                current = []
+                i += 1
+                continue
+            current.append(ch)
+            i += 1
+        if len(fields) < parts:
+            raise SedError(f"unterminated command in {line!r}")
+        return fields, text[i:]
+
+    def _parse_substitute(self, command: _Command, rest: str,
+                          line: str) -> None:
+        (pattern, replacement), tail = self._split_delimited(rest, line, 2)
+        flags = 0
+        for flag in tail.strip():
+            if flag == "g":
+                command.flag_global = True
+            elif flag == "p":
+                command.flag_print = True
+            elif flag == "I":
+                flags |= re.IGNORECASE
+            else:
+                raise SedError(f"unknown s flag {flag!r} in {line!r}")
+        try:
+            command.pattern = re.compile(pattern, flags)
+        except re.error as exc:
+            raise SedError(f"bad regex {pattern!r}: {exc}") from exc
+        command.replacement = _compile_replacement(replacement)
+
+    def _parse_transliterate(self, command: _Command, rest: str,
+                             line: str) -> None:
+        (src, dst), tail = self._split_delimited(rest, line, 2)
+        if tail.strip():
+            raise SedError(f"trailing garbage after y in {line!r}")
+        if len(src) != len(dst):
+            raise SedError(f"y: source/dest lengths differ in {line!r}")
+        command.table = {ord(s): ord(d) for s, d in zip(src, dst)}
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, text: str, *, suppress: bool = False) -> str:
+        """Apply the script to ``text`` and return the edited result.
+
+        ``suppress`` mirrors ``sed -n``: only explicit ``p`` output.
+        """
+        if not text:
+            return ""
+        for command in self.commands:
+            command.in_range = False
+        labels = {c.text: i for i, c in enumerate(self.commands)
+                  if c.name == ":"}
+        lines = text.split("\n")
+        # A trailing newline produces a final empty chunk; treat the
+        # input as a sequence of lines without it.
+        if text.endswith("\n"):
+            lines = lines[:-1]
+        out: list[str] = []
+        hold_space = ""
+        quit_requested = False
+        total = len(lines)
+        for lineno, pattern_space in enumerate(lines, start=1):
+            is_last = lineno == total
+            deleted = False
+            substituted = False
+            inserted_after: list[str] = []
+            index = 0
+            steps = 0
+            while index < len(self.commands):
+                command = self.commands[index]
+                index += 1
+                steps += 1
+                if steps > 100_000:
+                    raise SedError("branching loop did not terminate")
+                name = command.name
+                if name == ":":
+                    continue
+                if not command.selected(pattern_space, lineno, is_last):
+                    continue
+                if name == "s":
+                    count = 0 if command.flag_global else 1
+                    new, nsubs = command.pattern.subn(
+                        command.replacement, pattern_space, count=count)
+                    pattern_space = new
+                    if nsubs:
+                        substituted = True
+                        if command.flag_print:
+                            out.append(pattern_space)
+                elif name == "y":
+                    pattern_space = pattern_space.translate(command.table)
+                elif name == "d":
+                    deleted = True
+                    break
+                elif name == "p":
+                    out.append(pattern_space)
+                elif name == "=":
+                    out.append(str(lineno))
+                elif name == "i":
+                    out.append(command.text)
+                elif name == "a":
+                    inserted_after.append(command.text)
+                elif name == "c":
+                    pattern_space = command.text
+                elif name == "q":
+                    quit_requested = True
+                    break
+                elif name == "h":
+                    hold_space = pattern_space
+                elif name == "H":
+                    hold_space = hold_space + "\n" + pattern_space
+                elif name == "g":
+                    pattern_space = hold_space
+                elif name == "G":
+                    pattern_space = pattern_space + "\n" + hold_space
+                elif name == "x":
+                    pattern_space, hold_space = hold_space, pattern_space
+                elif name in ("b", "t"):
+                    if name == "t":
+                        if not substituted:
+                            continue
+                        substituted = False
+                    if not command.text:
+                        break          # end the cycle for this line
+                    if command.text not in labels:
+                        raise SedError(f"undefined label {command.text!r}")
+                    index = labels[command.text]
+            if not deleted and not suppress:
+                out.append(pattern_space)
+            out.extend(inserted_after)
+            if quit_requested:
+                break
+        if not out:
+            return ""
+        return "\n".join(out) + "\n"

@@ -1,0 +1,43 @@
+"""Discrete-event simulation of a shared-memory multiprocessor.
+
+Python's GIL prevents real shared-memory speedup, so performance-shaped
+experiments run on this simulator instead: each Force process is a
+generator (produced by the Fortran interpreter or written directly)
+executing on its own simulated processor with its own clock.  Locks,
+process creation and context switches cost cycles according to the
+:class:`~repro.machines.MachineModel`, so contention, barrier scaling
+and scheduling effects take the machine-specific shapes the paper
+describes — deterministically.
+
+Lock semantics are *binary semaphores*, as the paper requires: any
+process may unlock a lock, which is how the Force barrier and the
+two-lock full/empty protocol (§4.2) work.
+"""
+
+from repro.sim.events import (
+    AcquireLock,
+    Block,
+    Cost,
+    HaltSim,
+    ReleaseLock,
+    Spawn,
+    Wake,
+)
+from repro.sim.lock import SimLock
+from repro.sim.scheduler import Scheduler, SimProcess, SimStats
+from repro._util.errors import SimulationError
+
+__all__ = [
+    "AcquireLock",
+    "Block",
+    "Cost",
+    "HaltSim",
+    "ReleaseLock",
+    "Spawn",
+    "Wake",
+    "SimLock",
+    "Scheduler",
+    "SimProcess",
+    "SimStats",
+    "SimulationError",
+]

@@ -1,0 +1,194 @@
+"""Barrier algorithms on the simulator, for the [AJ87] comparison (E3).
+
+Four algorithms as simulated-process generators, so barrier cost can be
+measured in machine cycles against any :class:`MachineModel`:
+
+* ``central-counter`` — the Force's own two-lock counter barrier
+  (exactly the macro expansion's protocol);
+* ``sense-reversing`` — one counter lock + a broadcast wakeup;
+* ``dissemination`` — ⌈log₂P⌉ rounds of staged signalling;
+* ``tournament`` — pairwise matches up a binary tree, champion
+  broadcasts the release.
+
+``measure_barrier_cost`` runs E episodes with P processes and returns
+the average cycles one barrier episode adds to the makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.errors import SimulationError
+from repro.machines.model import MachineModel
+from repro.sim.events import AcquireLock, Block, Cost, ReleaseLock, Wake
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class _CentralState:
+    barwin: object
+    barwot: object
+    count: int = 0
+
+
+def _central_counter(state: _CentralState, me: int, nproc: int):
+    """One episode of the Force's two-lock counter barrier."""
+    yield AcquireLock(state.barwin)
+    state.count += 1
+    if state.count < nproc:
+        yield ReleaseLock(state.barwin)
+        yield AcquireLock(state.barwot)
+        state.count -= 1
+        if state.count == 0:
+            yield ReleaseLock(state.barwin)
+        else:
+            yield ReleaseLock(state.barwot)
+    else:
+        state.count -= 1
+        if state.count == 0:
+            yield ReleaseLock(state.barwin)
+        else:
+            yield ReleaseLock(state.barwot)
+
+
+@dataclass
+class _SenseState:
+    lock: object
+    count: int = 0
+    sense: int = 0
+
+
+def _sense_reversing(state: _SenseState, me: int, nproc: int):
+    yield AcquireLock(state.lock)
+    my_sense = state.sense
+    state.count += 1
+    if state.count == nproc:
+        state.count = 0
+        state.sense ^= 1
+        yield ReleaseLock(state.lock)
+        yield Wake(("sense", id(state), my_sense), all_waiters=True)
+    else:
+        yield ReleaseLock(state.lock)
+        while state.sense == my_sense:
+            yield Block(("sense", id(state), my_sense))
+
+
+@dataclass
+class _FlagState:
+    """Signal counters for the log-depth algorithms.
+
+    A flag is a counter so a signal arriving before the wait is not
+    lost (the simulator analogue of the events used in the native
+    runtime).
+    """
+
+    flags: dict = field(default_factory=dict)
+
+    def signal(self, key, when_cost):
+        self.flags[key] = self.flags.get(key, 0) + 1
+        yield Cost(when_cost)
+        yield Wake(("flag", id(self), key), all_waiters=True)
+
+    def await_flag(self, key):
+        while self.flags.get(key, 0) == 0:
+            yield Block(("flag", id(self), key))
+        self.flags[key] -= 1
+
+
+def _rounds_for(nproc: int) -> int:
+    rounds, span = 0, 1
+    while span < nproc:
+        span *= 2
+        rounds += 1
+    return rounds
+
+
+def _dissemination(state: _FlagState, me: int, nproc: int, episode: int,
+                   signal_cost: int):
+    index = me - 1
+    distance = 1
+    for rnd in range(_rounds_for(nproc)):
+        partner = (index + distance) % nproc
+        yield from state.signal((episode, rnd, partner), signal_cost)
+        yield from state.await_flag((episode, rnd, index))
+        distance *= 2
+
+
+def _tournament(state: _FlagState, me: int, nproc: int, episode: int,
+                signal_cost: int):
+    index = me - 1
+    wins = []
+    rounds = _rounds_for(nproc)
+    is_loser = False
+    for rnd in range(rounds):
+        step = 1 << rnd
+        if index % (2 * step) == 0:
+            partner = index + step
+            if partner < nproc:
+                yield from state.await_flag((episode, "a", rnd, index))
+            wins.append(rnd)
+        else:
+            partner = index - step
+            yield from state.signal((episode, "a", rnd, partner),
+                                    signal_cost)
+            yield from state.await_flag((episode, "r", rnd, index))
+            is_loser = True
+            break
+    for done in reversed(wins):
+        down = index + (1 << done)
+        if down < nproc:
+            yield from state.signal((episode, "r", done, down), signal_cost)
+    if is_loser:
+        return
+
+
+def measure_barrier_cost(algorithm: str, machine: MachineModel,
+                         nproc: int, episodes: int = 10,
+                         work_between: int = 50) -> float:
+    """Average added makespan per barrier episode, in cycles."""
+    scheduler = Scheduler(machine)
+    signal_cost = machine.costs.shared_access_penalty + 1
+
+    if algorithm == "central-counter":
+        state = _CentralState(barwin=scheduler.new_lock("BARWIN"),
+                              barwot=scheduler.new_lock("BARWOT"))
+        state.barwot.locked = True
+
+        def body(me):
+            for _e in range(episodes):
+                yield Cost(work_between)
+                yield from _central_counter(state, me, nproc)
+    elif algorithm == "sense-reversing":
+        state = _SenseState(lock=scheduler.new_lock("CNT"))
+
+        def body(me):
+            for _e in range(episodes):
+                yield Cost(work_between)
+                yield from _sense_reversing(state, me, nproc)
+    elif algorithm == "dissemination":
+        state = _FlagState()
+
+        def body(me):
+            for episode in range(episodes):
+                yield Cost(work_between)
+                yield from _dissemination(state, me, nproc, episode,
+                                          signal_cost)
+    elif algorithm == "tournament":
+        state = _FlagState()
+
+        def body(me):
+            for episode in range(episodes):
+                yield Cost(work_between)
+                yield from _tournament(state, me, nproc, episode,
+                                       signal_cost)
+    else:
+        raise SimulationError(f"unknown barrier algorithm {algorithm}")
+
+    for me in range(1, nproc + 1):
+        scheduler.spawn(body(me), name=f"p{me}")
+    stats = scheduler.run()
+    return (stats.makespan - episodes * work_between) / episodes
+
+
+SIM_BARRIER_ALGORITHMS = ("central-counter", "sense-reversing",
+                          "dissemination", "tournament")

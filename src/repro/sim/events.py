@@ -1,0 +1,67 @@
+"""Events a simulated process may yield to the scheduler.
+
+The Fortran interpreter yields :class:`Cost` (re-exported from
+``repro.fortran.interp`` so both layers agree on the type); the Force
+runtime library yields the synchronization events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+# The Cost event is defined by the interpreter layer; the scheduler
+# accepts it from any source (hand-written process generators included).
+from repro.fortran.interp import Cost, Halt
+
+__all__ = ["Cost", "Halt", "AcquireLock", "ReleaseLock", "Block", "Wake",
+           "Spawn", "HaltSim"]
+
+
+@dataclass(frozen=True, slots=True)
+class AcquireLock:
+    """Acquire (set) a binary semaphore; waits while it is locked."""
+    lock: Any                    # a SimLock
+
+
+@dataclass(frozen=True, slots=True)
+class ReleaseLock:
+    """Release (clear) a binary semaphore; wakes one waiter FIFO."""
+    lock: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """Park this process on the wait queue named ``key``.
+
+    The process resumes after some other process yields ``Wake`` on the
+    same key.  Used for HEP full/empty cells, join points and the
+    askfor work queue.
+    """
+    key: Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Wake:
+    """Wake waiters parked on ``key`` (one by default, or all)."""
+    key: Hashable
+    all_waiters: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class Spawn:
+    """Create a new simulated process running ``generator``.
+
+    The child's clock starts at the parent's current time; the parent
+    is charged the machine's process-creation cost separately by the
+    runtime library (so the serial fork loop shows up in the timeline).
+    """
+    generator: Any
+    name: str = ""
+    on_exit: Callable[["Any"], None] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class HaltSim:
+    """Terminate the entire simulation (Fortran STOP)."""
+    message: str | None = None

@@ -1,0 +1,551 @@
+"""The Force runtime library: the CALLs macro-expanded code makes.
+
+Every name here corresponds to a runtime facility one of the paper's
+machines provided: lock primitives (named per machine — calling
+``SPINLK`` on the Cray is a porting bug and is rejected), hardware
+full/empty operations on the HEP, process creation and join, shared-
+block registration for the link-/run-time binding machines, and the
+Askfor work queue.
+
+Subroutines are implemented as generators yielding simulator events;
+functions (``FRCISF``, ``FRCTIM``) are non-blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro._util.errors import SimulationError
+from repro.fortran.interp import (
+    ArgRef,
+    ArrayRef,
+    Cell,
+    CellRef,
+    CommonProvider,
+    Cost,
+    ElementRef,
+    ExternalCallHandler,
+    Frame,
+    Interpreter,
+    StopSignal,
+)
+from repro.fortran.parser import Program
+from repro.fortran.values import FArray, FType
+from repro.machines.model import LockType, MachineModel, ProcessModel
+from repro.sim.events import AcquireLock, Block, HaltSim, ReleaseLock, Spawn, Wake
+from repro.sim.lock import SimLock
+from repro.sim.scheduler import Scheduler, SimProcess
+
+#: lock primitive names per lock type — the machine dependence of §4.1.3
+LOCK_CALL_NAMES = {
+    LockType.SPIN: ("SPINLK", "SPINUN"),
+    LockType.SYSCALL: ("SYSLCK", "SYSUNL"),
+    LockType.COMBINED: ("CMBLCK", "CMBUNL"),
+    LockType.HARDWARE_FE: ("HEPLKW", "HEPLKS"),
+}
+_ALL_LOCK_NAMES = {name for pair in LOCK_CALL_NAMES.values() for name in pair}
+
+
+class SharingRegistry:
+    """Which COMMON blocks are shared — filled by directives (compile
+    time), the linker protocol (link time) or FRCSHB calls (run time)."""
+
+    def __init__(self) -> None:
+        self.shared_blocks: set[str] = set()
+        self.registration_log: list[str] = []
+
+    def register(self, name: str) -> None:
+        name = name.upper()
+        if name not in self.shared_blocks:
+            self.shared_blocks.add(name)
+            self.registration_log.append(name)
+
+    def is_shared(self, name: str) -> bool:
+        return name.upper() in self.shared_blocks
+
+
+class ForceCommonProvider(CommonProvider):
+    """COMMON storage with per-machine sharing semantics.
+
+    Shared blocks are global.  Private blocks are keyed per process;
+    on UNIX-fork machines a child starts with a copy of its parent's
+    private blocks, on the HEP's subroutine-spawn model they start
+    fresh, and on the Alliant *all* data segments are shared — a real
+    portability wrinkle the Force handles by mapping Private
+    declarations to (stack) locals rather than commons.
+    """
+
+    def __init__(self, machine: MachineModel,
+                 registry: SharingRegistry) -> None:
+        super().__init__()
+        self.machine = machine
+        self.registry = registry
+        self._private: dict[tuple[int, str], list] = {}
+        #: observed layouts for the post-run memory plan
+        self.layouts: dict[str, list] = {}
+
+    def get_block(self, name: str, layout, frame) -> list:
+        self.layouts.setdefault(name, layout)
+        shared = self.registry.is_shared(name) or \
+            self.machine.process_model is ProcessModel.SHARED_DATA_FORK
+        if shared:
+            return super().get_block(name, layout, frame)
+        pid = self._pid_of(frame)
+        key = (pid, name)
+        block = self._private.get(key)
+        if block is None:
+            block = [self._make_slot(ftype, bounds)
+                     for (_n, ftype, bounds) in layout]
+            self._private[key] = block
+            return block
+        if len(block) != len(layout):
+            raise SimulationError(
+                f"private COMMON /{name}/ layout mismatch")
+        return [self._adapt_slot(slot, ftype, bounds, name)
+                for slot, (_n, ftype, bounds) in zip(block, layout)]
+
+    def fork_copy(self, parent_pid: int, child_pid: int) -> None:
+        """UNIX fork: the child gets a copy of parent private blocks."""
+        for (pid, name), block in list(self._private.items()):
+            if pid != parent_pid:
+                continue
+            copied = []
+            for slot in block:
+                if isinstance(slot, Cell):
+                    twin = Cell(slot.ftype, slot.value)
+                    twin.full = slot.full
+                    copied.append(twin)
+                else:
+                    copied.append(slot.copy())
+            self._private[(child_pid, name)] = copied
+
+    @staticmethod
+    def _pid_of(frame) -> int:
+        process = getattr(frame, "process", None)
+        return process.pid if process is not None else 0
+
+
+def _storage_key(ref: ArgRef):
+    """Identity of the storage a reference names (for locks/async).
+
+    Array identity uses the underlying buffer address and the flat
+    storage position — NOT the FArray wrapper — because every process
+    binds a COMMON block through its own reinterpret() view; the locks
+    and full/empty state must agree across all views.
+    """
+    if isinstance(ref, CellRef):
+        return ("cell", id(ref.cell))
+    if isinstance(ref, ElementRef):
+        return ("elem", ref.farray.storage_id(),
+                ref.farray.flat_index(ref.subscripts))
+    if isinstance(ref, ArrayRef):
+        return ("array", ref.farray.storage_id())
+    raise SimulationError("synchronization on a non-variable argument")
+
+
+@dataclass
+class WorkQueue:
+    """The Askfor monitor's work pool [LO83]."""
+
+    name: str
+    capacity: int
+    items: list = field(default_factory=list)
+    holding: set = field(default_factory=set)
+    done: bool = False
+    total_put: int = 0
+    total_got: int = 0
+
+
+class ForceRuntime(ExternalCallHandler):
+    """External-call handler bound to one scheduler + machine."""
+
+    def __init__(self, scheduler: Scheduler, machine: MachineModel,
+                 nproc: int, program: Program,
+                 registry: SharingRegistry | None = None) -> None:
+        self.scheduler = scheduler
+        self.machine = machine
+        self.nproc = nproc
+        self.program = program
+        self.registry = registry or SharingRegistry()
+        self.provider = ForceCommonProvider(machine, self.registry)
+        self.interpreter: Interpreter | None = None
+        self._locks: dict = {}
+        self._init_locked_storage: set[int] = set()
+        self._async_pairs: dict = {}        # key(V) -> (E ref base, F ref base)
+        self._async_inited: set = set()
+        self._queues: dict[str, WorkQueue] = {}
+        self._children = 0
+        self._children_done = 0
+        self._lock_names = LOCK_CALL_NAMES[machine.lock_type]
+        self.page_plan_requested = False
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    _SUBROUTINES = frozenset({
+        "SPINLK", "SPINUN", "SYSLCK", "SYSUNL", "CMBLCK", "CMBUNL",
+        "HEPLKW", "HEPLKS", "FRCLKI", "FRCVOD", "FRCAIN",
+        "HEPPRD", "HEPCON", "HEPCPY", "HEPVOD", "HEPVIN",
+        "FRKALL", "HEPSPN", "FRCJON", "FRCSHB", "FRCPAG",
+        "FRCQIN", "FRCQPT", "FRCQGT", "ZZSTRT",
+    })
+    _FUNCTIONS = frozenset({"FRCISF", "FRCTIM"})
+
+    def is_external(self, name: str) -> bool:
+        return name in self._SUBROUTINES and \
+            not (name == "ZZSTRT" and "ZZSTRT" in self.program.units)
+
+    def is_external_function(self, name: str) -> bool:
+        return name in self._FUNCTIONS
+
+    def call(self, name: str, args: list[ArgRef], frame: Frame) -> Iterator:
+        if name in _ALL_LOCK_NAMES:
+            yield from self._lock_call(name, args, frame)
+            return
+        method = getattr(self, "_sub_" + name.lower(), None)
+        if method is None:   # pragma: no cover - guarded by is_external
+            raise SimulationError(f"no runtime subroutine {name}")
+        yield from method(args, frame)
+
+    def call_function(self, name: str, args: list[ArgRef], frame: Frame):
+        if name == "FRCISF":
+            return self._fn_isfull(args)
+        if name == "FRCTIM":
+            process = frame.process
+            return int(process.clock) if process is not None else 0
+        raise SimulationError(f"no runtime function {name}")
+
+    # ------------------------------------------------------------------
+    # locks
+    # ------------------------------------------------------------------
+    def _lock_call(self, name: str, args: list[ArgRef],
+                   frame: Frame | None = None) -> Iterator:
+        lock_name, unlock_name = self._lock_names
+        if name not in (lock_name, unlock_name):
+            raise SimulationError(
+                f"lock primitive {name} is not available on "
+                f"{self.machine.name} (expected {lock_name}/{unlock_name}) "
+                "— was this program expanded for a different machine?")
+        if len(args) != 1:
+            raise SimulationError(f"{name} expects one lock variable")
+        lock = self._lock_for(args[0], frame)
+        if name == lock_name:
+            yield AcquireLock(lock)
+        else:
+            yield ReleaseLock(lock)
+
+    def _lock_for(self, ref: ArgRef, frame: Frame | None = None) -> SimLock:
+        key = _storage_key(ref)
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self.scheduler.new_lock(self._lock_label(ref, frame))
+            # Async E-locks start locked (the empty state).
+            if self._backing_id(ref) in self._init_locked_storage:
+                lock.locked = True
+            self._locks[key] = lock
+        return lock
+
+    @staticmethod
+    def _lock_label(ref: ArgRef, frame: Frame | None) -> str:
+        """Best-effort Fortran name for a lock variable (trace label)."""
+        if frame is not None:
+            target = getattr(ref, "cell", None) or \
+                getattr(ref, "farray", None)
+            for name, storage in frame.vars.items():
+                if storage is target and not name.startswith("%"):
+                    if isinstance(ref, ElementRef):
+                        subs = ",".join(str(s) for s in ref.subscripts)
+                        return f"{name}({subs})"
+                    return name
+        if isinstance(ref, ElementRef):
+            return f"elem{id(ref.farray) % 10_000}{ref.subscripts}"
+        return f"var{id(getattr(ref, 'cell', ref)) % 10_000}"
+
+    @staticmethod
+    def _backing_id(ref: ArgRef) -> int:
+        """Base-storage identity (buffer address for arrays, so all
+        per-process views of a COMMON member agree)."""
+        if isinstance(ref, CellRef):
+            return id(ref.cell)
+        if isinstance(ref, (ElementRef, ArrayRef)):
+            return ref.farray.storage_id()
+        return 0
+
+    def _sub_frclki(self, args, frame) -> Iterator:
+        if len(args) != 2:
+            raise SimulationError("FRCLKI expects (lockvar, state)")
+        lock = self._lock_for(args[0], frame)
+        state = args[1].get()
+        self.scheduler.set_lock_state(
+            lock, bool(state), frame.process.clock if frame.process else 0)
+        yield Cost(self.machine.costs.lock_release)
+
+    # ------------------------------------------------------------------
+    # two-lock full/empty support (non-HEP)
+    # ------------------------------------------------------------------
+    def _sub_frcain(self, args, frame) -> Iterator:
+        """Register async variable V with its E and F locks; void once."""
+        if len(args) != 3:
+            raise SimulationError("FRCAIN expects (var, elock, flock)")
+        vkey = _storage_key(args[0])
+        if vkey not in self._async_pairs:
+            self._async_pairs[vkey] = (args[1], args[2])
+            # E starts locked (empty); F starts unlocked.
+            self._init_locked_storage.add(self._backing_id(args[1]))
+        yield Cost(self.machine.costs.shared_access_penalty)
+
+    def _sub_frcvod(self, args, frame) -> Iterator:
+        """Force the two-lock state to empty: E locked, F unlocked."""
+        if len(args) != 2:
+            raise SimulationError("FRCVOD expects (elock, flock)")
+        now = frame.process.clock if frame.process else 0
+        e_lock = self._lock_for(args[0], frame)
+        f_lock = self._lock_for(args[1], frame)
+        self.scheduler.set_lock_state(e_lock, True, now)
+        self.scheduler.set_lock_state(f_lock, False, now)
+        yield Cost(self.machine.costs.lock_release * 2)
+
+    def _fn_isfull(self, args) -> bool:
+        if len(args) != 1:
+            raise SimulationError("FRCISF expects one async variable")
+        ref = args[0]
+        if self.machine.lock_type is LockType.HARDWARE_FE:
+            if isinstance(ref, ElementRef):
+                return ref.farray.fe_state(ref.subscripts)
+            if isinstance(ref, CellRef):
+                return ref.cell.full
+            raise SimulationError("Isfull needs an async variable")
+        pair = self._async_pair_for(ref)
+        e_ref, f_ref = pair
+        e_lock = self._lock_for(self._elementwise(e_ref, ref))
+        f_lock = self._lock_for(self._elementwise(f_ref, ref))
+        return f_lock.locked and not e_lock.locked
+
+    def _async_pair_for(self, ref: ArgRef):
+        # Element references belong to the whole-array registration.
+        if isinstance(ref, ElementRef):
+            key = ("array", ref.farray.storage_id())
+        else:
+            key = _storage_key(ref)
+        pair = self._async_pairs.get(key)
+        if pair is None:
+            raise SimulationError(
+                "Isfull on a variable not declared Async")
+        return pair
+
+    @staticmethod
+    def _elementwise(lock_base: ArgRef, var_ref: ArgRef) -> ArgRef:
+        """Map an async array's element to its E/F lock element."""
+        if isinstance(var_ref, ElementRef) and \
+                isinstance(lock_base, ArrayRef):
+            return ElementRef(lock_base.farray, var_ref.subscripts)
+        return lock_base
+
+    # ------------------------------------------------------------------
+    # HEP hardware full/empty operations
+    # ------------------------------------------------------------------
+    def _require_hep(self, what: str) -> None:
+        if self.machine.lock_type is not LockType.HARDWARE_FE:
+            raise SimulationError(
+                f"{what} requires hardware full/empty state "
+                f"({self.machine.name} has none) — wrong machine?")
+
+    @staticmethod
+    def _fe_get(ref: ArgRef) -> bool:
+        if isinstance(ref, ElementRef):
+            return ref.farray.fe_state(ref.subscripts)
+        if isinstance(ref, CellRef):
+            return ref.cell.full
+        raise SimulationError("full/empty operation on non-variable")
+
+    @staticmethod
+    def _fe_set(ref: ArgRef, full: bool) -> None:
+        if isinstance(ref, ElementRef):
+            ref.farray.set_fe(ref.subscripts, full)
+        else:
+            ref.cell.full = full
+
+    def _fe_key(self, ref: ArgRef, which: str):
+        position = (ref.farray.flat_index(ref.subscripts)
+                    if isinstance(ref, ElementRef) else ())
+        return ("fe-" + which, self._backing_id(ref), position)
+
+    def _sub_hepprd(self, args, frame) -> Iterator:
+        self._require_hep("HEPPRD")
+        var, value = args[0], args[1]
+        cost = self.machine.costs.lock_acquire
+        while self._fe_get(var):
+            yield Block(self._fe_key(var, "empty"))
+        var.set(value.get())
+        self._fe_set(var, True)
+        yield Wake(self._fe_key(var, "full"))
+        yield Cost(cost)
+
+    def _sub_hepcon(self, args, frame) -> Iterator:
+        self._require_hep("HEPCON")
+        var, dest = args[0], args[1]
+        while not self._fe_get(var):
+            yield Block(self._fe_key(var, "full"))
+        dest.set(var.get())
+        self._fe_set(var, False)
+        yield Wake(self._fe_key(var, "empty"))
+        yield Cost(self.machine.costs.lock_acquire)
+
+    def _sub_hepcpy(self, args, frame) -> Iterator:
+        self._require_hep("HEPCPY")
+        var, dest = args[0], args[1]
+        while not self._fe_get(var):
+            yield Block(self._fe_key(var, "full"))
+        dest.set(var.get())
+        # State stays full: pass the wakeup along to other readers.
+        yield Wake(self._fe_key(var, "full"))
+        yield Cost(self.machine.costs.lock_acquire)
+
+    def _sub_hepvod(self, args, frame) -> Iterator:
+        self._require_hep("HEPVOD")
+        var = args[0]
+        self._fe_set(var, False)
+        yield Wake(self._fe_key(var, "empty"))
+        yield Cost(self.machine.costs.lock_acquire)
+
+    def _sub_hepvin(self, args, frame) -> Iterator:
+        self._require_hep("HEPVIN")
+        var = args[0]
+        key = _storage_key(args[0]) if not isinstance(args[0], ElementRef) \
+            else ("array", args[0].farray.storage_id())
+        if key not in self._async_inited:
+            self._async_inited.add(key)
+            if isinstance(var, ArrayRef):
+                pass    # arrays start all-empty already
+            elif isinstance(var, CellRef):
+                var.cell.full = False
+        yield Cost(self.machine.costs.lock_acquire)
+
+    # ------------------------------------------------------------------
+    # process management
+    # ------------------------------------------------------------------
+    def _sub_frkall(self, args, frame) -> Iterator:
+        if self.machine.process_model is ProcessModel.SUBROUTINE_SPAWN:
+            raise SimulationError(
+                f"FRKALL (fork model) called on {self.machine.name}, "
+                "which creates processes by subroutine call")
+        yield from self._spawn_force(args, frame)
+
+    def _sub_hepspn(self, args, frame) -> Iterator:
+        if self.machine.process_model is not ProcessModel.SUBROUTINE_SPAWN:
+            raise SimulationError(
+                f"HEPSPN called on {self.machine.name}, which uses a "
+                "fork process model")
+        yield from self._spawn_force(args, frame)
+
+    def _spawn_force(self, args, frame) -> Iterator:
+        if len(args) != 1:
+            raise SimulationError("process creation expects the main name")
+        main_name = str(args[0].get())
+        unit = self.program.unit(main_name)
+        assert self.interpreter is not None, "runtime not wired"
+        parent = frame.process
+        for me in range(1, self.nproc + 1):
+            yield Cost(self.machine.costs.process_create)
+            holder: list[SimProcess] = []
+            gen = self._force_process_body(unit, me, holder)
+            proc = self.scheduler.spawn(
+                gen, name=f"{main_name.lower()}-{me}",
+                start_time=parent.clock if parent else 0,
+                on_exit=self._child_done)
+            holder.append(proc)
+            self._children += 1
+            if self.machine.process_model is ProcessModel.UNIX_FORK and \
+                    parent is not None:
+                self.provider.fork_copy(parent.pid, proc.pid)
+
+    def _force_process_body(self, unit, me: int, holder: list) -> Iterator:
+        from repro.fortran.interp import ValueRef
+        process = holder[0]
+        try:
+            yield from self.interpreter.run_unit(
+                unit, [ValueRef(me), ValueRef(self.nproc)], process=process)
+        except StopSignal as stop:
+            yield HaltSim(stop.message)
+
+    def _child_done(self, proc: SimProcess) -> None:
+        self._children_done += 1
+        if self._children_done >= self._children:
+            self.scheduler.wake_key(("join", id(self)), proc.clock,
+                                    all_waiters=True)
+
+    def _sub_frcjon(self, args, frame) -> Iterator:
+        while self._children_done < self._children:
+            yield Block(("join", id(self)))
+        yield Cost(self.machine.costs.context_switch)
+
+    # ------------------------------------------------------------------
+    # startup / sharing registration
+    # ------------------------------------------------------------------
+    def _sub_frcshb(self, args, frame) -> Iterator:
+        if len(args) != 1:
+            raise SimulationError("FRCSHB expects a block name")
+        self.registry.register(str(args[0].get()))
+        yield Cost(self.machine.costs.shared_access_penalty * 10)
+
+    def _sub_frcpag(self, args, frame) -> Iterator:
+        self.page_plan_requested = True
+        page = self.machine.page_size or 1
+        yield Cost(page // 64 + self.machine.costs.syscall_overhead)
+
+    def _sub_zzstrt(self, args, frame) -> Iterator:
+        # Generated programs normally define ZZSTRT; this fallback is a
+        # no-op so hand-written drivers still run.
+        yield Cost(1)
+
+    # ------------------------------------------------------------------
+    # the Askfor work queue [LO83]
+    # ------------------------------------------------------------------
+    def _queue(self, name: str) -> WorkQueue:
+        try:
+            return self._queues[name.upper()]
+        except KeyError as exc:
+            raise SimulationError(f"no task queue named {name} "
+                                  "(missing Taskq declaration?)") from exc
+
+    def _sub_frcqin(self, args, frame) -> Iterator:
+        name = str(args[0].get()).upper()
+        capacity = int(args[1].get())
+        if name not in self._queues:
+            self._queues[name] = WorkQueue(name=name, capacity=capacity)
+        yield Cost(self.machine.costs.shared_access_penalty)
+
+    def _sub_frcqpt(self, args, frame) -> Iterator:
+        queue = self._queue(str(args[0].get()))
+        queue.items.append(args[1].get())
+        queue.total_put += 1
+        queue.done = False
+        yield Wake(("queue", queue.name))
+        yield Cost(self.machine.costs.lock_acquire +
+                   self.machine.costs.lock_release)
+
+    def _sub_frcqgt(self, args, frame) -> Iterator:
+        if len(args) != 3:
+            raise SimulationError("FRCQGT expects (queue, work, got)")
+        queue = self._queue(str(args[0].get()))
+        out_ref, got_ref = args[1], args[2]
+        pid = frame.process.pid if frame.process else 0
+        queue.holding.discard(pid)
+        yield Cost(self.machine.costs.lock_acquire)
+        while True:
+            if queue.items:
+                out_ref.set(queue.items.pop(0))
+                queue.total_got += 1
+                queue.holding.add(pid)
+                got_ref.set(True)
+                yield Cost(self.machine.costs.lock_release)
+                return
+            if queue.done or not queue.holding:
+                # Empty and nobody can add more work: all done.
+                queue.done = True
+                got_ref.set(False)
+                yield Wake(("queue", queue.name), all_waiters=True)
+                yield Cost(self.machine.costs.lock_release)
+                return
+            yield Block(("queue", queue.name))

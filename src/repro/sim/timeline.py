@@ -1,0 +1,84 @@
+"""Render scheduler traces as text timelines.
+
+A compact observability tool for simulated runs: per-process lanes of
+simulated time with lock acquire/release, blocking and wake events, so
+barrier episodes, convoys and serialization are visible at a glance.
+
+::
+
+    t=    1234 | summer-2     | waiting on BARWIN
+    t=    1260 | summer-1     | released BARWIN
+    ...
+
+plus a utilization summary per process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.scheduler import Scheduler, SimStats
+
+
+@dataclass(frozen=True)
+class TimelineOptions:
+    """Rendering options for :func:`render_timeline`."""
+
+    max_events: int = 200
+    #: only show events whose text contains one of these (None = all)
+    only: tuple[str, ...] | None = None
+    width: int = 78
+
+
+def render_timeline(trace: list[tuple[int, str, str]],
+                    options: TimelineOptions | None = None) -> str:
+    """Format a collected trace (run with ``trace=True``)."""
+    options = options or TimelineOptions()
+    if not trace:
+        return "(no trace events: was the run started with trace=True?)"
+    events = trace
+    if options.only:
+        events = [e for e in events
+                  if any(tag in e[2] for tag in options.only)]
+    shown = events[:options.max_events]
+    lines = []
+    for when, who, what in shown:
+        lines.append(f"t={when:>10d} | {who:<14s} | {what}")
+    if len(events) > len(shown):
+        lines.append(f"... {len(events) - len(shown)} more events")
+    return "\n".join(lines)
+
+
+def render_utilization(stats: SimStats, *, width: int = 40) -> str:
+    """Bar chart of per-process busy fraction of the makespan."""
+    if stats.makespan == 0:
+        return "(empty run)"
+    lines = [f"makespan {stats.makespan} cycles, "
+             f"utilization {stats.utilization:.1%}"]
+    for name, clock in sorted(stats.per_process_clock.items()):
+        fraction = min(clock / stats.makespan, 1.0)
+        bar = "#" * round(fraction * width)
+        lines.append(f"{name:<14s} |{bar:<{width}s}| "
+                     f"{clock} cyc ({fraction:.0%} of makespan)")
+    return "\n".join(lines)
+
+
+def lock_contention_report(trace: list[tuple[int, str, str]],
+                           top: int = 10) -> str:
+    """The most contended locks of a run, from its trace events."""
+    locks = {}
+    for _when, _who, what in trace:
+        for verb in ("acquired ", "waiting on ", "granted ", "released "):
+            if what.startswith(verb):
+                name = what[len(verb):]
+                entry = locks.setdefault(name, [0, 0])
+                entry[0] += 1
+                if verb == "waiting on ":
+                    entry[1] += 1
+    rows = sorted(locks.items(), key=lambda kv: -kv[1][1])[:top]
+    if not rows:
+        return "(no lock events in trace)"
+    lines = [f"{'lock':<22s}{'events':>8s}{'waits':>8s}"]
+    for name, (total, waits) in rows:
+        lines.append(f"{name:<22s}{total:>8d}{waits:>8d}")
+    return "\n".join(lines)

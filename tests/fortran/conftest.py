@@ -1,0 +1,20 @@
+"""Shared helpers for Fortran interpreter tests."""
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.fortran import Interpreter, parse_source
+from repro.fortran.interp import drain
+
+
+@pytest.fixture()
+def run_fortran():
+    """Run a serial Fortran program, returning its output lines."""
+
+    def _run(source: str) -> list[str]:
+        program = parse_source(strip_margin(source))
+        interp = Interpreter(program)
+        drain(interp.run_program())
+        return interp.output
+
+    return _run

@@ -1,0 +1,539 @@
+"""End-to-end interpreter tests: serial programs, no Force features."""
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.fortran import FortranError, Interpreter, parse_source
+from repro.fortran.interp import drain
+
+
+class TestAssignmentAndArithmetic:
+    def test_hello_write(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM HELLO
+              WRITE(*,*) 'HELLO'
+            END
+        """)
+        assert out == ["HELLO"]
+
+    def test_integer_arithmetic(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER I
+              I = 2 + 3 * 4
+              WRITE(*,*) I
+            END
+        """)
+        assert out == ["14"]
+
+    def test_integer_division_truncates(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) 7 / 2, -7 / 2, 7 / -2
+            END
+        """)
+        assert out == ["3 -3 -3"]
+
+    def test_real_division(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              REAL X
+              X = 7.0 / 2.0
+              WRITE(*,*) X
+            END
+        """)
+        assert out == ["3.5"]
+
+    def test_mixed_arithmetic_promotes(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) 1 + 0.5
+            END
+        """)
+        assert out == ["1.5"]
+
+    def test_power(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) 2 ** 10, 2.0 ** 0.5
+            END
+        """)
+        assert out[0].startswith("1024 1.41")
+
+    def test_real_to_int_truncation(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER I
+              I = 3.99
+              WRITE(*,*) I
+            END
+        """)
+        assert out == ["3"]
+
+    def test_implicit_typing(self, run_fortran):
+        # I-N integer, others real.
+        out = run_fortran("""
+            PROGRAM P
+              K = 3.7
+              X = 3.7
+              WRITE(*,*) K, X
+            END
+        """)
+        assert out == ["3 3.7"]
+
+    def test_unary_minus(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) -3 + 1, 2 * (-3)
+            END
+        """)
+        assert out == ["-2 -6"]
+
+    def test_operator_precedence(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) 2 + 3 * 4 ** 2
+            END
+        """)
+        assert out == ["50"]
+
+    def test_string_concatenation(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              CHARACTER*16 S
+              S = 'FOO' // 'BAR'
+              WRITE(*,*) S
+            END
+        """)
+        assert out == ["FOOBAR"]
+
+
+class TestControlFlow:
+    def test_logical_if(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              I = 5
+              IF (I .GT. 3) WRITE(*,*) 'BIG'
+              IF (I .LT. 3) WRITE(*,*) 'SMALL'
+            END
+        """)
+        assert out == ["BIG"]
+
+    def test_block_if_else(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              I = 1
+              IF (I .EQ. 0) THEN
+                WRITE(*,*) 'ZERO'
+              ELSE
+                WRITE(*,*) 'NONZERO'
+              END IF
+            END
+        """)
+        assert out == ["NONZERO"]
+
+    def test_elseif_chain(self, run_fortran):
+        src = """
+            PROGRAM P
+              I = {}
+              IF (I .EQ. 1) THEN
+                WRITE(*,*) 'ONE'
+              ELSE IF (I .EQ. 2) THEN
+                WRITE(*,*) 'TWO'
+              ELSE IF (I .EQ. 3) THEN
+                WRITE(*,*) 'THREE'
+              ELSE
+                WRITE(*,*) 'MANY'
+              END IF
+            END
+        """
+        program_for = lambda i: src.format(i)
+        assert run_fortran(program_for(1)) == ["ONE"]
+        assert run_fortran(program_for(2)) == ["TWO"]
+        assert run_fortran(program_for(3)) == ["THREE"]
+        assert run_fortran(program_for(7)) == ["MANY"]
+
+    def test_branch_does_not_leak_into_else(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              IF (1 .EQ. 1) THEN
+                WRITE(*,*) 'A'
+              ELSE
+                WRITE(*,*) 'B'
+              END IF
+              WRITE(*,*) 'AFTER'
+            END
+        """)
+        assert out == ["A", "AFTER"]
+
+    def test_nested_if(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              I = 2
+              J = 3
+              IF (I .EQ. 2) THEN
+                IF (J .EQ. 3) THEN
+                  WRITE(*,*) 'BOTH'
+                ELSE
+                  WRITE(*,*) 'ONLY I'
+                END IF
+              END IF
+            END
+        """)
+        assert out == ["BOTH"]
+
+    def test_do_loop_labelled(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              ISUM = 0
+              DO 10 I = 1, 10
+                ISUM = ISUM + I
+            10 CONTINUE
+              WRITE(*,*) ISUM
+            END
+        """)
+        assert out == ["55"]
+
+    def test_do_loop_enddo(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              ISUM = 0
+              DO I = 1, 4
+                ISUM = ISUM + I * I
+              END DO
+              WRITE(*,*) ISUM
+            END
+        """)
+        assert out == ["30"]
+
+    def test_do_loop_step(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              N = 0
+              DO 10 I = 10, 1, -2
+                N = N + 1
+            10 CONTINUE
+              WRITE(*,*) N, I
+            END
+        """)
+        # 10,8,6,4,2 -> five trips; I ends at 0 after final increment.
+        assert out == ["5 0"]
+
+    def test_zero_trip_do(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              N = 0
+              DO 10 I = 5, 1
+                N = N + 1
+            10 CONTINUE
+              WRITE(*,*) N
+            END
+        """)
+        assert out == ["0"]
+
+    def test_nested_do_shared_terminal(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              N = 0
+              DO 10 I = 1, 3
+              DO 10 J = 1, 4
+                N = N + 1
+            10 CONTINUE
+              WRITE(*,*) N
+            END
+        """)
+        assert out == ["12"]
+
+    def test_nested_do_distinct_terminals(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              N = 0
+              DO 20 I = 1, 3
+                DO 10 J = 1, 2
+                  N = N + 10
+            10   CONTINUE
+                N = N + 1
+            20 CONTINUE
+              WRITE(*,*) N
+            END
+        """)
+        assert out == ["63"]
+
+    def test_goto(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              I = 0
+            10 I = I + 1
+              IF (I .LT. 5) GO TO 10
+              WRITE(*,*) I
+            END
+        """)
+        assert out == ["5"]
+
+    def test_goto_forward(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              GO TO 20
+              WRITE(*,*) 'SKIPPED'
+            20 WRITE(*,*) 'LANDED'
+            END
+        """)
+        assert out == ["LANDED"]
+
+    def test_computed_goto(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              I = 2
+              GO TO (10, 20, 30), I
+            10 WRITE(*,*) 'TEN'
+              GO TO 40
+            20 WRITE(*,*) 'TWENTY'
+              GO TO 40
+            30 WRITE(*,*) 'THIRTY'
+            40 CONTINUE
+            END
+        """)
+        assert out == ["TWENTY"]
+
+    def test_stop(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) 'BEFORE'
+              STOP
+              WRITE(*,*) 'AFTER'
+            END
+        """)
+        assert out == ["BEFORE"]
+
+    def test_goto_out_of_do(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              DO 10 I = 1, 100
+                IF (I .EQ. 3) GO TO 99
+            10 CONTINUE
+            99 WRITE(*,*) I
+            END
+        """)
+        assert out == ["3"]
+
+
+class TestArrays:
+    def test_one_dimensional(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(5)
+              DO 10 I = 1, 5
+                A(I) = I * I
+            10 CONTINUE
+              WRITE(*,*) A(1), A(3), A(5)
+            END
+        """)
+        assert out == ["1 9 25"]
+
+    def test_two_dimensional_column_major(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER M(2, 3)
+              DO 10 J = 1, 3
+              DO 10 I = 1, 2
+                M(I, J) = 10 * I + J
+            10 CONTINUE
+              WRITE(*,*) M(1, 1), M(2, 3)
+            END
+        """)
+        assert out == ["11 23"]
+
+    def test_explicit_lower_bound(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(0:4)
+              A(0) = 7
+              A(4) = 9
+              WRITE(*,*) A(0), A(4)
+            END
+        """)
+        assert out == ["7 9"]
+
+    def test_out_of_bounds_raises(self, run_fortran):
+        with pytest.raises(FortranError):
+            run_fortran("""
+                PROGRAM P
+                  INTEGER A(3)
+                  A(4) = 1
+                END
+            """)
+
+    def test_dimension_statement(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              DIMENSION X(4)
+              X(2) = 2.5
+              WRITE(*,*) X(2)
+            END
+        """)
+        assert out == ["2.5"]
+
+    def test_parameter_sized_array(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              PARAMETER (N = 6)
+              INTEGER A(N)
+              A(N) = 42
+              WRITE(*,*) A(6)
+            END
+        """)
+        assert out == ["42"]
+
+
+class TestDataAndParameter:
+    def test_parameter_chain(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              PARAMETER (N = 4, M = N * 2)
+              WRITE(*,*) N, M
+            END
+        """)
+        assert out == ["4 8"]
+
+    def test_data_scalar(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER K
+              DATA K /7/
+              WRITE(*,*) K
+            END
+        """)
+        assert out == ["7"]
+
+    def test_data_array_full(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(3)
+              DATA A /1, 2, 3/
+              WRITE(*,*) A(1), A(2), A(3)
+            END
+        """)
+        assert out == ["1 2 3"]
+
+    def test_data_array_fill(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(3)
+              DATA A /9/
+              WRITE(*,*) A(1), A(3)
+            END
+        """)
+        assert out == ["9 9"]
+
+
+class TestIntrinsics:
+    def test_abs_mod(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) ABS(-3), MOD(10, 3)
+            END
+        """)
+        assert out == ["3 1"]
+
+    def test_max_min(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) MAX(1, 5, 3), MIN(2, -1)
+            END
+        """)
+        assert out == ["5 -1"]
+
+    def test_sqrt(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) SQRT(16.0)
+            END
+        """)
+        assert out == ["4.0"]
+
+    def test_float_int_conversions(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) FLOAT(3), INT(3.9), NINT(3.9)
+            END
+        """)
+        assert out == ["3.0 3 4"]
+
+    def test_sign(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) SIGN(5, -1), SIGN(5, 1)
+            END
+        """)
+        assert out == ["-5 5"]
+
+
+class TestErrors:
+    def test_undefined_label(self):
+        with pytest.raises(FortranError):
+            parse_source(strip_margin("""
+                PROGRAM P
+                  GO TO 99
+                END
+            """))
+
+    def test_missing_end(self):
+        with pytest.raises(FortranError):
+            parse_source("PROGRAM P\n  I = 1\n")
+
+    def test_unclosed_if(self):
+        with pytest.raises(FortranError):
+            parse_source(strip_margin("""
+                PROGRAM P
+                  IF (1 .EQ. 1) THEN
+                END
+            """))
+
+    def test_else_without_if(self):
+        with pytest.raises(FortranError):
+            parse_source(strip_margin("""
+                PROGRAM P
+                  ELSE
+                END
+            """))
+
+    def test_integer_division_by_zero(self, run_fortran):
+        with pytest.raises(FortranError):
+            run_fortran("""
+                PROGRAM P
+                  I = 0
+                  J = 1 / I
+                END
+            """)
+
+    def test_logical_type_mismatch(self, run_fortran):
+        with pytest.raises(FortranError):
+            run_fortran("""
+                PROGRAM P
+                  I = 1 .AND. 2
+                END
+            """)
+
+
+class TestComments:
+    def test_comment_lines_skipped(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+            C This is a comment
+            * So is this
+            ! And this
+              WRITE(*,*) 'OK'
+            END
+        """)
+        assert out == ["OK"]
+
+    def test_continuation(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              I = 1 + &
+                  2 + &
+                  3
+              WRITE(*,*) I
+            END
+        """)
+        assert out == ["6"]

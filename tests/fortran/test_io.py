@@ -1,0 +1,176 @@
+"""FORMAT-directed WRITE and list-directed READ tests."""
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.fortran import FortranError, Interpreter, parse_source
+from repro.fortran.formats import apply_format, parse_format
+from repro.fortran.interp import drain
+
+
+def run_io(source, input_data=None):
+    program = parse_source(strip_margin(source))
+    interp = Interpreter(program)
+    if input_data is not None:
+        interp.set_input(input_data)
+    drain(interp.run_program())
+    return interp.output
+
+
+class TestFormatParser:
+    def test_integer_descriptor(self):
+        edits = parse_format("I5")
+        assert len(edits) == 1 and edits[0].kind == "I"
+        assert edits[0].width == 5
+
+    def test_repeat_counts(self):
+        assert len(parse_format("3I4")) == 3
+
+    def test_group_repeat(self):
+        edits = parse_format("2(I2, F6.2)")
+        assert [e.kind for e in edits] == ["I", "F", "I", "F"]
+
+    def test_literal_and_blanks(self):
+        edits = parse_format("'X =', 2X, F8.3")
+        assert edits[0].kind == "LIT" and edits[0].text == "X ="
+        assert edits[1].kind == "X" and edits[1].width == 2
+
+    def test_doubled_quote_in_literal(self):
+        edits = parse_format("'IT''S'")
+        assert edits[0].text == "IT'S"
+
+    def test_bad_descriptor(self):
+        with pytest.raises(FortranError):
+            parse_format("Q9")
+
+    def test_width_required(self):
+        with pytest.raises(FortranError):
+            parse_format("I")
+
+
+class TestApplyFormat:
+    def test_integer_right_justified(self):
+        lines = apply_format(parse_format("I5"), [42])
+        assert lines == ["   42"]
+
+    def test_fixed_point(self):
+        lines = apply_format(parse_format("F8.2"), [3.14159])
+        assert lines == ["    3.14"]
+
+    def test_field_overflow_stars(self):
+        lines = apply_format(parse_format("I3"), [123456])
+        assert lines == ["***"]
+
+    def test_slash_breaks_line(self):
+        lines = apply_format(parse_format("I2, /, I2"), [1, 2])
+        assert lines == [" 1", " 2"]
+
+    def test_reversion_rule(self):
+        lines = apply_format(parse_format("I3"), [1, 2, 3])
+        assert lines == ["  1", "  2", "  3"]
+
+    def test_logical(self):
+        lines = apply_format(parse_format("L2, L2"), [True, False])
+        assert lines == [" T F"]
+
+    def test_character(self):
+        lines = apply_format(parse_format("A, A5"), ["AB", "CD"])
+        assert lines == ["AB   CD"]
+
+    def test_exponential(self):
+        (line,) = apply_format(parse_format("E12.4"), [12345.678])
+        assert "E+05" in line
+        assert line.strip().startswith("0.1235")
+
+
+class TestFormattedWrite:
+    def test_basic(self):
+        out = run_io("""
+            PROGRAM P
+              WRITE(*,100) 42, 3.5
+            100 FORMAT('N =', I4, 2X, F6.1)
+            END
+        """)
+        assert out == ["N =  42     3.5"]
+
+    def test_format_reused(self):
+        out = run_io("""
+            PROGRAM P
+              DO 10 I = 1, 3
+                WRITE(*,200) I, I * I
+            10 CONTINUE
+            200 FORMAT(I3, I5)
+            END
+        """)
+        assert out == ["  1    1", "  2    4", "  3    9"]
+
+    def test_missing_format_label(self):
+        with pytest.raises(FortranError):
+            run_io("""
+                PROGRAM P
+                  WRITE(*,999) 1
+                END
+            """)
+
+    def test_label_not_a_format(self):
+        with pytest.raises(FortranError):
+            run_io("""
+                PROGRAM P
+                  WRITE(*,10) 1
+                10 CONTINUE
+                END
+            """)
+
+
+class TestRead:
+    def test_read_scalars(self):
+        out = run_io("""
+            PROGRAM P
+              INTEGER N
+              REAL X
+              READ(*,*) N, X
+              WRITE(*,*) N * 2, X + 0.5
+            END
+        """, input_data="21 1.5")
+        assert out == ["42 2.0"]
+
+    def test_read_into_array(self):
+        out = run_io("""
+            PROGRAM P
+              INTEGER A(3)
+              READ(*,*) A(1), A(2), A(3)
+              WRITE(*,*) A(1) + A(2) + A(3)
+            END
+        """, input_data=[10, 20, 30])
+        assert out == ["60"]
+
+    def test_read_logical(self):
+        out = run_io("""
+            PROGRAM P
+              LOGICAL FLAG
+              READ(*,*) FLAG
+              IF (FLAG) WRITE(*,*) 'YES'
+            END
+        """, input_data="T")
+        assert out == ["YES"]
+
+    def test_read_past_end(self):
+        with pytest.raises(FortranError, match="end of input"):
+            run_io("""
+                PROGRAM P
+                  READ(*,*) N
+                END
+            """, input_data=[])
+
+    def test_read_in_loop(self):
+        out = run_io("""
+            PROGRAM P
+              ISUM = 0
+              DO 10 I = 1, 4
+                READ(*,*) K
+                ISUM = ISUM + K
+            10 CONTINUE
+              WRITE(*,*) ISUM
+            END
+        """, input_data="1, 2, 3, 4")
+        assert out == ["10"]

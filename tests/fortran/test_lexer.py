@@ -1,0 +1,75 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.fortran import FortranError, TokenKind, tokenize_statement
+
+
+def kinds(text):
+    return [t.kind for t in tokenize_statement(text)][:-1]
+
+
+def texts(text):
+    return [t.text for t in tokenize_statement(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_names_uppercased(self):
+        assert texts("foo Bar BAZ") == ["FOO", "BAR", "BAZ"]
+
+    def test_integer(self):
+        tokens = tokenize_statement("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "42"
+
+    def test_real_forms(self):
+        for literal in ["1.5", "1.", ".5", "1E3", "1.5E-2", "2.0D0"]:
+            tokens = tokenize_statement(literal)
+            assert tokens[0].kind is TokenKind.REAL, literal
+
+    def test_string_single_quotes(self):
+        tokens = tokenize_statement("'hello world'")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].text == "hello world"
+
+    def test_string_doubled_quote_escape(self):
+        tokens = tokenize_statement("'don''t'")
+        assert tokens[0].text == "don't"
+
+    def test_unterminated_string(self):
+        with pytest.raises(FortranError):
+            tokenize_statement("'oops")
+
+    def test_operators(self):
+        assert texts("A + B * C ** 2") == ["A", "+", "B", "*", "C", "**", "2"]
+
+    def test_dot_operators(self):
+        assert texts("A .EQ. B .AND. .NOT. C") == \
+            ["A", ".EQ.", "B", ".AND.", ".NOT.", "C"]
+
+    def test_dot_operators_lowercase(self):
+        assert texts("a .lt. b") == ["A", ".LT.", "B"]
+
+    def test_logical_constants(self):
+        assert texts(".TRUE. .FALSE.") == [".TRUE.", ".FALSE."]
+
+    def test_integer_dot_operator_ambiguity(self):
+        # `1.EQ.2` must lex as INT OP INT, not REAL NAME . INT
+        assert texts("1.EQ.2") == ["1", ".EQ.", "2"]
+
+    def test_real_followed_by_comma(self):
+        assert texts("1.5, 2.5") == ["1.5", ",", "2.5"]
+
+    def test_eos_token(self):
+        tokens = tokenize_statement("X")
+        assert tokens[-1].kind is TokenKind.EOS
+
+    def test_unexpected_character(self):
+        with pytest.raises(FortranError):
+            tokenize_statement("A ? B")
+
+    def test_concatenation_operator(self):
+        assert texts("A // B") == ["A", "//", "B"]
+
+    def test_parentheses_and_commas(self):
+        assert texts("F(X, Y)") == ["F", "(", "X", ",", "Y", ")"]

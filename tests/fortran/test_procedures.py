@@ -1,0 +1,340 @@
+"""Subroutines, functions, argument passing, COMMON blocks."""
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.fortran import FortranError, Interpreter, parse_source
+from repro.fortran.interp import drain
+
+
+class TestSubroutines:
+    def test_simple_call(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              CALL GREET
+            END
+            SUBROUTINE GREET
+              WRITE(*,*) 'HI'
+            END
+        """)
+        assert out == ["HI"]
+
+    def test_scalar_byref(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER K
+              K = 1
+              CALL BUMP(K)
+              WRITE(*,*) K
+            END
+            SUBROUTINE BUMP(N)
+              INTEGER N
+              N = N + 1
+            END
+        """)
+        assert out == ["2"]
+
+    def test_expression_arg_not_writable_back(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER K
+              K = 5
+              CALL BUMP(K + 0)
+              WRITE(*,*) K
+            END
+            SUBROUTINE BUMP(N)
+              INTEGER N
+              N = N + 1
+            END
+        """)
+        assert out == ["5"]
+
+    def test_array_aliasing(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(3)
+              A(1) = 0
+              CALL FILL(A, 3)
+              WRITE(*,*) A(1), A(2), A(3)
+            END
+            SUBROUTINE FILL(V, N)
+              INTEGER V(N), N
+              DO 10 I = 1, N
+                V(I) = I * 100
+            10 CONTINUE
+            END
+        """)
+        assert out == ["100 200 300"]
+
+    def test_array_element_byref(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(3)
+              A(2) = 7
+              CALL BUMP(A(2))
+              WRITE(*,*) A(2)
+            END
+            SUBROUTINE BUMP(N)
+              INTEGER N
+              N = N + 1
+            END
+        """)
+        assert out == ["8"]
+
+    def test_adjustable_array_reshape(self, run_fortran):
+        # 2x3 storage viewed as a 6-vector in the callee (column major).
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER M(2, 3)
+              DO 10 J = 1, 3
+              DO 10 I = 1, 2
+                M(I, J) = 10 * I + J
+            10 CONTINUE
+              CALL SHOW(M, 6)
+            END
+            SUBROUTINE SHOW(V, N)
+              INTEGER V(N), N
+              WRITE(*,*) V(1), V(2), V(3)
+            END
+        """)
+        assert out == ["11 21 12"]
+
+    def test_nested_calls(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER K
+              K = 1
+              CALL OUTER(K)
+              WRITE(*,*) K
+            END
+            SUBROUTINE OUTER(N)
+              INTEGER N
+              CALL INNER(N)
+              N = N * 2
+            END
+            SUBROUTINE INNER(N)
+              INTEGER N
+              N = N + 9
+            END
+        """)
+        assert out == ["20"]
+
+    def test_return_statement(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              CALL EARLY
+              WRITE(*,*) 'DONE'
+            END
+            SUBROUTINE EARLY
+              WRITE(*,*) 'IN'
+              RETURN
+              WRITE(*,*) 'NEVER'
+            END
+        """)
+        assert out == ["IN", "DONE"]
+
+    def test_wrong_arg_count(self, run_fortran):
+        with pytest.raises(FortranError):
+            run_fortran("""
+                PROGRAM P
+                  CALL F(1, 2)
+                END
+                SUBROUTINE F(A)
+                END
+            """)
+
+    def test_unknown_subroutine(self, run_fortran):
+        with pytest.raises(FortranError):
+            run_fortran("""
+                PROGRAM P
+                  CALL NOSUCH
+                END
+            """)
+
+    def test_stop_inside_subroutine_halts_program(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              CALL QUIT
+              WRITE(*,*) 'NEVER'
+            END
+            SUBROUTINE QUIT
+              WRITE(*,*) 'BYE'
+              STOP
+            END
+        """)
+        assert out == ["BYE"]
+
+
+class TestFunctions:
+    def test_integer_function(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER TWICE
+              WRITE(*,*) TWICE(21)
+            END
+            INTEGER FUNCTION TWICE(N)
+              INTEGER N
+              TWICE = 2 * N
+            END
+        """)
+        assert out == ["42"]
+
+    def test_real_function_implicit(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              WRITE(*,*) AVG(1.0, 3.0)
+            END
+            FUNCTION AVG(A, B)
+              AVG = (A + B) / 2.0
+            END
+        """)
+        assert out == ["2.0"]
+
+    def test_function_in_expression(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER SQ
+              WRITE(*,*) SQ(3) + SQ(4)
+            END
+            INTEGER FUNCTION SQ(N)
+              INTEGER N
+              SQ = N * N
+            END
+        """)
+        assert out == ["25"]
+
+    def test_function_with_array_arg(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER A(4), ISUM
+              DO 10 I = 1, 4
+                A(I) = I
+            10 CONTINUE
+              WRITE(*,*) ISUM(A, 4)
+            END
+            INTEGER FUNCTION ISUM(V, N)
+              INTEGER V(N), N
+              ISUM = 0
+              DO 10 I = 1, N
+                ISUM = ISUM + V(I)
+            10 CONTINUE
+            END
+        """)
+        assert out == ["10"]
+
+    def test_function_calls_function(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              INTEGER F
+              WRITE(*,*) F(5)
+            END
+            INTEGER FUNCTION F(N)
+              INTEGER N, G
+              F = G(N) + 1
+            END
+            INTEGER FUNCTION G(N)
+              INTEGER N
+              G = N * 10
+            END
+        """)
+        assert out == ["51"]
+
+
+class TestCommonBlocks:
+    def test_shared_between_units(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              COMMON /STATE/ K
+              INTEGER K
+              K = 5
+              CALL SHOW
+            END
+            SUBROUTINE SHOW
+              COMMON /STATE/ K
+              INTEGER K
+              WRITE(*,*) K
+            END
+        """)
+        assert out == ["5"]
+
+    def test_common_array(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              COMMON /BLK/ A
+              REAL A(10)
+              A(3) = 1.5
+              CALL DOUBLE
+              WRITE(*,*) A(3)
+            END
+            SUBROUTINE DOUBLE
+              COMMON /BLK/ A
+              REAL A(10)
+              A(3) = A(3) * 2.0
+            END
+        """)
+        assert out == ["3.0"]
+
+    def test_common_written_in_sub_read_in_main(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              COMMON /R/ ANSWER
+              CALL COMPUTE
+              WRITE(*,*) ANSWER
+            END
+            SUBROUTINE COMPUTE
+              COMMON /R/ ANSWER
+              ANSWER = 42.0
+            END
+        """)
+        assert out == ["42.0"]
+
+    def test_member_count_mismatch_raises(self, run_fortran):
+        with pytest.raises(FortranError):
+            run_fortran("""
+                PROGRAM P
+                  COMMON /B/ X, Y
+                  CALL S
+                END
+                SUBROUTINE S
+                  COMMON /B/ X
+                END
+            """)
+
+    def test_two_blocks_independent(self, run_fortran):
+        out = run_fortran("""
+            PROGRAM P
+              COMMON /A/ I
+              COMMON /B/ J
+              I = 1
+              J = 2
+              WRITE(*,*) I, J
+            END
+        """)
+        assert out == ["1 2"]
+
+
+class TestCostModel:
+    def test_costs_accumulate(self):
+        program = parse_source(strip_margin("""
+            PROGRAM P
+              ISUM = 0
+              DO 10 I = 1, 100
+                ISUM = ISUM + I
+            10 CONTINUE
+            END
+        """))
+        interp = Interpreter(program)
+        total, _halt = drain(interp.run_program())
+        # At least one cost unit per executed statement: >= ~200.
+        assert total > 200
+
+    def test_cost_scales(self):
+        src = strip_margin("""
+            PROGRAM P
+              I = 1
+            END
+        """)
+        base, _ = drain(Interpreter(parse_source(src)).run_program())
+        scaled, _ = drain(Interpreter(parse_source(src),
+                                      cost_scale=3).run_program())
+        assert scaled == 3 * base

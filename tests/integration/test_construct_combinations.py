@@ -1,0 +1,311 @@
+"""Stress tests: Force constructs composed in the tricky ways real
+programs compose them — loop reentry, nesting, async arrays, and the
+failure modes (deadlock detection)."""
+
+import pytest
+
+from repro.core import (
+    CRAY_2,
+    HEP,
+    MACHINES,
+    SEQUENT_BALANCE,
+    force_compile_and_run,
+)
+from repro.sim import SimulationError
+from repro._util.text import strip_margin
+
+
+def run(src, machine=SEQUENT_BALANCE, nproc=4, **kw):
+    return force_compile_and_run(strip_margin(src), machine, nproc, **kw)
+
+
+class TestSelfschedReentry:
+    """The paper's BARWIN/BARWOT protocol exists precisely so a
+    selfscheduled loop inside a sequential loop can be re-entered
+    safely: a fast process must not start the next episode before the
+    slow ones have left the previous one."""
+
+    SOURCE = """
+        Force REENT of NP ident ME
+        Shared INTEGER TOTAL
+        Private INTEGER K, SWEEP
+        End declarations
+        Barrier
+              TOTAL = 0
+        End barrier
+              DO 50 SWEEP = 1, 5
+              Selfsched DO 100 K = 1, 12
+              Critical TLCK
+              TOTAL = TOTAL + K
+              End critical
+        100   End Selfsched DO
+        50    CONTINUE
+        Barrier
+              WRITE(*,*) "TOTAL", TOTAL
+        End barrier
+        Join
+              END
+    """
+
+    @pytest.mark.parametrize("nproc", [1, 2, 4, 7])
+    def test_exact_coverage_every_sweep(self, nproc):
+        result = run(self.SOURCE, nproc=nproc)
+        # 5 sweeps x sum(1..12) = 5 * 78 = 390
+        assert result.output == ["TOTAL 390"]
+
+    def test_on_all_machines(self):
+        outputs = {run(self.SOURCE, machine=m).output[0]
+                   for m in MACHINES.values()}
+        assert outputs == {"TOTAL 390"}
+
+
+class TestAsyncArrays:
+    def test_per_element_channels(self):
+        # Process 1 produces into Q(i); process i consumes Q(i-1)... a
+        # scatter over an async array with per-element full/empty.
+        src = """
+            Force SCAT of NP ident ME
+            Async INTEGER Q(8)
+            Shared INTEGER SUM
+            Private INTEGER V, K
+            End declarations
+            Barrier
+                  SUM = 0
+            End barrier
+                  IF (ME .EQ. 1) THEN
+                    DO 10 K = 1, 8
+                  Produce Q(K) = 10 * K
+            10      CONTINUE
+                  END IF
+                  IF (ME .EQ. 2) THEN
+                    DO 20 K = 1, 8
+                  Consume Q(K) into V
+                  SUM = SUM + V
+            20      CONTINUE
+                  END IF
+            Barrier
+                  WRITE(*,*) "SUM", SUM
+            End barrier
+            Join
+                  END
+        """
+        for machine in (SEQUENT_BALANCE, HEP):
+            result = run(src, machine=machine, nproc=3)
+            assert result.output == ["SUM 360"], machine.name
+
+    def test_cray_lock_scarcity_bites_async_arrays(self):
+        # Each element needs two locks on two-lock machines; the
+        # Cray-2's scarce locks (limit 32) cannot cover a 32-element
+        # async array (64 locks) — the authentic §4.1.3 caveat.
+        src = """
+            Force BIGQ of NP ident ME
+            Async INTEGER Q(32)
+            Private INTEGER K
+            End declarations
+                  IF (ME .EQ. 1) THEN
+                    DO 10 K = 1, 32
+                  Produce Q(K) = K
+            10      CONTINUE
+                  END IF
+                  IF (ME .EQ. 2) THEN
+                    DO 20 K = 1, 32
+                  Consume Q(K) into J
+            20      CONTINUE
+                  END IF
+            Join
+                  END
+        """
+        with pytest.raises(SimulationError, match="lock limit"):
+            run(src, machine=CRAY_2, nproc=2)
+        # The HEP, with a full/empty bit on every cell, is fine.
+        result = run(src, machine=HEP, nproc=2)
+        assert result.stats.processes == 3   # driver + 2
+
+
+class TestNesting:
+    def test_critical_inside_selfsched_inside_pcase_section(self):
+        src = """
+            Force NEST of NP ident ME
+            Shared INTEGER A, B
+            Private INTEGER K
+            End declarations
+            Barrier
+                  A = 0
+                  B = 0
+            End barrier
+            Pcase
+            Usect
+                  A = 100
+            Usect
+                  B = 200
+            End pcase
+            Selfsched DO 100 K = 1, 10
+            Critical LCK
+                  A = A + 1
+            End critical
+            100 End Selfsched DO
+            Barrier
+                  WRITE(*,*) A, B
+            End barrier
+            Join
+                  END
+        """
+        result = run(src)
+        assert result.output == ["110 200"]
+
+    def test_barriers_inside_sequential_loop(self):
+        src = """
+            Force PHASES of NP ident ME
+            Shared INTEGER PHASE(6)
+            Private INTEGER S
+            End declarations
+                  DO 50 S = 1, 6
+            Barrier
+                  PHASE(S) = PHASE(S) + S
+            End barrier
+            50    CONTINUE
+            Barrier
+                  WRITE(*,*) PHASE(1), PHASE(6)
+            End barrier
+            Join
+                  END
+        """
+        # Barrier section runs once per episode: PHASE(S) = S exactly.
+        result = run(src, nproc=5)
+        assert result.output == ["1 6"]
+
+    def test_forcesub_with_own_selfsched(self):
+        src = """
+            Force TOP of NP ident ME
+            End declarations
+            Forcecall WORKER(3)
+            Forcecall WORKER(4)
+            Join
+                  END
+            Forcesub WORKER(SCALE) of NP ident ME
+            Shared INTEGER ACC
+            Private INTEGER K
+            End declarations
+            Barrier
+                  ACC = 0
+            End barrier
+            Selfsched DO 100 K = 1, 5
+            Critical WLCK
+                  ACC = ACC + K * SCALE
+            End critical
+            100 End Selfsched DO
+            Barrier
+                  WRITE(*,*) "ACC", ACC
+            End barrier
+                  RETURN
+                  END
+        """
+        result = run(src, nproc=3)
+        assert result.output == ["ACC 45", "ACC 60"]
+
+
+class TestFailureModes:
+    def test_deadlock_detected_and_reported(self):
+        # Only process 1 reaches the barrier: the force can never
+        # complete and the simulator must say so, naming the blocker.
+        src = """
+            Force STUCK of NP ident ME
+            End declarations
+                  IF (ME .EQ. 1) THEN
+            Barrier
+            End barrier
+                  END IF
+            Join
+                  END
+        """
+        with pytest.raises(SimulationError, match="deadlock"):
+            run(src, nproc=3)
+
+    def test_consume_without_produce_deadlocks(self):
+        src = """
+            Force EMPTYC of NP ident ME
+            Async INTEGER V
+            Private INTEGER X
+            End declarations
+                  IF (ME .EQ. 1) THEN
+                  Consume V into X
+                  END IF
+            Join
+                  END
+        """
+        with pytest.raises(SimulationError, match="deadlock"):
+            run(src, nproc=2)
+
+    def test_stop_inside_force_halts_whole_simulation(self):
+        src = """
+            Force HALTS of NP ident ME
+            End declarations
+                  IF (ME .EQ. 2) THEN
+                  WRITE(*,*) "STOPPING"
+                  STOP
+                  END IF
+            Barrier
+            End barrier
+            Join
+                  END
+        """
+        result = run(src, nproc=3)
+        assert result.stats.halted
+        assert "STOPPING" in result.output
+
+
+class TestOversubscription:
+    SOURCE = """
+        Force SATUR of NP ident ME
+        Private INTEGER I, J
+        End declarations
+        Presched DO 100 I = 1, 2000
+              J = I + 1
+        100 End presched DO
+        Join
+              END
+    """
+
+    def test_spin_machine_oversubscription_deadlocks(self):
+        # 32 processes on the 20-CPU Encore: the Join barrier's
+        # spinners hold every processor and the rest starve — the
+        # hazard that made one-process-per-processor the Force's
+        # operating point on spinlock machines.
+        from repro.core import ENCORE_MULTIMAX
+        with pytest.raises(SimulationError, match="starved"):
+            run(self.SOURCE, machine=ENCORE_MULTIMAX, nproc=32)
+
+    def test_at_capacity_is_fine(self):
+        from repro.core import ENCORE_MULTIMAX
+        result = run(self.SOURCE, machine=ENCORE_MULTIMAX,
+                     nproc=ENCORE_MULTIMAX.processors)
+        assert result.stats.processes == ENCORE_MULTIMAX.processors + 1
+
+    def test_syscall_machine_tolerates_oversubscription(self):
+        result = run(self.SOURCE, machine=CRAY_2, nproc=12)
+        assert result.stats.processes == 13
+
+
+class TestScale:
+    def test_sixteen_processes_on_hep(self):
+        src = """
+            Force WIDE of NP ident ME
+            Shared INTEGER TOTAL
+            Private INTEGER K
+            End declarations
+            Barrier
+                  TOTAL = 0
+            End barrier
+            Selfsched DO 100 K = 1, 200
+            Critical LCK
+                  TOTAL = TOTAL + 1
+            End critical
+            100 End Selfsched DO
+            Barrier
+                  WRITE(*,*) TOTAL, NP
+            End barrier
+            Join
+                  END
+        """
+        result = run(src, machine=HEP, nproc=16)
+        assert result.output == ["200 16"]

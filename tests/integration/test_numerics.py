@@ -1,0 +1,72 @@
+"""Numerical validation: the Force kernels against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.core import HEP, MACHINES, SEQUENT_BALANCE, \
+    force_compile_and_run, programs
+
+
+def lu_reference_trace(n: int) -> float:
+    """Trace of U from unpivoted Gaussian elimination, via numpy."""
+    a = np.empty((n, n))
+    for i in range(1, n + 1):
+        for j in range(1, n + 1):
+            a[i - 1, j - 1] = 1.0 / (i + j) + (n if i == j else 0.0)
+    for k in range(n - 1):
+        a[k + 1:, k] /= a[k, k]
+        a[k + 1:, k + 1:] -= np.outer(a[k + 1:, k], a[k, k + 1:])
+    return float(np.trace(np.triu(a)))
+
+
+def jacobi_reference(n: int, iters: int) -> np.ndarray:
+    u = np.zeros(n)
+    u[0] = u[-1] = 100.0
+    for _ in range(iters):
+        unew = u.copy()
+        unew[1:-1] = 0.5 * (u[:-2] + u[2:])
+        u = unew
+    return u
+
+
+class TestLU:
+    @pytest.mark.parametrize("n", [4, 8, 12])
+    def test_matches_numpy(self, n):
+        source = programs.render("lu_decomposition", n=n)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, nproc=4)
+        expected = round(1000.0 * lu_reference_trace(n))
+        assert result.output == [f"TRACEU {expected}"]
+
+    def test_same_on_all_machines(self):
+        source = programs.render("lu_decomposition", n=8)
+        outputs = {force_compile_and_run(source, m, nproc=3).output[0]
+                   for m in MACHINES.values()}
+        assert len(outputs) == 1
+
+    @pytest.mark.parametrize("nproc", [1, 2, 3, 5, 8])
+    def test_independent_of_force_size(self, nproc):
+        source = programs.render("lu_decomposition", n=8)
+        result = force_compile_and_run(source, HEP, nproc=nproc)
+        expected = round(1000.0 * lu_reference_trace(8))
+        assert result.output == [f"TRACEU {expected}"]
+
+
+class TestJacobiAgainstNumpy:
+    def test_probe_values_match(self):
+        n, iters = 16, 30
+        source = programs.render("jacobi", n=n, iters=iters)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, nproc=4)
+        u = jacobi_reference(n, iters)
+        expected_edge = round(1000.0 * u[3])       # U(4), 1-based
+        expected_mid = round(1000.0 * u[n // 2 - 1])
+        assert result.output == [f"PROBE {expected_edge} {expected_mid}"]
+
+
+class TestDotAgainstNumpy:
+    @pytest.mark.parametrize("n", [1, 7, 40, 100])
+    def test_dot_product(self, n):
+        source = programs.render("dot_product", n=n)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, nproc=4)
+        x = np.arange(1, n + 1, dtype=float)
+        expected = round(float(x @ (2.0 * np.ones(n))))
+        assert result.output == [f"DOT {expected}"]

@@ -1,0 +1,187 @@
+"""End-to-end portability tests: the paper's central claim (E1).
+
+Every sample program, translated and simulated on every machine, must
+produce identical program output — while the generated code, the
+sharing mechanism and the performance profile differ per machine.
+"""
+
+import pytest
+
+from repro.core import programs
+from repro.machines import (
+    ALLIANT_FX8,
+    CRAY_2,
+    ENCORE_MULTIMAX,
+    HEP,
+    MACHINES,
+    SEQUENT_BALANCE,
+)
+from repro.pipeline import force_compile_and_run, force_run, force_translate
+from repro.sim import SimulationError
+
+ALL_MACHINES = list(MACHINES.values())
+
+
+def run(name, machine, nproc=3, **params):
+    source = programs.render(name, **params)
+    return force_compile_and_run(source, machine, nproc)
+
+
+class TestExpectedOutputs:
+    """Correctness of each sample on one reference machine."""
+
+    def test_sum_critical(self):
+        result = run("sum_critical", SEQUENT_BALANCE, n=50)
+        assert result.output == ["TOTAL 1275"]
+
+    def test_jacobi_converges(self):
+        result = run("jacobi", SEQUENT_BALANCE)
+        assert len(result.output) == 1
+        assert result.output[0].startswith("PROBE")
+        near_edge = int(result.output[0].split()[1])
+        assert 0 < near_edge < 100_000
+
+    def test_dot_product(self):
+        result = run("dot_product", SEQUENT_BALANCE, n=40)
+        # sum(2i) for i=1..40 = 1640
+        assert result.output == ["DOT 1640"]
+
+    def test_pipeline(self):
+        result = run("pipeline", SEQUENT_BALANCE, items=8)
+        # sum of squares 1..8 = 204
+        assert result.output == ["SINK 204"]
+
+    def test_sections(self):
+        result = run("sections", SEQUENT_BALANCE)
+        assert result.output == ["100"]
+
+    def test_askfor_tree(self):
+        result = run("askfor_tree", SEQUENT_BALANCE, depth=5)
+        # A unit of weight w spawns two of w-1: nodes = 2^5 - 1 = 31.
+        assert result.output == ["NODES 31"]
+
+    def test_matrix_scale(self):
+        result = run("matrix_scale", SEQUENT_BALANCE)
+        # 2*(1+1) + 2*(4+5) + 2*(2+1) = 4 + 18 + 6 = 28
+        assert result.output == ["CHECK 28"]
+
+    def test_subroutine_call(self):
+        result = run("subroutine_call", SEQUENT_BALANCE)
+        assert result.output == ["ACC 1055"]
+
+
+class TestPortabilityMatrix:
+    """Same source, same output, on all six machines (E1)."""
+
+    @pytest.mark.parametrize("name", ["sum_critical", "dot_product",
+                                      "pipeline", "sections",
+                                      "askfor_tree", "matrix_scale",
+                                      "subroutine_call", "jacobi"])
+    def test_output_identical_across_machines(self, name):
+        reference = None
+        for machine in ALL_MACHINES:
+            result = run(name, machine)
+            if reference is None:
+                reference = result.output
+            assert result.output == reference, machine.name
+
+    @pytest.mark.parametrize("nproc", [1, 2, 5, 8])
+    def test_output_independent_of_process_count(self, nproc):
+        # §1: "independence of the number of processes executing".
+        result = run("sum_critical", SEQUENT_BALANCE, nproc=nproc)
+        assert result.output == ["TOTAL 1275"]
+
+    def test_generated_code_differs_across_machines(self):
+        source = programs.render("sum_critical")
+        texts = {m.key: force_translate(source, m).fortran
+                 for m in ALL_MACHINES}
+        # Encore and Alliant differ only in their page model (a runtime
+        # property), so their generated code coincides; every other
+        # pair differs.
+        assert texts["encore-multimax"] == texts["alliant-fx8"]
+        distinct = set(texts.values())
+        assert len(distinct) == len(ALL_MACHINES) - 1
+        assert "SPINLK" in texts["sequent-balance"]
+        assert "SYSLCK" in texts["cray-2"]
+        assert "CMBLCK" in texts["flex32"]
+        assert "HEPLKW" in texts["hep"]
+
+    def test_makespans_differ_across_machines(self):
+        spans = {m.key: run("sum_critical", m).makespan
+                 for m in ALL_MACHINES}
+        assert len(set(spans.values())) > 1
+        # The HEP's cheap process creation makes it fastest here.
+        assert spans["hep"] == min(spans.values())
+
+
+class TestDeterminism:
+    def test_same_run_twice_is_identical(self):
+        first = run("sum_critical", ENCORE_MULTIMAX, nproc=4)
+        second = run("sum_critical", ENCORE_MULTIMAX, nproc=4)
+        assert first.output == second.output
+        assert first.makespan == second.makespan
+        assert first.stats.lock_acquisitions == \
+            second.stats.lock_acquisitions
+
+
+class TestSharingMechanisms:
+    def test_sequent_linker_commands(self):
+        result = run("sum_critical", SEQUENT_BALANCE)
+        assert result.linker_commands
+        assert any("FRCENV" in c for c in result.linker_commands)
+
+    def test_compile_time_directives(self):
+        source = programs.render("sum_critical")
+        translation = force_translate(source, HEP)
+        assert "FRCENV" in translation.shared_directives
+        assert not translation.has_startup_unit
+
+    def test_encore_memory_plan_padded(self):
+        result = run("jacobi", ENCORE_MULTIMAX)
+        plan = result.memory_plan
+        assert plan is not None
+        page = ENCORE_MULTIMAX.page_size
+        assert plan.shared_start % page == 0
+        assert plan.shared_end % page == 0
+
+    def test_alliant_plan_page_aligned_start(self):
+        result = run("jacobi", ALLIANT_FX8)
+        plan = result.memory_plan
+        assert plan is not None
+        assert plan.shared_start % ALLIANT_FX8.page_size == 0
+
+    def test_registry_contains_generated_blocks(self):
+        result = run("sum_critical", ENCORE_MULTIMAX)
+        assert result.registry.is_shared("FRCENV")
+        assert result.registry.is_shared("ZZKLCK")
+
+
+class TestCrossMachineErrors:
+    def test_wrong_machine_binary_rejected(self):
+        # Translate for the Sequent (spinlocks), run on the Cray
+        # (syscall locks): the runtime must refuse the lock primitive.
+        source = programs.render("sum_critical")
+        translation = force_translate(source, SEQUENT_BALANCE)
+        hacked = translation
+        hacked.machine = CRAY_2
+        with pytest.raises(SimulationError, match="not available"):
+            force_run(hacked, nproc=2)
+
+
+class TestStatistics:
+    def test_lock_stats_collected(self):
+        result = run("sum_critical", SEQUENT_BALANCE, nproc=4)
+        assert result.stats.lock_acquisitions > 0
+
+    def test_spin_machine_records_spin(self):
+        result = run("sum_critical", SEQUENT_BALANCE, nproc=6)
+        assert result.stats.spin_cycles > 0
+
+    def test_syscall_machine_records_switches(self):
+        result = run("sum_critical", CRAY_2, nproc=4)
+        assert result.stats.context_switches > 0
+        assert result.stats.spin_cycles == 0
+
+    def test_utilization_sane(self):
+        result = run("jacobi", SEQUENT_BALANCE, nproc=4)
+        assert 0.0 < result.stats.utilization <= 1.0

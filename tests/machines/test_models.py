@@ -1,0 +1,167 @@
+"""Machine catalog and memory-layout tests."""
+
+import pytest
+
+from repro.machines import (
+    ALLIANT_FX8,
+    CRAY_2,
+    ENCORE_MULTIMAX,
+    FLEX_32,
+    HEP,
+    MACHINES,
+    MachineError,
+    MemoryLayout,
+    SEQUENT_BALANCE,
+    get_machine,
+    machine_names,
+)
+from repro.machines.memory import VariableSpec
+from repro.machines.model import (
+    LockType,
+    MachineModel,
+    ProcessModel,
+    SharingBinding,
+)
+
+
+class TestCatalog:
+    def test_six_machines(self):
+        assert len(MACHINES) == 6
+
+    def test_paper_port_list(self):
+        # "implemented on the HEP, Flex/32, Encore Multimax, Sequent
+        # Balance, Alliant FX/8, and Cray-2 multiprocessors"
+        names = {m.name for m in MACHINES.values()}
+        assert names == {"HEP", "Flex/32", "Encore Multimax",
+                         "Sequent Balance", "Alliant FX/8", "Cray-2"}
+
+    def test_lookup_by_key(self):
+        assert get_machine("hep") is HEP
+        assert get_machine("flex32") is FLEX_32
+
+    def test_lookup_by_display_name(self):
+        assert get_machine("Encore Multimax") is ENCORE_MULTIMAX
+        assert get_machine("Cray-2") is CRAY_2
+
+    def test_unknown_machine(self):
+        with pytest.raises(MachineError):
+            get_machine("connection-machine")
+
+    def test_machine_names_order(self):
+        assert machine_names()[0] == "hep"
+
+    def test_describe_mentions_axes(self):
+        text = SEQUENT_BALANCE.describe()
+        assert "spin" in text and "link-time" in text
+
+
+class TestPaperAttributes:
+    def test_hep_hardware_full_empty(self):
+        assert HEP.lock_type is LockType.HARDWARE_FE
+        assert HEP.process_model is ProcessModel.SUBROUTINE_SPAWN
+        assert HEP.sharing_binding is SharingBinding.COMPILE_TIME
+
+    def test_fork_machines(self):
+        # Encore and Sequent fork with a complete copy of data+stack.
+        for machine in (ENCORE_MULTIMAX, SEQUENT_BALANCE):
+            assert machine.process_model is ProcessModel.UNIX_FORK
+
+    def test_alliant_shares_data_segments(self):
+        assert ALLIANT_FX8.process_model is ProcessModel.SHARED_DATA_FORK
+
+    def test_lock_types_match_paper(self):
+        assert SEQUENT_BALANCE.lock_type is LockType.SPIN
+        assert ENCORE_MULTIMAX.lock_type is LockType.SPIN
+        assert CRAY_2.lock_type is LockType.SYSCALL
+        assert FLEX_32.lock_type is LockType.COMBINED
+
+    def test_sharing_binding_times(self):
+        assert FLEX_32.sharing_binding is SharingBinding.COMPILE_TIME
+        assert SEQUENT_BALANCE.sharing_binding is SharingBinding.LINK_TIME
+        assert ENCORE_MULTIMAX.sharing_binding is SharingBinding.RUN_TIME
+        assert ALLIANT_FX8.sharing_binding is SharingBinding.RUN_TIME
+
+    def test_cray_locks_scarce(self):
+        assert CRAY_2.lock_limit > 0
+
+    def test_hep_process_creation_cheap(self):
+        # "a large process creation cost ... prevents fine grained
+        # parallelism" on fork machines; HEP creates via subroutine call.
+        fork_costs = [m.costs.process_create for m in
+                      (ENCORE_MULTIMAX, SEQUENT_BALANCE, FLEX_32, CRAY_2)]
+        assert HEP.costs.process_create < min(fork_costs) / 10
+
+    def test_syscall_lock_costs_dominate_spin(self):
+        assert CRAY_2.costs.syscall_overhead > \
+            SEQUENT_BALANCE.costs.lock_acquire * 10
+
+    def test_combined_lock_has_spin_limit(self):
+        assert FLEX_32.combined_spin_limit > 0
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            MachineModel(
+                name="bad", vendor="x", processors=0,
+                process_model=ProcessModel.UNIX_FORK,
+                lock_type=LockType.SPIN,
+                sharing_binding=SharingBinding.RUN_TIME,
+                page_size=4096)
+
+
+class TestMemoryLayout:
+    shared = [VariableSpec("NSHARE", "INTEGER"),
+              VariableSpec("A", "REAL", 1000),
+              VariableSpec("FLAG", "LOGICAL")]
+    private = [VariableSpec("I", "INTEGER"),
+               VariableSpec("TMP", "DOUBLE PRECISION", 10)]
+
+    def test_encore_padded_both_ends(self):
+        plan = MemoryLayout(ENCORE_MULTIMAX).plan(self.shared, self.private)
+        plan.check()
+        page = ENCORE_MULTIMAX.page_size
+        assert plan.shared_start % page == 0
+        assert plan.shared_end % page == 0
+        assert plan.padding_bytes > 0
+
+    def test_alliant_starts_on_page(self):
+        plan = MemoryLayout(ALLIANT_FX8).plan(self.shared, self.private)
+        plan.check()
+        assert plan.shared_start % ALLIANT_FX8.page_size == 0
+
+    def test_hep_no_padding(self):
+        plan = MemoryLayout(HEP).plan(self.shared, self.private)
+        plan.check()
+        assert plan.padding_bytes == 0
+
+    def test_private_never_overlaps_shared(self):
+        for machine in MACHINES.values():
+            plan = MemoryLayout(machine).plan(self.shared, self.private)
+            plan.check()
+            for p in plan.private:
+                assert p.end <= plan.shared_start or \
+                    p.start >= plan.shared_end
+
+    def test_shared_inside_region(self):
+        plan = MemoryLayout(ENCORE_MULTIMAX).plan(self.shared, self.private)
+        for p in plan.shared:
+            assert plan.shared_start <= p.start
+            assert p.end <= plan.shared_end
+
+    def test_placement_lookup(self):
+        plan = MemoryLayout(HEP).plan(self.shared, self.private)
+        assert plan.placement("A").spec.elements == 1000
+        with pytest.raises(MachineError):
+            plan.placement("NOPE")
+
+    def test_double_precision_alignment(self):
+        plan = MemoryLayout(HEP).plan(
+            [VariableSpec("B", "LOGICAL"),
+             VariableSpec("D", "DOUBLE PRECISION", 2)], [])
+        d = plan.placement("D")
+        assert d.start % 8 == 0
+
+    def test_sizes(self):
+        assert VariableSpec("X", "DOUBLE PRECISION", 3).size == 24
+        assert VariableSpec("C", "CHARACTER", 8).size == 8
+        with pytest.raises(MachineError):
+            VariableSpec("Z", "QUATERNION").size

@@ -1,0 +1,288 @@
+"""Macro-library expansion tests, including the §4.2 golden structure."""
+
+import pytest
+
+from repro.machines import (
+    ALLIANT_FX8,
+    CRAY_2,
+    ENCORE_MULTIMAX,
+    FLEX_32,
+    HEP,
+    MACHINES,
+    SEQUENT_BALANCE,
+)
+from repro.macros import (
+    MACHDEP_INTERFACE,
+    build_processor,
+    machdep_definitions,
+    machindep_definitions,
+)
+from repro.pipeline import force_translate
+from repro._util.text import strip_margin
+
+
+def expand(machine, text):
+    m4 = build_processor(machine)
+    return m4.process(text + "\n")
+
+
+class TestLoader:
+    @pytest.mark.parametrize("key", list(MACHINES))
+    def test_all_machines_load(self, key):
+        machine = MACHINES[key]
+        m4 = build_processor(machine)
+        for name in MACHDEP_INTERFACE:
+            assert m4.is_defined(name), f"{key} missing {name}"
+
+    def test_machindep_identical_for_all(self):
+        # The entire machine-independent layer is one shared text.
+        assert machindep_definitions() == machindep_definitions()
+
+    def test_machdep_differs_between_machines(self):
+        texts = {machdep_definitions(m) for m in MACHINES.values()}
+        assert len(texts) == len(MACHINES)
+
+
+class TestLockMacros:
+    def test_lock_call_names_per_machine(self):
+        expected = {
+            SEQUENT_BALANCE: "SPINLK",
+            ENCORE_MULTIMAX: "SPINLK",
+            ALLIANT_FX8: "SPINLK",
+            CRAY_2: "SYSLCK",
+            FLEX_32: "CMBLCK",
+            HEP: "HEPLKW",
+        }
+        for machine, call in expected.items():
+            out = expand(machine, "mi_lock(`X')")
+            assert f"CALL {call}(X)" in out, machine.name
+
+    def test_unlock_call_names(self):
+        assert "SPINUN" in expand(SEQUENT_BALANCE, "mi_unlock(`X')")
+        assert "SYSUNL" in expand(CRAY_2, "mi_unlock(`X')")
+        assert "HEPLKS" in expand(HEP, "mi_unlock(`X')")
+
+
+class TestAsyncMacros:
+    def test_two_lock_produce(self):
+        out = expand(SEQUENT_BALANCE, "produce(`V',`42')")
+        # Lock F, write, unlock E — exactly the paper's protocol.
+        lines = [l.strip() for l in out.strip().split("\n")
+                 if not l.startswith("C")]
+        assert lines == ["CALL SPINLK(ZZFV)", "V = 42", "CALL SPINUN(ZZEV)"]
+
+    def test_two_lock_consume(self):
+        out = expand(SEQUENT_BALANCE, "consume(`V',`X')")
+        lines = [l.strip() for l in out.strip().split("\n")
+                 if not l.startswith("C")]
+        assert lines == ["CALL SPINLK(ZZEV)", "X = V", "CALL SPINUN(ZZFV)"]
+
+    def test_hep_produce_is_hardware(self):
+        out = expand(HEP, "produce(`V',`42')")
+        assert "HEPPRD(V, 42)" in out
+        assert "SPINLK" not in out
+
+    def test_array_element_async(self):
+        out = expand(SEQUENT_BALANCE, "produce(`Q(I)',`W + 1')")
+        assert "CALL SPINLK(ZZFQ(I))" in out
+        assert "Q(I) = W + 1" in out
+        assert "CALL SPINUN(ZZEQ(I))" in out
+
+    def test_void(self):
+        assert "FRCVOD(ZZEV, ZZFV)" in expand(SEQUENT_BALANCE,
+                                              "voidasync(`V')")
+        assert "HEPVOD(V)" in expand(HEP, "voidasync(`V')")
+
+    def test_async_decl_declares_ef_locks(self):
+        out = expand(SEQUENT_BALANCE, "async_decl(`INTEGER',`V')")
+        assert "LOGICAL ZZEV, ZZFV" in out
+        assert "CALL FRCAIN(V, ZZEV, ZZFV)" in out
+
+    def test_async_decl_hep_inits_hardware(self):
+        out = expand(HEP, "async_decl(`INTEGER',`V')")
+        assert "CALL HEPVIN(V)" in out
+        assert "FRCAIN" not in out
+
+
+class TestRegistration:
+    def test_compile_time_directive(self):
+        out = expand(HEP, "shared_decl(`INTEGER',`N')")
+        assert "C$FORCE SHARED ZZSN" in out
+
+    def test_run_time_divert(self):
+        m4 = build_processor(ENCORE_MULTIMAX)
+        body = m4.process("shared_decl(`INTEGER',`N')\n")
+        assert "C$FORCE SHARED" not in body
+        tail = m4.process("mi_emit_startup_unit\n")
+        assert 'CALL FRCSHB("ZZSN")' in tail
+
+
+class TestDeclarationLists:
+    def test_multiple_entities(self):
+        out = expand(HEP, "shared_decl(`INTEGER',`A, B, C')")
+        for name in "ABC":
+            assert f"COMMON /ZZS{name}/ {name}" in out
+
+    def test_array_dims_stripped_from_common(self):
+        # The paper's "deletion of dimensions for common declarations".
+        out = expand(HEP, "shared_decl(`REAL',`A(10, 10)')")
+        assert "REAL A(10, 10)" in out
+        assert "COMMON /ZZSA/ A\n" in out
+
+
+class TestSelfschedGolden:
+    """E2: the paper's §4.2 selfscheduled DO expansion, structurally."""
+
+    def expansion(self, machine=SEQUENT_BALANCE):
+        m4 = build_processor(machine)
+        src = ("force_main(`P',`NPROC',`ME')\n"
+               "selfsched_do(`100',`K',`START, LAST, INCR')\n"
+               "      BODY = 1\n"
+               "end_selfsched_do(`100')\n")
+        return m4.process(src)
+
+    def test_entry_lock_barwin(self):
+        out = self.expansion()
+        entry = out.split("100 CALL")[0]
+        assert "CALL SPINLK(BARWIN)" in entry
+
+    def test_first_process_initializes_index(self):
+        out = self.expansion()
+        assert "IF (ZZNBAR .EQ. 0) THEN" in out
+        assert "ZZI100 = (START)" in out
+
+    def test_arrival_reporting(self):
+        out = self.expansion()
+        assert "ZZNBAR = ZZNBAR + 1" in out
+        assert "IF (ZZNBAR .EQ. NPROC) THEN" in out
+        # Last arriver releases the exit gate, others the entry gate.
+        assert "CALL SPINUN(BARWOT)" in out
+        assert "CALL SPINUN(BARWIN)" in out
+
+    def test_labelled_index_critical_section(self):
+        out = self.expansion()
+        assert "100 CALL SPINLK(ZZL100)" in out
+        assert "K = ZZI100" in out
+        assert "ZZI100 = K + (INCR)" in out
+        assert "CALL SPINUN(ZZL100)" in out
+
+    def test_completion_test_both_signs(self):
+        out = self.expansion()
+        assert "(INCR) .GT. 0 .AND. K .LE. (LAST)" in out
+        assert "(INCR) .LT. 0 .AND. K .GE. (LAST)" in out
+
+    def test_loop_back_and_exit(self):
+        out = self.expansion()
+        assert "GO TO 100" in out
+        exit_part = out.split("GO TO 100")[1]
+        assert "CALL SPINLK(BARWOT)" in exit_part
+        assert "ZZNBAR = ZZNBAR - 1" in exit_part
+
+    def test_paper_comments_present(self):
+        out = self.expansion()
+        for comment in ("C loop entry code",
+                        "C self scheduled loop index distribution",
+                        "C get next index value",
+                        "C test for completion",
+                        "C loop exit code",
+                        "C report arrival of processes",
+                        "C report exit of processes"):
+            assert comment in out, comment
+
+    def test_same_structure_on_every_machine(self):
+        for machine in MACHINES.values():
+            out = self.expansion(machine)
+            assert "ZZI100 = K + (INCR)" in out
+            assert "GO TO 100" in out
+
+
+class TestDriverGeneration:
+    def test_fork_machines_use_frkall(self):
+        for machine in (SEQUENT_BALANCE, ENCORE_MULTIMAX, CRAY_2, FLEX_32,
+                        ALLIANT_FX8):
+            src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+            result = force_translate(src, machine)
+            assert 'CALL FRKALL("P")' in result.fortran, machine.name
+
+    def test_hep_uses_subroutine_spawn(self):
+        src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+        result = force_translate(src, HEP)
+        assert 'CALL HEPSPN("P")' in result.fortran
+        assert "FRKALL" not in result.fortran
+
+    def test_run_time_machines_call_startup(self):
+        src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+        for machine in (ENCORE_MULTIMAX, ALLIANT_FX8):
+            fortran = force_translate(src, machine).fortran
+            driver = fortran.split("C$FORCE END DRIVER")[0]
+            assert "CALL ZZSTRT" in driver, machine.name
+
+    def test_sequent_driver_does_not_call_startup(self):
+        src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+        fortran = force_translate(src, SEQUENT_BALANCE).fortran
+        driver = fortran.split("C$FORCE END DRIVER")[0]
+        assert "CALL ZZSTRT" not in driver
+        assert "SUBROUTINE ZZSTRT" in fortran    # emitted for run 1
+
+    def test_compile_time_machines_have_no_startup_unit(self):
+        src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+        for machine in (HEP, FLEX_32, CRAY_2):
+            result = force_translate(src, machine)
+            assert not result.has_startup_unit, machine.name
+            assert result.shared_directives, machine.name
+
+    def test_driver_at_beginning(self):
+        src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+        fortran = force_translate(src, HEP).fortran
+        assert fortran.startswith("C$FORCE BEGIN DRIVER")
+
+    def test_environment_initialization(self):
+        src = "Force P of NP ident ME\nEnd declarations\nJoin\n      END\n"
+        fortran = force_translate(src, HEP).fortran
+        assert "ZZNBAR = 0" in fortran
+        assert "CALL FRCLKI(BARWIN, 0)" in fortran
+        assert "CALL FRCLKI(BARWOT, 1)" in fortran
+
+
+class TestBarrierMacro:
+    def test_barrier_pair_shares_label(self):
+        m4 = build_processor(SEQUENT_BALANCE)
+        out = m4.process("force_main(`P',`NP',`ME')\n"
+                         "barrier_begin()\n      S = 1\nbarrier_end()\n")
+        assert "GO TO 90001" in out
+        assert "90001 CONTINUE" in out
+
+    def test_nested_barriers_get_distinct_labels(self):
+        m4 = build_processor(SEQUENT_BALANCE)
+        out = m4.process("force_main(`P',`NP',`ME')\n"
+                         "barrier_begin()\nbarrier_end()\n"
+                         "barrier_begin()\nbarrier_end()\n")
+        assert "90001 CONTINUE" in out
+        assert "90002 CONTINUE" in out
+
+    def test_barrier_section_between_entry_and_exit(self):
+        m4 = build_processor(SEQUENT_BALANCE)
+        out = m4.process("force_main(`P',`NP',`ME')\n"
+                         "barrier_begin()\n      S = 77\nbarrier_end()\n")
+        section = out.split("C barrier section (one process)")[1]
+        assert "S = 77" in section.split("C barrier exit")[0]
+
+
+class TestCritical:
+    def test_critical_emits_lock_declarations(self):
+        out = expand(SEQUENT_BALANCE,
+                     "force_main(`P',`NP',`ME')\ncritical(`LCK')\n"
+                     "      S = 1\nend_critical()")
+        assert "LOGICAL LCK" in out
+        assert "COMMON /ZZKLCK/ LCK" in out
+        assert "CALL SPINLK(LCK)" in out
+        assert "CALL SPINUN(LCK)" in out
+
+    def test_nested_criticals(self):
+        out = expand(SEQUENT_BALANCE,
+                     "force_main(`P',`NP',`ME')\ncritical(`A')\n"
+                     "critical(`B')\nend_critical()\nend_critical()")
+        # Inner unlock is B, outer is A (stack discipline).
+        inner = out.index("CALL SPINUN(B)")
+        outer = out.index("CALL SPINUN(A)")
+        assert inner < outer

@@ -1,0 +1,92 @@
+"""CLI tests (the `force` entry point)."""
+
+import pytest
+
+from repro.pipeline.cli import main
+from repro._util.text import strip_margin
+
+PROGRAM = strip_margin("""
+    Force CLIP of NP ident ME
+    Shared INTEGER TOTAL
+    End declarations
+    Barrier
+          TOTAL = NP * 10
+          WRITE(*,*) "TOTAL", TOTAL
+    End barrier
+    Join
+          END
+""")
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.frc"
+    path.write_text(PROGRAM, encoding="utf-8")
+    return str(path)
+
+
+class TestMachinesCommand:
+    def test_lists_all_six(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        for key in ("hep", "flex32", "encore-multimax", "sequent-balance",
+                    "alliant-fx8", "cray-2"):
+            assert key in out
+
+
+class TestTranslateCommand:
+    def test_fortran_stage(self, source_file, capsys):
+        assert main(["translate", source_file, "--machine", "hep"]) == 0
+        out = capsys.readouterr().out
+        assert "SUBROUTINE CLIP(ME, NP)" in out
+        assert "CALL HEPSPN" in out
+
+    def test_sed_stage(self, source_file, capsys):
+        assert main(["translate", source_file, "--stage", "sed"]) == 0
+        out = capsys.readouterr().out
+        assert "force_main(`CLIP',`NP',`ME')" in out
+        assert "barrier_begin()" in out
+
+    def test_default_machine(self, source_file, capsys):
+        assert main(["translate", source_file]) == 0
+        assert "SPINLK" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_runs_and_prints_output(self, source_file, capsys):
+        assert main(["run", source_file, "--machine", "cray-2",
+                     "--nproc", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL 30" in out
+
+    def test_stats_flag(self, source_file, capsys):
+        assert main(["run", source_file, "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "makespan" in err
+        assert "lock acquisitions" in err
+
+    def test_trace_flag(self, source_file, capsys):
+        assert main(["run", source_file, "--trace", "--nproc", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "BARWIN" in err
+        assert "lock contention" in err
+
+    def test_utilization_flag(self, source_file, capsys):
+        assert main(["run", source_file, "--utilization"]) == 0
+        err = capsys.readouterr().err
+        assert "utilization" in err
+        assert "driver" in err
+
+
+class TestErrors:
+    def test_unknown_machine(self, source_file, capsys):
+        assert main(["run", source_file, "--machine", "pdp-11"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["run", "/nonexistent/prog.frc"]) == 1
+
+    def test_bad_program(self, tmp_path, capsys):
+        path = tmp_path / "bad.frc"
+        path.write_text("      THIS IS NOT FORCE\n", encoding="utf-8")
+        assert main(["run", str(path)]) == 1

@@ -1,0 +1,237 @@
+"""Async variables, Askfor monitor and Resolve tests."""
+
+import threading
+
+import pytest
+
+from repro.runtime import (
+    AskforMonitor,
+    AsyncArray,
+    AsyncVariable,
+    Force,
+    Resolve,
+)
+from repro._util.errors import ForceError
+
+
+class TestAsyncVariable:
+    def test_initially_empty(self):
+        assert not AsyncVariable().isfull
+
+    def test_produce_then_consume(self):
+        var = AsyncVariable()
+        var.produce(42)
+        assert var.isfull
+        assert var.consume() == 42
+        assert not var.isfull
+
+    def test_copy_leaves_full(self):
+        var = AsyncVariable()
+        var.produce("x")
+        assert var.copy() == "x"
+        assert var.isfull
+
+    def test_void_forces_empty(self):
+        var = AsyncVariable()
+        var.produce(1)
+        var.void()
+        assert not var.isfull
+
+    def test_produce_blocks_until_consumed(self):
+        var = AsyncVariable()
+        var.produce(1)
+        order = []
+
+        def producer():
+            var.produce(2)        # must wait for the consume below
+            order.append("produced")
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert var.consume() == 1
+        thread.join(10)
+        assert order == ["produced"]
+        assert var.consume() == 2
+
+    def test_consume_blocks_until_produced(self):
+        var = AsyncVariable()
+        got = []
+
+        def consumer():
+            got.append(var.consume())
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        var.produce(99)
+        thread.join(10)
+        assert got == [99]
+
+    def test_timeouts(self):
+        var = AsyncVariable()
+        with pytest.raises(ForceError):
+            var.consume(timeout=0.05)
+        var.produce(1)
+        with pytest.raises(ForceError):
+            var.produce(2, timeout=0.05)
+
+    def test_pipeline_order_preserved(self):
+        var = AsyncVariable()
+        received = []
+
+        def consumer():
+            for _ in range(20):
+                received.append(var.consume())
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        for i in range(20):
+            var.produce(i)
+        thread.join(10)
+        assert received == list(range(20))
+
+
+class TestAsyncArray:
+    def test_per_element_state(self):
+        arr = AsyncArray(4)
+        arr.produce(2, "two")
+        assert arr[2].isfull
+        assert not arr[0].isfull
+        assert arr.consume(2) == "two"
+
+    def test_void_all(self):
+        arr = AsyncArray(3)
+        arr.produce(0, 1)
+        arr.produce(1, 2)
+        arr.void_all()
+        assert not any(arr[i].isfull for i in range(3))
+
+    def test_bad_size(self):
+        with pytest.raises(ForceError):
+            AsyncArray(0)
+
+
+class TestAskfor:
+    def test_static_items_all_processed(self):
+        monitor = AskforMonitor(list(range(10)))
+        seen = []
+        lock = threading.Lock()
+
+        def worker():
+            for item in monitor:
+                with lock:
+                    seen.append(item)
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert sorted(seen) == list(range(10))
+
+    def test_dynamic_tree_terminates(self):
+        # Unit of weight w spawns two of w-1: 2^d - 1 nodes total.
+        depth = 6
+        monitor = AskforMonitor([depth])
+        count = [0]
+        lock = threading.Lock()
+
+        def worker():
+            for weight in monitor:
+                if weight > 1:
+                    monitor.put(weight - 1)
+                    monitor.put(weight - 1)
+                with lock:
+                    count[0] += 1
+
+        threads = [threading.Thread(target=worker, daemon=True)
+                   for _ in range(5)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20)
+            assert not t.is_alive(), "askfor failed to terminate"
+        assert count[0] == 2 ** depth - 1
+
+    def test_empty_pool_terminates_immediately(self):
+        monitor = AskforMonitor()
+        got, item = monitor.get()
+        assert not got and item is None
+
+    def test_put_after_done_rejected(self):
+        monitor = AskforMonitor()
+        monitor.get()
+        with pytest.raises(ForceError):
+            monitor.put(1)
+
+    def test_counters(self):
+        monitor = AskforMonitor([1, 2])
+        assert monitor.total_put == 2
+        monitor.get()
+        assert monitor.total_got == 1
+
+    def test_integration_with_force(self):
+        force = Force(nproc=4, timeout=20)
+        total = force.shared_counter("sum")
+
+        def program(force, me):
+            pool = force.askfor("work", [4])
+            for weight in pool:
+                if weight > 1:
+                    pool.put(weight - 1)
+                    pool.put(weight - 1)
+                with force.critical():
+                    total.value += 1
+
+        force.run(program)
+        assert total.value == 2 ** 4 - 1
+
+
+class TestResolve:
+    def test_partition_sizes(self):
+        resolve = Resolve(8, {"io": 1, "compute": 3})
+        assert resolve.size_of("io") + resolve.size_of("compute") == 8
+        assert resolve.size_of("compute") == 6
+
+    def test_every_component_nonempty(self):
+        resolve = Resolve(3, {"a": 10, "b": 1, "c": 1})
+        assert all(resolve.size_of(n) >= 1 for n in ("a", "b", "c"))
+
+    def test_assignment_covers_all_processes(self):
+        resolve = Resolve(7, {"x": 2, "y": 3})
+        names = [resolve.component_of(me)[0] for me in range(1, 8)]
+        assert names.count("x") + names.count("y") == 7
+
+    def test_ranks_within_component(self):
+        resolve = Resolve(6, {"x": 1, "y": 1})
+        for name in ("x", "y"):
+            ranks = [resolve.component_of(me)[1] for me in range(1, 7)
+                     if resolve.component_of(me)[0] == name]
+            assert sorted(ranks) == list(range(1, len(ranks) + 1))
+
+    def test_too_few_processes(self):
+        with pytest.raises(ForceError):
+            Resolve(1, {"a": 1, "b": 1})
+
+    def test_bad_weights(self):
+        with pytest.raises(ForceError):
+            Resolve(4, {"a": 0})
+        with pytest.raises(ForceError):
+            Resolve(4, {})
+
+    def test_components_run_independently(self):
+        force = Force(nproc=6, timeout=20)
+        log = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            resolve = force.resolve("split", {"left": 1, "right": 1})
+            name, rank = resolve.component_of(me)
+            with lock:
+                log.append((name, rank))
+            resolve.component_barrier(me)
+            resolve.unify(me)
+
+        force.run(program)
+        assert len(log) == 6
+        assert {name for name, _ in log} == {"left", "right"}

@@ -1,0 +1,122 @@
+"""Barrier algorithm tests ([AJ87] implementations)."""
+
+import threading
+
+import pytest
+
+from repro.runtime import BARRIER_ALGORITHMS, make_barrier
+from repro._util.errors import ForceError
+
+ALGORITHMS = list(BARRIER_ALGORITHMS)
+
+
+def run_threads(nproc, body):
+    """Run body(me) on nproc threads, re-raising the first failure."""
+    failures = []
+
+    def wrap(me):
+        try:
+            body(me)
+        except BaseException as exc:   # noqa: BLE001
+            failures.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(me,), daemon=True)
+               for me in range(1, nproc + 1)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+        assert not t.is_alive(), "barrier deadlocked"
+    if failures:
+        raise failures[0]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("nproc", [1, 2, 3, 4, 7, 8])
+class TestAllAlgorithms:
+    def test_no_process_passes_early(self, algorithm, nproc):
+        barrier = make_barrier(algorithm, nproc)
+        arrived = []
+        after = []
+        lock = threading.Lock()
+
+        def body(me):
+            with lock:
+                arrived.append(me)
+            barrier.wait(me)
+            with lock:
+                after.append(len(arrived))
+
+        run_threads(nproc, body)
+        assert all(count == nproc for count in after)
+
+    def test_reusable_across_episodes(self, algorithm, nproc):
+        barrier = make_barrier(algorithm, nproc)
+        progress = [0] * (nproc + 1)
+        lock = threading.Lock()
+
+        def body(me):
+            for episode in range(6):
+                barrier.wait(me)
+                with lock:
+                    progress[me] = episode + 1
+                    # Nobody may be more than one episode ahead.
+                    active = [p for p in progress[1:] if True]
+                    assert max(active) - min(active) <= 1
+
+        run_threads(nproc, body)
+        assert all(p == 6 for p in progress[1:])
+
+    def test_section_runs_exactly_once(self, algorithm, nproc):
+        barrier = make_barrier(algorithm, nproc)
+        sections = []
+        lock = threading.Lock()
+
+        def section():
+            with lock:
+                sections.append(1)
+
+        def body(me):
+            barrier.run_section(me, section)
+
+        run_threads(nproc, body)
+        assert len(sections) == 1
+
+    def test_section_completes_before_release(self, algorithm, nproc):
+        barrier = make_barrier(algorithm, nproc)
+        state = {"section_done": False}
+        violations = []
+
+        def section():
+            state["section_done"] = True
+
+        def body(me):
+            barrier.run_section(me, section)
+            if not state["section_done"]:
+                violations.append(me)
+
+        run_threads(nproc, body)
+        assert not violations
+
+
+class TestEdgeCases:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ForceError):
+            make_barrier("quantum", 4)
+
+    def test_zero_processes_rejected(self):
+        with pytest.raises(ForceError):
+            make_barrier("central-counter", 0)
+
+    def test_wait_returns_true_exactly_once(self):
+        barrier = make_barrier("central-counter", 5)
+        winners = []
+        lock = threading.Lock()
+
+        def body(me):
+            if barrier.wait(me):
+                with lock:
+                    winners.append(me)
+
+        run_threads(5, body)
+        assert len(winners) == 1

@@ -1,0 +1,250 @@
+"""Tests for the native thread-based Force runtime."""
+
+import threading
+
+import pytest
+
+from repro.runtime import Force, ForceProgramError
+from repro._util.errors import ForceError
+
+
+class TestBasics:
+    def test_every_process_runs(self):
+        seen = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            with lock:
+                seen.append(me)
+
+        Force(nproc=4, timeout=10).run(program)
+        assert sorted(seen) == [1, 2, 3, 4]
+
+    def test_single_process_force(self):
+        result = []
+
+        def program(force, me):
+            result.append(me)
+
+        Force(nproc=1, timeout=10).run(program)
+        assert result == [1]
+
+    def test_invalid_nproc(self):
+        with pytest.raises(ForceError):
+            Force(nproc=0)
+
+    def test_exception_propagates_with_process_id(self):
+        def program(force, me):
+            if me == 3:
+                raise ValueError("boom")
+
+        with pytest.raises(ForceProgramError) as info:
+            Force(nproc=4, timeout=10).run(program)
+        assert info.value.me == 3
+        assert isinstance(info.value.original, ValueError)
+
+    def test_extra_args_passed(self):
+        got = []
+        lock = threading.Lock()
+
+        def program(force, me, base):
+            with lock:
+                got.append(base + me)
+
+        Force(nproc=2, timeout=10).run(program, 100)
+        assert sorted(got) == [101, 102]
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        force = Force(nproc=4, timeout=10)
+        phase_one = []
+        phase_two = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            with lock:
+                phase_one.append(me)
+            force.barrier()
+            with lock:
+                # Everyone finished phase one before anyone is here.
+                phase_two.append(len(phase_one))
+
+        force.run(program)
+        assert all(count == 4 for count in phase_two)
+
+    def test_barrier_section_runs_once(self):
+        force = Force(nproc=4, timeout=10)
+        sections = []
+
+        def program(force, me):
+            force.barrier_section(me, lambda: sections.append(me))
+
+        force.run(program)
+        assert len(sections) == 1
+
+    def test_barrier_reusable_in_loop(self):
+        force = Force(nproc=3, timeout=20)
+        counter = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            for _round in range(5):
+                force.barrier()
+                with lock:
+                    counter.append(_round)
+
+        force.run(program)
+        assert len(counter) == 15
+
+
+class TestCritical:
+    def test_mutual_exclusion(self):
+        force = Force(nproc=8, timeout=20)
+        cell = force.shared_counter("total")
+
+        def program(force, me):
+            for _ in range(500):
+                with force.critical("sum"):
+                    cell.value += 1
+
+        force.run(program)
+        assert cell.value == 8 * 500
+
+    def test_named_criticals_are_independent(self):
+        force = Force(nproc=2, timeout=10)
+        order = []
+
+        def program(force, me):
+            name = "a" if me == 1 else "b"
+            with force.critical(name):
+                order.append(name)
+
+        force.run(program)
+        assert sorted(order) == ["a", "b"]
+
+
+class TestWorkDistribution:
+    def test_presched_partitions_exactly(self):
+        force = Force(nproc=3, timeout=10)
+        seen = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            for i in force.presched_range(me, 1, 20):
+                with lock:
+                    seen.append(i)
+
+        force.run(program)
+        assert sorted(seen) == list(range(1, 21))
+
+    def test_presched_with_step(self):
+        force = Force(nproc=2, timeout=10)
+        seen = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            for i in force.presched_range(me, 10, 1, -3):
+                with lock:
+                    seen.append(i)
+
+        force.run(program)
+        assert sorted(seen) == [1, 4, 7, 10]
+
+    def test_selfsched_partitions_exactly(self):
+        force = Force(nproc=4, timeout=10)
+        seen = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            for i in force.selfsched_range("loop", 1, 50):
+                with lock:
+                    seen.append(i)
+
+        force.run(program)
+        assert sorted(seen) == list(range(1, 51))
+
+    def test_selfsched_reusable_across_iterations(self):
+        force = Force(nproc=3, timeout=30)
+        seen = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            for _sweep in range(4):
+                for i in force.selfsched_range("inner", 1, 10):
+                    with lock:
+                        seen.append(i)
+
+        force.run(program)
+        assert len(seen) == 40
+        assert sorted(set(seen)) == list(range(1, 11))
+
+    def test_presched_pairs(self):
+        force = Force(nproc=3, timeout=10)
+        seen = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            for i, j in force.presched_pairs(me, range(3), range(4)):
+                with lock:
+                    seen.append((i, j))
+
+        force.run(program)
+        assert sorted(seen) == [(i, j) for i in range(3) for j in range(4)]
+
+    def test_pcase_each_section_once(self):
+        force = Force(nproc=3, timeout=10)
+        ran = []
+        lock = threading.Lock()
+
+        def section(k):
+            def body():
+                with lock:
+                    ran.append(k)
+            return body
+
+        def program(force, me):
+            force.pcase(me, section(0), section(1), section(2), section(3))
+
+        force.run(program)
+        assert sorted(ran) == [0, 1, 2, 3]
+
+    def test_pcase_conditional_section(self):
+        force = Force(nproc=2, timeout=10)
+        ran = []
+
+        def program(force, me):
+            force.pcase(me,
+                        (lambda: False, lambda: ran.append("no")),
+                        (lambda: True, lambda: ran.append("yes")))
+
+        force.run(program)
+        assert ran == ["yes"]
+
+
+class TestSharedObjects:
+    def test_shared_array(self):
+        force = Force(nproc=4, timeout=10)
+
+        def program(force, me):
+            data = force.shared_array("grid", 40)
+            for i in force.presched_range(me, 0, 39):
+                data[i] = i * 2.0
+
+        force.run(program)
+        grid = force.shared_array("grid", 40)
+        assert grid[10] == 20.0
+        assert grid.sum() == sum(2 * i for i in range(40))
+
+    def test_shared_counter_identity(self):
+        force = Force(nproc=2, timeout=10)
+        ids = []
+        lock = threading.Lock()
+
+        def program(force, me):
+            counter = force.shared_counter("c")
+            with lock:
+                ids.append(id(counter))
+
+        force.run(program)
+        assert ids[0] == ids[1]

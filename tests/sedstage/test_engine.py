@@ -1,0 +1,123 @@
+"""Unit tests for the sed-dialect engine."""
+
+import pytest
+
+from repro.sedstage import SedProgram, SedError
+
+
+class TestSubstitute:
+    def test_basic(self):
+        assert SedProgram("s/cat/dog/").run("cat\n") == "dog\n"
+
+    def test_first_only_without_g(self):
+        assert SedProgram("s/a/X/").run("aaa\n") == "Xaa\n"
+
+    def test_global(self):
+        assert SedProgram("s/a/X/g").run("aaa\n") == "XXX\n"
+
+    def test_case_insensitive_flag(self):
+        assert SedProgram("s/cat/dog/I").run("CaT\n") == "dog\n"
+
+    def test_groups(self):
+        program = SedProgram(r"s/(\w+)=(\w+)/\2=\1/")
+        assert program.run("a=b\n") == "b=a\n"
+
+    def test_ampersand(self):
+        assert SedProgram("s/cat/[&]/").run("a cat here\n") == "a [cat] here\n"
+
+    def test_escaped_ampersand(self):
+        assert SedProgram(r"s/cat/a\&b/").run("cat\n") == "a&b\n"
+
+    def test_alternate_delimiter(self):
+        assert SedProgram("s|/usr|/opt|").run("/usr/lib\n") == "/opt/lib\n"
+
+    def test_escaped_delimiter(self):
+        assert SedProgram(r"s/a\/b/X/").run("a/b\n") == "X\n"
+
+    def test_multiple_rules_in_order(self):
+        program = SedProgram("s/a/b/\ns/b/c/")
+        assert program.run("a\n") == "c\n"
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(SedError):
+            SedProgram("s/(/x/")
+
+    def test_unknown_flag_raises(self):
+        with pytest.raises(SedError):
+            SedProgram("s/a/b/Z")
+
+
+class TestAddresses:
+    def test_line_number(self):
+        program = SedProgram("2s/x/Y/")
+        assert program.run("x\nx\nx\n") == "x\nY\nx\n"
+
+    def test_last_line(self):
+        program = SedProgram("$s/x/Y/")
+        assert program.run("x\nx\n") == "x\nY\n"
+
+    def test_regex_address(self):
+        program = SedProgram("/skip/d")
+        assert program.run("keep\nskip me\nkeep\n") == "keep\nkeep\n"
+
+    def test_negated_address(self):
+        program = SedProgram("/keep/!d")
+        assert program.run("keep 1\ndrop\nkeep 2\n") == "keep 1\nkeep 2\n"
+
+    def test_range(self):
+        program = SedProgram("/start/,/stop/d")
+        text = "a\nstart\nmid\nstop\nb\n"
+        assert program.run(text) == "a\nb\n"
+
+    def test_numeric_range(self):
+        program = SedProgram("2,3d")
+        assert program.run("1\n2\n3\n4\n") == "1\n4\n"
+
+
+class TestOtherCommands:
+    def test_delete(self):
+        assert SedProgram("/x/d").run("x\ny\n") == "y\n"
+
+    def test_print_duplicates(self):
+        assert SedProgram("p").run("a\n") == "a\na\n"
+
+    def test_suppress_mode(self):
+        program = SedProgram("/hit/p")
+        assert program.run("miss\nhit\n", suppress=True) == "hit\n"
+
+    def test_transliterate(self):
+        assert SedProgram("y/abc/xyz/").run("cab\n") == "zxy\n"
+
+    def test_transliterate_length_mismatch(self):
+        with pytest.raises(SedError):
+            SedProgram("y/ab/xyz/")
+
+    def test_line_number_command(self):
+        assert SedProgram("=").run("a\nb\n", suppress=True) == "1\n2\n"
+
+    def test_insert(self):
+        program = SedProgram(r"/b/i\ inserted")
+        assert program.run("a\nb\n") == "a\ninserted\nb\n"
+
+    def test_append(self):
+        program = SedProgram(r"/a/a\ appended")
+        assert program.run("a\nb\n") == "a\nappended\nb\n"
+
+    def test_change(self):
+        program = SedProgram(r"/old/c\ new")
+        assert program.run("old\nkeep\n") == "new\nkeep\n"
+
+    def test_quit(self):
+        program = SedProgram("/stop/q")
+        assert program.run("a\nstop\nnever\n") == "a\nstop\n"
+
+    def test_comments_and_blanks_ignored(self):
+        program = SedProgram("# comment\n\ns/a/b/\n")
+        assert program.run("a\n") == "b\n"
+
+    def test_unknown_command(self):
+        with pytest.raises(SedError):
+            SedProgram("Z")
+
+    def test_empty_input(self):
+        assert SedProgram("s/a/b/").run("") == ""

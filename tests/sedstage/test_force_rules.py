@@ -1,0 +1,197 @@
+"""Tests for the Force statement translation rules."""
+
+from repro.sedstage import translate_force_source
+
+
+def one(line: str) -> str:
+    """Translate a single source line."""
+    return translate_force_source(line)
+
+
+class TestProgramStructure:
+    def test_force_main(self):
+        assert one("Force PROG of NP ident ME") == \
+            "force_main(`PROG',`NP',`ME')"
+
+    def test_force_main_case_insensitive(self):
+        assert one("FORCE PROG OF NP IDENT ME") == \
+            "force_main(`PROG',`NP',`ME')"
+
+    def test_forcesub_with_args(self):
+        assert one("Forcesub SOLVE(A, N) of NP ident ME") == \
+            "force_sub(`SOLVE',`A, N',`NP',`ME')"
+
+    def test_forcesub_no_args(self):
+        assert one("Forcesub STEP of NP ident ME") == \
+            "force_sub(`STEP',`',`NP',`ME')"
+
+    def test_externf(self):
+        assert one("Externf SOLVE") == "externf(`SOLVE')"
+
+    def test_forcecall(self):
+        assert one("Forcecall SOLVE(A, 10)") == "forcecall(`SOLVE',`A, 10')"
+
+    def test_end_declarations(self):
+        assert one("End declarations") == "end_declarations()"
+
+    def test_join(self):
+        assert one("Join") == "join_force()"
+
+
+class TestDeclarations:
+    def test_shared_integer(self):
+        assert one("Shared INTEGER K, N") == "shared_decl(`INTEGER',`K, N')"
+
+    def test_shared_real_array(self):
+        assert one("Shared REAL A(100, 100)") == \
+            "shared_decl(`REAL',`A(100, 100)')"
+
+    def test_shared_double_precision(self):
+        assert one("Shared DOUBLE PRECISION X") == \
+            "shared_decl(`DOUBLE PRECISION',`X')"
+
+    def test_private(self):
+        assert one("Private INTEGER I") == "private_decl(`INTEGER',`I')"
+
+    def test_async(self):
+        assert one("Async REAL V(10)") == "async_decl(`REAL',`V(10)')"
+
+    def test_shared_common(self):
+        assert one("Shared common /BLK/ A, B") == \
+            "shared_common_decl(`BLK',`A, B')"
+
+    def test_private_common(self):
+        assert one("Private common /WSP/ T(10)") == \
+            "private_common_decl(`WSP',`T(10)')"
+
+    def test_async_common(self):
+        assert one("Async common /Q/ V") == "async_common_decl(`Q',`V')"
+
+    def test_taskq(self):
+        assert one("Taskq WORK(64)") == "taskq_decl(`WORK',`64')"
+
+    def test_plain_fortran_declaration_untouched(self):
+        assert one("      INTEGER I, J") == "      INTEGER I, J"
+
+
+class TestSynchronization:
+    def test_barrier(self):
+        assert one("Barrier") == "barrier_begin()"
+        assert one("End barrier") == "barrier_end()"
+
+    def test_critical(self):
+        assert one("  Critical LCK") == "critical(`LCK')"
+        assert one("End critical") == "end_critical()"
+
+    def test_produce(self):
+        assert one("Produce V = X + 1") == "produce(`V',`X + 1')"
+
+    def test_produce_array_element(self):
+        assert one("Produce Q(I) = W") == "produce(`Q(I)',`W')"
+
+    def test_consume(self):
+        assert one("  Consume V into X") == "consume(`V',`X')"
+
+    def test_copy(self):
+        assert one("  Copy V into X") == "copyasync(`V',`X')"
+
+    def test_void(self):
+        assert one("Void V") == "voidasync(`V')"
+
+    def test_isfull_inline(self):
+        assert one("      IF (Isfull(V)) GO TO 10") == \
+            "      IF (FRCISF(V)) GO TO 10"
+
+
+class TestWorkDistribution:
+    def test_presched_do(self):
+        assert one("Presched DO 10 I = 1, N") == \
+            "presched_do(`10',`I',`1, N')"
+
+    def test_presched_do_with_step(self):
+        assert one("Presched DO 10 I = 1, N, 2") == \
+            "presched_do(`10',`I',`1, N, 2')"
+
+    def test_end_presched_do(self):
+        assert one("10 End presched DO") == "end_presched_do(`10')"
+
+    def test_end_presched_do_unlabeled(self):
+        assert one("End presched DO") == "end_presched_do(`')"
+
+    def test_selfsched_do_paper_example(self):
+        # The exact loop from §4.2 of the paper.
+        assert one("Selfsched DO 100 K = START, LAST, INCR") == \
+            "selfsched_do(`100',`K',`START, LAST, INCR')"
+
+    def test_end_selfsched_do_paper_example(self):
+        assert one("100 End Selfsched DO") == "end_selfsched_do(`100')"
+
+    def test_presched_do2(self):
+        assert one("Presched DO2 20 I = 1, N; J = 1, M") == \
+            "presched_do2(`20',`I',`1, N',`J',`1, M')"
+
+    def test_selfsched_do2(self):
+        assert one("Selfsched DO2 30 I = 1, N, 2; J = 0, M") == \
+            "selfsched_do2(`30',`I',`1, N, 2',`J',`0, M')"
+
+    def test_end_do2(self):
+        assert one("20 End presched DO2") == "end_presched_do2(`20')"
+        assert one("30 End selfsched DO2") == "end_selfsched_do2(`30')"
+
+    def test_pcase_prescheduled(self):
+        assert one("Pcase") == "pcase(`')"
+
+    def test_pcase_selfscheduled(self):
+        assert one("Pcase on WRK") == "pcase(`WRK')"
+
+    def test_usect_csect(self):
+        assert one("Usect") == "usect()"
+        assert one("  Csect (N .GT. 0)") == "csect(`N .GT. 0')"
+
+    def test_end_pcase(self):
+        assert one("End pcase") == "end_pcase()"
+
+    def test_askfor(self):
+        assert one("Askfor 300 W from Q") == "askfor(`300',`W',`Q')"
+
+    def test_putwork(self):
+        assert one("Putwork Q = W + 1") == "putwork(`Q',`W + 1')"
+
+    def test_end_askfor(self):
+        assert one("300 End askfor") == "end_askfor(`300')"
+
+
+class TestPassthrough:
+    def test_plain_fortran(self):
+        src = "      A(I) = B(I) + C(I)"
+        assert one(src) == src
+
+    def test_comment_line_with_keyword(self):
+        src = "C Barrier comes next"
+        assert one(src) == src
+
+    def test_star_comment(self):
+        src = "* Critical region explanation"
+        assert one(src) == src
+
+    def test_do_loop_untouched(self):
+        src = "      DO 10 I = 1, N"
+        assert one(src) == src
+
+    def test_multi_line_program(self):
+        src = ("Force P of NP ident ME\n"
+               "Shared INTEGER N\n"
+               "End declarations\n"
+               "Barrier\n"
+               "      N = 0\n"
+               "End barrier\n"
+               "Join\n")
+        out = translate_force_source(src)
+        lines = out.split("\n")
+        assert lines[0] == "force_main(`P',`NP',`ME')"
+        assert lines[1] == "shared_decl(`INTEGER',`N')"
+        assert lines[2] == "end_declarations()"
+        assert lines[3] == "barrier_begin()"
+        assert lines[4] == "      N = 0"
+        assert lines[5] == "barrier_end()"
+        assert lines[6] == "join_force()"

@@ -1,0 +1,72 @@
+"""Hold space and branching commands (h H g G x, : b t)."""
+
+import pytest
+
+from repro.sedstage import SedProgram, SedError
+
+
+class TestHoldSpace:
+    def test_h_then_g_copies(self):
+        program = SedProgram("1h\n2g")
+        assert program.run("first\nsecond\n") == "first\nfirst\n"
+
+    def test_H_appends_to_hold(self):
+        program = SedProgram("1h\n2H\n2g")
+        out = program.run("a\nb\n")
+        assert out == "a\na\nb\n"
+
+    def test_G_appends_hold_to_pattern(self):
+        program = SedProgram("1h\n2G")
+        assert SedProgram("1h\n2G").run("x\ny\n") == "x\ny\nx\n"
+
+    def test_x_swaps(self):
+        program = SedProgram("1h\n2x")
+        # Line 2 swaps with hold (line 1): prints line 1 again.
+        assert program.run("one\ntwo\n") == "one\none\n"
+
+    def test_hold_initially_empty(self):
+        assert SedProgram("g").run("gone\n") == "\n"
+
+    def test_reverse_file_idiom(self):
+        # The classic tac: 1!G; h; $!d
+        program = SedProgram("1!G\nh\n$!d")
+        assert program.run("1\n2\n3\n") == "3\n2\n1\n"
+
+
+class TestBranching:
+    def test_unconditional_branch_skips(self):
+        program = SedProgram("b skip\ns/a/X/\n: skip")
+        assert program.run("a\n") == "a\n"
+
+    def test_branch_to_end_without_label(self):
+        program = SedProgram("/stop/b\ns/x/Y/")
+        assert program.run("x stop\nx go\n") == "x stop\nY go\n"
+
+    def test_loop_with_t(self):
+        # Collapse runs of 'a' one at a time via a t-loop.
+        program = SedProgram(": again\ns/aa/a/\nt again")
+        assert program.run("baaaab\n") == "bab\n"
+
+    def test_t_branches_only_after_substitution(self):
+        program = SedProgram("s/hit/HIT/\nt done\ns/$/ (no hit)/\n: done")
+        assert program.run("hit me\nmiss me\n") == \
+            "HIT me\nmiss me (no hit)\n"
+
+    def test_t_resets_flag(self):
+        # After t fires, a second t with no new substitution must not.
+        program = SedProgram("s/a/b/\nt one\n: one\nt two\ns/$/!/\n: two")
+        assert program.run("a\n") == "b!\n"
+
+    def test_undefined_label(self):
+        program = SedProgram("b nowhere")
+        with pytest.raises(SedError, match="undefined label"):
+            program.run("x\n")
+
+    def test_infinite_loop_guard(self):
+        program = SedProgram(": spin\nb spin")
+        with pytest.raises(SedError, match="did not terminate"):
+            program.run("x\n")
+
+    def test_label_with_address_rejected(self):
+        with pytest.raises(SedError):
+            SedProgram("1: lbl")

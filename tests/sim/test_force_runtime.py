@@ -1,0 +1,179 @@
+"""Unit tests for the Force runtime library (sim side)."""
+
+import pytest
+
+from repro.fortran.interp import Cell, CellRef, ValueRef
+from repro.fortran.values import FType
+from repro.machines import CRAY_2, HEP, SEQUENT_BALANCE
+from repro.machines.model import ProcessModel
+from repro.sim import Scheduler, SimulationError
+from repro.sim.force_runtime import (
+    ForceCommonProvider,
+    ForceRuntime,
+    SharingRegistry,
+    WorkQueue,
+)
+from repro.fortran.parser import parse_source
+
+
+def make_runtime(machine=SEQUENT_BALANCE, nproc=2):
+    program = parse_source("      PROGRAM FORCED\n      END\n")
+    scheduler = Scheduler(machine)
+    return ForceRuntime(scheduler, machine, nproc, program)
+
+
+def drain_call(runtime, name, refs, frame=None):
+    """Run a runtime subroutine generator outside the scheduler."""
+    events = list(runtime.call(name, refs, frame or _FakeFrame()))
+    return events
+
+
+class _FakeFrame:
+    process = None
+    vars = {}
+
+
+class TestSharingRegistry:
+    def test_register_and_query(self):
+        registry = SharingRegistry()
+        registry.register("blk")
+        assert registry.is_shared("BLK")
+        assert registry.is_shared("blk")
+        assert not registry.is_shared("OTHER")
+
+    def test_log_deduplicates(self):
+        registry = SharingRegistry()
+        registry.register("A")
+        registry.register("A")
+        assert registry.registration_log == ["A"]
+
+
+class TestLockNameValidation:
+    def test_wrong_primitive_rejected(self):
+        runtime = make_runtime(CRAY_2)
+        cell = Cell(FType.LOGICAL)
+        with pytest.raises(SimulationError, match="not available"):
+            drain_call(runtime, "SPINLK", [CellRef(cell)])
+
+    def test_right_primitive_accepted(self):
+        runtime = make_runtime(CRAY_2)
+        cell = Cell(FType.LOGICAL)
+        events = drain_call(runtime, "SYSLCK", [CellRef(cell)])
+        assert len(events) == 1
+
+    def test_hep_ops_rejected_elsewhere(self):
+        runtime = make_runtime(SEQUENT_BALANCE)
+        cell = Cell(FType.INTEGER)
+        with pytest.raises(SimulationError, match="full/empty"):
+            drain_call(runtime, "HEPPRD", [CellRef(cell), ValueRef(1)])
+
+    def test_fork_call_rejected_on_hep(self):
+        runtime = make_runtime(HEP)
+        with pytest.raises(SimulationError, match="subroutine call"):
+            drain_call(runtime, "FRKALL", [ValueRef("MAIN")])
+
+    def test_spawn_call_rejected_on_fork_machine(self):
+        runtime = make_runtime(SEQUENT_BALANCE)
+        with pytest.raises(SimulationError, match="fork process model"):
+            drain_call(runtime, "HEPSPN", [ValueRef("MAIN")])
+
+
+class TestAsyncRegistration:
+    def test_frcain_marks_e_lock_initially_locked(self):
+        runtime = make_runtime()
+        v, e, f = (Cell(FType.INTEGER), Cell(FType.LOGICAL),
+                   Cell(FType.LOGICAL))
+        drain_call(runtime, "FRCAIN",
+                   [CellRef(v), CellRef(e), CellRef(f)])
+        e_lock = runtime._lock_for(CellRef(e))
+        f_lock = runtime._lock_for(CellRef(f))
+        assert e_lock.locked            # empty state
+        assert not f_lock.locked
+
+    def test_isfull_via_lock_states(self):
+        runtime = make_runtime()
+        v, e, f = (Cell(FType.INTEGER), Cell(FType.LOGICAL),
+                   Cell(FType.LOGICAL))
+        drain_call(runtime, "FRCAIN",
+                   [CellRef(v), CellRef(e), CellRef(f)])
+        assert runtime.call_function("FRCISF", [CellRef(v)],
+                                     _FakeFrame()) is False
+        # Simulate a produce: F locked, E unlocked.
+        runtime._lock_for(CellRef(f)).locked = True
+        runtime._lock_for(CellRef(e)).locked = False
+        assert runtime.call_function("FRCISF", [CellRef(v)],
+                                     _FakeFrame()) is True
+
+    def test_isfull_unregistered_raises(self):
+        runtime = make_runtime()
+        with pytest.raises(SimulationError, match="Async"):
+            runtime.call_function("FRCISF",
+                                  [CellRef(Cell(FType.INTEGER))],
+                                  _FakeFrame())
+
+    def test_hep_isfull_uses_hardware_bit(self):
+        runtime = make_runtime(HEP)
+        cell = Cell(FType.INTEGER)
+        assert runtime.call_function("FRCISF", [CellRef(cell)],
+                                     _FakeFrame()) is False
+        cell.full = True
+        assert runtime.call_function("FRCISF", [CellRef(cell)],
+                                     _FakeFrame()) is True
+
+
+class TestCommonProvider:
+    layout = [("X", FType.INTEGER, None), ("A", FType.REAL, [(1, 4)])]
+
+    def test_shared_block_is_global(self):
+        registry = SharingRegistry()
+        registry.register("B")
+        provider = ForceCommonProvider(SEQUENT_BALANCE, registry)
+        one = provider.get_block("B", self.layout, _frame(1))
+        two = provider.get_block("B", self.layout, _frame(2))
+        assert one[0] is two[0]
+
+    def test_private_block_per_process(self):
+        provider = ForceCommonProvider(SEQUENT_BALANCE, SharingRegistry())
+        one = provider.get_block("P", self.layout, _frame(1))
+        two = provider.get_block("P", self.layout, _frame(2))
+        assert one[0] is not two[0]
+
+    def test_fork_copies_private_values(self):
+        provider = ForceCommonProvider(SEQUENT_BALANCE, SharingRegistry())
+        parent = provider.get_block("P", self.layout, _frame(1))
+        parent[0].set(42)
+        parent[1].set((2,), 1.5)
+        provider.fork_copy(parent_pid=1, child_pid=2)
+        child = provider.get_block("P", self.layout, _frame(2))
+        assert child[0].get() == 42
+        assert child[1].get((2,)) == 1.5
+        child[0].set(7)
+        assert parent[0].get() == 42    # copies, not aliases
+
+    def test_alliant_shares_everything(self):
+        from repro.machines import ALLIANT_FX8
+        provider = ForceCommonProvider(ALLIANT_FX8, SharingRegistry())
+        one = provider.get_block("P", self.layout, _frame(1))
+        two = provider.get_block("P", self.layout, _frame(2))
+        assert one[0] is two[0]
+
+
+class TestWorkQueueModel:
+    def test_queue_dataclass(self):
+        q = WorkQueue(name="W", capacity=8)
+        assert not q.done and not q.items
+
+
+def _frame(pid):
+    class F:
+        pass
+
+    frame = F()
+
+    class P:
+        pass
+
+    process = P()
+    process.pid = pid
+    frame.process = process
+    return frame

@@ -1,0 +1,144 @@
+"""Finite processor capacity: time-sharing, saturation, and the
+spin-waiter starvation hazard."""
+
+import pytest
+
+from repro.machines import CRAY_2, HEP, SEQUENT_BALANCE
+from repro.sim import (
+    AcquireLock,
+    Block,
+    Cost,
+    ReleaseLock,
+    Scheduler,
+    SimulationError,
+    Wake,
+)
+
+
+def spawn_workers(sched, count, cycles):
+    def worker():
+        yield Cost(cycles)
+
+    for _ in range(count):
+        sched.spawn(worker())
+
+
+class TestCapacityBasics:
+    def test_within_capacity_is_ideal(self):
+        limited = Scheduler(SEQUENT_BALANCE, processors=4)
+        spawn_workers(limited, 4, 1000)
+        assert limited.run().makespan == 1000
+
+    def test_oversubscription_serializes(self):
+        sched = Scheduler(SEQUENT_BALANCE, processors=2)
+        spawn_workers(sched, 6, 1000)
+        # 6 compute-bound processes on 2 CPUs: 3 batches.
+        assert sched.run().makespan == 3000
+
+    def test_unlimited_mode_unchanged(self):
+        sched = Scheduler(SEQUENT_BALANCE)
+        spawn_workers(sched, 6, 1000)
+        assert sched.run().makespan == 1000
+
+    def test_single_processor_fully_serial(self):
+        sched = Scheduler(SEQUENT_BALANCE, processors=1)
+        spawn_workers(sched, 5, 100)
+        assert sched.run().makespan == 500
+
+    def test_passive_blocking_releases_cpu(self):
+        # A blocked process must not hold its CPU: a sleeper plus a
+        # worker fit on one processor.
+        sched = Scheduler(CRAY_2, processors=1)
+        order = []
+
+        def sleeper():
+            yield Block("gate")
+            order.append("woke")
+
+        def worker():
+            yield Cost(500)
+            order.append("done")
+            yield Wake("gate")
+
+        sched.spawn(sleeper())
+        sched.spawn(worker())
+        sched.run()
+        assert order == ["done", "woke"]
+
+
+class TestSpinOccupancy:
+    def test_spin_waiter_holds_cpu(self):
+        # 2 CPUs, spin machine: holder + spinner occupy both; a third
+        # compute process must wait for the spinner's CPU.
+        sched = Scheduler(SEQUENT_BALANCE, processors=2)
+        lock = sched.new_lock("L")
+
+        def holder():
+            yield AcquireLock(lock)
+            yield Cost(2000)
+            yield ReleaseLock(lock)
+
+        def spinner():
+            yield Cost(1)
+            yield AcquireLock(lock)
+            yield ReleaseLock(lock)
+
+        def bystander():
+            yield Cost(100)
+
+        sched.spawn(holder())
+        sched.spawn(spinner())
+        sched.spawn(bystander())
+        stats = sched.run()
+        # The bystander could not start until a CPU freed (~t=2000+).
+        assert stats.per_process_clock["p3"] > 2000
+
+    def test_syscall_waiter_frees_cpu(self):
+        sched = Scheduler(CRAY_2, processors=2)
+        lock = sched.new_lock("L")
+
+        def holder():
+            yield AcquireLock(lock)
+            yield Cost(2000)
+            yield ReleaseLock(lock)
+
+        def sleeper():
+            yield Cost(1)
+            yield AcquireLock(lock)
+            yield ReleaseLock(lock)
+
+        def bystander():
+            yield Cost(100)
+
+        sched.spawn(holder())
+        sched.spawn(sleeper())
+        sched.spawn(bystander())
+        stats = sched.run()
+        # The parked waiter's CPU was available almost immediately.
+        assert stats.per_process_clock["p3"] < 2000
+
+    def test_spin_starvation_deadlocks(self):
+        # All CPUs held by spinners; the process that must release the
+        # lock can never run: a genuine oversubscription deadlock.
+        sched = Scheduler(SEQUENT_BALANCE, processors=2)
+        lock = sched.new_lock("L")
+        lock.locked = True    # nobody will ever unlock it...
+
+        def spinner():
+            yield AcquireLock(lock)
+
+        def would_unlock():
+            yield Cost(10)
+            yield ReleaseLock(lock)
+
+        sched.spawn(spinner())
+        sched.spawn(spinner())
+        sched.spawn(would_unlock())   # starved of a CPU forever
+        with pytest.raises(SimulationError, match="starved"):
+            sched.run()
+
+    def test_hep_many_processes_few_contexts(self):
+        # HEP-style cheap waiting: oversubscription degrades smoothly.
+        sched = Scheduler(HEP, processors=4)
+        spawn_workers(sched, 16, 250)
+        assert sched.run().makespan == 1000

@@ -1,0 +1,74 @@
+"""Timeline/trace rendering tests."""
+
+from repro.core import SEQUENT_BALANCE, force_compile_and_run, programs
+from repro.machines import HEP
+from repro.sim import Cost, Scheduler
+from repro.sim.timeline import (
+    TimelineOptions,
+    lock_contention_report,
+    render_timeline,
+    render_utilization,
+)
+
+
+def traced_run():
+    source = programs.render("sum_critical", n=10)
+    return force_compile_and_run(source, SEQUENT_BALANCE, nproc=3,
+                                 trace=True)
+
+
+class TestRenderTimeline:
+    def test_contains_lock_events_with_names(self):
+        result = traced_run()
+        text = render_timeline(result.trace,
+                               TimelineOptions(max_events=100000))
+        assert "BARWIN" in text
+        assert "acquired" in text
+        assert "released" in text
+
+    def test_truncation(self):
+        result = traced_run()
+        text = render_timeline(result.trace, TimelineOptions(max_events=5))
+        assert "more events" in text
+        assert len([l for l in text.split("\n") if l.startswith("t=")]) == 5
+
+    def test_filtering(self):
+        result = traced_run()
+        text = render_timeline(
+            result.trace,
+            TimelineOptions(only=("spawned",), max_events=1000))
+        assert "spawned" in text
+        assert "acquired" not in text
+
+    def test_empty_trace(self):
+        assert "no trace events" in render_timeline([])
+
+
+class TestUtilization:
+    def test_bars_per_process(self):
+        result = traced_run()
+        text = render_utilization(result.stats)
+        assert "driver" in text
+        assert "summer-1" in text
+        assert "makespan" in text
+
+    def test_empty_stats(self):
+        sched = Scheduler(HEP)
+
+        def nop():
+            yield Cost(0)
+
+        sched.spawn(nop())
+        stats = sched.run()
+        assert "empty run" in render_utilization(stats)
+
+
+class TestContentionReport:
+    def test_barrier_locks_contended(self):
+        result = traced_run()
+        report = lock_contention_report(result.trace)
+        assert "BARWIN" in report or "BARWOT" in report or "LCK" in report
+        assert "waits" in report
+
+    def test_no_events(self):
+        assert "no lock events" in lock_contention_report([])

@@ -1,0 +1,239 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fortran.values import FArray, FType, coerce_assign, format_value
+from repro.m4 import M4Processor
+from repro.m4.evalexpr import eval_expression
+from repro.machines import MACHINES, MemoryLayout
+from repro.machines.memory import VariableSpec
+from repro.runtime import AsyncVariable
+from repro.sedstage import SedProgram
+from repro.sim import Cost, Scheduler
+
+
+# ----------------------------------------------------------------------
+# m4 engine
+# ----------------------------------------------------------------------
+# Uppercase-only text cannot collide with any (lowercase) macro or
+# builtin name, so it must pass through the scanner verbatim.
+plain_text = st.text(
+    alphabet="ABCDEFGXYZ0123456789 .,;:+-*/=<>[]#@!%^&_|~?\n\t",
+    max_size=120,
+)
+
+
+class TestM4Properties:
+    @given(plain_text)
+    @settings(max_examples=120)
+    def test_text_without_macros_passes_through(self, text):
+        m4 = M4Processor()
+        assert m4.process(text) == text
+
+    @given(plain_text)
+    @settings(max_examples=120)
+    def test_quoting_strips_exactly_one_level(self, text):
+        m4 = M4Processor()
+        assert m4.process("`" + text + "'") == text
+
+    @given(st.text(alphabet="abcdefgh", min_size=1, max_size=10),
+           plain_text)
+    @settings(max_examples=100)
+    def test_define_then_expand(self, name, body):
+        # Body alphabet is disjoint from the name alphabet, so the
+        # expansion cannot re-trigger itself.
+        m4 = M4Processor()
+        m4.define(name, body)
+        assert m4.process(name) == body
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=-10**9, max_value=10**9))
+    @settings(max_examples=120)
+    def test_eval_addition_matches_python(self, a, b):
+        assert eval_expression(f"{a} + {b}") == a + b
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=120)
+    def test_eval_division_truncates_toward_zero(self, a, b):
+        expected = int(a / b)
+        assert eval_expression(f"{a} / {b}") == expected
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_incr_decr_roundtrip(self, n):
+        m4 = M4Processor()
+        assert m4.process(f"decr(incr({n}))") == str(n)
+
+
+# ----------------------------------------------------------------------
+# Fortran values
+# ----------------------------------------------------------------------
+bounds_strategy = st.lists(
+    st.tuples(st.integers(-5, 5), st.integers(0, 6)).map(
+        lambda pair: (pair[0], pair[0] + pair[1])),
+    min_size=1, max_size=3)
+
+
+class TestFArrayProperties:
+    @given(bounds_strategy)
+    @settings(max_examples=100)
+    def test_allocate_size_matches_bounds(self, bounds):
+        arr = FArray.allocate(FType.INTEGER, bounds)
+        expected = 1
+        for lo, hi in bounds:
+            expected *= hi - lo + 1
+        assert arr.size == expected
+
+    @given(bounds_strategy, st.integers(-100, 100))
+    @settings(max_examples=100)
+    def test_set_get_roundtrip_at_lower_corner(self, bounds, value):
+        arr = FArray.allocate(FType.INTEGER, bounds)
+        corner = tuple(lo for lo, _ in bounds)
+        arr.set(corner, value)
+        assert arr.get(corner) == value
+
+    @given(bounds_strategy)
+    @settings(max_examples=60)
+    def test_reinterpret_flat_aliases_storage(self, bounds):
+        arr = FArray.allocate(FType.REAL, bounds)
+        flat = arr.reinterpret([(1, arr.size)])
+        flat.set((1,), 3.5)
+        corner = tuple(lo for lo, _ in bounds)
+        assert arr.get(corner) == 3.5
+
+    @given(st.integers(-10**6, 10**6))
+    def test_coerce_integer_identity(self, n):
+        assert coerce_assign(FType.INTEGER, n) == n
+
+    @given(st.floats(allow_nan=False, allow_infinity=False,
+                     width=32))
+    def test_coerce_real_to_integer_truncates(self, x):
+        assert coerce_assign(FType.INTEGER, float(x)) == int(x)
+
+    @given(st.integers(-10**9, 10**9))
+    def test_format_integer_parses_back(self, n):
+        assert int(format_value(n)) == n
+
+
+# ----------------------------------------------------------------------
+# memory layout invariants on every machine
+# ----------------------------------------------------------------------
+specs_strategy = st.lists(
+    st.tuples(st.sampled_from(["INTEGER", "REAL", "LOGICAL",
+                               "DOUBLE PRECISION"]),
+              st.integers(1, 500)),
+    min_size=1, max_size=8)
+
+
+class TestLayoutProperties:
+    @given(specs_strategy, specs_strategy)
+    @settings(max_examples=60)
+    def test_invariants_hold_on_all_machines(self, shared_raw, private_raw):
+        shared = [VariableSpec(f"S{i}", t, n)
+                  for i, (t, n) in enumerate(shared_raw)]
+        private = [VariableSpec(f"P{i}", t, n)
+                   for i, (t, n) in enumerate(private_raw)]
+        for machine in MACHINES.values():
+            plan = MemoryLayout(machine).plan(shared, private)
+            plan.check()   # raises on violation
+
+    @given(specs_strategy)
+    @settings(max_examples=40)
+    def test_no_two_variables_overlap(self, raw):
+        shared = [VariableSpec(f"S{i}", t, n)
+                  for i, (t, n) in enumerate(raw)]
+        machine = MACHINES["encore-multimax"]
+        plan = MemoryLayout(machine).plan(shared, [])
+        placements = sorted(plan.shared, key=lambda p: p.start)
+        for a, b in zip(placements, placements[1:]):
+            assert a.end <= b.start
+
+
+# ----------------------------------------------------------------------
+# scheduler determinism
+# ----------------------------------------------------------------------
+class TestSchedulerProperties:
+    @given(st.lists(st.lists(st.integers(1, 50), min_size=1, max_size=6),
+                    min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_is_max_of_process_sums(self, workloads):
+        machine = MACHINES["sequent-balance"]
+        sched = Scheduler(machine)
+
+        def worker(costs):
+            for c in costs:
+                yield Cost(c)
+
+        for costs in workloads:
+            sched.spawn(worker(list(costs)))
+        stats = sched.run()
+        assert stats.makespan == max(sum(w) for w in workloads)
+
+    @given(st.lists(st.integers(1, 30), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_total_busy_equals_all_costs(self, costs):
+        machine = MACHINES["hep"]
+        sched = Scheduler(machine)
+
+        def worker(c):
+            yield Cost(c)
+
+        for c in costs:
+            sched.spawn(worker(c))
+        stats = sched.run()
+        assert stats.total_busy == sum(costs)
+
+
+# ----------------------------------------------------------------------
+# sed engine
+# ----------------------------------------------------------------------
+class TestSedProperties:
+    @given(st.text(alphabet=st.characters(codec="ascii",
+                                          exclude_characters="\n\x00"),
+                   max_size=60))
+    @settings(max_examples=100)
+    def test_nonmatching_script_preserves_lines(self, line):
+        program = SedProgram("s/\\x00/NUL/")
+        assert program.run(line + "\n") == line + "\n"
+
+    @given(st.lists(st.text(alphabet="abcxyz ", max_size=20), max_size=8))
+    @settings(max_examples=80)
+    def test_delete_then_count(self, lines):
+        text = "".join(line + "\n" for line in lines)
+        program = SedProgram("/x/d")
+        result = program.run(text)
+        kept = [line for line in lines if "x" not in line]
+        assert result == "".join(line + "\n" for line in kept)
+
+
+# ----------------------------------------------------------------------
+# async variable state machine
+# ----------------------------------------------------------------------
+class TestAsyncVarProperties:
+    @given(st.lists(st.sampled_from(["produce", "consume", "void",
+                                     "isfull"]), max_size=30))
+    @settings(max_examples=100)
+    def test_state_machine_matches_model(self, ops):
+        var = AsyncVariable()
+        model_full = False
+        counter = 0
+        for op in ops:
+            if op == "produce":
+                if model_full:
+                    continue      # would block; skip in the model
+                counter += 1
+                var.produce(counter)
+                model_full = True
+            elif op == "consume":
+                if not model_full:
+                    continue
+                assert var.consume() == counter
+                model_full = False
+            elif op == "void":
+                var.void()
+                model_full = False
+            else:
+                assert var.isfull == model_full
+        assert var.isfull == model_full
