@@ -7,7 +7,10 @@ Three miniatures using :mod:`repro.runtime`:
 2. a producer/consumer stage over an asynchronous (full/empty) variable;
 3. dynamic work distribution with the Askfor monitor, plus Resolve —
    the paper's "yet unimplemented concept" — splitting the force into
-   producer and consumer components.
+   producer and consumer components;
+4. the same Jacobi sweep with ``stats=True``: barrier episodes,
+   critical contention and selfsched chunk counts, rendered with
+   ``Force.stats_report()``.
 
 Run:  python examples/native_force.py
 """
@@ -90,10 +93,41 @@ def askfor_resolve_demo() -> None:
           f"{done} work units (expected {2 ** 8 - 1})")
 
 
+def stats_demo() -> None:
+    nproc, n, sweeps = 4, 64, 20
+    force = Force(nproc=nproc, timeout=60, stats=True)
+
+    def program(force, me):
+        u = force.shared_array("u", n)
+        unew = force.shared_array("unew", n)
+        residual = force.shared_counter("residual", 0.0)
+
+        def init():
+            u[0] = u[-1] = 100.0
+
+        force.barrier_section(me, init)
+        for _sweep in range(sweeps):
+            for i in force.selfsched_range("sweep", 1, n - 2):
+                unew[i] = 0.5 * (u[i - 1] + u[i + 1])
+            force.barrier()
+            delta = 0.0
+            for i in force.presched_range(me, 1, n - 2):
+                delta = max(delta, abs(u[i] - unew[i]))
+                u[i] = unew[i]
+            with force.critical("residual"):
+                residual.value = max(residual.value, delta)
+            force.barrier()
+
+    force.run(program)
+    print("4) Instrumented Jacobi (stats=True):")
+    print(force.stats_report())
+
+
 def main() -> None:
     jacobi_demo()
     pipeline_demo()
     askfor_resolve_demo()
+    stats_demo()
 
 
 if __name__ == "__main__":

@@ -85,19 +85,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.sim.timeline import render_utilization
         print(render_utilization(result.stats), file=sys.stderr)
     if args.stats:
-        stats = result.stats
-        print(f"--- {machine.name}, {args.nproc} processes ---",
-              file=sys.stderr)
-        print(f"makespan:            {stats.makespan} cycles",
-              file=sys.stderr)
-        print(f"utilization:         {stats.utilization:.2%}",
-              file=sys.stderr)
-        print(f"lock acquisitions:   {stats.lock_acquisitions} "
-              f"({stats.contended_acquisitions} contended)",
-              file=sys.stderr)
-        print(f"spin cycles:         {stats.spin_cycles}", file=sys.stderr)
-        print(f"context switches:    {stats.context_switches}",
-              file=sys.stderr)
+        from repro.runtime.stats import render_stats
+        print(render_stats(result.stats_dict()), file=sys.stderr)
     return 0
 
 

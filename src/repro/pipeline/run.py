@@ -45,6 +45,31 @@ class RunResult:
     def makespan(self) -> int:
         return self.stats.makespan
 
+    def stats_dict(self) -> dict:
+        """The run's statistics in the shared report format.
+
+        Same shape as :meth:`repro.runtime.force.Force.stats` so
+        compiled (simulated) and native programs render through one
+        :func:`repro.runtime.stats.render_stats` path.
+        """
+        return {"sim": sim_stats_dict(self.machine, self.nproc,
+                                      self.stats)}
+
+
+def sim_stats_dict(machine: MachineModel, nproc: int,
+                   stats: SimStats) -> dict:
+    """Flatten simulator statistics for the shared stats renderer."""
+    return {
+        "machine": machine.name,
+        "processes": nproc,
+        "makespan": stats.makespan,
+        "utilization": stats.utilization,
+        "lock_acquisitions": stats.lock_acquisitions,
+        "contended_acquisitions": stats.contended_acquisitions,
+        "spin_cycles": stats.spin_cycles,
+        "context_switches": stats.context_switches,
+    }
+
 
 class _StartupCollector(ExternalCallHandler):
     """Run 1 of the Sequent protocol: execute only the startup routine,

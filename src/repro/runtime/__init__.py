@@ -35,9 +35,11 @@ from repro.runtime.barriers import (
     make_barrier,
 )
 from repro.runtime.asyncvar import AsyncVariable, AsyncArray
+from repro.runtime.cancel import CancelToken, ForceCancelled
 from repro.runtime.force import Force, ForceProgramError
 from repro.runtime.askfor import AskforMonitor
 from repro.runtime.resolve import Resolve
+from repro.runtime.stats import ForceStats, render_stats
 
 __all__ = [
     "BARRIER_ALGORITHMS",
@@ -48,8 +50,12 @@ __all__ = [
     "make_barrier",
     "AsyncVariable",
     "AsyncArray",
+    "CancelToken",
     "Force",
+    "ForceCancelled",
     "ForceProgramError",
+    "ForceStats",
+    "render_stats",
     "AskforMonitor",
     "Resolve",
 ]

@@ -4,6 +4,14 @@
 the degree of concurrency is not known at compile time" — workers ask
 for work; any worker may add more; the monitor detects global
 termination when the pool is empty and no worker still holds an item.
+
+Termination/drain contract: ``get`` always drains queued items before
+reporting termination, so every successfully ``put`` item is handed
+out exactly once (``total_put == total_got`` at termination).  A
+``put`` after the pool terminated raises, so no item is ever silently
+dropped.  Monitors created through a Force carry its
+:class:`~repro.runtime.cancel.CancelToken`: workers blocked in ``get``
+raise ``ForceCancelled`` when a peer process fails.
 """
 
 from __future__ import annotations
@@ -13,18 +21,26 @@ from collections import deque
 from typing import Any, Iterator
 
 from repro._util.errors import ForceError
+from repro.runtime.cancel import CancelToken
 
 
 class AskforMonitor:
     """A work pool with built-in termination detection."""
 
-    def __init__(self, initial: list | None = None) -> None:
+    def __init__(self, initial: list | None = None, *,
+                 cancel: CancelToken | None = None) -> None:
         self._items: deque = deque(initial or [])
         self._condition = threading.Condition()
         self._holders = 0
+        self._holder_threads: set[int] = set()
         self._done = False
+        self._cancel = cancel
         self.total_put = len(self._items)
         self.total_got = 0
+        #: high-water mark of the queue depth (stats)
+        self.max_depth = len(self._items)
+        if cancel is not None:
+            cancel.register(self._condition)
 
     def put(self, item: Any) -> None:
         """Add a work item (callable from inside a worker's body)."""
@@ -33,6 +49,8 @@ class AskforMonitor:
                 raise ForceError("putwork after the pool terminated")
             self._items.append(item)
             self.total_put += 1
+            if len(self._items) > self.max_depth:
+                self.max_depth = len(self._items)
             self._condition.notify()
 
     def get(self) -> tuple[bool, Any]:
@@ -40,7 +58,8 @@ class AskforMonitor:
 
         A call to ``get`` also marks the caller's previous item (if
         any) complete — matching the Force askfor loop structure where
-        each worker alternates get/process.
+        each worker alternates get/process.  Queued items are drained
+        even after termination was declared, so nothing is dropped.
         """
         with self._condition:
             if self._holders_includes_me():
@@ -48,6 +67,8 @@ class AskforMonitor:
                 self._release_me()
                 self._condition.notify_all()
             while True:
+                if self._cancel is not None:
+                    self._cancel.check()
                 if self._items:
                     self._holders += 1
                     self._mark_me_holder()
@@ -61,15 +82,10 @@ class AskforMonitor:
 
     # -- holder tracking (thread-identity based) -----------------------
     def _mark_me_holder(self) -> None:
-        holders = getattr(self, "_holder_threads", None)
-        if holders is None:
-            holders = set()
-            self._holder_threads = holders
-        holders.add(threading.get_ident())
+        self._holder_threads.add(threading.get_ident())
 
     def _holders_includes_me(self) -> bool:
-        holders = getattr(self, "_holder_threads", set())
-        return threading.get_ident() in holders
+        return threading.get_ident() in self._holder_threads
 
     def _release_me(self) -> None:
         self._holder_threads.discard(threading.get_ident())

@@ -11,37 +11,69 @@ An :class:`AsyncVariable` carries a value plus a full/empty state:
 On the HEP this was a hardware bit per memory cell; elsewhere the Force
 used two locks per variable.  Here a condition variable provides the
 same atomic state transition semantics.
+
+Variables created through a :class:`~repro.runtime.force.Force` carry
+the force's :class:`~repro.runtime.cancel.CancelToken`, so a wait for a
+partner that died raises ``ForceCancelled`` instead of hanging, and an
+optional ``on_block`` hook that reports time spent blocked (the stats
+layer's asyncvar blocked-time metric).
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any
+from time import monotonic
+from typing import Any, Callable
 
 from repro._util.errors import ForceError
+from repro.runtime.cancel import CancelToken
 
 
 class AsyncVariable:
     """One full/empty cell."""
 
-    __slots__ = ("_value", "_full", "_condition")
+    __slots__ = ("_value", "_full", "_condition", "_cancel", "_on_block")
 
-    def __init__(self, value: Any = None, *, full: bool = False) -> None:
+    def __init__(self, value: Any = None, *, full: bool = False,
+                 cancel: CancelToken | None = None,
+                 on_block: Callable[[float], None] | None = None) -> None:
         self._value = value
         self._full = full
         self._condition = threading.Condition()
+        self._cancel = cancel
+        self._on_block = on_block
+        if cancel is not None:
+            cancel.register(self._condition)
 
     @property
     def isfull(self) -> bool:
         with self._condition:
             return self._full
 
+    def _await(self, predicate: Callable[[], bool],
+               timeout: float | None, failure: str) -> None:
+        """Wait (condition held) until predicate; cancel- and stats-aware."""
+        if predicate():
+            return
+        started = monotonic() if self._on_block is not None else 0.0
+        try:
+            if self._cancel is None:
+                satisfied = self._condition.wait_for(predicate,
+                                                     timeout=timeout)
+            else:
+                satisfied = self._cancel.wait_for(self._condition,
+                                                  predicate, timeout)
+            if not satisfied:
+                raise ForceError(failure)
+        finally:
+            if self._on_block is not None:
+                self._on_block(monotonic() - started)
+
     def produce(self, value: Any, *, timeout: float | None = None) -> None:
         """Wait for empty, write ``value``, set full."""
         with self._condition:
-            if not self._condition.wait_for(lambda: not self._full,
-                                            timeout=timeout):
-                raise ForceError("produce timed out (variable stayed full)")
+            self._await(lambda: not self._full, timeout,
+                        "produce timed out (variable stayed full)")
             self._value = value
             self._full = True
             self._condition.notify_all()
@@ -49,9 +81,8 @@ class AsyncVariable:
     def consume(self, *, timeout: float | None = None) -> Any:
         """Wait for full, read, set empty."""
         with self._condition:
-            if not self._condition.wait_for(lambda: self._full,
-                                            timeout=timeout):
-                raise ForceError("consume timed out (variable stayed empty)")
+            self._await(lambda: self._full, timeout,
+                        "consume timed out (variable stayed empty)")
             value = self._value
             self._full = False
             self._condition.notify_all()
@@ -60,9 +91,8 @@ class AsyncVariable:
     def copy(self, *, timeout: float | None = None) -> Any:
         """Wait for full, read, leave full."""
         with self._condition:
-            if not self._condition.wait_for(lambda: self._full,
-                                            timeout=timeout):
-                raise ForceError("copy timed out (variable stayed empty)")
+            self._await(lambda: self._full, timeout,
+                        "copy timed out (variable stayed empty)")
             return self._value
 
     def void(self) -> None:
@@ -75,10 +105,13 @@ class AsyncVariable:
 class AsyncArray:
     """An array of full/empty cells (HEP-style per-element state)."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, *,
+                 cancel: CancelToken | None = None,
+                 on_block: Callable[[float], None] | None = None) -> None:
         if size <= 0:
             raise ForceError("AsyncArray size must be positive")
-        self._cells = [AsyncVariable() for _ in range(size)]
+        self._cells = [AsyncVariable(cancel=cancel, on_block=on_block)
+                       for _ in range(size)]
 
     def __len__(self) -> int:
         return len(self._cells)

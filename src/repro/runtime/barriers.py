@@ -23,6 +23,7 @@ import threading
 from typing import Callable
 
 from repro._util.errors import ForceError
+from repro.runtime.cancel import CancelToken
 
 
 class Barrier:
@@ -32,12 +33,20 @@ class Barrier:
     allowed to run the barrier section in Force semantics); with
     ``run_section`` the section callable runs under that guarantee
     *before* any process is released.
+
+    An optional :class:`CancelToken` makes every blocking point
+    poison-aware: when the token fires, blocked arrivals raise
+    :class:`~repro.runtime.cancel.ForceCancelled` instead of waiting
+    for partners that will never come.  A cancelled barrier must not
+    be reused — its internal state is torn mid-episode.
     """
 
-    def __init__(self, nproc: int) -> None:
+    def __init__(self, nproc: int, *,
+                 cancel: CancelToken | None = None) -> None:
         if nproc < 1:
             raise ForceError("barrier needs at least one process")
         self.nproc = nproc
+        self._cancel = cancel
 
     def wait(self, me: int) -> bool:
         raise NotImplementedError
@@ -56,8 +65,9 @@ class CentralCounterBarrier(Barrier):
     paper's binary-semaphore locks.
     """
 
-    def __init__(self, nproc: int) -> None:
-        super().__init__(nproc)
+    def __init__(self, nproc: int, *,
+                 cancel: CancelToken | None = None) -> None:
+        super().__init__(nproc, cancel=cancel)
         self._count = 0
         self._barwin = threading.Semaphore(1)   # unlocked
         self._barwot = threading.Semaphore(0)   # locked
@@ -68,12 +78,18 @@ class CentralCounterBarrier(Barrier):
     def run_section(self, me: int, section: Callable[[], None]) -> None:
         self._arrive(section)
 
+    def _acquire(self, semaphore: threading.Semaphore) -> None:
+        if self._cancel is None:
+            semaphore.acquire()
+        else:
+            self._cancel.acquire(semaphore)
+
     def _arrive(self, section: Callable[[], None] | None) -> bool:
-        self._barwin.acquire()
+        self._acquire(self._barwin)
         self._count += 1
         if self._count < self.nproc:
             self._barwin.release()
-            self._barwot.acquire()
+            self._acquire(self._barwot)
             self._count -= 1
             if self._count == 0:
                 self._barwin.release()
@@ -94,12 +110,15 @@ class CentralCounterBarrier(Barrier):
 class SenseReversingBarrier(Barrier):
     """Central counter with per-episode sense reversal."""
 
-    def __init__(self, nproc: int) -> None:
-        super().__init__(nproc)
+    def __init__(self, nproc: int, *,
+                 cancel: CancelToken | None = None) -> None:
+        super().__init__(nproc, cancel=cancel)
         self._lock = threading.Lock()
         self._count = 0
         self._sense = False
         self._condition = threading.Condition(self._lock)
+        if cancel is not None:
+            cancel.register(self._condition)
 
     def wait(self, me: int) -> bool:
         return self.run_section(me, None)
@@ -107,6 +126,8 @@ class SenseReversingBarrier(Barrier):
     def run_section(self, me: int,
                     section: Callable[[], None] | None) -> bool:
         with self._condition:
+            if self._cancel is not None:
+                self._cancel.check()
             my_sense = self._sense
             self._count += 1
             if self._count == self.nproc:
@@ -116,8 +137,12 @@ class SenseReversingBarrier(Barrier):
                 self._sense = not self._sense
                 self._condition.notify_all()
                 return True
-            while self._sense == my_sense:
-                self._condition.wait()
+            if self._cancel is None:
+                while self._sense == my_sense:
+                    self._condition.wait()
+            else:
+                self._cancel.wait_for(self._condition,
+                                      lambda: self._sense != my_sense)
             return False
 
 
@@ -131,9 +156,13 @@ class _RoundFlags:
     def signal(self, proc: int, rnd: int) -> None:
         self.events[proc][rnd].set()
 
-    def await_and_clear(self, proc: int, rnd: int) -> None:
+    def await_and_clear(self, proc: int, rnd: int,
+                        cancel: CancelToken | None = None) -> None:
         event = self.events[proc][rnd]
-        event.wait()
+        if cancel is None:
+            event.wait()
+        else:
+            cancel.wait_event(event)
         event.clear()
 
 
@@ -159,24 +188,28 @@ class DisseminationBarrier(Barrier):
     (the construction of Mellor-Crummey & Scott).
     """
 
-    def __init__(self, nproc: int) -> None:
-        super().__init__(nproc)
+    def __init__(self, nproc: int, *,
+                 cancel: CancelToken | None = None) -> None:
+        super().__init__(nproc, cancel=cancel)
         self._rounds = _rounds_for(nproc)
         self._flags = (_RoundFlags(nproc, max(self._rounds, 1)),
                        _RoundFlags(nproc, max(self._rounds, 1)))
         #: per-process episode parity; slot i touched only by process i
         self._parity = [0] * nproc
-        self._section_gate = SenseReversingBarrier(nproc)
+        self._section_gate = SenseReversingBarrier(nproc, cancel=cancel)
 
     def wait(self, me: int) -> bool:
         index = me - 1
+        if not 0 <= index < self.nproc:
+            raise ForceError(
+                f"barrier process id {me} outside 1..{self.nproc}")
         flags = self._flags[self._parity[index]]
         self._parity[index] ^= 1
         distance = 1
         for rnd in range(self._rounds):
             partner = (index + distance) % self.nproc
             flags.signal(partner, rnd)
-            flags.await_and_clear(index, rnd)
+            flags.await_and_clear(index, rnd, self._cancel)
             distance *= 2
         return index == 0
 
@@ -195,8 +228,9 @@ class TournamentBarrier(Barrier):
     runs the section and releases everyone down the tree.
     """
 
-    def __init__(self, nproc: int) -> None:
-        super().__init__(nproc)
+    def __init__(self, nproc: int, *,
+                 cancel: CancelToken | None = None) -> None:
+        super().__init__(nproc, cancel=cancel)
         self._rounds = _rounds_for(nproc)
         self._arrive = _RoundFlags(nproc, max(self._rounds, 1))
         self._release = _RoundFlags(nproc, max(self._rounds, 1))
@@ -207,19 +241,22 @@ class TournamentBarrier(Barrier):
     def run_section(self, me: int,
                     section: Callable[[], None] | None) -> bool:
         index = me - 1
+        if not 0 <= index < self.nproc:
+            raise ForceError(
+                f"barrier process id {me} outside 1..{self.nproc}")
         wins = []
         for rnd in range(self._rounds):
             step = 1 << rnd
             if index % (2 * step) == 0:
                 partner = index + step
                 if partner < self.nproc:
-                    self._arrive.await_and_clear(index, rnd)
+                    self._arrive.await_and_clear(index, rnd, self._cancel)
                 wins.append(rnd)
             else:
                 partner = index - step
                 self._arrive.signal(partner, rnd)
                 # Lose: wait for release from the partner, then fan out.
-                self._release.await_and_clear(index, rnd)
+                self._release.await_and_clear(index, rnd, self._cancel)
                 for done in reversed(wins):
                     down = index + (1 << done)
                     if down < self.nproc:
@@ -243,7 +280,8 @@ BARRIER_ALGORITHMS: dict[str, type[Barrier]] = {
 }
 
 
-def make_barrier(algorithm: str, nproc: int) -> Barrier:
+def make_barrier(algorithm: str, nproc: int, *,
+                 cancel: CancelToken | None = None) -> Barrier:
     """Instantiate a barrier by algorithm name."""
     try:
         cls = BARRIER_ALGORITHMS[algorithm]
@@ -251,4 +289,4 @@ def make_barrier(algorithm: str, nproc: int) -> Barrier:
         raise ForceError(
             f"unknown barrier algorithm {algorithm!r}; available: "
             f"{', '.join(BARRIER_ALGORITHMS)}") from exc
-    return cls(nproc)
+    return cls(nproc, cancel=cancel)

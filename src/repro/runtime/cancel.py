@@ -1,0 +1,131 @@
+"""Fail-fast cancellation for the native Force runtime.
+
+When any process of a force raises, the whole program is dead: every
+peer blocked in a barrier episode, an asynchronous-variable wait, an
+Askfor ``get`` or a selfscheduled-loop entry/exit would otherwise sit
+there until the join timeout expires and the error is misreported as a
+deadlock.  A :class:`CancelToken` is the shared poison flag that turns
+that hang into prompt propagation: the failing process calls
+:meth:`CancelToken.cancel` with the original error, the token wakes
+every registered condition variable, and each blocked peer raises
+:class:`ForceCancelled` out of its construct.
+
+Constructs that wait on a :class:`threading.Condition` register it with
+the token (so cancellation is a ``notify_all``, not a poll); constructs
+that wait on :class:`threading.Event` flags or plain locks use the
+token's polling helpers with a short poll interval, bounding the
+propagation latency without slowing the uncontended fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic as _monotonic
+from typing import Callable
+
+from repro._util.errors import ForceError
+
+#: poll interval for waits that cannot be woken by ``notify_all``
+#: (events, semaphores, plain locks).  Bounds cancellation latency.
+POLL_INTERVAL = 0.02
+
+
+class ForceCancelled(ForceError):
+    """The force was poisoned by another process's failure.
+
+    Raised inside blocked constructs so every process unwinds promptly;
+    ``Force.run`` filters these and re-raises the *original* failure.
+    """
+
+    def __init__(self, error: BaseException | None = None) -> None:
+        self.error = error
+        detail = f": {error}" if error is not None else ""
+        super().__init__(f"force cancelled{detail}")
+
+
+class CancelToken:
+    """Shared poison flag with condition-variable wakeup.
+
+    One token is shared by every construct of one :class:`Force` run.
+    ``cancel(error)`` is idempotent: the first error wins and is the
+    one re-raised by ``Force.run``.
+    """
+
+    __slots__ = ("_lock", "_flag", "_conditions", "error")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flag = threading.Event()
+        self._conditions: list[threading.Condition] = []
+        self.error: BaseException | None = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self._flag.is_set()
+
+    def register(self, condition: threading.Condition) -> None:
+        """Add a condition to wake with ``notify_all`` on cancellation."""
+        with self._lock:
+            self._conditions.append(condition)
+
+    def cancel(self, error: BaseException | None = None) -> None:
+        """Poison the force; wake every registered waiter."""
+        with self._lock:
+            if self._flag.is_set():
+                return
+            self.error = error
+            self._flag.set()
+            conditions = list(self._conditions)
+        for condition in conditions:
+            with condition:
+                condition.notify_all()
+
+    def check(self) -> None:
+        """Raise :class:`ForceCancelled` if the force is poisoned."""
+        if self._flag.is_set():
+            raise ForceCancelled(self.error)
+
+    # ------------------------------------------------------------------
+    # wait helpers
+    # ------------------------------------------------------------------
+    def wait_for(self, condition: threading.Condition,
+                 predicate: Callable[[], bool],
+                 timeout: float | None = None) -> bool:
+        """Token-aware ``Condition.wait_for`` (condition must be held).
+
+        Returns the predicate result (False only on timeout); raises
+        :class:`ForceCancelled` if the token fires while waiting.  The
+        condition must have been :meth:`register`-ed so that ``cancel``
+        wakes it.
+        """
+        deadline = None if timeout is None else _monotonic() + timeout
+        while True:
+            self.check()
+            if predicate():
+                return True
+            if deadline is None:
+                condition.wait()
+            else:
+                remaining = deadline - _monotonic()
+                if remaining <= 0:
+                    return False
+                condition.wait(remaining)
+
+    def wait_event(self, event: threading.Event) -> None:
+        """Wait for an event, polling the poison flag in between."""
+        while not event.wait(POLL_INTERVAL):
+            self.check()
+
+    def acquire(self, lock, timeout: float | None = None) -> bool:
+        """Token-aware acquire of a Lock/Semaphore (polling)."""
+        deadline = None if timeout is None else _monotonic() + timeout
+        while True:
+            self.check()
+            slice_ = POLL_INTERVAL
+            if deadline is not None:
+                remaining = deadline - _monotonic()
+                if remaining <= 0:
+                    return False
+                slice_ = min(slice_, remaining)
+            if lock.acquire(timeout=slice_):
+                return True

@@ -5,12 +5,24 @@ One :class:`Force` instance executes one *program* — a callable of
 work is not assigned to specific processes but distributed over the
 whole force by the constructs; variables are either shared (named
 objects obtained from the force) or private (ordinary locals).
+
+Failure semantics: the first process to raise poisons the whole force
+through a shared :class:`~repro.runtime.cancel.CancelToken`.  Peers
+blocked in any construct (barrier, critical, selfsched entry/exit,
+askfor ``get``, async-variable wait) wake promptly with
+``ForceCancelled``; :meth:`Force.run` re-raises the *original*
+:class:`ForceProgramError` instead of reporting a join timeout.
+
+Observability: ``Force(nproc, stats=True)`` records per-construct
+counters and wait times (see :mod:`repro.runtime.stats`), exposed via
+:attr:`Force.stats` / :meth:`Force.stats_report`.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from time import monotonic
 from typing import Any, Callable, Iterator
 
 import numpy as np
@@ -19,7 +31,9 @@ from repro._util.errors import ForceError
 from repro.runtime.askfor import AskforMonitor
 from repro.runtime.asyncvar import AsyncArray, AsyncVariable
 from repro.runtime.barriers import Barrier, make_barrier
+from repro.runtime.cancel import CancelToken, ForceCancelled
 from repro.runtime.resolve import Resolve
+from repro.runtime.stats import ForceStats, render_stats
 
 
 class ForceProgramError(ForceError):
@@ -47,43 +61,66 @@ class _SelfschedLoop:
     initialising the shared index; the exit phase opens only once every
     process has entered, so a fast process cannot re-enter the loop
     (in an enclosing iteration) before slow ones arrive.
+
+    The exit protocol runs in a ``finally`` so that a consumer that
+    ``break``s out of the generator early (``GeneratorExit``) still
+    leaves the loop — otherwise ``_inside`` stays incremented and every
+    later entry with the same label deadlocks.
     """
 
-    def __init__(self, nproc: int) -> None:
+    def __init__(self, nproc: int, *,
+                 cancel: CancelToken | None = None,
+                 on_chunk: Callable[[], None] | None = None) -> None:
         self.nproc = nproc
         self._condition = threading.Condition()
         self._phase = "entry"
         self._inside = 0
         self._next = 0
+        self._cancel = cancel
+        self._on_chunk = on_chunk
+        if cancel is not None:
+            cancel.register(self._condition)
+
+    def _wait_for(self, predicate: Callable[[], bool]) -> None:
+        """Wait (condition held) until predicate; poison-aware."""
+        if self._cancel is None:
+            while not predicate():
+                self._condition.wait()
+        else:
+            self._cancel.wait_for(self._condition, predicate)
 
     def iterate(self, first: int, last: int, step: int) -> Iterator[int]:
         if step == 0:
             raise ForceError("selfsched step must be nonzero")
         with self._condition:
-            while self._phase != "entry":
-                self._condition.wait()
+            self._wait_for(lambda: self._phase == "entry")
             if self._inside == 0:
                 self._next = first
             self._inside += 1
             if self._inside == self.nproc:
                 self._phase = "exit"
                 self._condition.notify_all()
-        while True:
+        try:
+            while True:
+                with self._condition:
+                    if self._cancel is not None:
+                        self._cancel.check()
+                    value = self._next
+                    self._next = value + step
+                if (step > 0 and value <= last) or \
+                        (step < 0 and value >= last):
+                    if self._on_chunk is not None:
+                        self._on_chunk()
+                    yield value
+                else:
+                    break
+        finally:
             with self._condition:
-                value = self._next
-                self._next = value + step
-            if (step > 0 and value <= last) or \
-                    (step < 0 and value >= last):
-                yield value
-            else:
-                break
-        with self._condition:
-            while self._phase != "exit":
-                self._condition.wait()
-            self._inside -= 1
-            if self._inside == 0:
-                self._phase = "entry"
-                self._condition.notify_all()
+                self._wait_for(lambda: self._phase == "exit")
+                self._inside -= 1
+                if self._inside == 0:
+                    self._phase = "entry"
+                    self._condition.notify_all()
 
 
 class Force:
@@ -96,18 +133,25 @@ class Force:
 
     def __init__(self, nproc: int, *,
                  barrier_algorithm: str = "central-counter",
-                 timeout: float | None = 60.0) -> None:
+                 timeout: float | None = 60.0,
+                 stats: bool = False) -> None:
         if nproc < 1:
             raise ForceError("a force needs at least one process")
         self.nproc = nproc
         self.timeout = timeout
         self._barrier_algorithm = barrier_algorithm
+        self._stats_enabled = stats
         self._registry_lock = threading.Lock()
+        self._local = threading.local()
         self._reset_state()
 
     def _reset_state(self) -> None:
+        self._cancel = CancelToken()
+        self._stats: ForceStats | None = \
+            ForceStats(self.nproc) if self._stats_enabled else None
         self._barrier: Barrier = make_barrier(self._barrier_algorithm,
-                                              self.nproc)
+                                              self.nproc,
+                                              cancel=self._cancel)
         self._criticals: dict[str, threading.Lock] = {}
         self._shared: dict[str, Any] = {}
         self._loops: dict[str, _SelfschedLoop] = {}
@@ -118,49 +162,121 @@ class Force:
     # ------------------------------------------------------------------
     def run(self, program: Callable[["Force", int], Any],
             *args: Any) -> None:
-        """Execute ``program(force, me, *args)`` on every process."""
+        """Execute ``program(force, me, *args)`` on every process.
+
+        The first failing process wins: its exception is wrapped in
+        :class:`ForceProgramError`, the force is poisoned so blocked
+        peers unwind promptly, and that original error is re-raised
+        here.  ``timeout`` bounds the *whole* join, not each thread.
+        """
         self._reset_state()
+        token = self._cancel
 
         def body(me: int) -> None:
+            self._local.me = me
             try:
                 program(self, me, *args)
+            except ForceCancelled:
+                pass   # a peer failed first; unwind quietly
             except BaseException as exc:   # noqa: BLE001 - reported below
+                failure = ForceProgramError(me, exc)
                 with self._registry_lock:
-                    self._failures.append(ForceProgramError(me, exc))
+                    self._failures.append(failure)
+                token.cancel(failure)
+            finally:
+                self._local.me = None
 
         threads = [threading.Thread(target=body, args=(me,),
                                     name=f"force-{me}", daemon=True)
                    for me in range(1, self.nproc + 1)]
         for thread in threads:
             thread.start()
+        deadline = None if self.timeout is None \
+            else monotonic() + self.timeout
         for thread in threads:
-            thread.join(self.timeout)
-            if thread.is_alive():
-                raise ForceError(
-                    f"force did not terminate within {self.timeout}s "
-                    "(deadlock or missing barrier partner?)")
-        if self._failures:
-            raise self._failures[0]
+            thread.join(None if deadline is None
+                        else max(0.0, deadline - monotonic()))
+        alive = [thread.name for thread in threads if thread.is_alive()]
+        failure = token.error if isinstance(token.error, ForceProgramError) \
+            else (self._failures[0] if self._failures else None)
+        if failure is not None:
+            raise failure
+        if alive:
+            raise ForceError(
+                f"force did not terminate within {self.timeout}s "
+                "(deadlock or missing barrier partner?); still alive: "
+                + ", ".join(alive))
+
+    def _current_me(self) -> int | None:
+        """This thread's process id, inside :meth:`run` (else None)."""
+        return getattr(self._local, "me", None)
 
     # ------------------------------------------------------------------
     # synchronization
     # ------------------------------------------------------------------
+    def _resolve_me(self, me: int | None) -> int:
+        if me is not None:
+            return me
+        current = self._current_me()
+        if current is not None:
+            return current
+        if self.nproc == 1:
+            return 1
+        raise ForceError(
+            "barrier() called outside a force process; pass me explicitly")
+
     def barrier(self, me: int | None = None) -> None:
-        """Wait for the whole force (§3.4)."""
-        self._barrier.wait(me if me is not None else 0)
+        """Wait for the whole force (§3.4).
+
+        ``me`` defaults to the calling process's own id (tracked per
+        thread by :meth:`run`) — the structured barrier algorithms
+        need a *valid* id, as each process owns distinct flag slots.
+        """
+        me = self._resolve_me(me)
+        if self._stats is None:
+            self._barrier.wait(me)
+            return
+        started = monotonic()
+        released = self._barrier.wait(me)
+        self._stats.record_barrier_wait(monotonic() - started)
+        if released:
+            self._stats.record_barrier_episode()
 
     def barrier_section(self, me: int,
                         section: Callable[[], None]) -> None:
         """Barrier whose section runs exactly once, before release."""
-        self._barrier.run_section(me, section)
+        me = self._resolve_me(me)
+        if self._stats is None:
+            self._barrier.run_section(me, section)
+            return
+        stats = self._stats
+
+        def counted() -> None:
+            stats.record_barrier_episode()
+            section()
+
+        started = monotonic()
+        self._barrier.run_section(me, counted)
+        stats.record_barrier_wait(monotonic() - started)
 
     @contextmanager
     def critical(self, name: str = "default"):
         """Named critical section: mutual exclusion across the force."""
         with self._registry_lock:
             lock = self._criticals.setdefault(name, threading.Lock())
-        with lock:
+        contended = False
+        waited = 0.0
+        if not lock.acquire(blocking=False):
+            contended = True
+            started = monotonic()
+            self._cancel.acquire(lock)
+            waited = monotonic() - started
+        try:
+            if self._stats is not None:
+                self._stats.record_critical(name, waited, contended)
             yield
+        finally:
+            lock.release()
 
     # ------------------------------------------------------------------
     # work distribution
@@ -187,7 +303,15 @@ class Force:
         with self._registry_lock:
             loop = self._loops.get(label)
             if loop is None:
-                loop = _SelfschedLoop(self.nproc)
+                on_chunk = None
+                if self._stats is not None:
+                    stats = self._stats
+
+                    def on_chunk(label=label) -> None:
+                        stats.record_selfsched_chunk(label)
+
+                loop = _SelfschedLoop(self.nproc, cancel=self._cancel,
+                                      on_chunk=on_chunk)
                 self._loops[label] = loop
         return loop.iterate(first, last, step)
 
@@ -218,11 +342,13 @@ class Force:
     def askfor(self, name: str, initial: list | None = None
                ) -> AskforMonitor:
         """The named Askfor work pool (created on first use)."""
-        return self._get_shared(name, lambda: AskforMonitor(initial))
+        return self._get_shared(
+            name, lambda: AskforMonitor(initial, cancel=self._cancel))
 
     def resolve(self, name: str, weights: dict[str, float]) -> Resolve:
         """Partition the force into weighted components (extension)."""
-        return self._get_shared(name, lambda: Resolve(self.nproc, weights))
+        return self._get_shared(
+            name, lambda: Resolve(self.nproc, weights, cancel=self._cancel))
 
     # ------------------------------------------------------------------
     # variables
@@ -237,11 +363,21 @@ class Force:
 
     def async_var(self, name: str) -> AsyncVariable:
         """A named asynchronous (full/empty) variable."""
-        return self._get_shared(name, AsyncVariable)
+        return self._get_shared(
+            name, lambda: AsyncVariable(cancel=self._cancel,
+                                        on_block=self._asyncvar_hook(name)))
 
     def async_array(self, name: str, size: int) -> AsyncArray:
         """A named array of full/empty cells."""
-        return self._get_shared(name, lambda: AsyncArray(size))
+        return self._get_shared(
+            name, lambda: AsyncArray(size, cancel=self._cancel,
+                                     on_block=self._asyncvar_hook(name)))
+
+    def _asyncvar_hook(self, name: str) -> Callable[[float], None] | None:
+        if self._stats is None:
+            return None
+        stats = self._stats
+        return lambda seconds: stats.record_asyncvar_block(name, seconds)
 
     def _get_shared(self, name: str, factory: Callable[[], Any]) -> Any:
         with self._registry_lock:
@@ -250,3 +386,32 @@ class Force:
                 obj = factory()
                 self._shared[name] = obj
             return obj
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def stats_enabled(self) -> bool:
+        return self._stats_enabled
+
+    @property
+    def stats(self) -> dict[str, Any] | None:
+        """Snapshot of collected stats (None unless ``stats=True``)."""
+        if self._stats is None:
+            return None
+        with self._registry_lock:
+            pools = [(name, obj) for name, obj in self._shared.items()
+                     if isinstance(obj, AskforMonitor)]
+        for name, pool in pools:
+            self._stats.record_askfor(name, total_put=pool.total_put,
+                                      total_got=pool.total_got,
+                                      max_depth=pool.max_depth)
+        return self._stats.as_dict()
+
+    def stats_report(self) -> str:
+        """Human-readable rendering of :attr:`stats`."""
+        snapshot = self.stats
+        if snapshot is None:
+            raise ForceError(
+                "stats collection is off; create Force(..., stats=True)")
+        return render_stats(snapshot)

@@ -15,6 +15,7 @@ import threading
 
 from repro._util.errors import ForceError
 from repro.runtime.barriers import SenseReversingBarrier
+from repro.runtime.cancel import CancelToken
 
 
 class Resolve:
@@ -25,7 +26,8 @@ class Resolve:
     receives at least one process when ``nproc >= len(weights)``.
     """
 
-    def __init__(self, nproc: int, weights: dict[str, float]) -> None:
+    def __init__(self, nproc: int, weights: dict[str, float], *,
+                 cancel: CancelToken | None = None) -> None:
         if not weights:
             raise ForceError("Resolve needs at least one component")
         if nproc < len(weights):
@@ -59,8 +61,9 @@ class Resolve:
                 self._assignment[me] = (name, rank)
                 me += 1
         self._component_barriers = {
-            name: SenseReversingBarrier(sizes[name]) for name in self.names}
-        self._unify_barrier = SenseReversingBarrier(nproc)
+            name: SenseReversingBarrier(sizes[name], cancel=cancel)
+            for name in self.names}
+        self._unify_barrier = SenseReversingBarrier(nproc, cancel=cancel)
         self._lock = threading.Lock()
 
     def component_of(self, me: int) -> tuple[str, int]:

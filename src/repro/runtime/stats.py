@@ -1,0 +1,221 @@
+"""Runtime instrumentation for the native Force (opt-in).
+
+``Force(nproc, stats=True)`` threads a :class:`ForceStats` collector
+through the same interception points the cancellation layer uses, in
+the spirit of the barrier/lock cost methodology of Mellor-Crummey &
+Scott: per-construct counters and wait-time accumulators —
+
+* barrier episodes completed, per-process wait times and their spread;
+* critical-section acquisitions and contention per section name;
+* selfscheduled chunks dispatched per loop label;
+* Askfor pool traffic (``total_put``/``total_got``/max queue depth);
+* asynchronous-variable blocked events and blocked time per name.
+
+The collector is a plain dict away (:meth:`ForceStats.as_dict`) and
+rendered by :func:`render_stats`, which the ``force run --stats`` CLI
+shares with compiled-program simulation statistics so both execution
+paths report through one format.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class WaitStat:
+    """Count / total / min / max of wait durations (seconds)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.total / self.count if self.count else 0.0,
+            "min_s": self.min if self.count else 0.0,
+            "max_s": self.max,
+            "spread_s": (self.max - self.min) if self.count else 0.0,
+        }
+
+
+class ForceStats:
+    """Per-construct counters for one :class:`Force`.
+
+    All record methods are thread-safe; the runtime only calls them
+    when stats collection is enabled, so the ``stats=False`` path pays
+    a single ``is None`` test per interception point.
+    """
+
+    def __init__(self, nproc: int) -> None:
+        self.nproc = nproc
+        self._lock = threading.Lock()
+        self.barrier_episodes = 0
+        self.barrier_wait = WaitStat()
+        self.criticals: dict[str, dict[str, Any]] = {}
+        self.selfsched_chunks: dict[str, int] = {}
+        self.askfor: dict[str, dict[str, int]] = {}
+        self.asyncvar: dict[str, WaitStat] = {}
+
+    # -- barriers ------------------------------------------------------
+    def record_barrier_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.barrier_wait.record(seconds)
+
+    def record_barrier_episode(self) -> None:
+        with self._lock:
+            self.barrier_episodes += 1
+
+    # -- critical sections ---------------------------------------------
+    def record_critical(self, name: str, waited: float,
+                        contended: bool) -> None:
+        with self._lock:
+            entry = self.criticals.get(name)
+            if entry is None:
+                entry = {"acquisitions": 0, "contended": 0,
+                         "wait": WaitStat()}
+                self.criticals[name] = entry
+            entry["acquisitions"] += 1
+            if contended:
+                entry["contended"] += 1
+                entry["wait"].record(waited)
+
+    # -- selfscheduled loops -------------------------------------------
+    def record_selfsched_chunk(self, label: str) -> None:
+        with self._lock:
+            self.selfsched_chunks[label] = \
+                self.selfsched_chunks.get(label, 0) + 1
+
+    # -- askfor pools --------------------------------------------------
+    def record_askfor(self, name: str, *, total_put: int, total_got: int,
+                      max_depth: int) -> None:
+        with self._lock:
+            self.askfor[name] = {"total_put": total_put,
+                                 "total_got": total_got,
+                                 "max_depth": max_depth}
+
+    # -- asynchronous variables ----------------------------------------
+    def record_asyncvar_block(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stat = self.asyncvar.get(name)
+            if stat is None:
+                stat = WaitStat()
+                self.asyncvar[name] = stat
+            stat.record(seconds)
+
+    # -- export --------------------------------------------------------
+    def as_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "nproc": self.nproc,
+                "barriers": {
+                    "episodes": self.barrier_episodes,
+                    "wait": self.barrier_wait.as_dict(),
+                },
+                "criticals": {
+                    name: {
+                        "acquisitions": entry["acquisitions"],
+                        "contended": entry["contended"],
+                        "wait": entry["wait"].as_dict(),
+                    }
+                    for name, entry in sorted(self.criticals.items())
+                },
+                "selfsched": dict(sorted(self.selfsched_chunks.items())),
+                "askfor": {name: dict(v)
+                           for name, v in sorted(self.askfor.items())},
+                "asyncvar": {name: stat.as_dict()
+                             for name, stat in
+                             sorted(self.asyncvar.items())},
+            }
+
+    def render(self) -> str:
+        return render_stats(self.as_dict())
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_stats(stats: dict[str, Any]) -> str:
+    """Render a stats dict (native runtime and/or simulator sections).
+
+    Understands the native sections produced by
+    :meth:`ForceStats.as_dict` and a ``sim`` section produced by the
+    pipeline (see :func:`repro.pipeline.run.sim_stats_dict`); unknown
+    or absent sections are simply skipped, so both execution paths
+    share this one renderer.
+    """
+    lines: list[str] = []
+
+    sim = stats.get("sim")
+    if sim:
+        lines.append("--- simulation ---")
+        lines.append(f"machine:             {sim['machine']}")
+        lines.append(f"processes:           {sim['processes']}")
+        lines.append(f"makespan:            {sim['makespan']} cycles")
+        lines.append(f"utilization:         {sim['utilization']:.2%}")
+        lines.append(f"lock acquisitions:   {sim['lock_acquisitions']} "
+                     f"({sim['contended_acquisitions']} contended)")
+        lines.append(f"spin cycles:         {sim['spin_cycles']}")
+        lines.append(f"context switches:    {sim['context_switches']}")
+
+    barriers = stats.get("barriers")
+    if barriers and barriers["wait"]["count"]:
+        wait = barriers["wait"]
+        lines.append("--- barriers ---")
+        lines.append(f"episodes:            {barriers['episodes']}")
+        lines.append(f"waits:               {wait['count']} "
+                     f"(mean {_fmt_s(wait['mean_s'])}, "
+                     f"max {_fmt_s(wait['max_s'])}, "
+                     f"spread {_fmt_s(wait['spread_s'])})")
+
+    criticals = stats.get("criticals")
+    if criticals:
+        lines.append("--- critical sections ---")
+        for name, entry in criticals.items():
+            wait = entry["wait"]
+            lines.append(
+                f"{name:18s} {entry['acquisitions']:>8d} acq, "
+                f"{entry['contended']:>6d} contended, "
+                f"waited {_fmt_s(wait['total_s'])}")
+
+    selfsched = stats.get("selfsched")
+    if selfsched:
+        lines.append("--- selfscheduled loops ---")
+        for label, chunks in selfsched.items():
+            lines.append(f"{label:18s} {chunks:>8d} chunks dispatched")
+
+    askfor = stats.get("askfor")
+    if askfor:
+        lines.append("--- askfor pools ---")
+        for name, entry in askfor.items():
+            lines.append(
+                f"{name:18s} put {entry['total_put']}, "
+                f"got {entry['total_got']}, "
+                f"max depth {entry['max_depth']}")
+
+    asyncvar = stats.get("asyncvar")
+    if asyncvar:
+        lines.append("--- asynchronous variables ---")
+        for name, stat in asyncvar.items():
+            lines.append(
+                f"{name:18s} {stat['count']:>8d} blocked waits, "
+                f"{_fmt_s(stat['total_s'])} blocked")
+
+    return "\n".join(lines)

@@ -62,8 +62,26 @@ class TestRunCommand:
     def test_stats_flag(self, source_file, capsys):
         assert main(["run", source_file, "--stats"]) == 0
         err = capsys.readouterr().err
+        assert "--- simulation ---" in err
         assert "makespan" in err
         assert "lock acquisitions" in err
+
+    def test_stats_share_the_native_report_format(self, source_file):
+        # The CLI's --stats report and the native runtime's
+        # Force.stats_report() go through one renderer.
+        from repro.pipeline.compile import force_translate
+        from repro.pipeline.run import force_run
+        from repro.machines import get_machine
+        from repro.runtime.stats import render_stats
+
+        with open(source_file, encoding="utf-8") as handle:
+            source = handle.read()
+        result = force_run(force_translate(
+            source, get_machine("hep")), 2)
+        stats = result.stats_dict()
+        assert stats["sim"]["processes"] == 2
+        assert stats["sim"]["makespan"] == result.makespan
+        assert "--- simulation ---" in render_stats(stats)
 
     def test_trace_flag(self, source_file, capsys):
         assert main(["run", source_file, "--trace", "--nproc", "2"]) == 0

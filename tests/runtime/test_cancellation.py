@@ -1,0 +1,239 @@
+"""Failure propagation: one process raises, blocked peers wake fast.
+
+Every scenario runs with a generous force timeout (60s) and asserts
+the failure surfaces in about a second — i.e. the poison flag, not the
+join timeout, did the work — and that the error names the process that
+actually failed.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime import (
+    BARRIER_ALGORITHMS,
+    CancelToken,
+    Force,
+    ForceCancelled,
+    ForceProgramError,
+)
+from repro._util.errors import ForceError
+
+#: generous bound for "well under the 60s timeout"; the runtime's
+#: cancellation poll interval is 20ms so normal propagation is ~ms.
+PROMPT = 2.0
+
+
+def assert_fails_fast(force, program, failing_me):
+    started = time.monotonic()
+    with pytest.raises(ForceProgramError) as info:
+        force.run(program)
+    elapsed = time.monotonic() - started
+    assert elapsed < PROMPT, f"propagation took {elapsed:.2f}s"
+    assert info.value.me == failing_me
+    assert f"process {failing_me}" in str(info.value)
+    return info.value
+
+
+class TestBarrierPoisoning:
+    @pytest.mark.parametrize("algorithm", list(BARRIER_ALGORITHMS))
+    def test_peer_raises_while_others_at_barrier(self, algorithm):
+        force = Force(nproc=4, timeout=60, barrier_algorithm=algorithm)
+
+        def program(force, me):
+            if me == 1:
+                time.sleep(0.05)   # let the peers block first
+                raise ValueError("boom")
+            force.barrier()
+
+        error = assert_fails_fast(force, program, 1)
+        assert isinstance(error.original, ValueError)
+
+    @pytest.mark.parametrize("algorithm", list(BARRIER_ALGORITHMS))
+    def test_peer_raises_inside_barrier_section(self, algorithm):
+        force = Force(nproc=3, timeout=60, barrier_algorithm=algorithm)
+
+        def program(force, me):
+            if me == 2:
+                raise RuntimeError("early death")
+            force.barrier_section(me, lambda: None)
+
+        assert_fails_fast(force, program, 2)
+
+
+class TestAsyncVarPoisoning:
+    def test_consume_wait_wakes(self):
+        force = Force(nproc=3, timeout=60)
+
+        def program(force, me):
+            channel = force.async_var("channel")
+            if me == 1:
+                time.sleep(0.05)
+                raise KeyError("producer died")
+            channel.consume()   # nothing is ever produced
+
+        assert_fails_fast(force, program, 1)
+
+    def test_produce_wait_wakes(self):
+        force = Force(nproc=2, timeout=60)
+
+        def program(force, me):
+            channel = force.async_var("channel")
+            if me == 1:
+                channel.produce(1)
+                channel.produce(2)   # stays full: consumer is dead
+            else:
+                raise RuntimeError("consumer died")
+
+        assert_fails_fast(force, program, 2)
+
+
+class TestAskforPoisoning:
+    def test_get_wait_wakes(self):
+        force = Force(nproc=3, timeout=60)
+        holding = threading.Event()
+
+        def program(force, me):
+            if me == 1:
+                pool = force.askfor("jobs", [1])
+                pool.get()   # hold the only item forever
+                holding.set()
+                time.sleep(0.05)
+                raise ValueError("holder died")
+            holding.wait(5)
+            # Peers block: pool empty but a holder exists.
+            force.askfor("jobs").get()
+
+        assert_fails_fast(force, program, 1)
+
+
+class TestSelfschedPoisoning:
+    def test_entry_exit_wait_wakes(self):
+        # The failing process never enters the loop, so peers can
+        # never complete the entry phase and block in the protocol.
+        force = Force(nproc=3, timeout=60)
+
+        def program(force, me):
+            if me == 3:
+                time.sleep(0.05)
+                raise RuntimeError("never joined the loop")
+            for _ in force.selfsched_range("L", 1, 10):
+                pass
+
+        assert_fails_fast(force, program, 3)
+
+
+class TestCriticalPoisoning:
+    def test_waiter_on_held_lock_wakes(self):
+        force = Force(nproc=2, timeout=60)
+        entered = threading.Event()
+
+        def program(force, me):
+            if me == 1:
+                with force.critical("hot"):
+                    entered.set()
+                    raise ValueError("died holding the lock")
+            else:
+                entered.wait(5)
+                with force.critical("hot"):
+                    pass
+
+        assert_fails_fast(force, program, 1)
+
+
+class TestRunSemantics:
+    def test_first_failure_wins_and_cancelled_peers_are_silent(self):
+        force = Force(nproc=4, timeout=60)
+
+        def program(force, me):
+            if me == 2:
+                raise ValueError("the real error")
+            force.barrier()
+
+        with pytest.raises(ForceProgramError) as info:
+            force.run(program)
+        assert info.value.me == 2
+        assert isinstance(info.value.original, ValueError)
+
+    def test_join_uses_a_single_deadline(self):
+        # Four uncancellable sleepers with a 0.3s timeout must report
+        # in ~0.3s, not 4 x 0.3s, and the error names the survivors.
+        force = Force(nproc=4, timeout=0.3)
+
+        def program(force, me):
+            time.sleep(10)
+
+        started = time.monotonic()
+        with pytest.raises(ForceError) as info:
+            force.run(program)
+        elapsed = time.monotonic() - started
+        assert elapsed < 1.0, f"join took {elapsed:.2f}s (per-thread?)"
+        message = str(info.value)
+        assert "still alive" in message
+        assert "force-1" in message and "force-4" in message
+
+    def test_force_is_reusable_after_a_failure(self):
+        force = Force(nproc=3, timeout=60)
+
+        def failing(force, me):
+            if me == 1:
+                raise ValueError("round one")
+            force.barrier()
+
+        def healthy(force, me):
+            counter = force.shared_counter("ok")
+            with force.critical():
+                counter.value += 1
+            force.barrier()
+
+        with pytest.raises(ForceProgramError):
+            force.run(failing)
+        force.run(healthy)
+        assert force.shared_counter("ok").value == 3
+
+
+class TestCancelToken:
+    def test_first_cancel_wins(self):
+        token = CancelToken()
+        first, second = ValueError("a"), ValueError("b")
+        token.cancel(first)
+        token.cancel(second)
+        assert token.error is first
+        with pytest.raises(ForceCancelled):
+            token.check()
+
+    def test_cancel_wakes_registered_condition(self):
+        token = CancelToken()
+        condition = threading.Condition()
+        token.register(condition)
+        woke = []
+
+        def waiter():
+            with condition:
+                try:
+                    token.wait_for(condition, lambda: False)
+                except ForceCancelled:
+                    woke.append(True)
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        token.cancel(ValueError("x"))
+        thread.join(5)
+        assert woke == [True]
+
+    def test_wait_for_times_out_without_cancel(self):
+        token = CancelToken()
+        condition = threading.Condition()
+        token.register(condition)
+        with condition:
+            assert not token.wait_for(condition, lambda: False,
+                                      timeout=0.05)
+
+    def test_wait_event_raises_on_cancel(self):
+        token = CancelToken()
+        event = threading.Event()
+        token.cancel(ValueError("x"))
+        with pytest.raises(ForceCancelled):
+            token.wait_event(event)
