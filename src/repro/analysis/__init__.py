@@ -1,0 +1,90 @@
+"""Static analysis for Force programs (``force check``).
+
+The pipeline happily *translates* programs that misuse the Force
+constructs — a Shared write outside any Critical, a Barrier nested
+inside a Critical, a Consume of a variable nothing ever Produces — and
+the bug only surfaces as a nondeterministic run or a deadlock at
+simulation time.  This package catches that whole class at compile
+time: it parses the sed-stage output into a construct tree with a
+symbol table and runs a diagnostic suite over it.
+
+Checker families and their codes:
+
+=====  ================================================================
+F001   shared-write race in replicated code (``races``)
+F002   unmatched/unclosed construct (``construct_parser``)
+F003   DOALL/Askfor label or kind mismatch (``construct_parser``)
+F004   Barrier/Join nested inside another construct (``construct_parser``)
+F005   deadlock-prone Critical nesting (``construct_parser``+``locks``)
+F006   Consume/Copy/Void of a non-Async variable (``protocol``)
+F007   Consume with no reachable Produce (``protocol``)
+F008   Produce into a non-Async variable (``protocol``)
+F009   Private write in a single-process section (``scope``)
+F010   declaration conflict / common shadowing (``scope``)
+F011   Force statement in column one parsed as comment (``lint``)
+F012   Askfor/Putwork queue not declared with Taskq (``protocol``)
+=====  ================================================================
+
+Usage::
+
+    from repro.analysis import check_source
+    diagnostics = check_source(source, filename="prog.frc")
+"""
+
+from __future__ import annotations
+
+from repro.analysis.construct_parser import ForceProgram, parse_program
+from repro.analysis.diagnostics import (
+    CATALOG,
+    Diagnostic,
+    Severity,
+    count_errors,
+    count_warnings,
+    error,
+)
+from repro.analysis.lint import check_silent_keywords
+from repro.analysis.locks import check_lock_order
+from repro.analysis.protocol import check_protocol
+from repro.analysis.races import check_races
+from repro.analysis.renderer import render_json, render_text
+from repro.analysis.scope import check_scope
+
+__all__ = [
+    "CATALOG",
+    "Diagnostic",
+    "ForceProgram",
+    "Severity",
+    "check_file",
+    "check_source",
+    "count_errors",
+    "count_warnings",
+    "parse_program",
+    "render_json",
+    "render_text",
+]
+
+
+def check_source(source: str,
+                 filename: str = "<source>") -> list[Diagnostic]:
+    """Run every checker over one Force source; sorted diagnostics."""
+    diagnostics = list(check_silent_keywords(source))
+    program = parse_program(source, filename)
+    diagnostics.extend(program.diagnostics)
+    if not program.routines:
+        diagnostics.append(error(
+            "F002", 1,
+            "no Force program unit found (no Force/Forcesub header)",
+            "start the program with 'Force NAME of NP ident ME'"))
+    else:
+        diagnostics.extend(check_races(program))
+        diagnostics.extend(check_scope(program))
+        diagnostics.extend(check_protocol(program))
+        diagnostics.extend(check_lock_order(program))
+    diagnostics.sort(key=lambda d: (d.line, d.code))
+    return [d.with_file(filename) for d in diagnostics]
+
+
+def check_file(path: str) -> list[Diagnostic]:
+    """Check one ``.frc`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return check_source(handle.read(), filename=path)

@@ -1,0 +1,93 @@
+"""Diagnostic objects produced by the Force static analyzer.
+
+Every checker reports findings as :class:`Diagnostic` values — a
+severity, a stable code (``F001`` …), a 1-based source line, a message
+and an optional fix suggestion — so the CLI can render them as text or
+JSON and gate translation on them.  The full catalogue, with a minimal
+offending program per code, lives in ``docs/LANGUAGE.md`` ("Static
+checking").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+
+class Severity(str, Enum):
+    """How bad a finding is; errors make ``force check`` exit nonzero."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+#: code -> one-line title (kept in sync with docs/LANGUAGE.md).
+CATALOG: dict[str, str] = {
+    "F001": "shared-write race in replicated code",
+    "F002": "unmatched or unclosed construct",
+    "F003": "DOALL/Askfor label or kind mismatch",
+    "F004": "Barrier or Join nested inside another construct",
+    "F005": "deadlock-prone Critical nesting",
+    "F006": "Consume/Copy/Void of a variable that is not Async",
+    "F007": "Consume with no reachable Produce",
+    "F008": "Produce into a variable that is not Async",
+    "F009": "Private write inside a single-process section",
+    "F010": "declaration conflict or common-block shadowing",
+    "F011": "Force statement in column one parsed as a comment",
+    "F012": "Askfor/Putwork queue not declared with Taskq",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding, pointing back at user source."""
+
+    code: str
+    severity: Severity
+    line: int
+    message: str
+    suggestion: str = ""
+    file: str = "<source>"
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity is Severity.ERROR
+
+    def promoted(self) -> "Diagnostic":
+        """The same finding with warnings raised to errors (--werror)."""
+        if self.is_error:
+            return self
+        return replace(self, severity=Severity.ERROR)
+
+    def with_file(self, filename: str) -> "Diagnostic":
+        return replace(self, file=filename)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (``--format json``)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "title": CATALOG.get(self.code, ""),
+        }
+
+
+def error(code: str, line: int, message: str,
+          suggestion: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, line, message, suggestion)
+
+
+def warning(code: str, line: int, message: str,
+            suggestion: str = "") -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, line, message, suggestion)
+
+
+def count_errors(diagnostics: list[Diagnostic]) -> int:
+    return sum(1 for d in diagnostics if d.is_error)
+
+
+def count_warnings(diagnostics: list[Diagnostic]) -> int:
+    return sum(1 for d in diagnostics if not d.is_error)

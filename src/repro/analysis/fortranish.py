@@ -1,0 +1,121 @@
+"""Small Fortran statement classifiers used by the analyzer.
+
+The analyzer does not need a full Fortran front end: the race and
+scope checkers only have to recognise assignments (and their
+left-hand-side subscripts), the ``IF``/``ELSE``/``END IF`` block forms
+(to spot sections guarded on the process identifier), and statement
+labels.  Everything here is case-insensitive and tolerant of the
+relaxed fixed form the rest of the pipeline accepts.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: statement keywords that can open a line and are never assignments.
+_KEYWORDS = frozenset({
+    "IF", "DO", "ELSE", "END", "ENDIF", "ENDDO", "THEN", "CONTINUE",
+    "WRITE", "READ", "PRINT", "FORMAT", "CALL", "RETURN", "STOP",
+    "GOTO", "GO", "DATA", "DIMENSION", "COMMON", "PARAMETER",
+    "INTEGER", "REAL", "LOGICAL", "COMPLEX", "DOUBLE", "CHARACTER",
+    "SUBROUTINE", "FUNCTION", "PROGRAM", "IMPLICIT", "EXTERNAL",
+    "INTRINSIC", "SAVE", "WHILE",
+})
+
+_LABEL = re.compile(r"^\s*(\d+)\s+")
+_IDENT = re.compile(r"\s*([A-Za-z]\w*)")
+_END_IF = re.compile(r"^END\s*IF$", re.IGNORECASE)
+_ELSE = re.compile(r"^ELSE\b", re.IGNORECASE)
+_ELSE_IF = re.compile(r"^ELSE\s*IF\s*\(", re.IGNORECASE)
+_IF = re.compile(r"^IF\s*\(", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """LHS of a Fortran assignment statement."""
+
+    name: str                   #: target identifier (original case)
+    subscript: str | None       #: text inside ``NAME( ... )``, if any
+
+
+def strip_label(text: str) -> str:
+    """Drop a leading numeric statement label."""
+    return _LABEL.sub("", text.strip(), count=1)
+
+
+def _balanced(text: str, start: int) -> int:
+    """Index just past the ``)`` matching the ``(`` at ``start``."""
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def parse_assignment(text: str) -> Assignment | None:
+    """Recognise ``NAME = expr`` / ``NAME(subs) = expr`` statements.
+
+    ``DO`` headers, I/O statements and other keyword statements return
+    ``None`` — a ``DO`` loop's index update is the loop's own business.
+    """
+    body = strip_label(text)
+    match = _IDENT.match(body)
+    if not match:
+        return None
+    name = match.group(1)
+    if name.upper() in _KEYWORDS:
+        return None
+    rest = body[match.end():].lstrip()
+    subscript: str | None = None
+    if rest.startswith("("):
+        end = _balanced(rest, 0)
+        if end < 0:
+            return None
+        subscript = rest[1:end - 1]
+        rest = rest[end:].lstrip()
+    if not rest.startswith("=") or rest.startswith("=="):
+        return None
+    return Assignment(name=name, subscript=subscript)
+
+
+# IF-form classification results: ("block_if", cond) | ("else_if", cond)
+# | ("else",) | ("end_if",) | ("logical_if", cond, tail) | None.
+def classify_if(text: str) -> tuple | None:
+    body = strip_label(text)
+    if _END_IF.match(body):
+        return ("end_if",)
+    if _ELSE_IF.match(body):
+        cond, _tail = _extract_condition(body[body.upper().index("IF") + 2:])
+        return ("else_if", cond)
+    if _ELSE.match(body):
+        return ("else",)
+    if _IF.match(body):
+        cond, tail = _extract_condition(body[2:])
+        if cond is None:
+            return None
+        if tail.upper() == "THEN":
+            return ("block_if", cond)
+        return ("logical_if", cond, tail)
+    return None
+
+
+def _extract_condition(text: str) -> tuple[str | None, str]:
+    """Split ``"(cond) tail"`` into the condition and the tail."""
+    text = text.lstrip()
+    if not text.startswith("("):
+        return None, ""
+    end = _balanced(text, 0)
+    if end < 0:
+        return None, ""
+    return text[1:end - 1], text[end:].strip()
+
+
+def mentions(identifier: str, text: str) -> bool:
+    """Whole-word, case-insensitive occurrence test."""
+    return re.search(rf"\b{re.escape(identifier)}\b", text,
+                     re.IGNORECASE) is not None

@@ -1,0 +1,38 @@
+"""F011: the silent-keyword lint.
+
+Fixed-form Fortran treats ``C`` (or ``*``/``!``) in column one as a
+comment, so a Force statement written flush-left — ``Critical``,
+``Consume``, ``Copy``, ``Csect`` all start with *C* — silently passes
+through the sed stage as a comment line.  The program still compiles;
+the synchronization just never happens.  This lint replays every
+comment-protected line through the translation rules and flags the
+ones that would have become a construct had they been indented.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.construct_parser import KNOWN_MACROS, parse_macro_call
+from repro.analysis.diagnostics import Diagnostic, warning
+from repro.sedstage import compiled_force_program
+
+
+def check_silent_keywords(source: str) -> list[Diagnostic]:
+    program = compiled_force_program()
+    diagnostics: list[Diagnostic] = []
+    for lineno, line in enumerate(source.split("\n"), 1):
+        if line[:1] not in ("C", "c", "*", "!"):
+            continue
+        edited = program.run(line + "\n").rstrip("\n")
+        if edited == line:
+            continue
+        call = parse_macro_call(edited)
+        if call is None or call[0] not in KNOWN_MACROS:
+            continue
+        keyword = line.split()[0]
+        diagnostics.append(warning(
+            "F011", lineno,
+            f"'{keyword}' starts in column one, so this Force statement "
+            "is treated as a Fortran comment and never translated",
+            "indent the statement (Force statements must not start in "
+            "column 1)"))
+    return diagnostics

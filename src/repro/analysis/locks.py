@@ -1,0 +1,35 @@
+"""F005 (ordering half): inconsistent Critical nesting across a program.
+
+If one code path takes lock A then lock B while another takes B then
+A, two processes can each hold one lock and wait on the other — the
+classic ABBA deadlock.  The construct parser records every nested
+``Critical`` pair; this pass looks for a pair seen in both orders.
+(The other half of F005 — a Critical nested inside itself — is
+reported by the parser at the nesting site.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis.construct_parser import ForceProgram
+from repro.analysis.diagnostics import Diagnostic, warning
+
+
+def check_lock_order(program: ForceProgram) -> list[Diagnostic]:
+    first_seen: dict[tuple[str, str], int] = {}
+    reported: set[frozenset[str]] = set()
+    diagnostics: list[Diagnostic] = []
+    for outer, inner, line in program.lock_pairs:
+        pair = (outer, inner)
+        reverse = (inner, outer)
+        if pair not in first_seen:
+            first_seen[pair] = line
+        if reverse in first_seen and frozenset(pair) not in reported:
+            reported.add(frozenset(pair))
+            diagnostics.append(warning(
+                "F005", line,
+                f"Critical '{inner}' taken inside Critical '{outer}' "
+                f"here, but the opposite order appears at line "
+                f"{first_seen[reverse]} — two processes can deadlock "
+                "holding one lock each",
+                "acquire nested locks in one global order everywhere"))
+    return diagnostics

@@ -1,0 +1,109 @@
+"""F006/F007/F008/F012: asynchronous-variable and taskq protocol.
+
+``Produce``/``Consume``/``Copy``/``Void`` implement the full/empty
+protocol and are only meaningful on variables declared ``Async`` (the
+HEP's full/empty bit, two locks elsewhere — paper §4.1.3).  Using them
+on ordinary variables either deadlocks or silently skips the
+synchronization.  A ``Consume`` of a variable no statement ever
+``Produce``s blocks forever once reached.  Likewise ``Askfor``/
+``Putwork`` only work against a declared ``Taskq``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.construct_parser import (
+    ForceProgram,
+    iter_constructs,
+    iter_macro_stmts,
+)
+from repro.analysis.diagnostics import Diagnostic, error, warning
+from repro.analysis.symbols import ASYNC, TASKQ, base_name
+
+_STATEMENTS = {"consume": "Consume", "copyasync": "Copy",
+               "voidasync": "Void"}
+
+
+def check_protocol(program: ForceProgram) -> list[Diagnostic]:
+    produced = set()
+    program_async = set()
+    taskqs = set()
+    for routine in program.routines:
+        program_async.update(s.name for s in
+                             routine.symbols.with_storage(ASYNC))
+        taskqs.update(s.name for s in routine.symbols.with_storage(TASKQ))
+        for macro in iter_macro_stmts(routine):
+            if macro.name == "produce" and macro.args:
+                produced.add(base_name(macro.args[0]).upper())
+
+    diagnostics: list[Diagnostic] = []
+    for routine in program.routines:
+        for macro in iter_macro_stmts(routine):
+            if macro.name == "produce":
+                diagnostics.extend(_check_produce(routine, macro,
+                                                  program_async))
+            elif macro.name in _STATEMENTS:
+                diagnostics.extend(_check_consume_family(
+                    routine, macro, program_async, produced))
+            elif macro.name == "putwork":
+                diagnostics.extend(_check_queue(
+                    macro, base_name(macro.args[0]), "Putwork", taskqs))
+        for construct in iter_constructs(routine):
+            if construct.kind == "askfor":
+                diagnostics.extend(_check_queue(
+                    construct, construct.name, "Askfor", taskqs))
+    return diagnostics
+
+
+def _is_async(routine, name: str, program_async: set[str]) -> bool:
+    symbol = routine.symbols.lookup(name)
+    if symbol is not None and symbol.storage != "param":
+        return symbol.storage == ASYNC
+    return name.upper() in program_async
+
+
+def _check_produce(routine, macro, program_async) -> list[Diagnostic]:
+    target = base_name(macro.args[0])
+    if _is_async(routine, target, program_async):
+        return []
+    symbol = routine.symbols.lookup(target)
+    actual = (f"declared {symbol.storage.capitalize()}" if symbol
+              else "never declared Async")
+    return [error(
+        "F008", macro.line,
+        f"Produce into '{target}', which is {actual}: there is no "
+        "full/empty cell to fill",
+        f"declare it 'Async <type> {target}'")]
+
+
+def _check_consume_family(routine, macro, program_async,
+                          produced) -> list[Diagnostic]:
+    var = base_name(macro.args[0])
+    statement = _STATEMENTS[macro.name]
+    if not _is_async(routine, var, program_async):
+        symbol = routine.symbols.lookup(var)
+        actual = (f"declared {symbol.storage.capitalize()}" if symbol
+                  else "never declared Async")
+        return [error(
+            "F006", macro.line,
+            f"{statement} of '{var}', which is {actual}: the full/empty "
+            "wait has nothing to wait on",
+            f"declare it 'Async <type> {var}'")]
+    if macro.name == "consume" and var.upper() not in produced:
+        return [warning(
+            "F007", macro.line,
+            f"Consume of '{var}' but no statement ever Produces it: "
+            "the consumer blocks forever once it gets here",
+            f"add a 'Produce {var} = …' on some process, or Copy an "
+            "initial value in")]
+    return []
+
+
+def _check_queue(node, queue: str, statement: str,
+                 taskqs: set[str]) -> list[Diagnostic]:
+    if queue.upper() in taskqs:
+        return []
+    return [error(
+        "F012", node.line,
+        f"{statement} uses queue '{queue}', which is not declared "
+        "with Taskq",
+        f"add 'Taskq {queue}(<size>)' to the declarations")]

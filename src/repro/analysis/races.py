@@ -1,0 +1,57 @@
+"""F001: shared-write race detection.
+
+The Force's ownership discipline (paper §4.2): replicated code may
+update a Shared variable only under mutual exclusion (a Critical), in
+a single-process section (a Barrier body or a Pcase section), in a
+region guarded on the process identifier, or — for arrays — inside a
+DOALL whose own index variable partitions the iterations and appears
+in the subscript.  Anything else is a data race waiting for an
+unlucky interleaving.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import fortranish
+from repro.analysis.construct_parser import ForceProgram, walk_statements
+from repro.analysis.diagnostics import Diagnostic, error
+from repro.analysis.symbols import SHARED
+
+
+def check_races(program: ForceProgram) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for routine in program.routines:
+        for stmt, ctx in walk_statements(routine):
+            assignment = fortranish.parse_assignment(stmt.text)
+            if assignment is None:
+                continue
+            symbol = routine.symbols.lookup(assignment.name)
+            if symbol is None or symbol.storage != SHARED:
+                continue
+            if ctx.critical_depth or ctx.single_depth or ctx.guarded:
+                continue
+            if _owned_by_doall(assignment, ctx.doall_indices):
+                continue
+            where = ("inside the DOALL body"
+                     if ctx.doall_indices else "in replicated code")
+            hint = (
+                "index the array with the DOALL loop variable, or wrap "
+                "the update in Critical/End critical"
+                if ctx.doall_indices else
+                "wrap the update in Critical/End critical or move it "
+                "into a Barrier body")
+            diagnostics.append(error(
+                "F001", stmt.line,
+                f"assignment to Shared variable "
+                f"'{assignment.name}' {where} — every process races on "
+                "this update",
+                hint))
+    return diagnostics
+
+
+def _owned_by_doall(assignment: fortranish.Assignment,
+                    indices: tuple[str, ...]) -> bool:
+    """An array write partitioned by an enclosing DOALL index is safe."""
+    if not indices or assignment.subscript is None:
+        return False
+    return any(fortranish.mentions(index, assignment.subscript)
+               for index in indices)

@@ -1,0 +1,51 @@
+"""Render diagnostics as human-readable text or machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    count_errors,
+    count_warnings,
+)
+
+
+def render_text(diagnostics: list[Diagnostic], *,
+                summary: bool = True) -> str:
+    """One finding per line, compiler style, plus a count summary."""
+    lines: list[str] = []
+    for diag in diagnostics:
+        lines.append(f"{diag.file}:{diag.line}: "
+                     f"{diag.severity.value}[{diag.code}]: {diag.message}")
+        if diag.suggestion:
+            lines.append(f"    help: {diag.suggestion}")
+    if summary:
+        errors = count_errors(diagnostics)
+        warnings = count_warnings(diagnostics)
+        if errors or warnings:
+            lines.append(f"{errors} error(s), {warnings} warning(s)")
+        else:
+            lines.append("no problems found")
+    return "\n".join(lines)
+
+
+def render_json(per_file: list[tuple[str, list[Diagnostic]]]) -> str:
+    """``--format json`` payload for one or more checked files."""
+    files = []
+    errors = 0
+    warnings = 0
+    for filename, diagnostics in per_file:
+        errors += count_errors(diagnostics)
+        warnings += count_warnings(diagnostics)
+        files.append({
+            "file": filename,
+            "diagnostics": [d.to_dict() for d in diagnostics],
+        })
+    payload = {
+        "version": 1,
+        "files": files,
+        "errors": errors,
+        "warnings": warnings,
+    }
+    return json.dumps(payload, indent=2)

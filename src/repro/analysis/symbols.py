@@ -1,0 +1,98 @@
+"""Per-routine symbol tables for the Force static analyzer.
+
+Built from the ``shared_decl``/``private_decl``/``async_decl``/
+``taskq_decl`` (and ``*_common_decl``) macro calls the sed stage
+emits.  Names are case-folded to upper case, as in Fortran.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+#: storage classes a name can carry.
+SHARED, PRIVATE, ASYNC, TASKQ, PARAM = \
+    "shared", "private", "async", "taskq", "param"
+
+_NAME = re.compile(r"\s*([A-Za-z]\w*)")
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str                  #: upper-cased identifier
+    storage: str               #: shared | private | async | taskq | param
+    type_: str = ""            #: Fortran type text, if declared with one
+    common: str | None = None  #: common-block name, if any
+    line: int = 0              #: declaration line (1-based)
+    is_array: bool = False
+
+    def describe(self) -> str:
+        where = f" (common /{self.common}/)" if self.common else ""
+        return f"{self.storage.capitalize()} '{self.name}'{where}"
+
+
+class SymbolTable:
+    """Symbols of one Force routine plus any declaration conflicts."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Symbol] = {}
+        #: (existing, redeclaration) pairs, in declaration order.
+        self.conflicts: list[tuple[Symbol, Symbol]] = []
+
+    def declare(self, symbol: Symbol) -> None:
+        key = symbol.name.upper()
+        existing = self._by_name.get(key)
+        if existing is not None:
+            self.conflicts.append((existing, symbol))
+            # Routine-level declarations win over common members and
+            # parameters so later checks see the local classification.
+            if existing.common is not None and symbol.common is None:
+                self._by_name[key] = symbol
+            if existing.storage == PARAM:
+                self._by_name[key] = symbol
+            return
+        self._by_name[key] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        return self._by_name.get(base_name(name).upper())
+
+    def storage_of(self, name: str) -> str | None:
+        symbol = self.lookup(name)
+        return symbol.storage if symbol else None
+
+    def with_storage(self, storage: str) -> list[Symbol]:
+        return [s for s in self._by_name.values() if s.storage == storage]
+
+
+def base_name(text: str) -> str:
+    """The identifier of a (possibly subscripted) variable reference."""
+    match = _NAME.match(text)
+    return match.group(1) if match else text.strip()
+
+
+def split_decl_list(text: str) -> list[tuple[str, bool]]:
+    """Split ``"A(10, 10), B"`` into ``[("A", True), ("B", False)]``.
+
+    Commas inside parenthesised dimension lists do not separate items.
+    """
+    items: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        current.append(ch)
+    items.append("".join(current))
+    out: list[tuple[str, bool]] = []
+    for item in items:
+        item = item.strip()
+        if not item:
+            continue
+        out.append((base_name(item), "(" in item))
+    return out

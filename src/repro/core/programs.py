@@ -168,7 +168,7 @@ register("sections", """
           R(2) = 20
     Usect
           R(3) = 30
-    Csect (NP .GE. 1)
+      Csect (NP .GE. 1)
           R(4) = 40
     End pcase
     Barrier

@@ -4,7 +4,7 @@ statement lists and resolved jump targets."""
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._util.errors import FortranError
 from repro.fortran import ast_nodes as ast

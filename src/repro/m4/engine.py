@@ -9,7 +9,7 @@ macro calls which are expanded in the same rescanning pass.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro._util.errors import MacroError

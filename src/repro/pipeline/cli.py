@@ -1,21 +1,50 @@
-"""Command-line interface: ``force translate|run|machines``.
+"""Command-line interface: ``force translate|run|check|machines``.
 
 Examples::
 
     force machines
     force translate program.frc --machine sequent-balance
+    force translate program.frc --check          # gate on diagnostics
     force run program.frc --machine hep --nproc 8 --stats
+    force check program.frc                      # static analysis only
+    force check program.frc --format json --werror
+
+Exit status: 0 on success, 1 on pipeline/check errors, 2 on usage
+errors (bad flags, unknown machine, non-positive ``--nproc``).
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import sys
 
 from repro._util.errors import ForceError
 from repro.machines import get_machine, MACHINES
 from repro.pipeline.compile import force_translate
 from repro.pipeline.run import force_run
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive process count (got {value})")
+    return value
+
+
+def _machine_key(text: str) -> str:
+    if text in MACHINES:
+        return text
+    close = difflib.get_close_matches(text, MACHINES, n=1)
+    hint = f" (did you mean {close[0]!r}?)" if close else ""
+    raise argparse.ArgumentTypeError(
+        f"unknown machine {text!r}{hint}; run 'force machines' to list "
+        "the supported models")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -31,16 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
     translate = sub.add_parser("translate",
                                help="preprocess a Force program to Fortran")
     translate.add_argument("source", help="Force source file")
-    translate.add_argument("--machine", default="sequent-balance")
+    translate.add_argument("--machine", type=_machine_key,
+                           default="sequent-balance")
     translate.add_argument("--stage", choices=["sed", "fortran"],
                            default="fortran",
                            help="which intermediate form to print")
+    translate.add_argument("--check", action="store_true",
+                           help="run the static analyzer first and refuse "
+                                "to translate a program with errors")
     translate.set_defaults(func=_cmd_translate)
 
     run = sub.add_parser("run", help="simulate a Force program")
     run.add_argument("source", help="Force source file")
-    run.add_argument("--machine", default="sequent-balance")
-    run.add_argument("--nproc", type=int, default=4)
+    run.add_argument("--machine", type=_machine_key,
+                     default="sequent-balance")
+    run.add_argument("--nproc", type=_positive_int, default=4,
+                     help="number of Force processes (positive)")
     run.add_argument("--stats", action="store_true",
                      help="print simulation statistics")
     run.add_argument("--trace", action="store_true",
@@ -48,6 +83,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--utilization", action="store_true",
                      help="print per-process utilization bars")
     run.set_defaults(func=_cmd_run)
+
+    check = sub.add_parser(
+        "check", help="statically analyze Force programs (no simulation)")
+    check.add_argument("sources", nargs="+", help="Force source file(s)")
+    check.add_argument("--format", choices=["text", "json"], default="text",
+                       help="diagnostic output format")
+    check.add_argument("--werror", action="store_true",
+                       help="treat warnings as errors")
+    check.set_defaults(func=_cmd_check)
     return parser
 
 
@@ -64,7 +108,17 @@ def _read(path: str) -> str:
 
 def _cmd_translate(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
-    result = force_translate(_read(args.source), machine)
+    source = _read(args.source)
+    if args.check:
+        from repro.analysis import check_source, count_errors, render_text
+        diagnostics = check_source(source, filename=args.source)
+        if diagnostics:
+            print(render_text(diagnostics), file=sys.stderr)
+        if count_errors(diagnostics):
+            print("force: error: static checks failed; not translating "
+                  "(rerun without --check to override)", file=sys.stderr)
+            return 1
+    result = force_translate(source, machine)
     print(result.sed_output if args.stage == "sed" else result.fortran)
     return 0
 
@@ -90,9 +144,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        check_source,
+        count_errors,
+        render_json,
+        render_text,
+    )
+    per_file: list[tuple[str, list]] = []
+    for path in args.sources:
+        diagnostics = check_source(_read(path), filename=path)
+        if args.werror:
+            diagnostics = [d.promoted() for d in diagnostics]
+        per_file.append((path, diagnostics))
+    if args.format == "json":
+        print(render_json(per_file))
+    else:
+        for path, diagnostics in per_file:
+            if diagnostics:
+                print(render_text(diagnostics, summary=False))
+        total_errors = sum(count_errors(d) for _, d in per_file)
+        total = sum(len(d) for _, d in per_file)
+        print(f"{len(per_file)} file(s) checked: {total_errors} error(s), "
+              f"{total - total_errors} warning(s)")
+    return 1 if any(count_errors(d) for _, d in per_file) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors (after printing the
+        # `force: error: …` message) and 0 for --help; keep main()
+        # returning an int so it stays callable in-process.
+        return exc.code if isinstance(exc.code, int) else 2
     try:
         return args.func(args)
     except ForceError as exc:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro._util.errors import ForceError, SimulationError
+from repro._util.errors import ForceError
 from repro.fortran.interp import (
     ArgRef,
     ExternalCallHandler,
@@ -13,7 +13,7 @@ from repro.fortran.interp import (
     StopSignal,
     drain,
 )
-from repro.fortran.parser import Program, parse_source
+from repro.fortran.parser import parse_source
 from repro.machines.memory import MemoryLayout, SharedRegionPlan, VariableSpec
 from repro.machines.model import MachineModel, SharingBinding
 from repro.pipeline.compile import TranslationResult, force_translate

@@ -14,11 +14,16 @@ regex addresses, ranges, and ``!`` negation.
 """
 
 from repro.sedstage.engine import SedProgram, SedError
-from repro.sedstage.force_rules import FORCE_SED_SCRIPT, translate_force_source
+from repro.sedstage.force_rules import (
+    FORCE_SED_SCRIPT,
+    compiled_force_program,
+    translate_force_source,
+)
 
 __all__ = [
     "SedProgram",
     "SedError",
     "FORCE_SED_SCRIPT",
+    "compiled_force_program",
     "translate_force_source",
 ]

@@ -30,7 +30,7 @@ an ``s`` command substituted since the line was read (or the last
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._util.errors import ForceError
 
@@ -72,30 +72,32 @@ class _Command:
     table: dict[int, int] | None = None
     # i/a/c payload
     text: str = ""
-    # range-active state (mutable during a run; reset per execution)
-    in_range: bool = field(default=False, compare=False)
 
-    def selected(self, line: str, lineno: int, is_last: bool) -> bool:
+    def selected(self, line: str, lineno: int, is_last: bool,
+                 in_range: dict[int, bool], key: int) -> bool:
+        """Address match; range state lives in the caller's ``in_range``
+        map (keyed by command position) so one compiled program can run
+        concurrently from several threads."""
         if self.addr1 is None:
             hit = True
         elif self.addr2 is None:
             hit = self.addr1.matches(line, lineno, is_last)
         else:
             # Two-address range, sed style.
-            if not self.in_range:
+            if not in_range.get(key, False):
                 if self.addr1.matches(line, lineno, is_last):
-                    self.in_range = True
+                    in_range[key] = True
                     hit = True
                     # A range can close on the same line only for
                     # line-number second addresses <= current.
                     if self.addr2.kind == "line" and self.addr2.line <= lineno:
-                        self.in_range = False
+                        in_range[key] = False
                 else:
                     hit = False
             else:
                 hit = True
                 if self.addr2.matches(line, lineno, is_last):
-                    self.in_range = False
+                    in_range[key] = False
         return hit != self.negate
 
 
@@ -291,8 +293,7 @@ class SedProgram:
         """
         if not text:
             return ""
-        for command in self.commands:
-            command.in_range = False
+        in_range: dict[int, bool] = {}
         labels = {c.text: i for i, c in enumerate(self.commands)
                   if c.name == ":"}
         lines = text.split("\n")
@@ -312,6 +313,7 @@ class SedProgram:
             index = 0
             steps = 0
             while index < len(self.commands):
+                key = index
                 command = self.commands[index]
                 index += 1
                 steps += 1
@@ -320,7 +322,8 @@ class SedProgram:
                 name = command.name
                 if name == ":":
                     continue
-                if not command.selected(pattern_space, lineno, is_last):
+                if not command.selected(pattern_space, lineno, is_last,
+                                        in_range, key):
                     continue
                 if name == "s":
                     count = 0 if command.flag_global else 1

@@ -56,6 +56,8 @@ statement written flush-left would be read as a ``C`` comment line.
 
 from __future__ import annotations
 
+import threading
+
 from repro.sedstage.engine import SedProgram
 
 _TYPES = (r"(?:DOUBLE\s+PRECISION|INTEGER|REAL|LOGICAL|COMPLEX|"
@@ -116,13 +118,32 @@ s/^\s*(\d+)\s+End\s+askfor\s*$/end_askfor(`\1')/I
 """.replace("@TYPES@", _TYPES)
 
 _COMPILED: SedProgram | None = None
+_COMPILE_LOCK = threading.Lock()
 
 
 def _program() -> SedProgram:
+    # Double-checked lazy init: concurrent force_translate calls must
+    # not observe (or both overwrite) a half-published program.  The
+    # compiled program itself is safe to share — SedProgram.run keeps
+    # all per-run state local.
     global _COMPILED
-    if _COMPILED is None:
-        _COMPILED = SedProgram(FORCE_SED_SCRIPT)
-    return _COMPILED
+    program = _COMPILED
+    if program is None:
+        with _COMPILE_LOCK:
+            program = _COMPILED
+            if program is None:
+                program = SedProgram(FORCE_SED_SCRIPT)
+                _COMPILED = program
+    return program
+
+
+def compiled_force_program() -> SedProgram:
+    """The compiled Force translation script (shared, reentrant).
+
+    Public for tools that need rule-level access — the static
+    analyzer's silent-keyword lint replays single lines through it.
+    """
+    return _program()
 
 
 def translate_force_source(source: str) -> str:

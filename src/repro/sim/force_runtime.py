@@ -31,9 +31,9 @@ from repro.fortran.interp import (
     StopSignal,
 )
 from repro.fortran.parser import Program
-from repro.fortran.values import FArray, FType
+from repro.fortran.values import FArray
 from repro.machines.model import LockType, MachineModel, ProcessModel
-from repro.sim.events import AcquireLock, Block, HaltSim, ReleaseLock, Spawn, Wake
+from repro.sim.events import AcquireLock, Block, HaltSim, ReleaseLock, Wake
 from repro.sim.lock import SimLock
 from repro.sim.scheduler import Scheduler, SimProcess
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.scheduler import Scheduler, SimStats
+from repro.sim.scheduler import SimStats
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,137 @@
+"""The `force check` subcommand and the `translate --check` gate."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.pipeline.cli import main
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+CLEAN = strip_margin("""
+    Force OK of NP ident ME
+    Shared INTEGER TOTAL
+    End declarations
+    Barrier
+          TOTAL = NP
+    End barrier
+    Join
+          END
+""")
+
+RACY = strip_margin("""
+    Force BAD of NP ident ME
+    Shared INTEGER TOTAL
+    End declarations
+          TOTAL = 1
+    Join
+          END
+""")
+
+WARN_ONLY = strip_margin("""
+    Force WARNY of NP ident ME
+    Async INTEGER V
+    Private INTEGER X
+    End declarations
+      Consume V into X
+    Join
+          END
+""")
+
+
+@pytest.fixture()
+def write(tmp_path):
+    def _write(name, source):
+        path = tmp_path / name
+        path.write_text(source, encoding="utf-8")
+        return str(path)
+    return _write
+
+
+class TestCheckExitCodes:
+    def test_clean_program_exits_zero(self, write, capsys):
+        assert main(["check", write("ok.frc", CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "1 file(s) checked: 0 error(s), 0 warning(s)" in out
+
+    def test_errors_exit_one(self, write, capsys):
+        assert main(["check", write("bad.frc", RACY)]) == 1
+        out = capsys.readouterr().out
+        assert "error[F001]" in out
+        assert "bad.frc:4:" in out
+
+    def test_warnings_alone_exit_zero(self, write, capsys):
+        assert main(["check", write("warn.frc", WARN_ONLY)]) == 0
+        out = capsys.readouterr().out
+        assert "warning[F007]" in out
+
+    def test_werror_promotes_warnings(self, write, capsys):
+        assert main(["check", "--werror",
+                     write("warn.frc", WARN_ONLY)]) == 1
+        out = capsys.readouterr().out
+        assert "error[F007]" in out
+
+    def test_multiple_files_one_bad_fails_the_batch(self, write, capsys):
+        assert main(["check", write("ok.frc", CLEAN),
+                     write("bad.frc", RACY)]) == 1
+        out = capsys.readouterr().out
+        assert "2 file(s) checked" in out
+
+    def test_racy_stencil_example(self, capsys):
+        assert main(["check",
+                     str(EXAMPLES / "racy_stencil.frc")]) == 1
+        out = capsys.readouterr().out
+        # the issue's acceptance floor: at least four distinct codes
+        codes = {line.split("[", 1)[1].split("]", 1)[0]
+                 for line in out.splitlines() if "[F0" in line}
+        assert len(codes) >= 4
+
+    def test_shipped_clean_examples(self, capsys):
+        clean = sorted(str(p) for p in EXAMPLES.glob("*.frc")
+                       if p.name != "racy_stencil.frc")
+        assert main(["check", *clean]) == 0
+
+
+class TestJsonFormat:
+    def test_round_trips_through_json_loads(self, write, capsys):
+        path = write("bad.frc", RACY)
+        assert main(["check", "--format", "json", path]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        assert payload["errors"] >= 1
+        (entry,) = payload["files"]
+        assert entry["file"] == path
+        diag = entry["diagnostics"][0]
+        assert diag["code"] == "F001"
+        assert diag["severity"] == "error"
+        assert diag["line"] == 4
+        assert diag["suggestion"]
+        assert diag["title"]
+
+    def test_clean_file_yields_empty_diagnostics(self, write, capsys):
+        assert main(["check", "--format", "json",
+                     write("ok.frc", CLEAN)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] == 0
+        assert payload["files"][0]["diagnostics"] == []
+
+
+class TestTranslateCheckGate:
+    def test_gate_blocks_bad_program(self, write, capsys):
+        assert main(["translate", "--check",
+                     write("bad.frc", RACY)]) == 1
+        captured = capsys.readouterr()
+        assert "static checks failed" in captured.err
+        assert "SUBROUTINE" not in captured.out   # nothing translated
+
+    def test_gate_passes_clean_program(self, write, capsys):
+        assert main(["translate", "--check",
+                     write("ok.frc", CLEAN)]) == 0
+        assert "SUBROUTINE OK" in capsys.readouterr().out
+
+    def test_without_flag_bad_program_still_translates(self, write,
+                                                       capsys):
+        assert main(["translate", write("bad.frc", RACY)]) == 0
+        assert "SUBROUTINE BAD" in capsys.readouterr().out

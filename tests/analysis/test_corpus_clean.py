@@ -1,0 +1,98 @@
+"""The analyzer against the repo's own corpus.
+
+Two properties matter in practice: every known-good program must come
+back with zero error-severity findings (no false positives), and the
+deliberately broken example must light up with the documented codes at
+the documented lines (no false negatives).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.analysis import check_file, check_source, count_errors
+from repro.core.programs import SAMPLES, render
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = REPO / "examples"
+INTEGRATION = REPO / "tests" / "integration"
+
+
+def _integration_sources():
+    """Every triple-quoted Force program embedded in the integration
+    tests (identified by its `ident ME` header line)."""
+    sources = []
+    for path in sorted(INTEGRATION.glob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in re.finditer(r'"""(.*?)"""', text, re.DOTALL):
+            block = match.group(1)
+            if re.search(r"^\s*Force\w*\s.*\bident\b", block,
+                         re.MULTILINE):
+                sources.append((path.name, strip_margin(block)))
+    return sources
+
+
+class TestKnownGoodCorpusIsClean:
+    @pytest.mark.parametrize("name", sorted(SAMPLES))
+    def test_core_samples_have_no_errors(self, name):
+        diagnostics = check_source(render(name))
+        errors = [d for d in diagnostics if d.is_error]
+        assert errors == [], f"{name}: {errors}"
+
+    def test_integration_corpus_has_no_errors(self):
+        sources = _integration_sources()
+        assert len(sources) >= 10   # the extraction regex still works
+        for origin, source in sources:
+            diagnostics = check_source(source, filename=origin)
+            errors = [d for d in diagnostics if d.is_error]
+            assert errors == [], f"{origin}: {errors}"
+
+    def test_clean_examples(self):
+        clean = sorted(p for p in EXAMPLES.glob("*.frc")
+                       if p.name != "racy_stencil.frc")
+        assert clean   # jacobi.frc, sum_critical.frc at minimum
+        for path in clean:
+            diagnostics = check_file(str(path))
+            assert count_errors(diagnostics) == 0, (path.name, diagnostics)
+
+
+class TestRacyStencilGolden:
+    """examples/racy_stencil.frc is the documentation's running
+    example: every (code, line) pair below is cited in LANGUAGE.md."""
+
+    EXPECTED = {
+        ("F009", 12),   # Private ITER written in a barrier body
+        ("F001", 14),   # SWEEPS assigned in replicated code
+        ("F001", 17),   # U(2) not owned by the DOALL index I
+        ("F003", 18),   # End presched DO label 20 vs opener label 10
+        ("F011", 19),   # column-one `Critical RED` is a comment
+        ("F001", 20),   # NSIZE update unprotected (see F011 above)
+        ("F002", 21),   # the End critical is now a stray closer
+        ("F004", 23),   # Barrier nested inside Critical GREEN
+        ("F007", 27),   # Consume TOKEN: no Produce anywhere
+        ("F008", 28),   # Produce into NSIZE, which is Shared
+        ("F006", 29),   # Void of SWEEPS, which is Shared
+    }
+
+    @pytest.fixture(scope="class")
+    def diagnostics(self):
+        return check_file(str(EXAMPLES / "racy_stencil.frc"))
+
+    def test_exact_findings(self, diagnostics):
+        assert {(d.code, d.line) for d in diagnostics} == self.EXPECTED
+
+    def test_issue_floor_at_least_four_distinct_codes(self, diagnostics):
+        assert len({d.code for d in diagnostics}) >= 4
+
+    def test_severity_split(self, diagnostics):
+        assert count_errors(diagnostics) == 8
+        assert len(diagnostics) - count_errors(diagnostics) == 3
+
+    def test_every_diagnostic_has_a_suggestion(self, diagnostics):
+        assert all(d.suggestion for d in diagnostics)
+
+    def test_file_is_attached(self, diagnostics):
+        assert all(d.file.endswith("racy_stencil.frc")
+                   for d in diagnostics)

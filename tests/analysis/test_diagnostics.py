@@ -1,0 +1,395 @@
+"""Golden tests: one minimal offending program per diagnostic code.
+
+Each test pins the code, the severity, and the line number the
+diagnostic anchors to — the same triples docs/LANGUAGE.md catalogues.
+"""
+
+from repro._util.text import strip_margin
+from repro.analysis import Severity, check_source
+
+
+def diags(src):
+    return check_source(strip_margin(src))
+
+
+def codes(src):
+    return [d.code for d in diags(src)]
+
+
+def only(src, code):
+    found = [d for d in diags(src) if d.code == code]
+    assert len(found) == 1, f"expected one {code}, got {diags(src)}"
+    return found[0]
+
+
+class TestF001Races:
+    def test_shared_write_in_replicated_code(self):
+        d = only("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            End declarations
+                  S = 1
+            Join
+                  END
+        """, "F001")
+        assert d.severity is Severity.ERROR
+        assert d.line == 4
+        assert "replicated" in d.message
+
+    def test_doall_write_not_owned_by_index(self):
+        d = only("""
+            Force P of NP ident ME
+            Shared REAL A(10)
+            Private INTEGER I
+            End declarations
+            Presched DO 10 I = 1, 10
+                  A(3) = 0.0
+            10 End presched DO
+            Join
+                  END
+        """, "F001")
+        assert d.line == 6
+
+    def test_doall_write_owned_by_index_is_clean(self):
+        assert codes("""
+            Force P of NP ident ME
+            Shared REAL A(10)
+            Private INTEGER I
+            End declarations
+            Presched DO 10 I = 1, 10
+                  A(I) = 0.0
+            10 End presched DO
+            Join
+                  END
+        """) == []
+
+    def test_critical_and_barrier_bodies_are_clean(self):
+        assert codes("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            End declarations
+            Barrier
+                  S = 0
+            End barrier
+              Critical LCK
+                  S = S + 1
+              End critical
+            Join
+                  END
+        """) == []
+
+    def test_me_guard_suppresses_the_race(self):
+        assert codes("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            End declarations
+                  IF (ME .EQ. 1) S = 1
+            Join
+                  END
+        """) == []
+
+
+class TestF002Structure:
+    def test_unclosed_construct(self):
+        d = only("""
+            Force P of NP ident ME
+            End declarations
+            Barrier
+            Join
+                  END
+        """, "F002")
+        assert d.severity is Severity.ERROR
+        assert d.line == 3
+
+    def test_stray_closer(self):
+        d = only("""
+            Force P of NP ident ME
+            End declarations
+            End barrier
+            Join
+                  END
+        """, "F002")
+        assert d.line == 3
+
+    def test_no_program_unit(self):
+        d = only("      I = 1\n      END\n", "F002")
+        assert "no Force program unit" in d.message
+
+
+class TestF003Labels:
+    def test_doall_label_mismatch(self):
+        d = only("""
+            Force P of NP ident ME
+            Private INTEGER I
+            End declarations
+            Presched DO 10 I = 1, 4
+                  CONTINUE
+            20 End presched DO
+            Join
+                  END
+        """, "F003")
+        assert d.severity is Severity.ERROR
+        assert d.line == 6
+        assert "10" in d.message and "20" in d.message
+
+    def test_matching_labels_are_clean(self):
+        assert codes("""
+            Force P of NP ident ME
+            Private INTEGER I
+            End declarations
+            Presched DO 10 I = 1, 4
+                  CONTINUE
+            10 End presched DO
+            Join
+                  END
+        """) == []
+
+
+class TestF004BarrierNesting:
+    def test_barrier_inside_critical(self):
+        d = only("""
+            Force P of NP ident ME
+            End declarations
+              Critical LCK
+            Barrier
+            End barrier
+              End critical
+            Join
+                  END
+        """, "F004")
+        assert d.severity is Severity.ERROR
+        assert d.line == 4
+
+    def test_barrier_inside_doall(self):
+        d = only("""
+            Force P of NP ident ME
+            Private INTEGER I
+            End declarations
+            Presched DO 10 I = 1, 4
+            Barrier
+            End barrier
+            10 End presched DO
+            Join
+                  END
+        """, "F004")
+        assert d.line == 5
+
+
+class TestF005Locks:
+    def test_same_lock_self_nest_is_an_error(self):
+        d = only("""
+            Force P of NP ident ME
+            End declarations
+              Critical LCK
+              Critical LCK
+              End critical
+              End critical
+            Join
+                  END
+        """, "F005")
+        assert d.severity is Severity.ERROR
+        assert d.line == 4
+
+    def test_abba_order_is_a_warning(self):
+        found = [d for d in diags("""
+            Force P of NP ident ME
+            End declarations
+              Critical A
+              Critical B
+              End critical
+              End critical
+              Critical B
+              Critical A
+              End critical
+              End critical
+            Join
+                  END
+        """) if d.code == "F005"]
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert "A" in found[0].message and "B" in found[0].message
+
+    def test_consistent_order_is_clean(self):
+        assert codes("""
+            Force P of NP ident ME
+            End declarations
+              Critical A
+              Critical B
+              End critical
+              End critical
+              Critical A
+              Critical B
+              End critical
+              End critical
+            Join
+                  END
+        """) == []
+
+
+class TestF006F007F008Async:
+    def test_consume_of_non_async(self):
+        d = only("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            Private INTEGER X
+            End declarations
+              Consume S into X
+            Join
+                  END
+        """, "F006")
+        assert d.severity is Severity.ERROR
+        assert d.line == 5
+
+    def test_void_of_non_async(self):
+        d = only("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            End declarations
+              Void S
+            Join
+                  END
+        """, "F006")
+        assert "Void" in d.message
+
+    def test_consume_never_produced_is_a_warning(self):
+        d = only("""
+            Force P of NP ident ME
+            Async INTEGER V
+            Private INTEGER X
+            End declarations
+              Consume V into X
+            Join
+                  END
+        """, "F007")
+        assert d.severity is Severity.WARNING
+
+    def test_produce_in_another_routine_counts(self):
+        assert codes("""
+            Force P of NP ident ME
+            Async INTEGER V
+            Private INTEGER X
+            End declarations
+              Consume V into X
+            Forcecall FILL(1)
+            Join
+                  END
+            Forcesub FILL(N) of NP ident ME
+            Async INTEGER V
+            End declarations
+            Produce V = 1
+                  RETURN
+                  END
+        """) == []
+
+    def test_produce_into_non_async(self):
+        d = only("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            End declarations
+            Produce S = 1
+            Join
+                  END
+        """, "F008")
+        assert d.severity is Severity.ERROR
+        assert d.line == 4
+
+
+class TestF009F010Scope:
+    def test_private_write_in_barrier_body(self):
+        d = only("""
+            Force P of NP ident ME
+            Private INTEGER K
+            End declarations
+            Barrier
+                  K = 0
+            End barrier
+            Join
+                  END
+        """, "F009")
+        assert d.severity is Severity.WARNING
+        assert d.line == 5
+
+    def test_private_loop_index_in_barrier_is_clean(self):
+        # DO headers bind the index; they are not assignments.
+        assert codes("""
+            Force P of NP ident ME
+            Shared INTEGER S(4)
+            Private INTEGER K
+            End declarations
+            Barrier
+                  DO 10 K = 1, 4
+                  S(K) = K
+            10    CONTINUE
+            End barrier
+            Join
+                  END
+        """) == []
+
+    def test_conflicting_redeclaration(self):
+        d = only("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            Private INTEGER S
+            End declarations
+            Join
+                  END
+        """, "F010")
+        assert d.severity is Severity.ERROR
+        assert d.line == 3
+
+
+class TestF011SilentKeywords:
+    def test_column_one_critical_is_flagged(self):
+        src = strip_margin("""
+            Force P of NP ident ME
+            Shared INTEGER S
+            End declarations
+        """) + "Critical LCK\n      S = 1\n" + strip_margin("""
+              End critical
+            Join
+                  END
+        """)
+        found = [d for d in check_source(src) if d.code == "F011"]
+        assert len(found) == 1
+        assert found[0].severity is Severity.WARNING
+        assert found[0].line == 4
+        assert "comment" in found[0].message
+
+    def test_real_comments_are_not_flagged(self):
+        assert codes("""
+            C This is a genuine comment about the Critical section.
+            Force P of NP ident ME
+            End declarations
+            Join
+                  END
+        """) == []
+
+
+class TestF012Taskq:
+    def test_askfor_and_putwork_on_undeclared_queue(self):
+        found = [d for d in diags("""
+            Force P of NP ident ME
+            Shared INTEGER Q
+            Private INTEGER W
+            End declarations
+            Askfor 10 W from Q
+            Putwork Q = W - 1
+            10 End askfor
+            Join
+                  END
+        """) if d.code == "F012"]
+        assert [d.line for d in found] == [5, 6]
+        assert all(d.severity is Severity.ERROR for d in found)
+
+    def test_declared_taskq_is_clean(self):
+        assert codes("""
+            Force P of NP ident ME
+            Taskq Q(40)
+            Private INTEGER W
+            End declarations
+            Askfor 10 W from Q
+            Putwork Q = W - 1
+            10 End askfor
+            Join
+                  END
+        """) == []

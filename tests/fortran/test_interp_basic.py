@@ -3,8 +3,7 @@
 import pytest
 
 from repro._util.text import strip_margin
-from repro.fortran import FortranError, Interpreter, parse_source
-from repro.fortran.interp import drain
+from repro.fortran import FortranError, parse_source
 
 
 class TestAssignmentAndArithmetic:
@@ -147,7 +146,8 @@ class TestControlFlow:
               END IF
             END
         """
-        program_for = lambda i: src.format(i)
+        def program_for(i):
+            return src.format(i)
         assert run_fortran(program_for(1)) == ["ONE"]
         assert run_fortran(program_for(2)) == ["TWO"]
         assert run_fortran(program_for(3)) == ["THREE"]

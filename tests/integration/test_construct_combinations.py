@@ -140,9 +140,9 @@ class TestNesting:
                   B = 200
             End pcase
             Selfsched DO 100 K = 1, 10
-            Critical LCK
+              Critical LCK
                   A = A + 1
-            End critical
+              End critical
             100 End Selfsched DO
             Barrier
                   WRITE(*,*) A, B
@@ -190,9 +190,9 @@ class TestNesting:
                   ACC = 0
             End barrier
             Selfsched DO 100 K = 1, 5
-            Critical WLCK
+              Critical WLCK
                   ACC = ACC + K * SCALE
-            End critical
+              End critical
             100 End Selfsched DO
             Barrier
                   WRITE(*,*) "ACC", ACC
@@ -297,9 +297,9 @@ class TestScale:
                   TOTAL = 0
             End barrier
             Selfsched DO 100 K = 1, 200
-            Critical LCK
+              Critical LCK
                   TOTAL = TOTAL + 1
-            End critical
+              End critical
             100 End Selfsched DO
             Barrier
                   WRITE(*,*) TOTAL, NP

@@ -18,7 +18,6 @@ from repro.macros import (
     machindep_definitions,
 )
 from repro.pipeline import force_translate
-from repro._util.text import strip_margin
 
 
 def expand(machine, text):

@@ -97,9 +97,11 @@ class TestRunCommand:
 
 
 class TestErrors:
-    def test_unknown_machine(self, source_file, capsys):
-        assert main(["run", source_file, "--machine", "pdp-11"]) == 1
-        assert "error" in capsys.readouterr().err
+    def test_unknown_machine_is_a_usage_error(self, source_file, capsys):
+        assert main(["run", source_file, "--machine", "pdp-11"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err
+        assert "unknown machine 'pdp-11'" in err
 
     def test_missing_file(self, capsys):
         assert main(["run", "/nonexistent/prog.frc"]) == 1
@@ -108,3 +110,42 @@ class TestErrors:
         path = tmp_path / "bad.frc"
         path.write_text("      THIS IS NOT FORCE\n", encoding="utf-8")
         assert main(["run", str(path)]) == 1
+
+
+class TestArgumentValidation:
+    """Bad flag values die at the parser with exit 2 and a clear
+    `force … error:` message, before any file or runtime is touched."""
+
+    def test_nproc_zero(self, source_file, capsys):
+        assert main(["run", source_file, "--nproc", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "force run: error:" in err
+        assert "positive process count (got 0)" in err
+
+    def test_nproc_negative(self, source_file, capsys):
+        assert main(["run", source_file, "--nproc", "-3"]) == 2
+        assert "positive process count (got -3)" in capsys.readouterr().err
+
+    def test_nproc_not_an_integer(self, source_file, capsys):
+        assert main(["run", source_file, "--nproc", "many"]) == 2
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_machine_typo_suggests_nearest(self, source_file, capsys):
+        assert main(["run", source_file,
+                     "--machine", "sequent-balence"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'sequent-balance'?" in err
+
+    def test_machine_typo_on_translate_too(self, source_file, capsys):
+        assert main(["translate", source_file, "--machine", "crya-2"]) == 2
+        assert "did you mean 'cray-2'?" in capsys.readouterr().err
+
+    def test_stage_typo_lists_choices(self, source_file, capsys):
+        assert main(["translate", source_file, "--stage", "see"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "sed" in err
+
+    def test_validation_happens_before_file_access(self, capsys):
+        # A bad --nproc on a missing file is still a usage error.
+        assert main(["run", "/nonexistent/prog.frc", "--nproc", "0"]) == 2

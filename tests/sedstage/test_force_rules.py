@@ -161,6 +161,39 @@ class TestWorkDistribution:
         assert one("300 End askfor") == "end_askfor(`300')"
 
 
+class TestNegativePaths:
+    """The traps: lines that look like Force statements but are not
+    translated, and spellings that are translated despite looking odd."""
+
+    def test_column_one_c_keywords_pass_through_as_comments(self):
+        # Critical/Consume/Copy/Csect at column one start with `C`,
+        # which makes the whole line a Fortran comment.  The sed stage
+        # must leave them exactly alone (force check flags them: F011).
+        for src in ("Critical LCK", "Consume V into X",
+                    "Copy V into X", "Csect (N .GT. 0)"):
+            assert one(src) == src
+
+    def test_lowercase_column_one_comment_too(self):
+        assert one("critical LCK") == "critical LCK"
+
+    def test_mixed_case_keyword_translates_when_indented(self):
+        assert one("  bArRiEr") == "barrier_begin()"
+        assert one("  eNd BaRrIeR") == "barrier_end()"
+        assert one("  cRiTiCaL LCK") == "critical(`LCK')"
+
+    def test_end_presched_do_with_and_without_label(self):
+        assert one("   20 End presched DO") == "end_presched_do(`20')"
+        assert one("      End presched DO") == "end_presched_do(`')"
+
+    def test_keyword_as_identifier_substring_untouched(self):
+        src = "      BARRIERS = BARRIERS + 1"
+        assert one(src) == src
+
+    def test_exclamation_comment_untouched(self):
+        src = "! Void the token here"
+        assert one(src) == src
+
+
 class TestPassthrough:
     def test_plain_fortran(self):
         src = "      A(I) = B(I) + C(I)"

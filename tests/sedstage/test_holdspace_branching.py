@@ -17,7 +17,7 @@ class TestHoldSpace:
 
     def test_G_appends_hold_to_pattern(self):
         program = SedProgram("1h\n2G")
-        assert SedProgram("1h\n2G").run("x\ny\n") == "x\ny\nx\n"
+        assert program.run("x\ny\n") == "x\ny\nx\n"
 
     def test_x_swaps(self):
         program = SedProgram("1h\n2x")

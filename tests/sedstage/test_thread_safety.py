@@ -1,0 +1,99 @@
+"""Concurrency regression tests for the sed-stage compiler cache.
+
+Historically `_program()` had a check-then-set race (two threads could
+both observe `_COMPILED is None` and compile twice) and, worse, the
+compiled `SedProgram` kept two-address range state on the command
+objects themselves, so two concurrent `run()` calls corrupted each
+other's `Barrier … End barrier`-style ranges.  Both are fixed: the
+cache is built under a lock and range state is per-run.
+"""
+
+import threading
+
+from repro._util.text import strip_margin
+from repro.sedstage import compiled_force_program, translate_force_source
+from repro.sedstage import force_rules
+
+SOURCE = strip_margin("""
+    Force THRD of NP ident ME
+    Shared INTEGER TOTAL
+    Private INTEGER K
+    End declarations
+    Barrier
+          TOTAL = 0
+    End barrier
+    Selfsched DO 100 K = 1, 12
+      Critical LCK
+          TOTAL = TOTAL + K
+      End critical
+    100 End Selfsched DO
+    Join
+          END
+""")
+
+
+def test_two_threads_translate_identically():
+    # Reset the cache so both threads race through first compilation.
+    force_rules._COMPILED = None
+    nthreads = 8
+    start = threading.Barrier(nthreads)
+    results = [None] * nthreads
+    errors = []
+
+    def work(slot):
+        try:
+            start.wait()
+            for _ in range(20):
+                results[slot] = translate_force_source(SOURCE)
+        except Exception as exc:   # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=work, args=(i,))
+               for i in range(nthreads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    expected = translate_force_source(SOURCE)
+    assert "force_main(`THRD',`NP',`ME')" in expected
+    assert "selfsched_do(`100',`K',`1, 12')" in expected
+    assert all(r == expected for r in results)
+
+
+def test_compiled_program_is_a_singleton():
+    force_rules._COMPILED = None
+    programs = set()
+    start = threading.Barrier(4)
+
+    def work():
+        start.wait()
+        programs.add(id(compiled_force_program()))
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(programs) == 1
+
+
+def test_one_compiled_program_is_reentrant():
+    # Two threads share the SAME SedProgram object; interleaved runs
+    # must not leak two-address range state between them.
+    program = compiled_force_program()
+    start = threading.Barrier(2)
+    outputs = {}
+
+    def work(name):
+        start.wait()
+        for _ in range(50):
+            outputs[name] = program.run(SOURCE)
+
+    threads = [threading.Thread(target=work, args=(n,)) for n in "ab"]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outputs["a"] == outputs["b"] == program.run(SOURCE)

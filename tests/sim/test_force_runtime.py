@@ -5,7 +5,6 @@ import pytest
 from repro.fortran.interp import Cell, CellRef, ValueRef
 from repro.fortran.values import FType
 from repro.machines import CRAY_2, HEP, SEQUENT_BALANCE
-from repro.machines.model import ProcessModel
 from repro.sim import Scheduler, SimulationError
 from repro.sim.force_runtime import (
     ForceCommonProvider,

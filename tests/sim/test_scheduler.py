@@ -3,7 +3,6 @@
 import pytest
 
 from repro.machines import CRAY_2, FLEX_32, HEP, SEQUENT_BALANCE
-from repro.machines.model import LockType
 from repro.sim import (
     AcquireLock,
     Block,
