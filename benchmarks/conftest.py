@@ -1,4 +1,4 @@
-"""Shared infrastructure for the experiment benchmarks (E1–E10).
+"""Shared infrastructure for the experiment benchmarks (E1–E13).
 
 Each benchmark computes an experiment's data series, asserts the
 paper's qualitative claim about its *shape*, records a human-readable
@@ -6,17 +6,29 @@ table, and uses pytest-benchmark to time a representative unit of the
 pipeline.  Recorded tables are printed in the terminal summary and
 written to ``benchmarks/results/`` so EXPERIMENTS.md can reference
 them.
+
+Alongside each ``.txt`` table, every benchmark also records one
+*machine-readable* result through :func:`record_result` — experiment
+name, parameters, wall-clock seconds of the measured unit, and the
+headline data series.  At session end these merge (by name, newest
+wins) into ``BENCH_results.json`` at the repo root, so the perf
+trajectory of the project accumulates across runs instead of living
+only in prose.
 """
 
 from __future__ import annotations
 
-import os
+import json
+import time
 from pathlib import Path
+from typing import Any
 
 import pytest
 
 _RESULTS_DIR = Path(__file__).parent / "results"
+_BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_results.json"
 _TABLES: list[tuple[str, str]] = []
+_RESULTS: list[dict[str, Any]] = []
 
 
 @pytest.fixture()
@@ -31,6 +43,56 @@ def record_table():
                                                   encoding="utf-8")
 
     return _record
+
+
+@pytest.fixture()
+def record_result():
+    """Record one machine-readable benchmark result.
+
+    ``_record(name, params={...}, wall_s=1.23, data={...})`` — name is
+    the experiment slug (``e3_barriers``), params the swept dimensions,
+    ``wall_s`` the wall-clock seconds of the measured unit, and
+    ``data`` whatever headline series the experiment produced (keep it
+    JSON-serialisable and small).
+    """
+
+    def _record(name: str, *, params: dict[str, Any] | None = None,
+                wall_s: float | None = None,
+                data: Any = None) -> None:
+        _RESULTS.append({
+            "name": name,
+            "params": params or {},
+            "wall_s": wall_s,
+            "data": data,
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        })
+
+    return _record
+
+
+def _write_bench_results() -> None:
+    merged: dict[str, dict[str, Any]] = {}
+    if _BENCH_FILE.exists():
+        try:
+            previous = json.loads(_BENCH_FILE.read_text(encoding="utf-8"))
+            for entry in previous.get("results", []):
+                if isinstance(entry, dict) and "name" in entry:
+                    merged[entry["name"]] = entry
+        except (json.JSONDecodeError, OSError):
+            pass     # a corrupt history never blocks fresh results
+    for entry in _RESULTS:
+        merged[entry["name"]] = entry
+    document = {
+        "schema": 1,
+        "results": [merged[name] for name in sorted(merged)],
+    }
+    _BENCH_FILE.write_text(json.dumps(document, indent=2, sort_keys=True)
+                           + "\n", encoding="utf-8")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RESULTS:
+        _write_bench_results()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -9,6 +9,8 @@ with the force size, and the termination protocol always processes
 exactly 2^depth - 1 units.
 """
 
+from time import perf_counter
+
 from repro.core import HEP, SEQUENT_BALANCE, force_compile_and_run, programs
 
 DEPTH = 8
@@ -33,8 +35,10 @@ def _measure():
     return data
 
 
-def test_e10_askfor_scaling(benchmark, record_table):
+def test_e10_askfor_scaling(benchmark, record_table, record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     nodes = 2 ** DEPTH - 1
     lines = [f"E10: askfor over a dynamic tree of {nodes} work units "
              f"(depth {DEPTH}); exact unit count asserted in every run",
@@ -48,6 +52,13 @@ def test_e10_askfor_scaling(benchmark, record_table):
                      "".join(f"{s:>11d}" for s in spans) +
                      f"{speedup:>7.2f}x")
     record_table("E10 askfor dynamic distribution", "\n".join(lines))
+    record_result("e10_askfor",
+                  params={"depth": DEPTH, "nodes": nodes,
+                          "process_counts": list(PROCESS_COUNTS),
+                          "machines": [m.key for m in MACHINES_TESTED]},
+                  wall_s=wall,
+                  data={f"{m}/p{p}": span
+                        for (m, p), span in data.items()})
 
     for machine in MACHINES_TESTED:
         # Dynamic distribution gains from more processes...

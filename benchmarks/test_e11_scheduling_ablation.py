@@ -12,6 +12,8 @@ stride-resonant loads.  Expected shape:
   (all heavy indices on one process), blocked and selfsched survive.
 """
 
+from time import perf_counter
+
 from repro.core import SEQUENT_BALANCE, force_compile_and_run
 from repro._util.text import strip_margin
 
@@ -68,8 +70,10 @@ def _measure():
     return spans
 
 
-def test_e11_scheduling_ablation(benchmark, record_table):
+def test_e11_scheduling_ablation(benchmark, record_table, record_result):
+    t0 = perf_counter()
     spans = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = [f"E11 (ablation): makespan by scheduler x load "
              f"({SEQUENT_BALANCE.name}, nproc={NPROC}, {N_ITER} iters)",
              f"{'load':12s}" + "".join(f"{s:>12s}" for s in _LOOPS)
@@ -80,6 +84,14 @@ def test_e11_scheduling_ablation(benchmark, record_table):
         lines.append(f"{load:12s}" + "".join(
             f"{row[s]:>12d}" for s in _LOOPS) + f"{best:>12s}")
     record_table("E11 scheduling ablation", "\n".join(lines))
+    record_result("e11_scheduling_ablation",
+                  params={"nproc": NPROC, "iterations": N_ITER,
+                          "machine": SEQUENT_BALANCE.key,
+                          "schedulers": list(_LOOPS),
+                          "loads": list(_LOADS)},
+                  wall_s=wall,
+                  data={f"{load}/{sched}": span
+                        for (load, sched), span in spans.items()})
 
     # Uniform: static distributions beat selfscheduling.
     assert spans[("uniform", "cyclic")] < spans[("uniform", "selfsched")]

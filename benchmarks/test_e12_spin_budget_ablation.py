@@ -14,6 +14,7 @@ real machine chose (120 cycles).
 """
 
 from dataclasses import replace
+from time import perf_counter
 
 from repro.machines import FLEX_32
 from repro.sim import AcquireLock, Cost, ReleaseLock, Scheduler
@@ -59,8 +60,10 @@ def _sweep():
     return data
 
 
-def test_e12_spin_budget_sweep(benchmark, record_table):
+def test_e12_spin_budget_sweep(benchmark, record_table, record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = [f"E12 (ablation): combined-lock spin budget sweep "
              f"(Flex/32 model, {NPROC} processes, alternating "
              f"{SHORT}/{LONG}-cycle sections)",
@@ -75,6 +78,17 @@ def test_e12_spin_budget_sweep(benchmark, record_table):
                  f"(factory Flex/32 setting: "
                  f"{FLEX_32.combined_spin_limit})")
     record_table("E12 spin budget ablation", "\n".join(lines))
+    record_result("e12_spin_budget_ablation",
+                  params={"budgets": list(BUDGETS), "nproc": NPROC,
+                          "rounds": ROUNDS,
+                          "section_cycles": [SHORT, LONG]},
+                  wall_s=wall,
+                  data={"best_budget": best,
+                        "sweep": {str(budget): {
+                            "makespan": makespan, "busy": busy,
+                            "spin": spin, "switches": switches}
+                            for budget, (makespan, busy, spin, switches)
+                            in data.items()}})
 
     # Shape: tiny budgets context-switch on everything; huge budgets
     # never switch but burn spin cycles on the long sections.

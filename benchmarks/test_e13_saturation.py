@@ -13,6 +13,8 @@ processors, so a force larger than the machine genuinely deadlocks
 one-process-per-processor the Force's operating point.
 """
 
+from time import perf_counter
+
 from repro.core import CRAY_2, HEP, force_run, force_translate
 from repro._util.text import strip_margin
 
@@ -43,8 +45,10 @@ def _measure():
     return data
 
 
-def test_e13_processor_saturation(benchmark, record_table):
+def test_e13_processor_saturation(benchmark, record_table, record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = ["E13 (extension): compute-bound DOALL speedup vs force "
              "size under the machine's real processor count",
              f"{'machine':18s}{'CPUs':>5s}" + "".join(
@@ -65,6 +69,15 @@ def test_e13_processor_saturation(benchmark, record_table):
                  "larger than the machine deadlocks — barrier spinners "
                  "hold every processor (asserted below)")
     record_table("E13 processor saturation", "\n".join(lines))
+    record_result("e13_saturation",
+                  params={"process_counts": list(PROCESS_COUNTS),
+                          "machines": [m.key for m in MACHINES_TESTED]},
+                  wall_s=wall,
+                  data={"speedups": {f"{m}/p{p}": s
+                                     for (m, p), s in speedups.items()},
+                        "makespans": {f"{m}/p{p}": real
+                                      for (m, p), (real, _ideal)
+                                      in data.items()}})
 
     for machine in MACHINES_TESTED:
         cap = machine.processors

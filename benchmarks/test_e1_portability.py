@@ -6,6 +6,8 @@ machine and assert identical program output everywhere, while the
 makespans (and the generated code) are machine-specific.
 """
 
+from time import perf_counter
+
 from repro.core import MACHINES, force_run, force_translate, programs
 
 PROGRAMS = ("sum_critical", "dot_product", "pipeline", "sections",
@@ -29,8 +31,10 @@ def _run_matrix():
     return rows
 
 
-def test_e1_portability_matrix(benchmark, record_table):
+def test_e1_portability_matrix(benchmark, record_table, record_result):
+    t0 = perf_counter()
     rows = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     header = f"{'program':17s}" + "".join(
         f"{m.key:>17s}" for m in MACHINES.values())
     lines = [f"E1: makespan (cycles) per machine, nproc={NPROC}; "
@@ -39,6 +43,11 @@ def test_e1_portability_matrix(benchmark, record_table):
         lines.append(f"{name:17s}" + "".join(
             f"{spans[m.key]:>17d}" for m in MACHINES.values()))
     record_table("E1 portability matrix", "\n".join(lines))
+    record_result("e1_portability",
+                  params={"programs": list(PROGRAMS), "nproc": NPROC,
+                          "machines": [m.key for m in MACHINES.values()]},
+                  wall_s=wall,
+                  data={name: spans for name, _output, spans in rows})
     benchmark.extra_info["programs"] = len(rows)
     benchmark.extra_info["machines"] = len(MACHINES)
     # Shape claim: every program ported everywhere (asserted inside),

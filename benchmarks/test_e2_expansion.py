@@ -8,6 +8,8 @@ check the structure on every machine and time the full preprocessing
 pipeline.
 """
 
+from time import perf_counter
+
 from repro.core import MACHINES, force_translate
 from repro._util.text import strip_margin
 
@@ -47,17 +49,21 @@ GOLDEN_ELEMENTS = (
 )
 
 
-def test_e2_expansion_structure(benchmark, record_table):
+def test_e2_expansion_structure(benchmark, record_table, record_result):
+    t0 = perf_counter()
     fortran = benchmark(lambda: force_translate(
         SOURCE, MACHINES["sequent-balance"]).fortran)
+    wall = perf_counter() - t0
     missing = [e for e in GOLDEN_ELEMENTS if e not in fortran]
     assert not missing, f"expansion lacks paper elements: {missing}"
 
     lines = ["E2: paper section 4.2 structural elements found in the",
              "selfscheduled DO expansion, per machine:", ""]
+    found_per_machine = {}
     for machine in MACHINES.values():
         text = force_translate(SOURCE, machine).fortran
         found = sum(1 for e in GOLDEN_ELEMENTS if e in text)
+        found_per_machine[machine.key] = found
         lock = ("HEPLKW" if "HEPLKW" in text else
                 "SYSLCK" if "SYSLCK" in text else
                 "CMBLCK" if "CMBLCK" in text else "SPINLK")
@@ -66,3 +72,7 @@ def test_e2_expansion_structure(benchmark, record_table):
         assert found == len(GOLDEN_ELEMENTS), machine.name
     record_table("E2 selfsched expansion golden check", "\n".join(lines))
     benchmark.extra_info["elements"] = len(GOLDEN_ELEMENTS)
+    record_result("e2_expansion",
+                  params={"elements": len(GOLDEN_ELEMENTS)},
+                  wall_s=wall,
+                  data={"found_per_machine": found_per_machine})

@@ -7,6 +7,8 @@ constant is set by the machine's lock mechanism — enormous on the
 syscall-lock Cray-2, tiny on the HEP.
 """
 
+from time import perf_counter
+
 from repro.machines import CRAY_2, HEP, SEQUENT_BALANCE
 from repro.sim.barrier_algorithms import (
     SIM_BARRIER_ALGORITHMS,
@@ -27,8 +29,10 @@ def _measure_all():
     return data
 
 
-def test_e3_barrier_algorithms(benchmark, record_table):
+def test_e3_barrier_algorithms(benchmark, record_table, record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_measure_all, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = ["E3: cycles per barrier episode vs process count"]
     for machine in MACHINES_TESTED:
         lines.append(f"\n  {machine.name} "
@@ -40,6 +44,13 @@ def test_e3_barrier_algorithms(benchmark, record_table):
                           for a in SIM_BARRIER_ALGORITHMS)
             lines.append("  " + f"{nproc:>4d}" + row)
     record_table("E3 barrier algorithm comparison", "\n".join(lines))
+    record_result("e3_barriers",
+                  params={"process_counts": list(PROCESS_COUNTS),
+                          "machines": [m.key for m in MACHINES_TESTED],
+                          "algorithms": list(SIM_BARRIER_ALGORITHMS)},
+                  wall_s=wall,
+                  data={f"{m}/{a}/p{n}": cost
+                        for (m, a, n), cost in data.items()})
 
     for machine in MACHINES_TESTED:
         counter32 = data[(machine.key, "central-counter", 32)]

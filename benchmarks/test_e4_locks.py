@@ -8,6 +8,8 @@ syscall lock for long ones; HEP hardware full/empty waiting is nearly
 free.
 """
 
+from time import perf_counter
+
 from repro.machines import CRAY_2, FLEX_32, HEP, SEQUENT_BALANCE
 from repro.sim import AcquireLock, Cost, ReleaseLock, Scheduler
 
@@ -50,8 +52,10 @@ def _sweep():
             for m in MACHINES_TESTED for s in SECTION_LENGTHS}
 
 
-def test_e4_lock_mechanisms(benchmark, record_table):
+def test_e4_lock_mechanisms(benchmark, record_table, record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = [f"E4: {NPROC} processes contending a lock, {ROUNDS} "
              "rounds each; overhead = cycles per acquisition beyond "
              "the critical section",
@@ -64,6 +68,12 @@ def test_e4_lock_mechanisms(benchmark, record_table):
                          f"{d['overhead_per_acq']:>10.1f}"
                          f"{d['spin']:>10d}{d['switches']:>7d}")
     record_table("E4 lock mechanism costs", "\n".join(lines))
+    record_result("e4_locks",
+                  params={"nproc": NPROC, "rounds": ROUNDS,
+                          "section_lengths": list(SECTION_LENGTHS)},
+                  wall_s=wall,
+                  data={f"{m}/s{s}": d
+                        for (m, s), d in data.items()})
 
     # Spin machine burns cycles; syscall machine burns none but context
     # switches instead.

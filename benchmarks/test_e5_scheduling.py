@@ -7,6 +7,8 @@ static (cyclic) distribution — here, heavy iterations recurring with
 the same stride as the process count, all landing on one process.
 """
 
+from time import perf_counter
+
 from repro.core import SEQUENT_BALANCE, force_compile_and_run
 from repro._util.text import strip_margin
 
@@ -62,8 +64,10 @@ def _measure():
     return results
 
 
-def test_e5_scheduling_crossover(benchmark, record_table):
+def test_e5_scheduling_crossover(benchmark, record_table, record_result):
+    t0 = perf_counter()
     results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = [f"E5: {N_ITER} iterations on {SEQUENT_BALANCE.name}, "
              f"nproc={NPROC}; heavy iterations recur with stride "
              f"{NPROC} (worst case for the cyclic presched map)",
@@ -74,6 +78,12 @@ def test_e5_scheduling_crossover(benchmark, record_table):
         winner = "presched" if pre < self_ else "selfsched"
         lines.append(f"{load:9s}{pre:>12d}{self_:>12d}{winner:>12s}")
     record_table("E5 presched vs selfsched", "\n".join(lines))
+    record_result("e5_scheduling",
+                  params={"nproc": NPROC, "iterations": N_ITER,
+                          "machine": SEQUENT_BALANCE.key},
+                  wall_s=wall,
+                  data={f"{load}/{sched}": span
+                        for (load, sched), span in results.items()})
 
     # The crossover: uniform -> presched wins (no lock overhead);
     # resonant skew -> selfscheduling wins despite the lock per index.

@@ -7,6 +7,8 @@ fork machines (Encore, Sequent), and poor where fork and locks are
 expensive (Cray-2) — the grain-size argument of §4.1.1.
 """
 
+from time import perf_counter
+
 from repro.core import MACHINES, force_run, force_translate, programs
 
 PROCESS_COUNTS = (1, 2, 4, 8)
@@ -27,8 +29,10 @@ def _measure():
     return table
 
 
-def test_e6_speedup_curves(benchmark, record_table):
+def test_e6_speedup_curves(benchmark, record_table, record_result):
+    t0 = perf_counter()
     table = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = ["E6: Jacobi (384 points, 60 sweeps) makespan and speedup",
              f"{'machine':18s}" + "".join(f"{f'P={p}':>11s}"
                                           for p in PROCESS_COUNTS)
@@ -42,6 +46,13 @@ def test_e6_speedup_curves(benchmark, record_table):
                      "".join(f"{s:>11d}" for s in spans) +
                      f"{speedup:>7.2f}x")
     record_table("E6 Jacobi speedup vs process count", "\n".join(lines))
+    record_result("e6_speedup",
+                  params={"process_counts": list(PROCESS_COUNTS),
+                          "program": "jacobi", "n": 384, "iters": 60},
+                  wall_s=wall,
+                  data={"makespans": {f"{m}/p{p}": span
+                                      for (m, p), span in table.items()},
+                        "speedup_p8": speedups})
 
     # Shape claims.
     assert speedups["hep"] > 4.0

@@ -7,6 +7,8 @@ The paper's portability argument requires the per-port fraction to be
 small; we assert every machdep set is under a third of the total.
 """
 
+from time import perf_counter
+
 from repro.machines import MACHINES
 from repro.macros import (
     MACHDEP_INTERFACE,
@@ -34,9 +36,12 @@ def _measure():
     return indep_lines, indep_macros, per_machine
 
 
-def test_e7_machine_dependent_fraction(benchmark, record_table):
+def test_e7_machine_dependent_fraction(benchmark, record_table,
+                                       record_result):
+    t0 = perf_counter()
     indep_lines, indep_macros, per_machine = benchmark(
         _measure)
+    wall = perf_counter() - t0
     lines = ["E7: size of the machine-dependent macro layer per port",
              f"machine-independent library: {indep_lines} lines, "
              f"{indep_macros} macros (shared by all six ports)",
@@ -49,6 +54,18 @@ def test_e7_machine_dependent_fraction(benchmark, record_table):
         lines.append(f"{machine.name:18s}{dep_lines:>7d}{dep_macros:>8d}"
                      f"{fraction:>18.1%}")
     record_table("E7 machine-dependent fraction", "\n".join(lines))
+    record_result("e7_machdep_fraction",
+                  params={"machines": list(per_machine)},
+                  wall_s=wall,
+                  data={"machindep_lines": indep_lines,
+                        "machindep_macros": indep_macros,
+                        "per_machine": {
+                            key: {"lines": dep_lines,
+                                  "macros": dep_macros,
+                                  "fraction": dep_lines / (dep_lines +
+                                                           indep_lines)}
+                            for key, (dep_lines, dep_macros)
+                            in per_machine.items()}})
 
     for machine in MACHINES.values():
         dep_lines, dep_macros = per_machine[machine.key]

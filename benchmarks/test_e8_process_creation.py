@@ -9,6 +9,8 @@ execution — the HEP's break-even grain is orders of magnitude smaller
 than the fork machines'.
 """
 
+from time import perf_counter
+
 from repro.core import ENCORE_MULTIMAX, HEP, MACHINES, \
     force_compile_and_run
 from repro._util.text import strip_margin
@@ -42,8 +44,10 @@ def _measure():
     return data
 
 
-def test_e8_creation_cost_vs_grain(benchmark, record_table):
+def test_e8_creation_cost_vs_grain(benchmark, record_table, record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = ["E8: loop of N trivial iterations; P=4 vs serial "
              "(parallel/serial ratio; <1 means the force pays off)",
              f"{'machine':18s}" + "".join(f"{f'N={g}':>11s}"
@@ -64,6 +68,13 @@ def test_e8_creation_cost_vs_grain(benchmark, record_table):
     lines.append("break-even grain: " + ", ".join(
         f"{m.name}={breakeven[m.key]}" for m in MACHINES.values()))
     record_table("E8 process creation vs grain size", "\n".join(lines))
+    record_result("e8_process_creation",
+                  params={"grains": list(GRAINS), "nproc": 4},
+                  wall_s=wall,
+                  data={"ratios": {f"{m}/n{g}": parallel / serial
+                                   for (m, g), (serial, parallel)
+                                   in data.items()},
+                        "breakeven_grain": breakeven})
 
     # The HEP profits from a much finer grain than any fork machine.
     assert breakeven["hep"] is not None

@@ -9,6 +9,8 @@ operations per transfer everywhere except the HEP, whose transfers
 cost a few cycles of memory-pipeline latency.
 """
 
+from time import perf_counter
+
 from repro.core import MACHINES, force_compile_and_run, programs
 
 ITEMS = 30
@@ -29,8 +31,11 @@ def _measure():
     return data
 
 
-def test_e9_async_variable_protocols(benchmark, record_table):
+def test_e9_async_variable_protocols(benchmark, record_table,
+                                     record_result):
+    t0 = perf_counter()
     data = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    wall = perf_counter() - t0
     lines = [f"E9: {ITEMS}-item producer/consumer pipeline, nproc=2",
              f"{'machine':18s}{'makespan':>10s}{'cyc/item':>10s}"
              f"{'lock ops':>9s}{'protocol':>22s}"]
@@ -41,6 +46,14 @@ def test_e9_async_variable_protocols(benchmark, record_table):
         lines.append(f"{machine.name:18s}{makespan:>10d}{per_item:>10.1f}"
                      f"{locks:>9d}{protocol:>22s}")
     record_table("E9 async variable protocols", "\n".join(lines))
+    record_result("e9_async_vars",
+                  params={"items": ITEMS, "nproc": 2},
+                  wall_s=wall,
+                  data={key: {"makespan": makespan,
+                              "cycles_per_item": per_item,
+                              "lock_acquisitions": locks}
+                        for key, (makespan, per_item, locks)
+                        in data.items()})
 
     # The HEP needs no lock traffic on the transfer path; two-lock
     # machines pay >= 2 lock acquisitions per produced item.

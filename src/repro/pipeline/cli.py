@@ -1,4 +1,4 @@
-"""Command-line interface: ``force translate|run|check|machines``.
+"""Command-line interface: ``force translate|run|check|trace|machines``.
 
 Examples::
 
@@ -6,8 +6,19 @@ Examples::
     force translate program.frc --machine sequent-balance
     force translate program.frc --check          # gate on diagnostics
     force run program.frc --machine hep --nproc 8 --stats
+    force run program.frc --stats --format json  # machine-readable
+    force run program.frc --trace out.json       # Chrome trace file
+    force run program.frc --trace out.jsonl --trace-format jsonl
+    force run program.frc --trace                # text timeline, stderr
+    force trace out.json                         # per-construct summary
     force check program.frc                      # static analysis only
     force check program.frc --format json --werror
+
+IO contract: program output goes to stdout; diagnostics, timelines and
+reports go to stderr.  With ``--format json`` a single JSON document
+replaces stdout's plain lines (program output under ``"output"``,
+statistics under ``"stats"``), giving ``force run`` the same
+machine-readable surface as ``force check --format json``.
 
 Exit status: 0 on success, 1 on pipeline/check errors, 2 on usage
 errors (bad flags, unknown machine, non-positive ``--nproc``).
@@ -78,11 +89,30 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="number of Force processes (positive)")
     run.add_argument("--stats", action="store_true",
                      help="print simulation statistics")
-    run.add_argument("--trace", action="store_true",
-                     help="print a simulated-time event timeline")
+    run.add_argument("--trace", nargs="?", const="-", default=None,
+                     metavar="FILE",
+                     help="collect an event trace; with FILE write it "
+                          "there (format from --trace-format or the "
+                          "extension), bare --trace prints the text "
+                          "timeline to stderr")
+    run.add_argument("--trace-format", choices=["chrome", "jsonl", "text"],
+                     default=None,
+                     help="trace file format (default: chrome, or by "
+                          "FILE extension: .jsonl, .txt)")
+    run.add_argument("--format", choices=["text", "json"], default="text",
+                     help="stdout format: plain program output, or one "
+                          "JSON document with output and stats")
     run.add_argument("--utilization", action="store_true",
                      help="print per-process utilization bars")
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="summarize a trace file written by run --trace")
+    trace.add_argument("tracefile",
+                       help="a chrome-JSON or JSONL trace file")
+    trace.add_argument("--format", choices=["text", "json"],
+                       default="text", help="summary output format")
+    trace.set_defaults(func=_cmd_trace)
 
     check = sub.add_parser(
         "check", help="statically analyze Force programs (no simulation)")
@@ -126,10 +156,40 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     translation = force_translate(_read(args.source), machine)
-    result = force_run(translation, args.nproc, trace=args.trace)
-    for line in result.output:
-        print(line)
-    if args.trace:
+    result = force_run(translation, args.nproc,
+                       trace=args.trace is not None)
+    trace_file = None
+    if args.trace is not None and args.trace != "-":
+        from repro.trace.export import write_trace_file
+        format_used = write_trace_file(
+            args.trace, result.trace_events(),
+            format=args.trace_format,
+            meta={"source": args.source, "machine": machine.key,
+                  "nproc": args.nproc, "clock": "cycles"})
+        trace_file = args.trace
+        print(f"trace: {len(result.trace)} events written to "
+              f"{args.trace} ({format_used})", file=sys.stderr)
+    if args.format == "json":
+        import json
+        document = {
+            "source": args.source,
+            "machine": machine.key,
+            "nproc": args.nproc,
+            "makespan": result.makespan,
+            "output": result.output,
+        }
+        if args.stats:
+            document["stats"] = result.stats_dict()
+        if trace_file is not None:
+            document["trace_file"] = trace_file
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        for line in result.output:
+            print(line)
+        if args.stats:
+            from repro.runtime.stats import render_stats
+            print(render_stats(result.stats_dict()), file=sys.stderr)
+    if args.trace == "-":
         from repro.sim.timeline import lock_contention_report, \
             render_timeline
         print(render_timeline(result.trace), file=sys.stderr)
@@ -138,9 +198,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.utilization:
         from repro.sim.timeline import render_utilization
         print(render_utilization(result.stats), file=sys.stderr)
-    if args.stats:
-        from repro.runtime.stats import render_stats
-        print(render_stats(result.stats_dict()), file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.trace.export import load_trace_file
+    from repro.trace.summary import render_trace_summary, summarize_events
+    events = load_trace_file(args.tracefile)
+    summary = summarize_events(events)
+    print(render_trace_summary(summary, as_json=args.format == "json"))
     return 0
 
 

@@ -55,6 +55,17 @@ class RunResult:
         return {"sim": sim_stats_dict(self.machine, self.nproc,
                                       self.stats)}
 
+    def trace_events(self):
+        """The run's trace in the unified event model.
+
+        Adapts the scheduler's ``(time, process, text)`` triples to
+        :class:`repro.trace.events.TraceEvent` so simulated runs share
+        the native runtime's exporters (Chrome trace JSON, JSONL,
+        text) and the ``force trace`` summaries.
+        """
+        from repro.trace.adapter import events_from_sim_trace
+        return events_from_sim_trace(self.trace)
+
 
 def sim_stats_dict(machine: MachineModel, nproc: int,
                    stats: SimStats) -> dict:

@@ -18,23 +18,38 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Iterator
+from time import monotonic
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro._util.errors import ForceError
 from repro.runtime.cancel import CancelToken
 
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.trace.collector import TraceCollector
+
 
 class AskforMonitor:
-    """A work pool with built-in termination detection."""
+    """A work pool with built-in termination detection.
+
+    With a :class:`~repro.trace.collector.TraceCollector` attached
+    (monitors created through ``Force(..., trace=True)``), the pool
+    records ``put``/``got`` instants with queue depth and a complete
+    span for every blocked wait, and marks the waiting process parked
+    for the stall watchdog.
+    """
 
     def __init__(self, initial: list | None = None, *,
-                 cancel: CancelToken | None = None) -> None:
+                 cancel: CancelToken | None = None,
+                 tracer: "TraceCollector | None" = None,
+                 name: str = "") -> None:
         self._items: deque = deque(initial or [])
         self._condition = threading.Condition()
         self._holders = 0
         self._holder_threads: set[int] = set()
         self._done = False
         self._cancel = cancel
+        self._tracer = tracer
+        self._name = name
         self.total_put = len(self._items)
         self.total_got = 0
         #: high-water mark of the queue depth (stats)
@@ -51,6 +66,9 @@ class AskforMonitor:
             self.total_put += 1
             if len(self._items) > self.max_depth:
                 self.max_depth = len(self._items)
+            if self._tracer is not None:
+                self._tracer.record("askfor", self._name, "put",
+                                    depth=len(self._items))
             self._condition.notify()
 
     def get(self) -> tuple[bool, Any]:
@@ -61,11 +79,13 @@ class AskforMonitor:
         each worker alternates get/process.  Queued items are drained
         even after termination was declared, so nothing is dropped.
         """
+        tracer = self._tracer
         with self._condition:
             if self._holders_includes_me():
                 self._holders -= 1
                 self._release_me()
                 self._condition.notify_all()
+            wait_started: float | None = None
             while True:
                 if self._cancel is not None:
                     self._cancel.check()
@@ -73,12 +93,33 @@ class AskforMonitor:
                     self._holders += 1
                     self._mark_me_holder()
                     self.total_got += 1
-                    return True, self._items.popleft()
+                    item = self._items.popleft()
+                    if tracer is not None:
+                        self._trace_wait_end(wait_started)
+                        tracer.record("askfor", self._name, "got",
+                                      depth=len(self._items))
+                    return True, item
                 if self._done or self._holders == 0:
                     self._done = True
                     self._condition.notify_all()
+                    if tracer is not None:
+                        self._trace_wait_end(wait_started)
+                        tracer.record("askfor", self._name, "terminated")
                     return False, None
+                if tracer is not None and wait_started is None:
+                    wait_started = monotonic()
+                    tracer.mark_parked("askfor", self._name)
                 self._condition.wait()
+
+    def _trace_wait_end(self, wait_started: float | None) -> None:
+        """Close an open blocked-wait span (tracer known present)."""
+        if wait_started is None:
+            return
+        tracer = self._tracer
+        tracer.clear_parked()
+        waited = monotonic() - wait_started
+        tracer.record("askfor", self._name, "wait", phase="X",
+                      ts=tracer.now() - waited, dur=waited)
 
     # -- holder tracking (thread-identity based) -----------------------
     def _mark_me_holder(self) -> None:

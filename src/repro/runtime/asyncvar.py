@@ -14,34 +14,45 @@ same atomic state transition semantics.
 
 Variables created through a :class:`~repro.runtime.force.Force` carry
 the force's :class:`~repro.runtime.cancel.CancelToken`, so a wait for a
-partner that died raises ``ForceCancelled`` instead of hanging, and an
+partner that died raises ``ForceCancelled`` instead of hanging, an
 optional ``on_block`` hook that reports time spent blocked (the stats
-layer's asyncvar blocked-time metric).
+layer's asyncvar blocked-time metric), and an optional
+:class:`~repro.trace.collector.TraceCollector` that records every
+blocked ``produce``/``consume``/``copy`` as a complete trace span and
+marks the waiter parked for the stall watchdog.
 """
 
 from __future__ import annotations
 
 import threading
 from time import monotonic
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro._util.errors import ForceError
 from repro.runtime.cancel import CancelToken
+
+if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.trace.collector import TraceCollector
 
 
 class AsyncVariable:
     """One full/empty cell."""
 
-    __slots__ = ("_value", "_full", "_condition", "_cancel", "_on_block")
+    __slots__ = ("_value", "_full", "_condition", "_cancel", "_on_block",
+                 "_tracer", "_name")
 
     def __init__(self, value: Any = None, *, full: bool = False,
                  cancel: CancelToken | None = None,
-                 on_block: Callable[[float], None] | None = None) -> None:
+                 on_block: Callable[[float], None] | None = None,
+                 tracer: "TraceCollector | None" = None,
+                 name: str = "") -> None:
         self._value = value
         self._full = full
         self._condition = threading.Condition()
         self._cancel = cancel
         self._on_block = on_block
+        self._tracer = tracer
+        self._name = name
         if cancel is not None:
             cancel.register(self._condition)
 
@@ -51,11 +62,18 @@ class AsyncVariable:
             return self._full
 
     def _await(self, predicate: Callable[[], bool],
-               timeout: float | None, failure: str) -> None:
-        """Wait (condition held) until predicate; cancel- and stats-aware."""
+               timeout: float | None, failure: str,
+               op: str = "wait") -> None:
+        """Wait (condition held) until predicate; cancel-, stats- and
+        trace-aware.  The hooks fire only when the caller actually
+        blocked, so a fast-path produce/consume records nothing."""
         if predicate():
             return
-        started = monotonic() if self._on_block is not None else 0.0
+        tracer = self._tracer
+        observed = self._on_block is not None or tracer is not None
+        started = monotonic() if observed else 0.0
+        if tracer is not None:
+            tracer.mark_parked("asyncvar", self._name)
         try:
             if self._cancel is None:
                 satisfied = self._condition.wait_for(predicate,
@@ -66,6 +84,11 @@ class AsyncVariable:
             if not satisfied:
                 raise ForceError(failure)
         finally:
+            if tracer is not None:
+                tracer.clear_parked()
+                waited = monotonic() - started
+                tracer.record("asyncvar", self._name, op, phase="X",
+                              ts=tracer.now() - waited, dur=waited)
             if self._on_block is not None:
                 self._on_block(monotonic() - started)
 
@@ -73,7 +96,8 @@ class AsyncVariable:
         """Wait for empty, write ``value``, set full."""
         with self._condition:
             self._await(lambda: not self._full, timeout,
-                        "produce timed out (variable stayed full)")
+                        "produce timed out (variable stayed full)",
+                        op="produce")
             self._value = value
             self._full = True
             self._condition.notify_all()
@@ -82,7 +106,8 @@ class AsyncVariable:
         """Wait for full, read, set empty."""
         with self._condition:
             self._await(lambda: self._full, timeout,
-                        "consume timed out (variable stayed empty)")
+                        "consume timed out (variable stayed empty)",
+                        op="consume")
             value = self._value
             self._full = False
             self._condition.notify_all()
@@ -92,7 +117,8 @@ class AsyncVariable:
         """Wait for full, read, leave full."""
         with self._condition:
             self._await(lambda: self._full, timeout,
-                        "copy timed out (variable stayed empty)")
+                        "copy timed out (variable stayed empty)",
+                        op="copy")
             return self._value
 
     def void(self) -> None:
@@ -107,11 +133,16 @@ class AsyncArray:
 
     def __init__(self, size: int, *,
                  cancel: CancelToken | None = None,
-                 on_block: Callable[[float], None] | None = None) -> None:
+                 on_block: Callable[[float], None] | None = None,
+                 tracer: "TraceCollector | None" = None,
+                 name: str = "") -> None:
         if size <= 0:
             raise ForceError("AsyncArray size must be positive")
-        self._cells = [AsyncVariable(cancel=cancel, on_block=on_block)
-                       for _ in range(size)]
+        self._cells = [AsyncVariable(cancel=cancel, on_block=on_block,
+                                     tracer=tracer,
+                                     name=f"{name}[{index}]" if name
+                                     else "")
+                       for index in range(size)]
 
     def __len__(self) -> int:
         return len(self._cells)

@@ -15,7 +15,13 @@ askfor ``get``, async-variable wait) wake promptly with
 
 Observability: ``Force(nproc, stats=True)`` records per-construct
 counters and wait times (see :mod:`repro.runtime.stats`), exposed via
-:attr:`Force.stats` / :meth:`Force.stats_report`.
+:attr:`Force.stats` / :meth:`Force.stats_report`.  ``Force(nproc,
+trace=True)`` additionally records a structured event stream (see
+:mod:`repro.trace`) — barrier episodes, critical wait/hold spans,
+selfscheduled chunks, askfor traffic, full/empty blocking — exported
+via :meth:`Force.trace_events` to Chrome-trace/JSONL/text; with
+``watchdog_interval=seconds`` a stall watchdog reports which process
+is parked on which construct whenever the stream goes quiet.
 """
 
 from __future__ import annotations
@@ -34,6 +40,9 @@ from repro.runtime.barriers import Barrier, make_barrier
 from repro.runtime.cancel import CancelToken, ForceCancelled
 from repro.runtime.resolve import Resolve
 from repro.runtime.stats import ForceStats, render_stats
+from repro.trace.collector import TraceCollector
+from repro.trace.events import TraceEvent
+from repro.trace.watchdog import StallWatchdog
 
 
 class ForceProgramError(ForceError):
@@ -70,7 +79,9 @@ class _SelfschedLoop:
 
     def __init__(self, nproc: int, *,
                  cancel: CancelToken | None = None,
-                 on_chunk: Callable[[], None] | None = None) -> None:
+                 on_chunk: Callable[[], None] | None = None,
+                 tracer: TraceCollector | None = None,
+                 label: str = "") -> None:
         self.nproc = nproc
         self._condition = threading.Condition()
         self._phase = "entry"
@@ -78,6 +89,8 @@ class _SelfschedLoop:
         self._next = 0
         self._cancel = cancel
         self._on_chunk = on_chunk
+        self._tracer = tracer
+        self._label = label
         if cancel is not None:
             cancel.register(self._condition)
 
@@ -92,6 +105,9 @@ class _SelfschedLoop:
     def iterate(self, first: int, last: int, step: int) -> Iterator[int]:
         if step == 0:
             raise ForceError("selfsched step must be nonzero")
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.mark_parked("selfsched", self._label)
         with self._condition:
             self._wait_for(lambda: self._phase == "entry")
             if self._inside == 0:
@@ -100,6 +116,8 @@ class _SelfschedLoop:
             if self._inside == self.nproc:
                 self._phase = "exit"
                 self._condition.notify_all()
+        if tracer is not None:
+            tracer.clear_parked()
         try:
             while True:
                 with self._condition:
@@ -111,16 +129,23 @@ class _SelfschedLoop:
                         (step < 0 and value >= last):
                     if self._on_chunk is not None:
                         self._on_chunk()
+                    if tracer is not None:
+                        tracer.record("selfsched", self._label, "chunk",
+                                      index=value)
                     yield value
                 else:
                     break
         finally:
+            if tracer is not None:
+                tracer.mark_parked("selfsched", self._label)
             with self._condition:
                 self._wait_for(lambda: self._phase == "exit")
                 self._inside -= 1
                 if self._inside == 0:
                     self._phase = "entry"
                     self._condition.notify_all()
+            if tracer is not None:
+                tracer.clear_parked()
 
 
 class Force:
@@ -134,13 +159,21 @@ class Force:
     def __init__(self, nproc: int, *,
                  barrier_algorithm: str = "central-counter",
                  timeout: float | None = 60.0,
-                 stats: bool = False) -> None:
+                 stats: bool = False,
+                 trace: bool = False,
+                 trace_capacity: int = 65536,
+                 watchdog_interval: float | None = None,
+                 watchdog_sink: Callable[[str], None] | None = None) -> None:
         if nproc < 1:
             raise ForceError("a force needs at least one process")
         self.nproc = nproc
         self.timeout = timeout
         self._barrier_algorithm = barrier_algorithm
         self._stats_enabled = stats
+        self._trace_enabled = trace
+        self._trace_capacity = trace_capacity
+        self._watchdog_interval = watchdog_interval
+        self._watchdog_sink = watchdog_sink
         self._registry_lock = threading.Lock()
         self._local = threading.local()
         self._reset_state()
@@ -149,6 +182,9 @@ class Force:
         self._cancel = CancelToken()
         self._stats: ForceStats | None = \
             ForceStats(self.nproc) if self._stats_enabled else None
+        self._tracer: TraceCollector | None = \
+            TraceCollector(self._trace_capacity) \
+            if self._trace_enabled else None
         self._barrier: Barrier = make_barrier(self._barrier_algorithm,
                                               self.nproc,
                                               cancel=self._cancel)
@@ -171,9 +207,13 @@ class Force:
         """
         self._reset_state()
         token = self._cancel
+        tracer = self._tracer
 
         def body(me: int) -> None:
             self._local.me = me
+            if tracer is not None:
+                tracer.register_lane(f"force-{me}")
+                tracer.record("sched", f"force-{me}", "start")
             try:
                 program(self, me, *args)
             except ForceCancelled:
@@ -184,28 +224,54 @@ class Force:
                     self._failures.append(failure)
                 token.cancel(failure)
             finally:
+                if tracer is not None:
+                    tracer.record("sched", f"force-{me}", "end")
+                    tracer.release_lane()
                 self._local.me = None
 
+        watchdog = None
+        if tracer is not None and self._watchdog_interval is not None:
+            watchdog = StallWatchdog(tracer, self._watchdog_interval,
+                                     sink=self._watchdog_sink)
+            watchdog.start()
         threads = [threading.Thread(target=body, args=(me,),
                                     name=f"force-{me}", daemon=True)
                    for me in range(1, self.nproc + 1)]
-        for thread in threads:
-            thread.start()
-        deadline = None if self.timeout is None \
-            else monotonic() + self.timeout
-        for thread in threads:
-            thread.join(None if deadline is None
-                        else max(0.0, deadline - monotonic()))
+        try:
+            for thread in threads:
+                thread.start()
+            deadline = None if self.timeout is None \
+                else monotonic() + self.timeout
+            for thread in threads:
+                thread.join(None if deadline is None
+                            else max(0.0, deadline - monotonic()))
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
         alive = [thread.name for thread in threads if thread.is_alive()]
         failure = token.error if isinstance(token.error, ForceProgramError) \
             else (self._failures[0] if self._failures else None)
         if failure is not None:
             raise failure
         if alive:
-            raise ForceError(
+            parked = tracer.parked() if tracer is not None else {}
+            still = []
+            for name in alive:
+                kind_name = parked.get(name)
+                if kind_name is not None:
+                    kind, construct = kind_name
+                    where = f"{kind} '{construct}'" if construct else kind
+                    still.append(f"{name} (parked on {where})")
+                else:
+                    still.append(name)
+            error = ForceError(
                 f"force did not terminate within {self.timeout}s "
                 "(deadlock or missing barrier partner?); still alive: "
-                + ", ".join(alive))
+                + ", ".join(still))
+            # Poison the force so the stragglers unwind instead of
+            # sitting parked in their constructs forever.
+            token.cancel(error)
+            raise error
 
     def _current_me(self) -> int | None:
         """This thread's process id, inside :meth:`run` (else None)."""
@@ -233,50 +299,86 @@ class Force:
         need a *valid* id, as each process owns distinct flag slots.
         """
         me = self._resolve_me(me)
-        if self._stats is None:
+        stats, tracer = self._stats, self._tracer
+        if stats is None and tracer is None:
             self._barrier.wait(me)
             return
+        if tracer is not None:
+            tracer.mark_parked("barrier", "barrier")
         started = monotonic()
         released = self._barrier.wait(me)
-        self._stats.record_barrier_wait(monotonic() - started)
-        if released:
-            self._stats.record_barrier_episode()
+        waited = monotonic() - started
+        if tracer is not None:
+            tracer.clear_parked()
+            tracer.record("barrier", "barrier", "wait", phase="X",
+                          ts=tracer.now() - waited, dur=waited)
+            if released:
+                tracer.record("barrier", "barrier", "episode")
+        if stats is not None:
+            stats.record_barrier_wait(waited)
+            if released:
+                stats.record_barrier_episode()
 
     def barrier_section(self, me: int,
                         section: Callable[[], None]) -> None:
         """Barrier whose section runs exactly once, before release."""
         me = self._resolve_me(me)
-        if self._stats is None:
+        stats, tracer = self._stats, self._tracer
+        if stats is None and tracer is None:
             self._barrier.run_section(me, section)
             return
-        stats = self._stats
 
         def counted() -> None:
-            stats.record_barrier_episode()
+            if stats is not None:
+                stats.record_barrier_episode()
+            if tracer is not None:
+                tracer.record("barrier", "barrier", "episode")
             section()
 
+        if tracer is not None:
+            tracer.mark_parked("barrier", "barrier")
         started = monotonic()
         self._barrier.run_section(me, counted)
-        stats.record_barrier_wait(monotonic() - started)
+        waited = monotonic() - started
+        if tracer is not None:
+            tracer.clear_parked()
+            tracer.record("barrier", "barrier", "wait", phase="X",
+                          ts=tracer.now() - waited, dur=waited)
+        if stats is not None:
+            stats.record_barrier_wait(waited)
 
     @contextmanager
     def critical(self, name: str = "default"):
         """Named critical section: mutual exclusion across the force."""
         with self._registry_lock:
             lock = self._criticals.setdefault(name, threading.Lock())
+        stats, tracer = self._stats, self._tracer
         contended = False
         waited = 0.0
         if not lock.acquire(blocking=False):
             contended = True
+            if tracer is not None:
+                tracer.mark_parked("critical", name)
             started = monotonic()
             self._cancel.acquire(lock)
             waited = monotonic() - started
+            if tracer is not None:
+                tracer.clear_parked()
+        held_from = monotonic() if tracer is not None else 0.0
         try:
-            if self._stats is not None:
-                self._stats.record_critical(name, waited, contended)
+            if stats is not None:
+                stats.record_critical(name, waited, contended)
             yield
         finally:
             lock.release()
+            if tracer is not None:
+                held = monotonic() - held_from
+                if contended:
+                    tracer.record("critical", name, "wait", phase="X",
+                                  ts=tracer.now() - held - waited,
+                                  dur=waited)
+                tracer.record("critical", name, "hold", phase="X",
+                              ts=tracer.now() - held, dur=held)
 
     # ------------------------------------------------------------------
     # work distribution
@@ -311,7 +413,8 @@ class Force:
                         stats.record_selfsched_chunk(label)
 
                 loop = _SelfschedLoop(self.nproc, cancel=self._cancel,
-                                      on_chunk=on_chunk)
+                                      on_chunk=on_chunk,
+                                      tracer=self._tracer, label=label)
                 self._loops[label] = loop
         return loop.iterate(first, last, step)
 
@@ -343,7 +446,8 @@ class Force:
                ) -> AskforMonitor:
         """The named Askfor work pool (created on first use)."""
         return self._get_shared(
-            name, lambda: AskforMonitor(initial, cancel=self._cancel))
+            name, lambda: AskforMonitor(initial, cancel=self._cancel,
+                                        tracer=self._tracer, name=name))
 
     def resolve(self, name: str, weights: dict[str, float]) -> Resolve:
         """Partition the force into weighted components (extension)."""
@@ -365,13 +469,15 @@ class Force:
         """A named asynchronous (full/empty) variable."""
         return self._get_shared(
             name, lambda: AsyncVariable(cancel=self._cancel,
-                                        on_block=self._asyncvar_hook(name)))
+                                        on_block=self._asyncvar_hook(name),
+                                        tracer=self._tracer, name=name))
 
     def async_array(self, name: str, size: int) -> AsyncArray:
         """A named array of full/empty cells."""
         return self._get_shared(
             name, lambda: AsyncArray(size, cancel=self._cancel,
-                                     on_block=self._asyncvar_hook(name)))
+                                     on_block=self._asyncvar_hook(name),
+                                     tracer=self._tracer, name=name))
 
     def _asyncvar_hook(self, name: str) -> Callable[[float], None] | None:
         if self._stats is None:
@@ -393,6 +499,22 @@ class Force:
     @property
     def stats_enabled(self) -> bool:
         return self._stats_enabled
+
+    @property
+    def trace_enabled(self) -> bool:
+        return self._trace_enabled
+
+    @property
+    def trace_collector(self) -> TraceCollector | None:
+        """The run's collector (None unless ``trace=True``)."""
+        return self._tracer
+
+    def trace_events(self) -> list[TraceEvent]:
+        """The recorded event stream, merged and time-ordered."""
+        if self._tracer is None:
+            raise ForceError(
+                "trace collection is off; create Force(..., trace=True)")
+        return self._tracer.events()
 
     @property
     def stats(self) -> dict[str, Any] | None:

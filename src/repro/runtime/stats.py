@@ -42,15 +42,43 @@ class WaitStat:
         if seconds > self.max:
             self.max = seconds
 
+    def merge(self, other: "WaitStat") -> None:
+        """Fold another collector's stat into this one.
+
+        An empty ``other`` (``count == 0``) contributes nothing — its
+        sentinel ``min`` of +inf and ``max`` of 0.0 must not leak into
+        the merged extremes.
+        """
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
     def as_dict(self) -> dict[str, float]:
+        # count == 0 (never recorded, or merged only from empty
+        # collectors) reports zeros, never the +inf min sentinel.
         return {
             "count": self.count,
             "total_s": self.total,
             "mean_s": self.total / self.count if self.count else 0.0,
             "min_s": self.min if self.count else 0.0,
-            "max_s": self.max,
+            "max_s": self.max if self.count else 0.0,
             "spread_s": (self.max - self.min) if self.count else 0.0,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "WaitStat":
+        stat = cls()
+        stat.count = int(data.get("count", 0))
+        stat.total = float(data.get("total_s", 0.0))
+        if stat.count:
+            stat.min = float(data.get("min_s", 0.0))
+            stat.max = float(data.get("max_s", 0.0))
+        return stat
 
 
 class ForceStats:
@@ -116,6 +144,44 @@ class ForceStats:
                 stat = WaitStat()
                 self.asyncvar[name] = stat
             stat.record(seconds)
+
+    # -- merging -------------------------------------------------------
+    def merge(self, other: "ForceStats") -> None:
+        """Fold another collector into this one (multi-run reports).
+
+        Wait statistics merge through :meth:`WaitStat.merge`, so empty
+        sections on either side never poison min/max extremes.
+        """
+        with self._lock:
+            self.barrier_episodes += other.barrier_episodes
+            self.barrier_wait.merge(other.barrier_wait)
+            for name, entry in other.criticals.items():
+                mine = self.criticals.get(name)
+                if mine is None:
+                    mine = {"acquisitions": 0, "contended": 0,
+                            "wait": WaitStat()}
+                    self.criticals[name] = mine
+                mine["acquisitions"] += entry["acquisitions"]
+                mine["contended"] += entry["contended"]
+                mine["wait"].merge(entry["wait"])
+            for label, chunks in other.selfsched_chunks.items():
+                self.selfsched_chunks[label] = \
+                    self.selfsched_chunks.get(label, 0) + chunks
+            for name, entry in other.askfor.items():
+                mine = self.askfor.get(name)
+                if mine is None:
+                    self.askfor[name] = dict(entry)
+                else:
+                    mine["total_put"] += entry["total_put"]
+                    mine["total_got"] += entry["total_got"]
+                    mine["max_depth"] = max(mine["max_depth"],
+                                            entry["max_depth"])
+            for name, stat in other.asyncvar.items():
+                mine = self.asyncvar.get(name)
+                if mine is None:
+                    mine = WaitStat()
+                    self.asyncvar[name] = mine
+                mine.merge(stat)
 
     # -- export --------------------------------------------------------
     def as_dict(self) -> dict[str, Any]:
@@ -185,10 +251,13 @@ def render_stats(stats: dict[str, Any]) -> str:
                      f"max {_fmt_s(wait['max_s'])}, "
                      f"spread {_fmt_s(wait['spread_s'])})")
 
+    # Per-name sections are sorted here, not only in as_dict(): a
+    # stats dict merged from several collectors (or loaded back from
+    # JSON) renders in the same stable order regardless of insertion.
     criticals = stats.get("criticals")
     if criticals:
         lines.append("--- critical sections ---")
-        for name, entry in criticals.items():
+        for name, entry in sorted(criticals.items()):
             wait = entry["wait"]
             lines.append(
                 f"{name:18s} {entry['acquisitions']:>8d} acq, "
@@ -198,13 +267,13 @@ def render_stats(stats: dict[str, Any]) -> str:
     selfsched = stats.get("selfsched")
     if selfsched:
         lines.append("--- selfscheduled loops ---")
-        for label, chunks in selfsched.items():
+        for label, chunks in sorted(selfsched.items()):
             lines.append(f"{label:18s} {chunks:>8d} chunks dispatched")
 
     askfor = stats.get("askfor")
     if askfor:
         lines.append("--- askfor pools ---")
-        for name, entry in askfor.items():
+        for name, entry in sorted(askfor.items()):
             lines.append(
                 f"{name:18s} put {entry['total_put']}, "
                 f"got {entry['total_got']}, "
@@ -213,7 +282,7 @@ def render_stats(stats: dict[str, Any]) -> str:
     asyncvar = stats.get("asyncvar")
     if asyncvar:
         lines.append("--- asynchronous variables ---")
-        for name, stat in asyncvar.items():
+        for name, stat in sorted(asyncvar.items()):
             lines.append(
                 f"{name:18s} {stat['count']:>8d} blocked waits, "
                 f"{_fmt_s(stat['total_s'])} blocked")

@@ -11,6 +11,12 @@ barrier episodes, convoys and serialization are visible at a glance.
     ...
 
 plus a utilization summary per process.
+
+The text rendering goes through the unified trace model
+(:mod:`repro.trace`): raw scheduler triples are adapted to
+:class:`~repro.trace.events.TraceEvent` and formatted by the shared
+:func:`repro.trace.export.to_text`, so the simulator timeline and the
+native runtime's traces print identically.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.scheduler import SimStats
+from repro.trace.adapter import events_from_sim_trace
+from repro.trace.export import to_text
 
 
 @dataclass(frozen=True)
@@ -32,21 +40,16 @@ class TimelineOptions:
 
 def render_timeline(trace: list[tuple[int, str, str]],
                     options: TimelineOptions | None = None) -> str:
-    """Format a collected trace (run with ``trace=True``)."""
+    """Format a collected trace (run with ``trace=True``).
+
+    Accepts raw scheduler triples and renders them through the unified
+    trace model, so filtering and truncation behave the same for
+    simulated and native event streams.
+    """
     options = options or TimelineOptions()
-    if not trace:
-        return "(no trace events: was the run started with trace=True?)"
-    events = trace
-    if options.only:
-        events = [e for e in events
-                  if any(tag in e[2] for tag in options.only)]
-    shown = events[:options.max_events]
-    lines = []
-    for when, who, what in shown:
-        lines.append(f"t={when:>10d} | {who:<14s} | {what}")
-    if len(events) > len(shown):
-        lines.append(f"... {len(events) - len(shown)} more events")
-    return "\n".join(lines)
+    return to_text(events_from_sim_trace(trace),
+                   max_events=options.max_events,
+                   only=options.only)
 
 
 def render_utilization(stats: SimStats, *, width: int = 40) -> str:

@@ -1,0 +1,81 @@
+"""Adapt simulator scheduler traces to the unified event model.
+
+The discrete-event scheduler records ``(time, process, text)`` triples
+(:attr:`repro.sim.scheduler.Scheduler.trace`).  This module parses
+those lines back into :class:`~repro.trace.events.TraceEvent` objects
+so the simulator and the native runtime share exporters, summaries
+and the text timeline.  The original line is preserved in ``detail``,
+making the classic rendering a pure pass-through.
+
+Categorisation uses the translated programs' naming conventions:
+
+* ``BARWIN`` / ``BARWOT`` — the barrier macro's two gate locks;
+* ``ZZL<label>`` — a selfscheduled loop's index lock;
+* ``fe-full`` / ``fe-empty`` block keys — full/empty (async) cells;
+* ``('queue', name)`` block keys — askfor/task-queue waits;
+* any other lock — a critical-section lock variable.
+"""
+
+from __future__ import annotations
+
+from repro.trace.events import TraceEvent
+
+#: lock-verb prefixes the scheduler emits, mapped to an operation
+_LOCK_VERBS = (
+    ("acquired ", "acquire"),
+    ("waiting on ", "wait"),
+    ("granted ", "grant"),
+    ("released ", "release"),
+)
+
+_SCHED_TEXTS = frozenset(
+    ["spawned", "woken", "halt", "done"])
+
+
+def _categorize_lock(name: str) -> str:
+    upper = name.upper()
+    base = upper.split("(", 1)[0]
+    if base in ("BARWIN", "BARWOT"):
+        return "barrier"
+    if base.startswith("ZZL"):
+        return "selfsched"
+    return "critical"
+
+
+def _categorize_key(key_text: str) -> tuple[str, str]:
+    """(kind, name) for a ``block``/``wake`` queue key."""
+    if "fe-full" in key_text or "fe-empty" in key_text:
+        return "asyncvar", key_text
+    if "'queue'" in key_text or key_text.startswith("('queue'"):
+        return "askfor", key_text
+    return "sched", key_text
+
+
+def event_from_sim_line(when: int, who: str, what: str) -> TraceEvent:
+    """Parse one scheduler trace line into a structured event."""
+    for prefix, op in _LOCK_VERBS:
+        if what.startswith(prefix):
+            name = what[len(prefix):]
+            return TraceEvent(ts=when, proc=who, detail=what,
+                              kind=_categorize_lock(name),
+                              name=name, op=op)
+    if what.startswith("block "):
+        key_text = what[len("block "):]
+        kind, name = _categorize_key(key_text)
+        return TraceEvent(ts=when, proc=who, detail=what,
+                          kind=kind, name=name, op="block")
+    if what.startswith("spawn "):
+        return TraceEvent(ts=when, proc=who, detail=what, kind="sched",
+                          name=what[len("spawn "):], op="spawn")
+    if what in _SCHED_TEXTS:
+        return TraceEvent(ts=when, proc=who, detail=what, kind="sched",
+                          name="", op=what)
+    return TraceEvent(ts=when, proc=who, detail=what, kind="sched",
+                      name="", op="")
+
+
+def events_from_sim_trace(
+        trace: list[tuple[int, str, str]]) -> list[TraceEvent]:
+    """Convert a whole scheduler trace, preserving order."""
+    return [event_from_sim_line(when, who, what)
+            for when, who, what in trace]

@@ -1,0 +1,285 @@
+"""Trace exporters/loaders: Chrome trace-event JSON, JSONL, text.
+
+Chrome format
+    ``to_chrome`` emits the Trace Event Format's *JSON object* flavour
+    (``{"traceEvents": [...]}``) that Perfetto and ``chrome://tracing``
+    load directly: one ``pid`` for the run, one ``tid`` lane per Force
+    process (named through ``thread_name`` metadata events), complete
+    (``"X"``) spans for measured waits/holds and instant (``"i"``)
+    events for everything else.  ``otherData.ts_scale`` records the
+    factor applied to the model's timestamps so loading a file gets
+    the original clock back (wall seconds natively, cycles simulated).
+
+JSONL
+    One :meth:`TraceEvent.as_dict` object per line, preceded by one
+    ``{"meta": ...}`` header line; streams and greps well.
+
+Text
+    The classic timeline (``t=…| proc | what``) rendered from the
+    unified model — for simulator events the original line round-trips
+    byte-for-byte via ``detail``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro._util.errors import ForceError
+from repro.trace.events import KINDS, TraceEvent
+
+#: µs per second — native timestamps are seconds, Chrome wants µs
+_NATIVE_SCALE = 1e6
+
+_CHROME_PHASES = frozenset(["X", "i", "I", "M", "B", "E", "C"])
+
+
+def _ts_scale(events: list[TraceEvent]) -> float:
+    """µs-conversion factor: cycles count as µs, seconds are scaled."""
+    if events and all(isinstance(e.ts, int) for e in events):
+        return 1.0           # simulated cycles: 1 cycle rendered as 1 µs
+    return _NATIVE_SCALE
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def to_chrome(events: list[TraceEvent], *,
+              meta: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Chrome trace-event document with one lane per process."""
+    scale = _ts_scale(events)
+    lanes = sorted({e.proc for e in events})
+    tids = {lane: i + 1 for i, lane in enumerate(lanes)}
+    trace_events: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+         "args": {"name": "force"}},
+    ]
+    for lane, tid in tids.items():
+        trace_events.append({"name": "thread_name", "ph": "M", "pid": 1,
+                             "tid": tid, "args": {"name": lane}})
+    for event in events:
+        record: dict[str, Any] = {
+            "name": event.name or event.kind,
+            "cat": event.kind,
+            "ph": "X" if event.phase == "X" else "i",
+            "ts": event.ts * scale,
+            "pid": 1,
+            "tid": tids[event.proc],
+            "args": dict(event.args),
+        }
+        if event.op:
+            record["args"]["op"] = event.op
+        if event.detail:
+            record["args"]["detail"] = event.detail
+        if event.name == event.kind:
+            # distinguishes "named like its kind" (the runtime's
+            # barrier events) from "unnamed, shown under its kind"
+            record["args"]["force_name"] = event.name
+        if event.phase == "X":
+            record["dur"] = event.dur * scale
+        else:
+            record["s"] = "t"       # instant scope: thread
+        trace_events.append(record)
+    other = {"ts_scale": scale, "kinds": list(KINDS)}
+    if meta:
+        other.update(meta)
+    return {"traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def from_chrome(doc: dict[str, Any]) -> list[TraceEvent]:
+    """Rebuild model events from a Chrome trace document."""
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ForceError("not a Chrome trace document "
+                         "(missing 'traceEvents')")
+    scale = float(doc.get("otherData", {}).get("ts_scale", _NATIVE_SCALE))
+    lane_names: dict[int, str] = {}
+    for record in doc["traceEvents"]:
+        if record.get("ph") == "M" and record.get("name") == "thread_name":
+            lane_names[record.get("tid", 0)] = \
+                record.get("args", {}).get("name", "?")
+    events: list[TraceEvent] = []
+    for record in doc["traceEvents"]:
+        if record.get("ph") == "M":
+            continue
+        args = dict(record.get("args", {}))
+        op = args.pop("op", "")
+        detail = args.pop("detail", "")
+        ts = record.get("ts", 0.0) / scale
+        if scale == 1.0:
+            ts = int(ts)
+        name = record.get("name", "")
+        if name == record.get("cat"):
+            # unnamed events export under their kind; truly kind-named
+            # events carried the original through args
+            name = args.pop("force_name", "")
+        events.append(TraceEvent(
+            ts=ts,
+            proc=lane_names.get(record.get("tid"), f"tid{record.get('tid')}"),
+            kind=record.get("cat", "sched"),
+            name=name,
+            op=op,
+            phase="X" if record.get("ph") == "X" else "i",
+            dur=record.get("dur", 0.0) / scale,
+            detail=detail,
+            args=args,
+        ))
+    return events
+
+
+def validate_chrome_trace(doc: Any) -> list[str]:
+    """Schema-check a Chrome trace document; [] means valid.
+
+    Checks the structural contract Perfetto/chrome://tracing rely on:
+    a ``traceEvents`` list of objects each carrying ``name``/``ph``/
+    ``ts``/``pid``/``tid``, known phases, non-negative durations on
+    complete events, and named lanes via ``thread_name`` metadata.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    lanes: set[int] = set()
+    named_lanes: set[int] = set()
+    for index, record in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(record, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = record.get("ph")
+        if phase not in _CHROME_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+        if not isinstance(record.get("name"), str):
+            errors.append(f"{where}: missing string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(record.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if phase == "M":
+            if record.get("name") == "thread_name":
+                if not record.get("args", {}).get("name"):
+                    errors.append(f"{where}: thread_name without a name")
+                else:
+                    named_lanes.add(record.get("tid"))
+            continue
+        if not isinstance(record.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric 'ts'")
+        elif record["ts"] < 0:
+            errors.append(f"{where}: negative ts")
+        if phase == "X":
+            dur = record.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs dur >= 0")
+        lanes.add(record.get("tid"))
+    unnamed = lanes - named_lanes
+    if unnamed:
+        errors.append("lanes without thread_name metadata: "
+                      + ", ".join(str(t) for t in sorted(
+                          t for t in unnamed if t is not None)))
+    if not lanes:
+        errors.append("trace contains no events")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def to_jsonl(events: list[TraceEvent], *,
+             meta: dict[str, Any] | None = None) -> str:
+    lines = [json.dumps({"meta": meta or {}}, sort_keys=True)]
+    lines.extend(json.dumps(event.as_dict(), sort_keys=True)
+                 for event in events)
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> list[TraceEvent]:
+    events: list[TraceEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        if "meta" in data and "ts" not in data:
+            continue
+        events.append(TraceEvent.from_dict(data))
+    return events
+
+
+# ----------------------------------------------------------------------
+# text timeline
+# ----------------------------------------------------------------------
+def to_text(events: list[TraceEvent], *,
+            max_events: int = 200,
+            only: tuple[str, ...] | None = None) -> str:
+    """The classic per-line timeline, from the unified model."""
+    if not events:
+        return "(no trace events: was the run started with trace=True?)"
+    if only:
+        events = [e for e in events
+                  if any(tag in e.text_line() for tag in only)]
+    shown = events[:max_events]
+    cycles = _ts_scale(events if events else []) == 1.0
+    lines = []
+    for event in shown:
+        stamp = f"t={event.ts:>10d}" if cycles \
+            else f"t={event.ts * 1e3:>10.3f}ms"
+        lines.append(f"{stamp} | {event.proc:<14s} | {event.text_line()}")
+    if len(events) > len(shown):
+        lines.append(f"... {len(events) - len(shown)} more events")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+TRACE_FORMATS = ("chrome", "jsonl", "text")
+
+
+def infer_trace_format(path: str) -> str:
+    if path.endswith(".jsonl"):
+        return "jsonl"
+    if path.endswith(".txt"):
+        return "text"
+    return "chrome"
+
+
+def write_trace_file(path: str, events: list[TraceEvent], *,
+                     format: str | None = None,
+                     meta: dict[str, Any] | None = None) -> str:
+    """Write ``events`` to ``path``; returns the format used."""
+    format = format or infer_trace_format(path)
+    if format == "chrome":
+        text = json.dumps(to_chrome(events, meta=meta), indent=1)
+    elif format == "jsonl":
+        text = to_jsonl(events, meta=meta)
+    elif format == "text":
+        text = to_text(events, max_events=len(events) or 1) + "\n"
+    else:
+        raise ForceError(f"unknown trace format {format!r}; "
+                         f"expected one of {', '.join(TRACE_FORMATS)}")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return format
+
+
+def load_trace_file(path: str) -> list[TraceEvent]:
+    """Load a chrome or jsonl trace file back into model events."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text.strip():
+        raise ForceError(f"{path}: empty trace file")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None               # not one JSON document: try JSONL
+    if isinstance(doc, dict):
+        return from_chrome(doc)
+    if doc is not None:
+        raise ForceError(f"{path}: not a chrome-JSON or JSONL trace")
+    try:
+        return from_jsonl(text)
+    except json.JSONDecodeError as exc:
+        raise ForceError(
+            f"{path}: not a chrome-JSON or JSONL trace: {exc}") from exc

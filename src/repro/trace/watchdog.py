@@ -1,0 +1,101 @@
+"""Stall watchdog: dump who is parked where when a run goes quiet.
+
+A hung Force program is silent by construction — every process is
+blocked inside a barrier, critical section, askfor ``get`` or
+full/empty wait, so nothing records events and nothing prints.  The
+watchdog is a daemon sampler over a :class:`TraceCollector`: when no
+event has been recorded for ``interval`` seconds *and* at least one
+process is marked parked, it emits one report naming the construct
+each process is blocked on, then stays quiet until fresh events show
+the program moved again (one report per distinct stall, not one per
+sampling tick).
+
+This feeds ``Force.run``'s join-deadline diagnostics real data: the
+timeout message names the construct each straggler was parked on
+rather than just listing live thread names.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from typing import Callable
+
+from repro.trace.collector import TraceCollector
+
+
+def render_stall_report(collector: TraceCollector, *,
+                        quiet_for: float | None = None) -> str:
+    """One human-readable stall report from the collector's state."""
+    parked = collector.parked()
+    header = "--- stall watchdog ---"
+    if quiet_for is not None:
+        header += f" (no trace events for {quiet_for:.2f}s)"
+    lines = [header]
+    if not parked:
+        lines.append("no process is marked parked "
+                     "(compute-bound loop or lost wakeup outside "
+                     "instrumented constructs?)")
+    for lane in sorted(parked):
+        kind, name = parked[lane]
+        where = f"{kind} '{name}'" if name else kind
+        lines.append(f"{lane:<14s} parked on {where}")
+    return "\n".join(lines)
+
+
+class StallWatchdog:
+    """Daemon sampler that reports stalls through ``sink``.
+
+    ``sink`` receives the rendered report string (default: write to
+    stderr).  ``start``/``stop`` bracket one Force run; the thread
+    wakes every ``interval / 4`` seconds, so stop latency and stall
+    detection latency are both a fraction of the interval.
+    """
+
+    def __init__(self, collector: TraceCollector, interval: float, *,
+                 sink: Callable[[str], None] | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("watchdog interval must be positive")
+        self.collector = collector
+        self.interval = interval
+        self.sink = sink if sink is not None else self._stderr_sink
+        self.stall_count = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    @staticmethod
+    def _stderr_sink(report: str) -> None:
+        print(report, file=sys.stderr)
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run,
+                                        name="force-watchdog", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        clock = self.collector._clock
+        reported_at: float | None = None
+        while not self._stop.wait(self.interval / 4):
+            last = self.collector.last_event_at
+            quiet = clock() - last
+            if quiet < self.interval:
+                reported_at = None       # the program moved: re-arm
+                continue
+            if reported_at == last:
+                continue                 # same stall already reported
+            if not self.collector.parked():
+                continue                 # quiet but nobody parked
+            reported_at = last
+            self.stall_count += 1
+            self.sink(render_stall_report(self.collector,
+                                          quiet_for=quiet))

@@ -96,6 +96,133 @@ class TestRunCommand:
         assert "driver" in err
 
 
+class TestTraceFile:
+    def test_trace_file_is_valid_chrome_json(self, source_file, tmp_path,
+                                             capsys):
+        import json
+        from repro.trace.export import validate_chrome_trace
+
+        trace_path = tmp_path / "out.json"
+        assert main(["run", source_file, "--nproc", "2",
+                     "--trace", str(trace_path)]) == 0
+        captured = capsys.readouterr()
+        assert "TOTAL 20" in captured.out
+        assert "events written to" in captured.err
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["nproc"] == 2
+        assert doc["otherData"]["clock"] == "cycles"
+
+    def test_trace_file_has_a_lane_per_force_process(self, source_file,
+                                                     tmp_path):
+        import json
+
+        trace_path = tmp_path / "out.json"
+        assert main(["run", source_file, "--nproc", "3",
+                     "--trace", str(trace_path)]) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        lanes = {r["args"]["name"] for r in doc["traceEvents"]
+                 if r["ph"] == "M" and r["name"] == "thread_name"}
+        # one lane per Force process (plus the simulator driver)
+        assert sum(1 for lane in lanes if lane != "driver") >= 3
+
+    def test_jsonl_format_by_flag_and_extension(self, source_file,
+                                                tmp_path):
+        from repro.trace.export import load_trace_file
+
+        by_ext = tmp_path / "out.jsonl"
+        by_flag = tmp_path / "out.dat"
+        assert main(["run", source_file, "--trace", str(by_ext)]) == 0
+        assert main(["run", source_file, "--trace", str(by_flag),
+                     "--trace-format", "jsonl"]) == 0
+        assert load_trace_file(str(by_ext))
+        assert load_trace_file(str(by_flag))
+
+    def test_text_format_writes_the_timeline(self, source_file, tmp_path):
+        trace_path = tmp_path / "out.txt"
+        assert main(["run", source_file, "--trace", str(trace_path)]) == 0
+        content = trace_path.read_text(encoding="utf-8")
+        assert "BARWIN" in content
+
+    def test_bare_trace_flag_still_prints_to_stderr(self, source_file,
+                                                    tmp_path, capsys):
+        assert main(["run", source_file, "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "BARWIN" in err
+        assert "lock contention" in err
+        # nothing written besides the source fixture itself
+        assert [p.name for p in tmp_path.iterdir()] == ["prog.frc"]
+
+
+class TestTraceSubcommand:
+    def _write_trace(self, source_file, tmp_path):
+        trace_path = tmp_path / "out.json"
+        assert main(["run", source_file, "--nproc", "2",
+                     "--trace", str(trace_path)]) == 0
+        return str(trace_path)
+
+    def test_summary_text(self, source_file, tmp_path, capsys):
+        path = self._write_trace(source_file, tmp_path)
+        capsys.readouterr()
+        assert main(["trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "processes:" in out
+        assert "--- barriers ---" in out
+
+    def test_summary_json(self, source_file, tmp_path, capsys):
+        import json
+
+        path = self._write_trace(source_file, tmp_path)
+        capsys.readouterr()
+        assert main(["trace", path, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["events"] > 0
+        assert doc["barriers"]["waits"] >= 1
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["trace", "/nonexistent/trace.json"]) == 1
+
+    def test_corrupt_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert main(["trace", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestJsonRunFormat:
+    def test_stats_format_json_document(self, source_file, capsys):
+        import json
+
+        assert main(["run", source_file, "--stats", "--format", "json",
+                     "--nproc", "2", "--machine", "hep"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["machine"] == "hep"
+        assert doc["nproc"] == 2
+        assert doc["output"] == ["TOTAL 20"]
+        assert doc["makespan"] > 0
+        assert doc["stats"]["sim"]["processes"] == 2
+
+    def test_format_json_without_stats_omits_them(self, source_file,
+                                                  capsys):
+        import json
+
+        assert main(["run", source_file, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "stats" not in doc
+        assert doc["output"] == ["TOTAL 40"]
+
+    def test_trace_file_referenced_in_document(self, source_file,
+                                               tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "out.json"
+        assert main(["run", source_file, "--format", "json",
+                     "--trace", str(trace_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["trace_file"] == str(trace_path)
+
+
 class TestErrors:
     def test_unknown_machine_is_a_usage_error(self, source_file, capsys):
         assert main(["run", source_file, "--machine", "pdp-11"]) == 2

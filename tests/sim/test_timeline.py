@@ -43,6 +43,55 @@ class TestRenderTimeline:
     def test_empty_trace(self):
         assert "no trace events" in render_timeline([])
 
+    def test_max_events_zero_shows_only_the_marker(self):
+        result = traced_run()
+        text = render_timeline(result.trace, TimelineOptions(max_events=0))
+        assert text == f"... {len(result.trace)} more events"
+
+    def test_filter_with_no_matches_yields_no_lines(self):
+        result = traced_run()
+        text = render_timeline(
+            result.trace,
+            TimelineOptions(only=("no-such-event-text",)))
+        assert "t=" not in text
+
+    def test_filter_accepts_multiple_tags(self):
+        result = traced_run()
+        text = render_timeline(
+            result.trace,
+            TimelineOptions(only=("spawned", "acquired"),
+                            max_events=100000))
+        assert "spawned" in text
+        assert "acquired" in text
+        assert "released" not in text
+
+    def test_no_truncation_marker_when_everything_fits(self):
+        result = traced_run()
+        text = render_timeline(result.trace,
+                               TimelineOptions(max_events=10**6))
+        assert "more events" not in text
+
+
+class TestUnifiedModel:
+    """The timeline is rendered through repro.trace, not privately."""
+
+    def test_equals_the_shared_text_exporter(self):
+        from repro.trace.adapter import events_from_sim_trace
+        from repro.trace.export import to_text
+
+        result = traced_run()
+        assert render_timeline(result.trace) == to_text(
+            events_from_sim_trace(result.trace), max_events=200)
+
+    def test_lines_round_trip_byte_for_byte(self):
+        # detail passthrough: every rendered body is the scheduler's
+        # original text, unchanged by the adaptation
+        result = traced_run()
+        text = render_timeline(result.trace,
+                               TimelineOptions(max_events=10**6))
+        bodies = [line.split(" | ", 2)[2] for line in text.split("\n")]
+        assert bodies == [what for _t, _who, what in result.trace]
+
 
 class TestUtilization:
     def test_bars_per_process(self):

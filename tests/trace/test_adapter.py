@@ -1,0 +1,98 @@
+"""Simulator trace lines -> unified model events."""
+
+from repro.core import HEP, SEQUENT_BALANCE, force_compile_and_run, \
+    programs
+from repro.trace.adapter import event_from_sim_line, events_from_sim_trace
+
+
+class TestLockCategorisation:
+    def test_barrier_gate_locks(self):
+        for lock in ("BARWIN", "BARWOT", "BARWIN(2)"):
+            event = event_from_sim_line(5, "p-1", f"acquired {lock}")
+            assert event.kind == "barrier"
+            assert event.op == "acquire"
+            assert event.name == lock
+
+    def test_selfsched_index_locks(self):
+        event = event_from_sim_line(5, "p-1", "waiting on ZZL100")
+        assert event.kind == "selfsched"
+        assert event.op == "wait"
+
+    def test_other_locks_are_critical_sections(self):
+        event = event_from_sim_line(5, "p-1", "released SUMLCK")
+        assert event.kind == "critical"
+        assert event.op == "release"
+        assert event.name == "SUMLCK"
+
+    def test_granted_verb(self):
+        assert event_from_sim_line(1, "p", "granted L").op == "grant"
+
+
+class TestBlockCategorisation:
+    def test_full_empty_cells_are_asyncvar(self):
+        event = event_from_sim_line(9, "p-2", "block ('fe-full', 'X')")
+        assert event.kind == "asyncvar"
+        assert event.op == "block"
+
+    def test_queue_keys_are_askfor(self):
+        event = event_from_sim_line(9, "p-2", "block ('queue', 'WORK')")
+        assert event.kind == "askfor"
+
+    def test_other_keys_are_sched(self):
+        event = event_from_sim_line(9, "p-2", "block ('join', 3)")
+        assert event.kind == "sched"
+
+
+class TestSchedEvents:
+    def test_spawn(self):
+        event = event_from_sim_line(0, "driver", "spawn summer-1")
+        assert event.kind == "sched"
+        assert event.op == "spawn"
+        assert event.name == "summer-1"
+
+    def test_lifecycle_words(self):
+        for word in ("spawned", "woken", "done"):
+            assert event_from_sim_line(1, "p", word).op == word
+
+    def test_unrecognised_text_still_becomes_an_event(self):
+        event = event_from_sim_line(1, "p", "something odd")
+        assert event.kind == "sched"
+        assert event.detail == "something odd"
+
+
+class TestDetailPassthrough:
+    def test_original_line_preserved_verbatim(self):
+        what = "waiting on BARWIN"
+        assert event_from_sim_line(3, "p", what).detail == what
+        assert event_from_sim_line(3, "p", what).text_line() == what
+
+    def test_real_run_adapts_every_line(self):
+        source = programs.render("sum_critical", n=10)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, nproc=3,
+                                       trace=True)
+        events = events_from_sim_trace(result.trace)
+        assert len(events) == len(result.trace)
+        kinds = {e.kind for e in events}
+        assert "barrier" in kinds
+        assert "critical" in kinds
+        # order and content preserved
+        for (when, who, what), event in zip(result.trace, events):
+            assert event.ts == when
+            assert event.proc == who
+            assert event.detail == what
+
+    def test_askfor_waits_categorised(self):
+        source = programs.render("askfor_tree", depth=3, qsize=64, work=5)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, nproc=2,
+                                       trace=True)
+        kinds = {e.kind for e in result.trace_events()}
+        assert "askfor" in kinds
+
+    def test_hardware_full_empty_waits_are_asyncvar(self):
+        # Only the HEP has hardware full/empty cells; the two-lock
+        # machines' async traffic shows up as lock (critical) events,
+        # exactly as the paper describes the protocol.
+        source = programs.render("pipeline", items=5)
+        result = force_compile_and_run(source, HEP, nproc=2, trace=True)
+        kinds = {e.kind for e in result.trace_events()}
+        assert "asyncvar" in kinds

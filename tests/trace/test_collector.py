@@ -1,0 +1,120 @@
+"""TraceCollector: ring buffers, lanes, drops, parked state."""
+
+import threading
+
+import pytest
+
+from repro.trace.collector import TraceCollector, _Ring
+from repro.trace.events import TraceEvent
+
+
+def _event(ts, proc="p", kind="sched"):
+    return TraceEvent(ts=ts, proc=proc, kind=kind)
+
+
+class TestRing:
+    def test_keeps_everything_under_capacity(self):
+        ring = _Ring(8)
+        for i in range(5):
+            ring.append(_event(i))
+        assert [e.ts for e in ring.snapshot()] == [0, 1, 2, 3, 4]
+        assert ring.dropped == 0
+
+    def test_overflow_drops_oldest_and_counts(self):
+        ring = _Ring(4)
+        for i in range(10):
+            ring.append(_event(i))
+        assert [e.ts for e in ring.snapshot()] == [6, 7, 8, 9]
+        assert ring.dropped == 6
+
+    def test_exactly_full_is_not_a_drop(self):
+        ring = _Ring(3)
+        for i in range(3):
+            ring.append(_event(i))
+        assert ring.dropped == 0
+        assert len(ring.snapshot()) == 3
+
+
+class TestCollector:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceCollector(0)
+
+    def test_records_fall_into_registered_lane(self):
+        collector = TraceCollector()
+        collector.register_lane("force-1")
+        collector.record("barrier", "b", "wait")
+        events = collector.events()
+        assert len(events) == 1
+        assert events[0].proc == "force-1"
+        assert collector.lanes == ["force-1"]
+
+    def test_unregistered_thread_uses_main_lane(self):
+        collector = TraceCollector()
+        collector.record("sched", op="tick")
+        assert collector.lanes == ["main"]
+        assert collector.events()[0].proc == "main"
+
+    def test_events_merge_lanes_in_time_order(self):
+        collector = TraceCollector()
+        done = []
+
+        def worker(lane, times):
+            collector.register_lane(lane)
+            for ts in times:
+                collector.record("sched", op="tick", ts=ts)
+            collector.release_lane()
+            done.append(lane)
+
+        a = threading.Thread(target=worker, args=("a", [3.0, 1.0]))
+        b = threading.Thread(target=worker, args=("b", [2.0]))
+        a.start(), b.start(), a.join(), b.join()
+        assert sorted(done) == ["a", "b"]
+        assert [(e.ts, e.proc) for e in collector.events()] == \
+            [(1.0, "a"), (2.0, "b"), (3.0, "a")]
+
+    def test_drop_counting_across_collector(self):
+        collector = TraceCollector(capacity=4)
+        collector.register_lane("one")
+        for i in range(9):
+            collector.record("sched", op="tick", ts=float(i))
+        assert collector.dropped == 5
+        assert len(collector.events()) == 4
+
+    def test_record_advances_last_event_at(self):
+        collector = TraceCollector()
+        before = collector.last_event_at
+        collector.record("sched", op="tick")
+        assert collector.last_event_at >= before
+
+    def test_explicit_ts_and_args_are_preserved(self):
+        collector = TraceCollector()
+        collector.record("selfsched", "L100", "chunk", ts=1.5, index=7)
+        event = collector.events()[0]
+        assert event.ts == 1.5
+        assert event.args == {"index": 7}
+
+
+class TestParkedState:
+    def test_mark_and_clear(self):
+        collector = TraceCollector()
+        collector.register_lane("force-1")
+        collector.mark_parked("barrier", "barrier")
+        assert collector.parked() == {"force-1": ("barrier", "barrier")}
+        collector.clear_parked()
+        assert collector.parked() == {}
+
+    def test_release_lane_clears_parked(self):
+        collector = TraceCollector()
+        collector.register_lane("force-2")
+        collector.mark_parked("asyncvar", "chan")
+        collector.release_lane()
+        assert collector.parked() == {}
+
+    def test_parked_is_a_snapshot(self):
+        collector = TraceCollector()
+        collector.register_lane("force-1")
+        collector.mark_parked("critical", "sum")
+        snap = collector.parked()
+        collector.clear_parked()
+        assert snap == {"force-1": ("critical", "sum")}

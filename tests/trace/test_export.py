@@ -1,0 +1,218 @@
+"""Exporters: Chrome trace JSON, JSONL, text; file IO; validation."""
+
+import json
+
+import pytest
+
+from repro._util.errors import ForceError
+from repro.trace.events import TraceEvent
+from repro.trace.export import (
+    from_chrome,
+    from_jsonl,
+    infer_trace_format,
+    load_trace_file,
+    to_chrome,
+    to_jsonl,
+    to_text,
+    validate_chrome_trace,
+    write_trace_file,
+)
+
+NATIVE_EVENTS = [
+    TraceEvent(ts=0.001, proc="force-1", kind="barrier", name="barrier",
+               op="wait", phase="X", dur=0.0005),
+    TraceEvent(ts=0.002, proc="force-2", kind="critical", name="sum",
+               op="hold", phase="X", dur=0.0001),
+    TraceEvent(ts=0.003, proc="force-1", kind="selfsched", name="L100",
+               op="chunk", args={"index": 3}),
+    TraceEvent(ts=0.004, proc="force-2", kind="sched", name="force-2",
+               op="end"),
+]
+
+SIM_EVENTS = [
+    TraceEvent(ts=10, proc="summer-1", kind="barrier", name="BARWIN",
+               op="acquire", detail="acquired BARWIN"),
+    TraceEvent(ts=25, proc="summer-2", kind="critical", name="ZZSLCK",
+               op="wait", detail="waiting on ZZSLCK"),
+]
+
+
+class TestChrome:
+    def test_one_lane_per_process(self):
+        doc = to_chrome(NATIVE_EVENTS)
+        names = [r["args"]["name"] for r in doc["traceEvents"]
+                 if r["ph"] == "M" and r["name"] == "thread_name"]
+        assert sorted(names) == ["force-1", "force-2"]
+
+    def test_native_timestamps_scaled_to_microseconds(self):
+        doc = to_chrome(NATIVE_EVENTS)
+        assert doc["otherData"]["ts_scale"] == 1e6
+        spans = [r for r in doc["traceEvents"] if r.get("ph") == "X"]
+        assert spans[0]["ts"] == pytest.approx(1000.0)
+        assert spans[0]["dur"] == pytest.approx(500.0)
+
+    def test_sim_cycles_pass_through_unscaled(self):
+        doc = to_chrome(SIM_EVENTS)
+        assert doc["otherData"]["ts_scale"] == 1.0
+        first = next(r for r in doc["traceEvents"] if r.get("ph") == "i")
+        assert first["ts"] == 10
+
+    def test_meta_lands_in_other_data(self):
+        doc = to_chrome(NATIVE_EVENTS, meta={"nproc": 2})
+        assert doc["otherData"]["nproc"] == 2
+
+    def test_round_trip_preserves_model(self):
+        restored = from_chrome(to_chrome(NATIVE_EVENTS))
+        assert len(restored) == len(NATIVE_EVENTS)
+        for original, back in zip(NATIVE_EVENTS, restored):
+            assert back.proc == original.proc
+            assert back.kind == original.kind
+            assert back.name == original.name
+            assert back.op == original.op
+            assert back.phase == original.phase
+            assert back.ts == pytest.approx(original.ts)
+            assert back.dur == pytest.approx(original.dur)
+
+    def test_round_trip_keeps_sim_cycles_integral(self):
+        restored = from_chrome(to_chrome(SIM_EVENTS))
+        assert [e.ts for e in restored] == [10, 25]
+        assert all(isinstance(e.ts, int) for e in restored)
+
+    def test_named_like_a_kind_survives_round_trip(self):
+        # A critical section literally named "barrier" must not be
+        # mistaken for an unnamed event exported under its kind.
+        tricky = [TraceEvent(ts=0.1, proc="p", kind="critical",
+                             name="barrier", op="hold")]
+        assert from_chrome(to_chrome(tricky))[0].name == "barrier"
+
+    def test_not_a_trace_document(self):
+        with pytest.raises(ForceError):
+            from_chrome({"foo": 1})
+
+
+class TestValidator:
+    def test_valid_documents_pass(self):
+        assert validate_chrome_trace(to_chrome(NATIVE_EVENTS)) == []
+        assert validate_chrome_trace(to_chrome(SIM_EVENTS)) == []
+
+    def test_top_level_must_be_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_trace_events_must_be_list(self):
+        assert validate_chrome_trace({"traceEvents": "nope"}) != []
+
+    def test_unknown_phase_reported(self):
+        doc = to_chrome(NATIVE_EVENTS)
+        doc["traceEvents"][-1]["ph"] = "Q"
+        assert any("unknown phase" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_negative_ts_reported(self):
+        doc = to_chrome(NATIVE_EVENTS)
+        doc["traceEvents"][-1]["ts"] = -5
+        assert any("negative ts" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_complete_event_needs_duration(self):
+        doc = to_chrome(NATIVE_EVENTS)
+        span = next(r for r in doc["traceEvents"] if r.get("ph") == "X")
+        del span["dur"]
+        assert any("dur" in e for e in validate_chrome_trace(doc))
+
+    def test_unnamed_lane_reported(self):
+        doc = to_chrome(NATIVE_EVENTS)
+        doc["traceEvents"] = [r for r in doc["traceEvents"]
+                              if r.get("name") != "thread_name"]
+        assert any("thread_name" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_empty_trace_reported(self):
+        assert any("no events" in e
+                   for e in validate_chrome_trace({"traceEvents": []}))
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        restored = from_jsonl(to_jsonl(NATIVE_EVENTS, meta={"x": 1}))
+        assert [e.as_dict() for e in restored] == \
+            [e.as_dict() for e in NATIVE_EVENTS]
+
+    def test_header_line_is_meta(self):
+        first = to_jsonl(NATIVE_EVENTS, meta={"nproc": 4}).splitlines()[0]
+        assert json.loads(first) == {"meta": {"nproc": 4}}
+
+    def test_blank_lines_ignored(self):
+        text = to_jsonl(SIM_EVENTS) + "\n\n"
+        assert len(from_jsonl(text)) == 2
+
+
+class TestText:
+    def test_cycles_render_the_classic_stamp(self):
+        text = to_text(SIM_EVENTS)
+        assert "t=        10 | summer-1       | acquired BARWIN" in text
+
+    def test_seconds_render_in_milliseconds(self):
+        text = to_text(NATIVE_EVENTS)
+        assert "ms |" in text
+        assert "force-1" in text
+
+    def test_truncation_marker(self):
+        text = to_text(SIM_EVENTS, max_events=1)
+        assert "... 1 more events" in text
+
+    def test_only_filter(self):
+        text = to_text(SIM_EVENTS, only=("waiting",))
+        assert "waiting on ZZSLCK" in text
+        assert "acquired" not in text
+
+    def test_empty(self):
+        assert "no trace events" in to_text([])
+
+
+class TestFiles:
+    def test_format_inference(self):
+        assert infer_trace_format("out.json") == "chrome"
+        assert infer_trace_format("out.jsonl") == "jsonl"
+        assert infer_trace_format("out.txt") == "text"
+        assert infer_trace_format("trace") == "chrome"
+
+    def test_write_and_load_chrome(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_trace_file(path, NATIVE_EVENTS) == "chrome"
+        restored = load_trace_file(path)
+        assert [e.proc for e in restored] == \
+            [e.proc for e in NATIVE_EVENTS]
+
+    def test_write_and_load_jsonl(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        assert write_trace_file(path, SIM_EVENTS) == "jsonl"
+        assert len(load_trace_file(path)) == 2
+
+    def test_explicit_format_beats_extension(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_trace_file(path, SIM_EVENTS,
+                                format="jsonl") == "jsonl"
+        assert len(load_trace_file(path)) == 2
+
+    def test_text_format_writes_the_timeline(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        write_trace_file(path, SIM_EVENTS)
+        content = (tmp_path / "trace.txt").read_text(encoding="utf-8")
+        assert "acquired BARWIN" in content
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ForceError):
+            write_trace_file(str(tmp_path / "t"), SIM_EVENTS,
+                             format="xml")
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {", encoding="utf-8")
+        with pytest.raises(ForceError):
+            load_trace_file(str(path))
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ForceError):
+            load_trace_file(str(path))

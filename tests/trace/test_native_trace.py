@@ -1,0 +1,120 @@
+"""End-to-end tracing of the native runtime."""
+
+import time
+
+import pytest
+
+from repro.runtime import Force
+from repro._util.errors import ForceError
+from repro.trace.export import to_chrome, validate_chrome_trace
+
+
+def _full_program(force, me):
+    force.barrier()
+    with force.critical("sum"):
+        pass
+    for _i in force.selfsched_range("L100", 1, 6):
+        pass
+    pool = force.askfor("pool", [1, 2, 3, 4])
+    for _item in pool:
+        pass
+    chan = force.async_var("chan")
+    force.barrier()
+    if me == 2:
+        assert chan.consume() == 99
+    elif me == 1:
+        time.sleep(0.05)          # let the consumer block first
+        chan.produce(99)
+    force.barrier()
+
+
+class TestNativeTrace:
+    def test_all_construct_kinds_recorded(self):
+        force = Force(nproc=2, trace=True, timeout=30)
+        force.run(_full_program)
+        events = force.trace_events()
+        kinds = {e.kind for e in events}
+        for kind in ("barrier", "critical", "selfsched", "askfor",
+                     "asyncvar", "sched"):
+            assert kind in kinds, f"missing {kind} events"
+
+    def test_one_lane_per_force_process(self):
+        force = Force(nproc=3, trace=True, timeout=30)
+
+        def program(force, me):
+            force.barrier()
+
+        force.run(program)
+        lanes = {e.proc for e in force.trace_events()}
+        assert lanes == {"force-1", "force-2", "force-3"}
+
+    def test_chrome_export_of_a_native_run_validates(self):
+        force = Force(nproc=2, trace=True, timeout=30)
+        force.run(_full_program)
+        doc = to_chrome(force.trace_events(), meta={"nproc": 2})
+        assert validate_chrome_trace(doc) == []
+
+    def test_measured_waits_are_spans(self):
+        force = Force(nproc=2, trace=True, timeout=30)
+        force.run(_full_program)
+        barrier_waits = [e for e in force.trace_events()
+                         if e.kind == "barrier" and e.op == "wait"]
+        assert barrier_waits
+        assert all(e.phase == "X" and e.dur >= 0 for e in barrier_waits)
+
+    def test_selfsched_chunks_carry_the_index(self):
+        force = Force(nproc=2, trace=True, timeout=30)
+
+        def program(force, me):
+            for _i in force.selfsched_range("L200", 1, 8):
+                pass
+
+        force.run(program)
+        chunks = [e for e in force.trace_events()
+                  if e.kind == "selfsched" and e.op == "chunk"]
+        assert sorted(e.args["index"] for e in chunks) == list(range(1, 9))
+
+    def test_trace_off_by_default(self):
+        force = Force(nproc=1)
+        assert not force.trace_enabled
+        assert force.trace_collector is None
+        with pytest.raises(ForceError):
+            force.trace_events()
+
+    def test_bounded_collection_drops_not_grows(self):
+        force = Force(nproc=2, trace=True, trace_capacity=16, timeout=30)
+
+        def program(force, me):
+            for _sweep in range(20):
+                with force.critical("busy"):
+                    pass
+
+        force.run(program)
+        assert len(force.trace_events()) <= 2 * 16
+        assert force.trace_collector.dropped > 0
+
+
+class TestOverhead:
+    def test_disabled_tracing_costs_nothing_measurable(self):
+        # The off path pays one `is None` test per interception point;
+        # a traced run does strictly more work, so the disabled run
+        # must not be slower (generous margin for scheduler noise).
+        def program(force, me):
+            for _ in range(300):
+                with force.critical("hot"):
+                    pass
+
+        def measure(**kwargs):
+            force = Force(nproc=2, timeout=60, **kwargs)
+            best = float("inf")
+            for _round in range(3):
+                start = time.perf_counter()
+                force.run(program)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        disabled = measure()
+        enabled = measure(trace=True)
+        assert disabled <= enabled * 1.5 + 0.05, \
+            (f"tracing disabled ({disabled:.4f}s) measurably slower "
+             f"than enabled ({enabled:.4f}s)")

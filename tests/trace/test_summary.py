@@ -1,0 +1,92 @@
+"""Per-construct trace summaries (`force trace`)."""
+
+import json
+
+from repro.core import SEQUENT_BALANCE, force_compile_and_run, programs
+from repro.runtime import Force
+from repro.trace.events import TraceEvent
+from repro.trace.summary import render_trace_summary, summarize_events
+
+
+def _native_events():
+    force = Force(nproc=2, trace=True, timeout=30)
+
+    def program(force, me):
+        force.barrier()
+        with force.critical("sum"):
+            pass
+        for _i in force.selfsched_range("L100", 1, 6):
+            pass
+
+    force.run(program)
+    return force.trace_events()
+
+
+class TestSummarizeNative:
+    def test_sections_from_a_native_run(self):
+        summary = summarize_events(_native_events())
+        assert summary["processes"] == ["force-1", "force-2"]
+        assert summary["barriers"]["episodes"] >= 1
+        assert summary["criticals"]["sum"]["acquisitions"] == 2
+        assert summary["selfsched"]["L100"]["chunks"] == 6
+        per_process = summary["selfsched"]["L100"]["per_process"]
+        assert sum(per_process.values()) == 6
+
+    def test_wait_stats_use_measured_spans(self):
+        summary = summarize_events(_native_events())
+        wait = summary["barriers"]["wait"]
+        assert wait["count"] == summary["barriers"]["waits"]
+        assert wait["min_s"] >= 0.0
+
+
+class TestSummarizeSim:
+    def test_instant_only_traces_still_count(self):
+        source = programs.render("sum_critical", n=10)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, nproc=3,
+                                       trace=True)
+        summary = summarize_events(result.trace_events())
+        assert summary["events"] == len(result.trace)
+        # barrier gate-lock traffic shows up as barrier activity
+        assert summary["barriers"]["waits"] >= 0
+        assert summary["criticals"]     # the sum lock
+
+
+class TestSummarizeEdgeCases:
+    def test_empty_stream(self):
+        summary = summarize_events([])
+        assert summary["events"] == 0
+        assert summary["processes"] == []
+        # empty WaitStats report zeros, never the +inf sentinel
+        assert summary["barriers"]["wait"]["min_s"] == 0.0
+
+    def test_askfor_and_asyncvar_sections(self):
+        events = [
+            TraceEvent(ts=0.1, proc="p1", kind="askfor", name="pool",
+                       op="put"),
+            TraceEvent(ts=0.2, proc="p2", kind="askfor", name="pool",
+                       op="got"),
+            TraceEvent(ts=0.3, proc="p2", kind="asyncvar", name="chan",
+                       op="consume", phase="X", dur=0.05),
+        ]
+        summary = summarize_events(events)
+        assert summary["askfor"]["pool"] == \
+            {"put": 1, "got": 1, "wait": summary["askfor"]["pool"]["wait"]}
+        chan = summary["asyncvar"]["chan"]
+        assert chan["blocked"] == 1
+        assert chan["by_op"] == {"consume": 1}
+        assert chan["wait"]["total_s"] == 0.05
+
+
+class TestRender:
+    def test_text_rendering(self):
+        text = render_trace_summary(summarize_events(_native_events()))
+        assert "processes: 2" in text
+        assert "--- barriers ---" in text
+        assert "--- critical sections ---" in text
+        assert "--- selfscheduled loops ---" in text
+
+    def test_json_rendering_is_valid_json(self):
+        text = render_trace_summary(summarize_events(_native_events()),
+                                    as_json=True)
+        doc = json.loads(text)
+        assert doc["processes"] == ["force-1", "force-2"]

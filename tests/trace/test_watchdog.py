@@ -1,0 +1,129 @@
+"""Stall watchdog: quiet-period detection and stall reports."""
+
+import time
+
+import pytest
+
+from repro.runtime import Force
+from repro._util.errors import ForceError
+from repro.trace.collector import TraceCollector
+from repro.trace.watchdog import StallWatchdog, render_stall_report
+
+
+class TestRenderStallReport:
+    def test_names_each_parked_process(self):
+        collector = TraceCollector()
+        collector.register_lane("force-1")
+        collector.mark_parked("barrier", "barrier")
+        report = render_stall_report(collector, quiet_for=1.5)
+        assert "--- stall watchdog ---" in report
+        assert "no trace events for 1.50s" in report
+        assert "force-1" in report
+        assert "parked on barrier 'barrier'" in report
+
+    def test_nothing_parked_hints_at_compute_loop(self):
+        report = render_stall_report(TraceCollector())
+        assert "no process is marked parked" in report
+
+
+class TestStallWatchdog:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            StallWatchdog(TraceCollector(), 0)
+
+    def test_reports_a_stall_once(self):
+        collector = TraceCollector()
+        collector.register_lane("force-1")
+        collector.record("sched", "force-1", "start")
+        collector.mark_parked("asyncvar", "chan")
+        reports = []
+        watchdog = StallWatchdog(collector, 0.1, sink=reports.append)
+        watchdog.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while not reports and time.monotonic() < deadline:
+                time.sleep(0.01)
+            # same stall: no second report however long we wait
+            time.sleep(0.3)
+        finally:
+            watchdog.stop()
+        assert len(reports) == 1
+        assert "asyncvar 'chan'" in reports[0]
+        assert watchdog.stall_count == 1
+
+    def test_fresh_events_rearm_the_watchdog(self):
+        collector = TraceCollector()
+        collector.register_lane("force-1")
+        collector.mark_parked("barrier", "barrier")
+        reports = []
+        watchdog = StallWatchdog(collector, 0.1, sink=reports.append)
+        watchdog.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while not reports and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(reports) == 1
+            collector.record("sched", op="progress")   # program moved
+            deadline = time.monotonic() + 2.0
+            while len(reports) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            watchdog.stop()
+        assert len(reports) == 2    # a distinct second stall
+
+    def test_quiet_without_parked_processes_stays_silent(self):
+        collector = TraceCollector()
+        reports = []
+        watchdog = StallWatchdog(collector, 0.05, sink=reports.append)
+        watchdog.start()
+        time.sleep(0.3)
+        watchdog.stop()
+        assert reports == []
+
+
+class TestHungForce:
+    def test_dump_names_the_construct_each_process_parks_on(self):
+        reports = []
+        force = Force(nproc=2, trace=True, timeout=1.5,
+                      watchdog_interval=0.25,
+                      watchdog_sink=reports.append)
+
+        def program(force, me):
+            if me == 1:
+                force.barrier()                     # partner never comes
+            else:
+                force.async_var("chan").consume()   # never produced
+
+        with pytest.raises(ForceError) as info:
+            force.run(program)
+        # join-deadline diagnostics driven by the parked map
+        message = str(info.value)
+        assert "did not terminate" in message
+        assert "parked on" in message
+        # the watchdog fired before the deadline and named both
+        assert reports, "watchdog never fired on a hung force"
+        dump = "\n".join(reports)
+        assert "force-1" in dump and "force-2" in dump
+        assert "barrier" in dump
+        assert "asyncvar 'chan'" in dump
+
+    def test_poisoned_stragglers_unwind_after_timeout(self):
+        import threading
+
+        force = Force(nproc=2, trace=True, timeout=0.5)
+
+        def program(force, me):
+            if me == 1:
+                force.barrier()
+
+        with pytest.raises(ForceError):
+            force.run(program)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if not any(t.name.startswith("force-")
+                       for t in threading.enumerate()):
+                break
+            time.sleep(0.01)
+        assert not any(t.name.startswith("force-")
+                       for t in threading.enumerate()), \
+            "stragglers still parked after the force was poisoned"
