@@ -55,11 +55,60 @@ class FortranError(ForceError):
         super().__init__(prefix + message)
 
 
+class ForceDeadlockError(ForceError):
+    """A construct deadline expired: the force is parked and cannot
+    make progress.
+
+    Raised by the native runtime when a process blocks inside a
+    construct (barrier, critical, selfsched, askfor, async variable)
+    longer than ``Force(..., construct_timeout=...)`` allows, or when
+    :meth:`Force.run`'s global join deadline expires.  Carries the
+    construct the process was parked on so chaos runs and CLI users
+    see *where* the program hung, not just that it did.
+    """
+
+    def __init__(self, message: str, *, construct: str | None = None,
+                 me: int | None = None,
+                 timeout: float | None = None) -> None:
+        self.construct = construct
+        self.me = me
+        self.timeout = timeout
+        super().__init__(message)
+
+
+class ForceWorkerDied(ForceError):
+    """A force process died abruptly and stranded a construct.
+
+    Raised when the runtime detects that a peer holding construct
+    state (an askfor work item, a selfscheduled-loop membership) is no
+    longer alive — the structured alternative to hanging until the
+    join timeout.  Names the dead process and the construct where the
+    death was detected.
+    """
+
+    def __init__(self, me: int, construct: str,
+                 detail: str = "") -> None:
+        self.me = me
+        self.construct = construct
+        extra = f" ({detail})" if detail else ""
+        super().__init__(
+            f"process {me} died without releasing {construct}{extra}; "
+            "poisoning the force instead of hanging")
+
+
 class SimulationError(ForceError):
     """The discrete-event simulator detected an inconsistency.
 
     Most commonly: deadlock (no runnable process and simulated time
     cannot advance), or a process finishing while still holding a lock.
+    """
+
+
+class SimDeadlockError(SimulationError):
+    """The simulation deadlocked or exceeded its wall-clock deadline.
+
+    Distinct from other :class:`SimulationError` conditions so the CLI
+    can map it to the deadlock/timeout exit status (3).
     """
 
 

@@ -1,0 +1,307 @@
+"""The chaos harness: seeded fault sweeps over the native corpus.
+
+One chaos *run* executes one corpus program under one
+:class:`~repro.faults.plan.FaultPlan` and classifies the outcome.  The
+harness asserts the robustness invariant this subsystem exists for:
+
+    Under any injected fault plan, a run terminates within its
+    deadline with either a *correct result* or a *structured error
+    naming the faulted process/construct* — never a hang, never
+    silent corruption.
+
+Outcome classes
+---------------
+
+Invariant-satisfying:
+
+``ok``
+    The force completed and the program's result oracle passed.
+``injected-error``
+    The run failed with the injected :class:`InjectedFault` itself
+    (fail-fast poisoning worked).
+``worker-died``
+    An injected death was detected and reported as
+    :class:`~repro._util.errors.ForceWorkerDied` naming the process.
+``deadlock``
+    A stranded construct was reported as
+    :class:`~repro._util.errors.ForceDeadlockError` naming it.
+
+Invariant violations:
+
+``corrupt``
+    The force *completed* but the oracle failed — silent corruption.
+``program-error``
+    An unexpected error not traceable to the injection (the corpus
+    programs are correct, so this is a runtime bug).
+``hang``
+    The run exceeded its wall budget (``deadline`` + grace) — even if
+    it eventually returned, the no-hang guarantee was broken.
+
+A sweep iterates ``runs`` seeds (``seed0 + i``), derives one
+:func:`~repro.faults.plan.random_plan` per seed, and cycles through
+the corpus; the same ``(seed0, runs, nproc)`` always replays the same
+plans, so any failing seed reproduces its fault sequence exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Any
+
+from repro.faults.corpus import CORPUS, ChaosCheckError, ChaosProgram
+from repro.faults.injector import InjectedFault
+from repro.faults.plan import FaultPlan, random_plan
+from repro.runtime.force import Force, ForceProgramError
+from repro._util.errors import (
+    ForceDeadlockError,
+    ForceError,
+    ForceWorkerDied,
+)
+from repro.trace.export import write_trace_file
+
+#: outcome classes that satisfy the chaos invariant
+INVARIANT_OK = ("ok", "injected-error", "worker-died", "deadlock")
+
+#: outcome classes that violate it
+INVARIANT_VIOLATIONS = ("corrupt", "program-error", "hang")
+
+#: extra wall-clock slack beyond the join deadline before a run counts
+#: as a hang (join + construct teardown + interpreter overhead)
+HANG_GRACE = 5.0
+
+#: construct family (ChaosProgram.exercises) -> injection sites the
+#: family actually visits; targeting plans at these keeps the sweep's
+#: fault hit rate high instead of scheduling faults at sites a
+#: program never reaches
+_FAMILY_SITES: dict[str, tuple[str, ...]] = {
+    "barrier": ("barrier.entry", "barrier.episode"),
+    "barrier-section": ("barrier.entry",),
+    "critical": ("critical.acquire", "critical.hold"),
+    "selfsched": ("selfsched.chunk",),
+    "askfor": ("askfor.put", "askfor.got"),
+    "asyncvar": ("asyncvar.produce", "asyncvar.consume"),
+}
+
+
+def sites_for(entry: ChaosProgram) -> tuple[str, ...]:
+    """The injection sites a corpus program can actually reach."""
+    sites: list[str] = []
+    for family in entry.exercises:
+        for site in _FAMILY_SITES.get(family, ()):
+            if site not in sites:
+                sites.append(site)
+    return tuple(sites) or ("barrier.entry",)
+
+
+@dataclass
+class ChaosOutcome:
+    """One classified chaos run."""
+
+    program: str
+    seed: int
+    status: str
+    elapsed: float
+    error: str = ""
+    injected: list[str] = field(default_factory=list)
+    plan: FaultPlan | None = None
+
+    @property
+    def violates_invariant(self) -> bool:
+        return self.status in INVARIANT_VIOLATIONS
+
+    def describe(self) -> str:
+        text = (f"{self.program} seed={self.seed}: {self.status} "
+                f"({self.elapsed:.2f}s, "
+                f"{len(self.injected)} fault(s) injected)")
+        if self.error:
+            text += f"\n    {self.error}"
+        for fired in self.injected:
+            text += f"\n    injected: {fired}"
+        return text
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"program": self.program, "seed": self.seed,
+                "status": self.status,
+                "elapsed": round(self.elapsed, 4),
+                "error": self.error, "injected": list(self.injected),
+                "plan": self.plan.as_dict() if self.plan else None}
+
+
+def _classify_failure(exc: ForceError) -> tuple[str, str]:
+    """Map a Force.run failure to (status, message)."""
+    if isinstance(exc, ForceWorkerDied):
+        return "worker-died", str(exc)
+    if isinstance(exc, ForceDeadlockError):
+        return "deadlock", str(exc)
+    if isinstance(exc, ForceProgramError):
+        if isinstance(exc.original, InjectedFault):
+            return "injected-error", str(exc)
+        return "program-error", str(exc)
+    return "program-error", str(exc)
+
+
+def run_one(entry: ChaosProgram, plan: FaultPlan, *,
+            nproc: int | None = None,
+            deadline: float = 10.0,
+            construct_timeout: float = 2.0,
+            barrier_algorithm: str = "central-counter",
+            trace: bool = True) -> tuple[ChaosOutcome, Force]:
+    """Execute one corpus program under one fault plan and classify.
+
+    Returns the outcome *and* the force, so callers can pull trace
+    events for failure artifacts.
+    """
+    width = nproc or entry.nproc
+    force = Force(width, timeout=deadline,
+                  construct_timeout=construct_timeout,
+                  barrier_algorithm=barrier_algorithm,
+                  trace=trace, inject=plan)
+    start = monotonic()
+    status, error = "ok", ""
+    try:
+        force.run(entry.program)
+    except ForceError as exc:
+        status, error = _classify_failure(exc)
+    else:
+        try:
+            entry.check(force)
+        except ChaosCheckError as exc:
+            status, error = "corrupt", str(exc)
+    elapsed = monotonic() - start
+    if elapsed > deadline + HANG_GRACE:
+        # It returned eventually, but way past its budget: the no-hang
+        # guarantee is already broken.
+        status = "hang"
+        error = (f"run took {elapsed:.1f}s against a {deadline:.1f}s "
+                 f"deadline (+{HANG_GRACE:.0f}s grace)" +
+                 (f"; underlying: {error}" if error else ""))
+    injected = [record.describe()
+                for record in (force.injected_faults() or [])]
+    outcome = ChaosOutcome(program=entry.name, seed=plan.seed,
+                           status=status, elapsed=elapsed,
+                           error=error, injected=injected, plan=plan)
+    return outcome, force
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of one sweep."""
+
+    seed: int
+    runs: int
+    nproc: int
+    outcomes: list[ChaosOutcome]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        tally: dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return dict(sorted(tally.items()))
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(len(outcome.injected) for outcome in self.outcomes)
+
+    @property
+    def violations(self) -> list[ChaosOutcome]:
+        return [o for o in self.outcomes if o.violates_invariant]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "runs": self.runs,
+                "nproc": self.nproc, "counts": self.counts,
+                "faults_injected": self.faults_injected,
+                "violations": [o.as_dict() for o in self.violations],
+                "outcomes": [o.as_dict() for o in self.outcomes]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+
+def render_report(report: ChaosReport) -> str:
+    lines = [f"chaos sweep: {report.runs} run(s), seed {report.seed}, "
+             f"nproc {report.nproc}",
+             f"faults injected: {report.faults_injected}"]
+    for status, count in report.counts.items():
+        marker = "!!" if status in INVARIANT_VIOLATIONS else "ok"
+        lines.append(f"  [{marker}] {status:<15} {count}")
+    if report.violations:
+        lines.append("invariant violations:")
+        for outcome in report.violations:
+            lines.append("  " + outcome.describe().replace("\n", "\n  "))
+            lines.append(f"    replay: force chaos --seed {outcome.seed}"
+                         f" --runs 1 {outcome.program}")
+    else:
+        lines.append("invariant held: every run terminated with a "
+                     "correct result or a structured error")
+    return "\n".join(lines)
+
+
+def write_failure_artifacts(directory: str, outcome: ChaosOutcome,
+                            force: Force) -> list[str]:
+    """Dump the failing plan + trace for offline replay/triage."""
+    os.makedirs(directory, exist_ok=True)
+    stem = os.path.join(
+        directory, f"{outcome.program}-seed{outcome.seed}")
+    written = []
+    if outcome.plan is not None:
+        plan_path = stem + ".plan.json"
+        with open(plan_path, "w", encoding="utf-8") as handle:
+            handle.write(outcome.plan.to_json() + "\n")
+        written.append(plan_path)
+    events = force.trace_events() if force.trace_enabled else []
+    if events:
+        trace_path = stem + ".trace.json"
+        write_trace_file(trace_path, events)
+        written.append(trace_path)
+    outcome_path = stem + ".outcome.json"
+    with open(outcome_path, "w", encoding="utf-8") as handle:
+        json.dump(outcome.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    written.append(outcome_path)
+    return written
+
+
+def chaos_sweep(*, seed: int, runs: int,
+                programs: list[str] | None = None,
+                nproc: int = 4,
+                deadline: float = 10.0,
+                construct_timeout: float = 2.0,
+                barrier_algorithm: str = "central-counter",
+                max_faults: int = 3,
+                artifacts_dir: str | None = None,
+                progress=None) -> ChaosReport:
+    """Run ``runs`` seeded fault plans across the corpus.
+
+    Run *i* uses seed ``seed + i`` and corpus program ``i mod len``;
+    the whole sweep is a pure function of its arguments, so re-running
+    it (or any single seed) replays identical fault sequences.
+    """
+    names = programs or list(CORPUS)
+    unknown = [name for name in names if name not in CORPUS]
+    if unknown:
+        raise ForceError(
+            f"unknown chaos program(s) {', '.join(unknown)}; corpus: "
+            f"{', '.join(CORPUS)}")
+    if runs < 1:
+        raise ForceError("chaos sweep needs at least one run")
+    outcomes = []
+    for index in range(runs):
+        entry = CORPUS[names[index % len(names)]]
+        plan = random_plan(seed + index, nproc=nproc,
+                           max_faults=max_faults,
+                           sites=sites_for(entry))
+        outcome, force = run_one(
+            entry, plan, nproc=nproc, deadline=deadline,
+            construct_timeout=construct_timeout,
+            barrier_algorithm=barrier_algorithm)
+        outcomes.append(outcome)
+        if outcome.violates_invariant and artifacts_dir:
+            write_failure_artifacts(artifacts_dir, outcome, force)
+        if progress is not None:
+            progress(outcome)
+    return ChaosReport(seed=seed, runs=runs, nproc=nproc,
+                       outcomes=outcomes)

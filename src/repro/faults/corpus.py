@@ -1,0 +1,247 @@
+"""The chaos corpus: native Force workloads with result oracles.
+
+These mirror the examples corpus (:mod:`repro.core.programs`) on the
+native runtime — one workload per construct family — and each carries
+a ``check`` oracle asserting the exact expected result.  The chaos
+harness runs them under injected fault plans; the oracle is what turns
+"the run completed" into "the run completed *correctly*", i.e. what
+detects silent corruption.
+
+Every program is deliberately small (well under a second uninjected)
+so a multi-hundred-run sweep stays cheap, and correct for any
+``nproc >= 1`` so the harness can vary the force width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.force import Force
+
+
+class ChaosCheckError(AssertionError):
+    """A chaos run completed but produced a wrong result."""
+
+
+@dataclass(frozen=True)
+class ChaosProgram:
+    """One corpus entry: the program plus its result oracle."""
+
+    name: str
+    program: Callable[[Force, int], None]
+    check: Callable[[Force], None]
+    #: default force width (harness may override)
+    nproc: int = 4
+    #: construct families the program exercises (documentation/report)
+    exercises: tuple[str, ...] = ()
+
+
+CORPUS: dict[str, ChaosProgram] = {}
+
+
+def _register(name: str, program, check, *, nproc: int = 4,
+              exercises: tuple[str, ...] = ()) -> None:
+    CORPUS[name] = ChaosProgram(name=name, program=program, check=check,
+                                nproc=nproc, exercises=exercises)
+
+
+def corpus_names() -> list[str]:
+    return list(CORPUS)
+
+
+def _expect(name: str, actual, expected) -> None:
+    if actual != expected:
+        raise ChaosCheckError(
+            f"{name}: expected {expected!r}, got {actual!r} "
+            "(silent corruption)")
+
+
+# ----------------------------------------------------------------------
+# 1. sum_critical — selfsched DOALL + critical reduction
+# ----------------------------------------------------------------------
+_SUM_N = 60
+
+
+def _sum_critical(force: Force, me: int) -> None:
+    total = force.shared_counter("total")
+    for k in force.selfsched_range("sumloop", 1, _SUM_N):
+        with force.critical("sum"):
+            total.value += k
+    force.barrier()
+
+
+def _check_sum_critical(force: Force) -> None:
+    _expect("sum_critical", force.shared_counter("total").value,
+            _SUM_N * (_SUM_N + 1) // 2)
+
+
+_register("sum_critical", _sum_critical, _check_sum_critical,
+          exercises=("selfsched", "critical", "barrier"))
+
+
+# ----------------------------------------------------------------------
+# 2. jacobi — presched DOALL sweeps separated by barriers
+# ----------------------------------------------------------------------
+_JACOBI_N, _JACOBI_SWEEPS = 24, 10
+
+
+def _jacobi(force: Force, me: int) -> None:
+    u = force.shared_array("u", _JACOBI_N)
+    unew = force.shared_array("unew", _JACOBI_N)
+
+    def init() -> None:
+        u[0] = u[-1] = 100.0
+
+    force.barrier_section(me, init)
+    for _sweep in range(_JACOBI_SWEEPS):
+        for i in force.presched_range(me, 1, _JACOBI_N - 2):
+            unew[i] = 0.5 * (u[i - 1] + u[i + 1])
+        force.barrier()
+        for i in force.presched_range(me, 1, _JACOBI_N - 2):
+            u[i] = unew[i]
+        force.barrier()
+
+
+def _check_jacobi(force: Force) -> None:
+    expected = np.zeros(_JACOBI_N)
+    expected[0] = expected[-1] = 100.0
+    for _ in range(_JACOBI_SWEEPS):
+        nxt = expected.copy()
+        nxt[1:-1] = 0.5 * (expected[:-2] + expected[2:])
+        expected = nxt
+    actual = force.shared_array("u", _JACOBI_N)
+    if not np.allclose(actual, expected):
+        raise ChaosCheckError(
+            "jacobi: relaxed field diverges from the numpy oracle "
+            "(silent corruption)")
+
+
+_register("jacobi", _jacobi, _check_jacobi,
+          exercises=("presched", "barrier", "barrier-section"))
+
+
+# ----------------------------------------------------------------------
+# 3. dot_product — selfsched + critical reduction over numpy arrays
+# ----------------------------------------------------------------------
+_DOT_N = 80
+
+
+def _dot_product(force: Force, me: int) -> None:
+    x = force.shared_array("x", _DOT_N)
+    y = force.shared_array("y", _DOT_N)
+    result = force.shared_counter("dot", 0.0)
+
+    def init() -> None:
+        x[:] = np.arange(1, _DOT_N + 1)
+        y[:] = 2.0
+
+    force.barrier_section(me, init)
+    partial = 0.0
+    for i in force.selfsched_range("dotloop", 0, _DOT_N - 1):
+        partial += x[i] * y[i]
+    with force.critical("reduce"):
+        result.value += partial
+    force.barrier()
+
+
+def _check_dot_product(force: Force) -> None:
+    expected = float(_DOT_N * (_DOT_N + 1))   # sum(2k) = n(n+1)
+    _expect("dot_product", force.shared_counter("dot").value, expected)
+
+
+_register("dot_product", _dot_product, _check_dot_product,
+          exercises=("selfsched", "critical", "barrier"))
+
+
+# ----------------------------------------------------------------------
+# 4. pipeline — producer/consumer over an asynchronous variable
+# ----------------------------------------------------------------------
+_PIPE_ITEMS = 24
+
+
+def _pipeline(force: Force, me: int) -> None:
+    if force.nproc == 1:        # a single-cell channel needs two ends
+        force.barrier()
+        return
+    channel = force.async_var("chan")
+    sink = force.shared_counter("sink")
+    if me == 1:
+        for k in range(1, _PIPE_ITEMS + 1):
+            channel.produce(k * k)
+    elif me == 2:
+        for _ in range(_PIPE_ITEMS):
+            with force.critical("sink"):
+                sink.value += channel.consume()
+    force.barrier()
+
+
+def _check_pipeline(force: Force) -> None:
+    expected = sum(k * k for k in range(1, _PIPE_ITEMS + 1)) \
+        if force.nproc > 1 else 0
+    _expect("pipeline", force.shared_counter("sink").value, expected)
+
+
+_register("pipeline", _pipeline, _check_pipeline,
+          exercises=("asyncvar", "critical", "barrier"))
+
+
+# ----------------------------------------------------------------------
+# 5. askfor_tree — dynamic tree-shaped work over the Askfor monitor
+# ----------------------------------------------------------------------
+_TREE_DEPTH = 4
+
+
+def _askfor_tree(force: Force, me: int) -> None:
+    # Every process offers the same seed; creation happens exactly once
+    # (first creator wins), so there is no seeding race.
+    pool = force.askfor("work", [_TREE_DEPTH])
+    count = force.shared_counter("nodes")
+    force.barrier()
+    for w in pool:
+        if w > 1:
+            pool.put(w - 1)
+            pool.put(w - 1)
+        with force.critical("count"):
+            count.value += 1
+    force.barrier()
+
+
+def _check_askfor_tree(force: Force) -> None:
+    _expect("askfor_tree", force.shared_counter("nodes").value,
+            2 ** _TREE_DEPTH - 1)
+
+
+_register("askfor_tree", _askfor_tree, _check_askfor_tree,
+          exercises=("askfor", "critical", "barrier"))
+
+
+# ----------------------------------------------------------------------
+# 6. sections — Pcase sections + barrier-section reduction
+# ----------------------------------------------------------------------
+def _sections(force: Force, me: int) -> None:
+    cells = force.shared_array("r", 4, dtype=np.int64)
+    force.barrier()
+    force.pcase(me,
+                lambda: cells.__setitem__(0, 10),
+                lambda: cells.__setitem__(1, 20),
+                lambda: cells.__setitem__(2, 30),
+                (lambda: True, lambda: cells.__setitem__(3, 40)))
+    force.barrier()
+    total = force.shared_counter("sections_total")
+
+    def reduce_() -> None:
+        total.value = int(cells.sum())
+
+    force.barrier_section(me, reduce_)
+
+
+def _check_sections(force: Force) -> None:
+    _expect("sections",
+            force.shared_counter("sections_total").value, 100)
+
+
+_register("sections", _sections, _check_sections,
+          exercises=("pcase", "barrier", "barrier-section"))

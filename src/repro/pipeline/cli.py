@@ -1,4 +1,4 @@
-"""Command-line interface: ``force translate|run|check|trace|machines``.
+"""Command-line interface: ``force translate|run|check|trace|chaos``.
 
 Examples::
 
@@ -8,11 +8,12 @@ Examples::
     force run program.frc --machine hep --nproc 8 --stats
     force run program.frc --stats --format json  # machine-readable
     force run program.frc --trace out.json       # Chrome trace file
-    force run program.frc --trace out.jsonl --trace-format jsonl
-    force run program.frc --trace                # text timeline, stderr
+    force run program.frc --deadline 30          # bound the simulation
     force trace out.json                         # per-construct summary
     force check program.frc                      # static analysis only
     force check program.frc --format json --werror
+    force chaos --seed 42 --runs 200             # seeded fault sweep
+    force chaos --inject die@askfor.got:proc=1 askfor_tree
 
 IO contract: program output goes to stdout; diagnostics, timelines and
 reports go to stderr.  With ``--format json`` a single JSON document
@@ -20,8 +21,20 @@ replaces stdout's plain lines (program output under ``"output"``,
 statistics under ``"stats"``), giving ``force run`` the same
 machine-readable surface as ``force check --format json``.
 
-Exit status: 0 on success, 1 on pipeline/check errors, 2 on usage
-errors (bad flags, unknown machine, non-positive ``--nproc``).
+Exit status (the documented taxonomy, asserted by the CLI tests):
+
+====  ===========================================================
+code  meaning
+====  ===========================================================
+0     success
+1     program or pipeline error (translation failure, a process
+      raised, static ``check`` found errors, chaos invariant broken)
+2     usage error (bad flags, unknown machine, bad fault spec
+      grammar caught by argparse)
+3     deadlock or timeout — a structured no-progress verdict:
+      simulated deadlock, ``--deadline`` exceeded, a native
+      construct deadline fired, or a worker died irrecoverably
+====  ===========================================================
 """
 
 from __future__ import annotations
@@ -30,10 +43,21 @@ import argparse
 import difflib
 import sys
 
-from repro._util.errors import ForceError
+from repro._util.errors import (
+    ForceDeadlockError,
+    ForceError,
+    ForceWorkerDied,
+    SimDeadlockError,
+)
 from repro.machines import get_machine, MACHINES
 from repro.pipeline.compile import force_translate
 from repro.pipeline.run import force_run
+
+#: the exit-code taxonomy (see module docstring)
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+EXIT_DEADLOCK = 3
 
 
 def _positive_int(text: str) -> int:
@@ -46,6 +70,26 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(
             f"must be a positive process count (got {value})")
     return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive number of seconds (got {value})")
+    return value
+
+
+def _fault_spec(text: str):
+    from repro.faults.plan import FaultSpecError, parse_fault_spec
+    try:
+        return parse_fault_spec(text)
+    except FaultSpecError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _machine_key(text: str) -> str:
@@ -104,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "JSON document with output and stats")
     run.add_argument("--utilization", action="store_true",
                      help="print per-process utilization bars")
+    run.add_argument("--deadline", type=_positive_float, default=None,
+                     metavar="SECS",
+                     help="wall-clock bound for the simulation; a run "
+                          "still churning past it exits 3 with a "
+                          "structured deadline error")
     run.set_defaults(func=_cmd_run)
 
     trace = sub.add_parser(
@@ -122,6 +171,48 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--werror", action="store_true",
                        help="treat warnings as errors")
     check.set_defaults(func=_cmd_check)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the native chaos corpus under injected fault plans")
+    chaos.add_argument("programs", nargs="*", metavar="PROGRAM",
+                       help="corpus program(s) to target (default: the "
+                            "whole corpus; see --list)")
+    chaos.add_argument("--list", action="store_true",
+                       help="list the corpus programs and exit")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; run i derives its fault plan "
+                            "from seed+i, so sweeps replay exactly")
+    chaos.add_argument("--runs", type=_positive_int, default=None,
+                       help="number of seeded runs (default 20, or 1 "
+                            "with an explicit --inject/--plan)")
+    chaos.add_argument("--nproc", type=_positive_int, default=4,
+                       help="force width for every run")
+    chaos.add_argument("--deadline", type=_positive_float, default=10.0,
+                       metavar="SECS",
+                       help="join deadline per run (default 10)")
+    chaos.add_argument("--construct-timeout", type=_positive_float,
+                       default=2.0, metavar="SECS",
+                       help="per-construct blocking deadline "
+                            "(default 2)")
+    chaos.add_argument("--barrier",
+                       choices=["central-counter", "sense-reversing",
+                                "dissemination", "tournament"],
+                       default="central-counter",
+                       help="barrier algorithm under test")
+    chaos.add_argument("--inject", action="append", default=[],
+                       metavar="SPEC", type=_fault_spec,
+                       help="explicit fault spec "
+                            "KIND@SITE[/NAME][:key=value,...]; "
+                            "repeatable, overrides seeded plans")
+    chaos.add_argument("--plan", metavar="FILE", default=None,
+                       help="JSON fault plan file (as written to the "
+                            "artifacts dir), overrides seeded plans")
+    chaos.add_argument("--artifacts", metavar="DIR", default=None,
+                       help="write failing fault plans + traces here")
+    chaos.add_argument("--format", choices=["text", "json"],
+                       default="text", help="report format")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
@@ -157,7 +248,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
     translation = force_translate(_read(args.source), machine)
     result = force_run(translation, args.nproc,
-                       trace=args.trace is not None)
+                       trace=args.trace is not None,
+                       deadline=args.deadline)
     trace_file = None
     if args.trace is not None and args.trace != "-":
         from repro.trace.export import write_trace_file
@@ -236,6 +328,69 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 1 if any(count_errors(d) for _, d in per_file) else 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.chaos import (
+        ChaosReport,
+        chaos_sweep,
+        render_report,
+        run_one,
+        write_failure_artifacts,
+    )
+    from repro.faults.corpus import CORPUS
+    from repro.faults.plan import FaultPlan
+
+    if args.list:
+        for entry in CORPUS.values():
+            print(f"{entry.name:14s} exercises: "
+                  f"{', '.join(entry.exercises)}")
+        return EXIT_OK
+    names = args.programs or list(CORPUS)
+    unknown = [name for name in names if name not in CORPUS]
+    if unknown:
+        raise ForceError(
+            f"unknown chaos program(s) {', '.join(unknown)}; corpus: "
+            f"{', '.join(CORPUS)} (see 'force chaos --list')")
+    if args.inject and args.plan:
+        raise ForceError("--inject and --plan are mutually exclusive")
+    explicit = None
+    if args.plan:
+        explicit = FaultPlan.from_json(_read(args.plan))
+    elif args.inject:
+        explicit = FaultPlan(seed=args.seed, faults=list(args.inject))
+
+    if explicit is not None:
+        # One fixed plan, run against each selected program.
+        runs = args.runs or 1
+        outcomes = []
+        for index in range(runs):
+            for name in names:
+                outcome, force = run_one(
+                    CORPUS[name], explicit, nproc=args.nproc,
+                    deadline=args.deadline,
+                    construct_timeout=args.construct_timeout,
+                    barrier_algorithm=args.barrier)
+                outcomes.append(outcome)
+                if outcome.violates_invariant and args.artifacts:
+                    write_failure_artifacts(args.artifacts, outcome,
+                                            force)
+        report = ChaosReport(seed=explicit.seed, runs=len(outcomes),
+                             nproc=args.nproc, outcomes=outcomes)
+    else:
+        report = chaos_sweep(
+            seed=args.seed, runs=args.runs or 20, programs=names,
+            nproc=args.nproc, deadline=args.deadline,
+            construct_timeout=args.construct_timeout,
+            barrier_algorithm=args.barrier,
+            artifacts_dir=args.artifacts)
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    return EXIT_ERROR if report.violations else EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     try:
@@ -244,15 +399,20 @@ def main(argv: list[str] | None = None) -> int:
         # argparse exits 2 on usage errors (after printing the
         # `force: error: …` message) and 0 for --help; keep main()
         # returning an int so it stays callable in-process.
-        return exc.code if isinstance(exc.code, int) else 2
+        return exc.code if isinstance(exc.code, int) else EXIT_USAGE
     try:
         return args.func(args)
+    except (SimDeadlockError, ForceDeadlockError, ForceWorkerDied) as exc:
+        # Structured no-progress verdicts get their own exit code so
+        # scripts can tell "the program is wrong" from "it hung".
+        print(f"force: deadlock: {exc}", file=sys.stderr)
+        return EXIT_DEADLOCK
     except ForceError as exc:
         print(f"force: error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
     except OSError as exc:
         print(f"force: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":   # pragma: no cover

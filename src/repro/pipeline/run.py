@@ -102,13 +102,17 @@ def force_run(translation: TranslationResult, nproc: int, *,
               max_events: int = 20_000_000,
               trace: bool = False,
               processors: int | None = None,
-              unlimited_processors: bool = False) -> RunResult:
+              unlimited_processors: bool = False,
+              deadline: float | None = None) -> RunResult:
     """Simulate a translated Force program with ``nproc`` processes.
 
     By default the simulation honours the machine's processor count
     (run-to-block time-sharing beyond it).  ``processors`` overrides
     the capacity; ``unlimited_processors=True`` gives every process an
-    ideal CPU (algorithm-measurement mode).
+    ideal CPU (algorithm-measurement mode).  ``deadline`` bounds the
+    run in wall-clock seconds — exceeding it raises
+    :class:`~repro._util.errors.SimDeadlockError` instead of churning
+    forever on a livelocked program.
     """
     machine = translation.machine
     if nproc <= 0:
@@ -135,7 +139,7 @@ def force_run(translation: TranslationResult, nproc: int, *,
             registry.register(block)
 
     scheduler = Scheduler(machine, max_events=max_events, trace=trace,
-                          processors=processors)
+                          processors=processors, deadline=deadline)
     runtime = ForceRuntime(scheduler, machine, nproc, program,
                            registry=registry)
     records: list[tuple[int, str, str]] = []

@@ -26,6 +26,7 @@ Example::
     Force(nproc=4).run(program)
 """
 
+from repro._util.errors import ForceDeadlockError, ForceWorkerDied
 from repro.runtime.barriers import (
     BARRIER_ALGORITHMS,
     CentralCounterBarrier,
@@ -53,7 +54,9 @@ __all__ = [
     "CancelToken",
     "Force",
     "ForceCancelled",
+    "ForceDeadlockError",
     "ForceProgramError",
+    "ForceWorkerDied",
     "ForceStats",
     "render_stats",
     "AskforMonitor",

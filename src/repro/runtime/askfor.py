@@ -12,6 +12,17 @@ out exactly once (``total_put == total_got`` at termination).  A
 dropped.  Monitors created through a Force carry its
 :class:`~repro.runtime.cancel.CancelToken`: workers blocked in ``get``
 raise ``ForceCancelled`` when a peer process fails.
+
+Robustness: holders are tracked by *thread object*, so a worker that
+dies while holding an item (abrupt death, injected or real) is
+detected by any blocked ``get`` within one revalidation slice; the
+pool then poisons the force with
+:class:`~repro._util.errors.ForceWorkerDied` naming the dead process
+and the pool — a structured error instead of a termination-protocol
+hang.  With a fault injector attached
+(``Force(..., inject=plan)``), ``put``/``got`` are injection sites and
+``put``'s wakeup can be swallowed by a ``lost-wakeup`` fault (waiters
+survive via the revalidating wait).
 """
 
 from __future__ import annotations
@@ -21,11 +32,23 @@ from collections import deque
 from time import monotonic
 from typing import TYPE_CHECKING, Any, Iterator
 
-from repro._util.errors import ForceError
+from repro._util.errors import ForceError, ForceWorkerDied
 from repro.runtime.cancel import CancelToken
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.trace.collector import TraceCollector
+
+
+def _me_of_thread(thread: threading.Thread) -> int:
+    """Force process id from a ``force-N`` thread name (else 0)."""
+    name = thread.name
+    if name.startswith("force-"):
+        try:
+            return int(name[6:])
+        except ValueError:
+            pass
+    return 0
 
 
 class AskforMonitor:
@@ -41,14 +64,18 @@ class AskforMonitor:
     def __init__(self, initial: list | None = None, *,
                  cancel: CancelToken | None = None,
                  tracer: "TraceCollector | None" = None,
+                 injector: "FaultInjector | None" = None,
                  name: str = "") -> None:
         self._items: deque = deque(initial or [])
         self._condition = threading.Condition()
         self._holders = 0
-        self._holder_threads: set[int] = set()
+        #: thread ident -> Thread for every worker holding an item;
+        #: the liveness source for dead-holder detection
+        self._holder_threads: dict[int, threading.Thread] = {}
         self._done = False
         self._cancel = cancel
         self._tracer = tracer
+        self._injector = injector
         self._name = name
         self.total_put = len(self._items)
         self.total_got = 0
@@ -57,8 +84,12 @@ class AskforMonitor:
         if cancel is not None:
             cancel.register(self._condition)
 
+    def _describe(self) -> str:
+        return f"askfor '{self._name}'" if self._name else "askfor"
+
     def put(self, item: Any) -> None:
         """Add a work item (callable from inside a worker's body)."""
+        injector = self._injector
         with self._condition:
             if self._done:
                 raise ForceError("putwork after the pool terminated")
@@ -69,7 +100,13 @@ class AskforMonitor:
             if self._tracer is not None:
                 self._tracer.record("askfor", self._name, "put",
                                     depth=len(self._items))
-            self._condition.notify()
+            if injector is None or \
+                    not injector.swallow_notify("askfor.put", self._name):
+                self._condition.notify()
+        if injector is not None:
+            # Outside the lock: a fault here models a producer that
+            # crashed right after publishing work.
+            injector.fire("askfor.put", self._name)
 
     def get(self) -> tuple[bool, Any]:
         """Ask for work: (True, item), or (False, None) at termination.
@@ -98,7 +135,7 @@ class AskforMonitor:
                         self._trace_wait_end(wait_started)
                         tracer.record("askfor", self._name, "got",
                                       depth=len(self._items))
-                    return True, item
+                    break
                 if self._done or self._holders == 0:
                     self._done = True
                     self._condition.notify_all()
@@ -109,7 +146,44 @@ class AskforMonitor:
                 if tracer is not None and wait_started is None:
                     wait_started = monotonic()
                     tracer.mark_parked("askfor", self._name)
-                self._condition.wait()
+                self._wait_for_change()
+        if self._injector is not None:
+            # Outside the lock, after the item was handed out: a
+            # ``die`` here kills the worker *mid-chunk*, stranding the
+            # holder count — the case dead-holder detection covers.
+            self._injector.fire("askfor.got", self._name)
+        return True, item
+
+    def _wait_for_change(self) -> None:
+        """Block (condition held) until the pool state may have moved.
+
+        Cancel-aware waits revalidate periodically and run the
+        dead-holder hazard, so a lost wakeup or a worker that died
+        holding an item cannot hang the termination protocol.
+        """
+        if self._cancel is None:
+            self._condition.wait()
+            return
+        self._cancel.wait_for(
+            self._condition,
+            lambda: bool(self._items) or self._done or self._holders == 0,
+            what=self._describe(),
+            hazard=self._dead_holder_hazard)
+
+    def _dead_holder_hazard(self) -> ForceWorkerDied | None:
+        """A holder thread that died strands the pool: poison it."""
+        for ident, thread in list(self._holder_threads.items()):
+            if not thread.is_alive():
+                del self._holder_threads[ident]
+                self._holders -= 1
+                if self._tracer is not None:
+                    self._tracer.record("askfor", self._name,
+                                        "dead-holder",
+                                        proc=_me_of_thread(thread))
+                return ForceWorkerDied(
+                    _me_of_thread(thread), self._describe(),
+                    detail="died while holding a work item")
+        return None
 
     def _trace_wait_end(self, wait_started: float | None) -> None:
         """Close an open blocked-wait span (tracer known present)."""
@@ -123,13 +197,14 @@ class AskforMonitor:
 
     # -- holder tracking (thread-identity based) -----------------------
     def _mark_me_holder(self) -> None:
-        self._holder_threads.add(threading.get_ident())
+        self._holder_threads[threading.get_ident()] = \
+            threading.current_thread()
 
     def _holders_includes_me(self) -> bool:
         return threading.get_ident() in self._holder_threads
 
     def _release_me(self) -> None:
-        self._holder_threads.discard(threading.get_ident())
+        self._holder_threads.pop(threading.get_ident(), None)
 
     def __iter__(self) -> Iterator[Any]:
         """Iterate work items until global termination."""

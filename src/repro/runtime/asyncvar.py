@@ -14,7 +14,9 @@ same atomic state transition semantics.
 
 Variables created through a :class:`~repro.runtime.force.Force` carry
 the force's :class:`~repro.runtime.cancel.CancelToken`, so a wait for a
-partner that died raises ``ForceCancelled`` instead of hanging, an
+partner that died raises ``ForceCancelled`` instead of hanging (and
+waits revalidate their predicate periodically, so a lost wakeup delays
+a waiter by at most one revalidation slice rather than forever), an
 optional ``on_block`` hook that reports time spent blocked (the stats
 layer's asyncvar blocked-time metric), and an optional
 :class:`~repro.trace.collector.TraceCollector` that records every
@@ -32,6 +34,7 @@ from repro._util.errors import ForceError
 from repro.runtime.cancel import CancelToken
 
 if TYPE_CHECKING:   # pragma: no cover - typing only
+    from repro.faults.injector import FaultInjector
     from repro.trace.collector import TraceCollector
 
 
@@ -39,12 +42,13 @@ class AsyncVariable:
     """One full/empty cell."""
 
     __slots__ = ("_value", "_full", "_condition", "_cancel", "_on_block",
-                 "_tracer", "_name")
+                 "_tracer", "_injector", "_name")
 
     def __init__(self, value: Any = None, *, full: bool = False,
                  cancel: CancelToken | None = None,
                  on_block: Callable[[float], None] | None = None,
                  tracer: "TraceCollector | None" = None,
+                 injector: "FaultInjector | None" = None,
                  name: str = "") -> None:
         self._value = value
         self._full = full
@@ -52,9 +56,24 @@ class AsyncVariable:
         self._cancel = cancel
         self._on_block = on_block
         self._tracer = tracer
+        self._injector = injector
         self._name = name
         if cancel is not None:
             cancel.register(self._condition)
+
+    def _fire(self, op: str) -> None:
+        """Injection hook at operation start (no-op without a plan)."""
+        if self._injector is not None:
+            self._injector.fire(f"asyncvar.{op}", self._name)
+
+    def _notify_all(self, op: str) -> None:
+        """State-change wakeup; a lost-wakeup fault swallows it once
+        (waiters still progress via the revalidating wait)."""
+        if self._injector is not None and \
+                self._injector.swallow_notify(f"asyncvar.{op}",
+                                              self._name):
+            return
+        self._condition.notify_all()
 
     @property
     def isfull(self) -> bool:
@@ -79,8 +98,11 @@ class AsyncVariable:
                 satisfied = self._condition.wait_for(predicate,
                                                      timeout=timeout)
             else:
+                what = f"asyncvar '{self._name}'" if self._name \
+                    else "asyncvar"
                 satisfied = self._cancel.wait_for(self._condition,
-                                                  predicate, timeout)
+                                                  predicate, timeout,
+                                                  what=what)
             if not satisfied:
                 raise ForceError(failure)
         finally:
@@ -94,27 +116,30 @@ class AsyncVariable:
 
     def produce(self, value: Any, *, timeout: float | None = None) -> None:
         """Wait for empty, write ``value``, set full."""
+        self._fire("produce")
         with self._condition:
             self._await(lambda: not self._full, timeout,
                         "produce timed out (variable stayed full)",
                         op="produce")
             self._value = value
             self._full = True
-            self._condition.notify_all()
+            self._notify_all("produce")
 
     def consume(self, *, timeout: float | None = None) -> Any:
         """Wait for full, read, set empty."""
+        self._fire("consume")
         with self._condition:
             self._await(lambda: self._full, timeout,
                         "consume timed out (variable stayed empty)",
                         op="consume")
             value = self._value
             self._full = False
-            self._condition.notify_all()
+            self._notify_all("consume")
             return value
 
     def copy(self, *, timeout: float | None = None) -> Any:
         """Wait for full, read, leave full."""
+        self._fire("copy")
         with self._condition:
             self._await(lambda: self._full, timeout,
                         "copy timed out (variable stayed empty)",
@@ -123,9 +148,10 @@ class AsyncVariable:
 
     def void(self) -> None:
         """Set the state to empty regardless of its previous state."""
+        self._fire("void")
         with self._condition:
             self._full = False
-            self._condition.notify_all()
+            self._notify_all("void")
 
 
 class AsyncArray:
@@ -135,11 +161,12 @@ class AsyncArray:
                  cancel: CancelToken | None = None,
                  on_block: Callable[[float], None] | None = None,
                  tracer: "TraceCollector | None" = None,
+                 injector: "FaultInjector | None" = None,
                  name: str = "") -> None:
         if size <= 0:
             raise ForceError("AsyncArray size must be positive")
         self._cells = [AsyncVariable(cancel=cancel, on_block=on_block,
-                                     tracer=tracer,
+                                     tracer=tracer, injector=injector,
                                      name=f"{name}[{index}]" if name
                                      else "")
                        for index in range(size)]

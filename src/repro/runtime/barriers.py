@@ -82,7 +82,7 @@ class CentralCounterBarrier(Barrier):
         if self._cancel is None:
             semaphore.acquire()
         else:
-            self._cancel.acquire(semaphore)
+            self._cancel.acquire(semaphore, what="barrier")
 
     def _arrive(self, section: Callable[[], None] | None) -> bool:
         self._acquire(self._barwin)
@@ -142,7 +142,8 @@ class SenseReversingBarrier(Barrier):
                     self._condition.wait()
             else:
                 self._cancel.wait_for(self._condition,
-                                      lambda: self._sense != my_sense)
+                                      lambda: self._sense != my_sense,
+                                      what="barrier")
             return False
 
 
@@ -162,7 +163,7 @@ class _RoundFlags:
         if cancel is None:
             event.wait()
         else:
-            cancel.wait_event(event)
+            cancel.wait_event(event, what="barrier")
         event.clear()
 
 

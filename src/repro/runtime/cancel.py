@@ -23,11 +23,16 @@ import threading
 from time import monotonic as _monotonic
 from typing import Callable
 
-from repro._util.errors import ForceError
+from repro._util.errors import ForceDeadlockError, ForceError
 
 #: poll interval for waits that cannot be woken by ``notify_all``
 #: (events, semaphores, plain locks).  Bounds cancellation latency.
 POLL_INTERVAL = 0.02
+
+#: revalidation slice for condition waits: waiters wake this often to
+#: re-check their predicate even if the wakeup that should have freed
+#: them was lost, and to run hazard checks (dead-worker detection).
+REVALIDATE_INTERVAL = 0.05
 
 
 class ForceCancelled(ForceError):
@@ -51,13 +56,19 @@ class CancelToken:
     one re-raised by ``Force.run``.
     """
 
-    __slots__ = ("_lock", "_flag", "_conditions", "error")
+    __slots__ = ("_lock", "_flag", "_conditions", "error",
+                 "construct_timeout")
 
-    def __init__(self) -> None:
+    def __init__(self, *, construct_timeout: float | None = None) -> None:
         self._lock = threading.Lock()
         self._flag = threading.Event()
         self._conditions: list[threading.Condition] = []
         self.error: BaseException | None = None
+        #: per-construct blocking deadline: a wait with no explicit
+        #: timeout that exceeds this raises ForceDeadlockError naming
+        #: the construct (and poisons the force), instead of hanging
+        #: until the global join timeout.
+        self.construct_timeout = construct_timeout
 
     @property
     def cancelled(self) -> bool:
@@ -88,43 +99,99 @@ class CancelToken:
     # ------------------------------------------------------------------
     # wait helpers
     # ------------------------------------------------------------------
+    def _construct_deadline(self, timeout: float | None,
+                            ) -> tuple[float | None, bool]:
+        """(absolute deadline, is it the construct deadline?)."""
+        if timeout is not None:
+            return _monotonic() + timeout, False
+        if self.construct_timeout is not None:
+            return _monotonic() + self.construct_timeout, True
+        return None, False
+
+    def _deadlock(self, what: str) -> "ForceDeadlockError":
+        """Build, propagate and return the construct-deadline error.
+
+        The token is cancelled with the error first, so every peer
+        parked elsewhere unwinds too and ``Force.run`` re-raises the
+        structured error rather than a join timeout.
+        """
+        error = ForceDeadlockError(
+            f"construct deadline of {self.construct_timeout}s exceeded "
+            f"while parked on {what} (deadlock or dead partner?)",
+            construct=what, timeout=self.construct_timeout)
+        self.cancel(error)
+        return error
+
     def wait_for(self, condition: threading.Condition,
                  predicate: Callable[[], bool],
-                 timeout: float | None = None) -> bool:
+                 timeout: float | None = None, *,
+                 what: str = "construct",
+                 hazard: Callable[[], BaseException | None] | None = None,
+                 ) -> bool:
         """Token-aware ``Condition.wait_for`` (condition must be held).
 
-        Returns the predicate result (False only on timeout); raises
-        :class:`ForceCancelled` if the token fires while waiting.  The
-        condition must have been :meth:`register`-ed so that ``cancel``
-        wakes it.
+        Returns the predicate result (False only on explicit timeout);
+        raises :class:`ForceCancelled` if the token fires while
+        waiting.  The condition must have been :meth:`register`-ed so
+        that ``cancel`` wakes it.
+
+        Waiting happens in bounded slices (:data:`REVALIDATE_INTERVAL`)
+        so a waiter whose wakeup was lost still revalidates its
+        predicate, and the optional ``hazard`` check runs periodically:
+        if it returns an error (e.g. a dead partner was detected) the
+        token is cancelled with it and it is raised here.  Without an
+        explicit ``timeout``, the token's ``construct_timeout`` bounds
+        the wait with a :class:`ForceDeadlockError` naming ``what``.
         """
-        deadline = None if timeout is None else _monotonic() + timeout
+        deadline, is_construct = self._construct_deadline(timeout)
         while True:
             self.check()
             if predicate():
                 return True
-            if deadline is None:
-                condition.wait()
-            else:
+            if hazard is not None:
+                error = hazard()
+                if error is not None:
+                    self.cancel(error)
+                    raise error
+            slice_ = REVALIDATE_INTERVAL
+            if deadline is not None:
                 remaining = deadline - _monotonic()
                 if remaining <= 0:
+                    if is_construct:
+                        raise self._deadlock(what)
                     return False
-                condition.wait(remaining)
+                slice_ = min(slice_, remaining)
+            condition.wait(slice_)
 
-    def wait_event(self, event: threading.Event) -> None:
-        """Wait for an event, polling the poison flag in between."""
+    def wait_event(self, event: threading.Event, *,
+                   what: str = "construct") -> None:
+        """Wait for an event, polling the poison flag in between.
+
+        Honours the construct deadline: a wait longer than
+        ``construct_timeout`` raises :class:`ForceDeadlockError`.
+        """
+        deadline, is_construct = self._construct_deadline(None)
         while not event.wait(POLL_INTERVAL):
             self.check()
+            if is_construct and _monotonic() >= deadline:
+                raise self._deadlock(what)
 
-    def acquire(self, lock, timeout: float | None = None) -> bool:
-        """Token-aware acquire of a Lock/Semaphore (polling)."""
-        deadline = None if timeout is None else _monotonic() + timeout
+    def acquire(self, lock, timeout: float | None = None, *,
+                what: str = "lock") -> bool:
+        """Token-aware acquire of a Lock/Semaphore (polling).
+
+        Without an explicit ``timeout``, the construct deadline bounds
+        the acquire with a :class:`ForceDeadlockError` naming ``what``.
+        """
+        deadline, is_construct = self._construct_deadline(timeout)
         while True:
             self.check()
             slice_ = POLL_INTERVAL
             if deadline is not None:
                 remaining = deadline - _monotonic()
                 if remaining <= 0:
+                    if is_construct:
+                        raise self._deadlock(what)
                     return False
                 slice_ = min(slice_, remaining)
             if lock.acquire(timeout=slice_):

@@ -22,10 +22,22 @@ selfscheduled chunks, askfor traffic, full/empty blocking — exported
 via :meth:`Force.trace_events` to Chrome-trace/JSONL/text; with
 ``watchdog_interval=seconds`` a stall watchdog reports which process
 is parked on which construct whenever the stream goes quiet.
+
+Robustness: ``Force(nproc, construct_timeout=seconds)`` bounds every
+*blocking construct wait* — a process parked longer raises a
+structured :class:`~repro._util.errors.ForceDeadlockError` naming the
+construct (and poisons the force) instead of hanging until the global
+join timeout.  ``Force(nproc, inject=FaultPlan(...))`` arms the
+deterministic fault injector (see :mod:`repro.faults`) at the same
+interception points the stats/trace hooks use; a process killed by an
+injected ``die`` fault is detected by askfor/selfsched peers, which
+poison the force with :class:`~repro._util.errors.ForceWorkerDied`
+naming the dead process and the stranded construct.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 from contextlib import contextmanager
 from time import monotonic
@@ -33,7 +45,13 @@ from typing import Any, Callable, Iterator
 
 import numpy as np
 
-from repro._util.errors import ForceError
+from repro._util.errors import (
+    ForceDeadlockError,
+    ForceError,
+    ForceWorkerDied,
+)
+from repro.faults.injector import FaultInjector, InjectedDeath
+from repro.faults.plan import FaultPlan
 from repro.runtime.askfor import AskforMonitor
 from repro.runtime.asyncvar import AsyncArray, AsyncVariable
 from repro.runtime.barriers import Barrier, make_barrier
@@ -81,6 +99,8 @@ class _SelfschedLoop:
                  cancel: CancelToken | None = None,
                  on_chunk: Callable[[], None] | None = None,
                  tracer: TraceCollector | None = None,
+                 injector: FaultInjector | None = None,
+                 dead_check: Callable[[], list[int]] | None = None,
                  label: str = "") -> None:
         self.nproc = nproc
         self._condition = threading.Condition()
@@ -90,9 +110,27 @@ class _SelfschedLoop:
         self._cancel = cancel
         self._on_chunk = on_chunk
         self._tracer = tracer
+        self._injector = injector
+        self._dead_check = dead_check
         self._label = label
         if cancel is not None:
             cancel.register(self._condition)
+
+    def _describe(self) -> str:
+        return f"selfsched '{self._label}'" if self._label \
+            else "selfsched"
+
+    def _dead_hazard(self) -> ForceWorkerDied | None:
+        """A dead force member can never complete the entry/exit
+        protocol: poison the loop instead of waiting forever."""
+        if self._dead_check is None:
+            return None
+        dead = self._dead_check()
+        if dead:
+            return ForceWorkerDied(
+                min(dead), self._describe(),
+                detail="the loop protocol cannot complete")
+        return None
 
     def _wait_for(self, predicate: Callable[[], bool]) -> None:
         """Wait (condition held) until predicate; poison-aware."""
@@ -100,7 +138,9 @@ class _SelfschedLoop:
             while not predicate():
                 self._condition.wait()
         else:
-            self._cancel.wait_for(self._condition, predicate)
+            self._cancel.wait_for(self._condition, predicate,
+                                  what=self._describe(),
+                                  hazard=self._dead_hazard)
 
     def iterate(self, first: int, last: int, step: int) -> Iterator[int]:
         if step == 0:
@@ -132,20 +172,29 @@ class _SelfschedLoop:
                     if tracer is not None:
                         tracer.record("selfsched", self._label, "chunk",
                                       index=value)
+                    if self._injector is not None:
+                        self._injector.fire("selfsched.chunk",
+                                            self._label)
                     yield value
                 else:
                     break
         finally:
-            if tracer is not None:
-                tracer.mark_parked("selfsched", self._label)
-            with self._condition:
-                self._wait_for(lambda: self._phase == "exit")
-                self._inside -= 1
-                if self._inside == 0:
-                    self._phase = "entry"
-                    self._condition.notify_all()
-            if tracer is not None:
-                tracer.clear_parked()
+            if isinstance(sys.exc_info()[1], InjectedDeath):
+                # Abrupt injected death: no cleanup by design.  The
+                # stranded entry/exit state is what the dead-worker
+                # hazard above must detect in the surviving processes.
+                pass
+            else:
+                if tracer is not None:
+                    tracer.mark_parked("selfsched", self._label)
+                with self._condition:
+                    self._wait_for(lambda: self._phase == "exit")
+                    self._inside -= 1
+                    if self._inside == 0:
+                        self._phase = "entry"
+                        self._condition.notify_all()
+                if tracer is not None:
+                    tracer.clear_parked()
 
 
 class Force:
@@ -159,19 +208,25 @@ class Force:
     def __init__(self, nproc: int, *,
                  barrier_algorithm: str = "central-counter",
                  timeout: float | None = 60.0,
+                 construct_timeout: float | None = None,
                  stats: bool = False,
                  trace: bool = False,
                  trace_capacity: int = 65536,
+                 inject: FaultPlan | None = None,
                  watchdog_interval: float | None = None,
                  watchdog_sink: Callable[[str], None] | None = None) -> None:
         if nproc < 1:
             raise ForceError("a force needs at least one process")
+        if construct_timeout is not None and construct_timeout <= 0:
+            raise ForceError("construct_timeout must be positive")
         self.nproc = nproc
         self.timeout = timeout
+        self.construct_timeout = construct_timeout
         self._barrier_algorithm = barrier_algorithm
         self._stats_enabled = stats
         self._trace_enabled = trace
         self._trace_capacity = trace_capacity
+        self._fault_plan = inject
         self._watchdog_interval = watchdog_interval
         self._watchdog_sink = watchdog_sink
         self._registry_lock = threading.Lock()
@@ -179,19 +234,26 @@ class Force:
         self._reset_state()
 
     def _reset_state(self) -> None:
-        self._cancel = CancelToken()
+        self._cancel = CancelToken(
+            construct_timeout=self.construct_timeout)
         self._stats: ForceStats | None = \
             ForceStats(self.nproc) if self._stats_enabled else None
         self._tracer: TraceCollector | None = \
             TraceCollector(self._trace_capacity) \
             if self._trace_enabled else None
+        self._injector: FaultInjector | None = \
+            FaultInjector(self._fault_plan, tracer=self._tracer) \
+            if self._fault_plan is not None else None
         self._barrier: Barrier = make_barrier(self._barrier_algorithm,
                                               self.nproc,
                                               cancel=self._cancel)
         self._criticals: dict[str, threading.Lock] = {}
         self._shared: dict[str, Any] = {}
         self._loops: dict[str, _SelfschedLoop] = {}
-        self._failures: list[ForceProgramError] = []
+        self._failures: list[ForceError] = []
+        self._threads: dict[int, threading.Thread] = {}
+        #: me -> site of an (injected) abrupt death, no cleanup done
+        self._deaths: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # running a program
@@ -218,6 +280,23 @@ class Force:
                 program(self, me, *args)
             except ForceCancelled:
                 pass   # a peer failed first; unwind quietly
+            except InjectedDeath as death:
+                # Abrupt injected death: the thread vanishes without
+                # poisoning the force or cleaning construct state —
+                # surviving processes must *detect* it (dead-holder /
+                # dead-partner hazards, construct deadlines).
+                with self._registry_lock:
+                    self._deaths[me] = death.spec.site
+                if tracer is not None:
+                    tracer.record("fault", death.spec.site, "death",
+                                  proc=me)
+            except (ForceDeadlockError, ForceWorkerDied) as exc:
+                # Structured runtime verdicts: already propagated via
+                # the token by whoever detected the condition; record
+                # unwrapped so Force.run re-raises them as-is.
+                with self._registry_lock:
+                    self._failures.append(exc)
+                token.cancel(exc)
             except BaseException as exc:   # noqa: BLE001 - reported below
                 failure = ForceProgramError(me, exc)
                 with self._registry_lock:
@@ -237,6 +316,8 @@ class Force:
         threads = [threading.Thread(target=body, args=(me,),
                                     name=f"force-{me}", daemon=True)
                    for me in range(1, self.nproc + 1)]
+        self._threads = {me: thread for me, thread
+                         in enumerate(threads, start=1)}
         try:
             for thread in threads:
                 thread.start()
@@ -249,7 +330,9 @@ class Force:
             if watchdog is not None:
                 watchdog.stop()
         alive = [thread.name for thread in threads if thread.is_alive()]
-        failure = token.error if isinstance(token.error, ForceProgramError) \
+        structured = (ForceProgramError, ForceDeadlockError,
+                      ForceWorkerDied)
+        failure = token.error if isinstance(token.error, structured) \
             else (self._failures[0] if self._failures else None)
         if failure is not None:
             raise failure
@@ -264,18 +347,45 @@ class Force:
                     still.append(f"{name} (parked on {where})")
                 else:
                     still.append(name)
-            error = ForceError(
+            error = ForceDeadlockError(
                 f"force did not terminate within {self.timeout}s "
                 "(deadlock or missing barrier partner?); still alive: "
-                + ", ".join(still))
+                + ", ".join(still),
+                construct=", ".join(still), timeout=self.timeout)
             # Poison the force so the stragglers unwind instead of
             # sitting parked in their constructs forever.
             token.cancel(error)
             raise error
+        if self._deaths:
+            # Every process terminated, but at least one died abruptly
+            # without doing its share: the result cannot be trusted.
+            # A structured error beats silent corruption.
+            me_dead = min(self._deaths)
+            raise ForceWorkerDied(
+                me_dead, self._deaths[me_dead],
+                detail="the run completed but the dead process's work "
+                       "is missing")
 
     def _current_me(self) -> int | None:
         """This thread's process id, inside :meth:`run` (else None)."""
         return getattr(self._local, "me", None)
+
+    def _dead_workers(self) -> list[int]:
+        """Process ids that died abruptly (or exited without finishing
+        a construct protocol their peers are still parked in).
+
+        A thread that was never started has ``ident is None`` and does
+        not count; a thread that finished *normally* counts only while
+        a peer is actually blocked on it — which, for the construct
+        protocols that consult this, already implies it quit without
+        doing its part.
+        """
+        with self._registry_lock:
+            dead = set(self._deaths)
+        for me, thread in self._threads.items():
+            if thread.ident is not None and not thread.is_alive():
+                dead.add(me)
+        return sorted(dead)
 
     # ------------------------------------------------------------------
     # synchronization
@@ -299,9 +409,14 @@ class Force:
         need a *valid* id, as each process owns distinct flag slots.
         """
         me = self._resolve_me(me)
+        injector = self._injector
+        if injector is not None:
+            injector.fire("barrier.entry", "barrier", me)
         stats, tracer = self._stats, self._tracer
         if stats is None and tracer is None:
-            self._barrier.wait(me)
+            released = self._barrier.wait(me)
+            if injector is not None and released:
+                injector.fire("barrier.episode", "barrier", me)
             return
         if tracer is not None:
             tracer.mark_parked("barrier", "barrier")
@@ -318,11 +433,16 @@ class Force:
             stats.record_barrier_wait(waited)
             if released:
                 stats.record_barrier_episode()
+        if injector is not None and released:
+            injector.fire("barrier.episode", "barrier", me)
 
     def barrier_section(self, me: int,
                         section: Callable[[], None]) -> None:
         """Barrier whose section runs exactly once, before release."""
         me = self._resolve_me(me)
+        injector = self._injector
+        if injector is not None:
+            injector.fire("barrier.entry", "barrier", me)
         stats, tracer = self._stats, self._tracer
         if stats is None and tracer is None:
             self._barrier.run_section(me, section)
@@ -353,6 +473,9 @@ class Force:
         with self._registry_lock:
             lock = self._criticals.setdefault(name, threading.Lock())
         stats, tracer = self._stats, self._tracer
+        injector = self._injector
+        if injector is not None:
+            injector.fire("critical.acquire", name)
         contended = False
         waited = 0.0
         if not lock.acquire(blocking=False):
@@ -360,7 +483,7 @@ class Force:
             if tracer is not None:
                 tracer.mark_parked("critical", name)
             started = monotonic()
-            self._cancel.acquire(lock)
+            self._cancel.acquire(lock, what=f"critical '{name}'")
             waited = monotonic() - started
             if tracer is not None:
                 tracer.clear_parked()
@@ -368,6 +491,10 @@ class Force:
         try:
             if stats is not None:
                 stats.record_critical(name, waited, contended)
+            if injector is not None:
+                # Lock held: a delay here is a slow holder, a raise
+                # kills the holder (the lock is released on unwind).
+                injector.fire("critical.hold", name)
             yield
         finally:
             lock.release()
@@ -414,7 +541,10 @@ class Force:
 
                 loop = _SelfschedLoop(self.nproc, cancel=self._cancel,
                                       on_chunk=on_chunk,
-                                      tracer=self._tracer, label=label)
+                                      tracer=self._tracer,
+                                      injector=self._injector,
+                                      dead_check=self._dead_workers,
+                                      label=label)
                 self._loops[label] = loop
         return loop.iterate(first, last, step)
 
@@ -447,7 +577,9 @@ class Force:
         """The named Askfor work pool (created on first use)."""
         return self._get_shared(
             name, lambda: AskforMonitor(initial, cancel=self._cancel,
-                                        tracer=self._tracer, name=name))
+                                        tracer=self._tracer,
+                                        injector=self._injector,
+                                        name=name))
 
     def resolve(self, name: str, weights: dict[str, float]) -> Resolve:
         """Partition the force into weighted components (extension)."""
@@ -470,14 +602,18 @@ class Force:
         return self._get_shared(
             name, lambda: AsyncVariable(cancel=self._cancel,
                                         on_block=self._asyncvar_hook(name),
-                                        tracer=self._tracer, name=name))
+                                        tracer=self._tracer,
+                                        injector=self._injector,
+                                        name=name))
 
     def async_array(self, name: str, size: int) -> AsyncArray:
         """A named array of full/empty cells."""
         return self._get_shared(
             name, lambda: AsyncArray(size, cancel=self._cancel,
                                      on_block=self._asyncvar_hook(name),
-                                     tracer=self._tracer, name=name))
+                                     tracer=self._tracer,
+                                     injector=self._injector,
+                                     name=name))
 
     def _asyncvar_hook(self, name: str) -> Callable[[float], None] | None:
         if self._stats is None:
@@ -508,6 +644,21 @@ class Force:
     def trace_collector(self) -> TraceCollector | None:
         """The run's collector (None unless ``trace=True``)."""
         return self._tracer
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        """The armed fault plan (None unless ``inject=`` was given)."""
+        return self._fault_plan
+
+    @property
+    def injector(self) -> FaultInjector | None:
+        """The last run's fault injector (None without a plan)."""
+        return self._injector
+
+    def injected_faults(self):
+        """Faults the last run actually executed, in firing order."""
+        return list(self._injector.injected) \
+            if self._injector is not None else []
 
     def trace_events(self) -> list[TraceEvent]:
         """The recorded event stream, merged and time-ordered."""

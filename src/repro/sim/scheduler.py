@@ -19,9 +19,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 from itertools import count
+from time import monotonic
 from typing import Any, Callable, Hashable, Iterator
 
-from repro._util.errors import SimulationError
+from repro._util.errors import SimDeadlockError, SimulationError
 from repro.machines.model import LockType, MachineModel
 from repro.sim.events import (
     AcquireLock,
@@ -98,7 +99,8 @@ class Scheduler:
     def __init__(self, machine: MachineModel, *,
                  max_events: int = 20_000_000,
                  trace: bool = False,
-                 processors: int | None = None) -> None:
+                 processors: int | None = None,
+                 deadline: float | None = None) -> None:
         """``processors`` bounds how many processes advance
         concurrently (run-to-block multiplexing, no preemption).
         ``None`` means unlimited — one ideal CPU per process, the
@@ -110,9 +112,15 @@ class Scheduler:
         after its spin budget.  Over-subscribing a spin-lock machine
         can therefore genuinely deadlock — the hazard that made
         one-process-per-processor the Force's operating point.
+
+        ``deadline`` bounds the run in *wall-clock seconds*: a
+        simulation still churning past it raises
+        :class:`SimDeadlockError` (livelock/runaway guard for
+        ``force run --deadline``).
         """
         self.machine = machine
         self.max_events = max_events
+        self.deadline = deadline
         self.trace_enabled = trace
         self.trace: list[tuple[int, str, str]] = []
         self.stats = SimStats()
@@ -191,7 +199,15 @@ class Scheduler:
     # ------------------------------------------------------------------
     def run(self) -> SimStats:
         events = 0
+        wall_limit = None if self.deadline is None \
+            else monotonic() + self.deadline
         while self._heap and not self._halted:
+            if wall_limit is not None and events % 4096 == 0 \
+                    and monotonic() > wall_limit:
+                raise SimDeadlockError(
+                    f"simulation exceeded its {self.deadline}s "
+                    f"wall-clock deadline after {events} events "
+                    "(livelock or runaway program?)")
             clock, _seq, proc = heapq.heappop(self._heap)
             if proc.state is not ProcState.READY or proc.clock != clock:
                 continue   # stale heap entry
@@ -231,7 +247,7 @@ class Scheduler:
                 extra = (f"; {starved} runnable but starved of a "
                          "processor (spin waiters hold every CPU?)"
                          if starved else "")
-                raise SimulationError(
+                raise SimDeadlockError(
                     f"deadlock: {len(blocked)} processes blocked "
                     f"({detail}){extra}")
         self._finalize_stats()

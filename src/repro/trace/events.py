@@ -33,8 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-#: the construct categories every consumer understands
-KINDS = ("barrier", "critical", "selfsched", "askfor", "asyncvar", "sched")
+#: the construct categories every consumer understands ("fault" marks
+#: events emitted by the deterministic fault injector)
+KINDS = ("barrier", "critical", "selfsched", "askfor", "asyncvar",
+         "sched", "fault")
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,40 @@
+"""Fixtures for the fault-injection suite.
+
+The chaos-sweep test records its outcome counts into
+``BENCH_results.json`` through the same ``record_result`` machinery
+the experiment benchmarks use.  The benchmarks tree is outside tier-1
+(``testpaths = ["tests"]``), so its conftest is loaded here by path
+and its session-finish writer delegated to, rather than duplicated.
+Both conftests active at once (``pytest tests benchmarks``) is
+harmless: results merge into the file by name.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_BENCH_CONFTEST = (Path(__file__).resolve().parents[2]
+                   / "benchmarks" / "conftest.py")
+
+
+def _load_bench_conftest():
+    name = "_bench_conftest_for_faults"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, _BENCH_CONFTEST)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+_bench = _load_bench_conftest()
+
+#: re-exported pytest fixture (same name, same contract)
+record_result = _bench.record_result
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _bench.pytest_sessionfinish(session, exitstatus)

@@ -1,0 +1,107 @@
+"""`force chaos` — the CLI surface of the chaos harness."""
+
+import json
+
+import pytest
+
+from repro.faults.corpus import CORPUS
+from repro.pipeline.cli import main
+
+
+class TestChaosCommand:
+    def test_small_clean_sweep_exits_ok(self, capsys):
+        code = main(["chaos", "--seed", "7", "--runs", "3",
+                     "--deadline", "6", "--construct-timeout", "1",
+                     "sum_critical"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos sweep: 3 run(s), seed 7" in out
+        assert "invariant held" in out
+
+    def test_list_prints_the_corpus(self, capsys):
+        assert main(["chaos", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in CORPUS:
+            assert name in out
+        assert "exercises:" in out
+
+    def test_unknown_program_is_a_force_error(self, capsys):
+        assert main(["chaos", "no_such_program"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown chaos program" in err
+        assert "force chaos --list" in err
+
+    def test_inject_and_plan_are_mutually_exclusive(self, tmp_path,
+                                                    capsys):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text('{"seed": 1, "faults": []}',
+                             encoding="utf-8")
+        code = main(["chaos", "--inject", "raise@barrier.entry",
+                     "--plan", str(plan_file), "sum_critical"])
+        assert code == 1
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_bad_spec_grammar_is_a_usage_error(self, capsys):
+        # Grammar problems are caught at the argparse layer: exit 2,
+        # like any other malformed flag.
+        code = main(["chaos", "--inject", "bogus@nowhere",
+                     "sum_critical"])
+        assert code == 2
+        assert "unknown fault kind" in capsys.readouterr().err
+
+
+class TestExplicitPlans:
+    def test_survivable_injection_exits_ok(self, capsys):
+        code = main(["chaos", "--runs", "1", "--deadline", "6",
+                     "--construct-timeout", "1",
+                     "--inject", "delay@barrier.entry:seconds=0.01",
+                     "sections"])
+        assert code == 0
+        assert "faults injected: 1" in capsys.readouterr().out
+
+    def test_plan_file_replays(self, tmp_path, capsys):
+        plan_file = tmp_path / "plan.json"
+        plan_file.write_text(json.dumps({
+            "seed": 42,
+            "faults": [{"kind": "raise", "site": "critical.hold",
+                        "name": "sum", "occurrence": 1}],
+        }), encoding="utf-8")
+        code = main(["chaos", "--plan", str(plan_file), "--runs", "1",
+                     "--deadline", "6", "--construct-timeout", "1",
+                     "--format", "json", "sum_critical"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["counts"] == {"injected-error": 1}
+        assert report["seed"] == 42
+
+
+class TestJsonOutput:
+    @pytest.fixture()
+    def json_report(self, capsys):
+        def sweep():
+            code = main(["chaos", "--seed", "11", "--runs", "4",
+                         "--deadline", "6", "--construct-timeout", "1",
+                         "--format", "json"])
+            assert code == 0
+            return json.loads(capsys.readouterr().out)
+        return sweep
+
+    def test_report_shape(self, json_report):
+        report = json_report()
+        assert set(report) >= {"seed", "runs", "nproc", "counts",
+                               "faults_injected", "outcomes",
+                               "violations"}
+        assert report["runs"] == 4
+        assert len(report["outcomes"]) == 4
+        for outcome in report["outcomes"]:
+            assert outcome["plan"] is not None
+            assert outcome["status"]
+
+    def test_same_seed_replays_identical_plans(self, json_report):
+        # Statuses can legitimately differ between runs (a die fault
+        # races real scheduling); the *plans* must not.
+        first, second = json_report(), json_report()
+        assert [o["plan"] for o in first["outcomes"]] == \
+            [o["plan"] for o in second["outcomes"]]
+        assert [o["program"] for o in first["outcomes"]] == \
+            [o["program"] for o in second["outcomes"]]

@@ -1,0 +1,267 @@
+"""End-to-end injection: faults fired inside a running native force.
+
+The promptness bound (PROMPT) follows the cancellation suite: every
+structured failure must surface in a couple of revalidation slices,
+never by riding out the global join timeout.
+"""
+
+from time import monotonic
+
+import pytest
+
+from repro.faults.injector import InjectedFault
+from repro.faults.plan import FaultPlan
+from repro.runtime import (
+    Force,
+    ForceDeadlockError,
+    ForceProgramError,
+    ForceWorkerDied,
+)
+
+PROMPT = 2.0         # seconds: "fails fast" budget
+JOIN_TIMEOUT = 20.0  # the bound we must never actually ride out
+
+
+def plan(*specs: str) -> FaultPlan:
+    return FaultPlan.from_specs(list(specs))
+
+
+def run_expecting(force, program, *exc_types):
+    flat: tuple = ()
+    for entry in exc_types:
+        flat += entry if isinstance(entry, tuple) else (entry,)
+    started = monotonic()
+    with pytest.raises(flat) as info:
+        force.run(program)
+    return info.value, monotonic() - started
+
+
+class TestRaiseFaults:
+    def test_raise_in_critical_fails_fast(self):
+        force = Force(4, timeout=JOIN_TIMEOUT,
+                      inject=plan("raise@critical.hold/sum"))
+
+        def program(force, me):
+            total = force.shared_counter("total")
+            for k in force.selfsched_range("loop", 1, 40):
+                with force.critical("sum"):
+                    total.value += k
+            force.barrier()
+
+        error, elapsed = run_expecting(force, program,
+                                       ForceProgramError)
+        assert isinstance(error.original, InjectedFault)
+        assert "critical.hold" in str(error.original)
+        assert elapsed < PROMPT
+        assert len(force.injected_faults()) == 1
+
+    def test_raise_at_barrier_entry_poisons_peers(self):
+        force = Force(4, timeout=JOIN_TIMEOUT,
+                      inject=plan("raise@barrier.entry:proc=3"))
+
+        def program(force, me):
+            force.barrier()
+
+        error, elapsed = run_expecting(force, program,
+                                       ForceProgramError)
+        assert error.me == 3
+        assert elapsed < PROMPT
+
+
+class TestDelayFaults:
+    def test_slow_critical_holder_is_survivable(self):
+        force = Force(4, timeout=JOIN_TIMEOUT, construct_timeout=5.0,
+                      inject=plan(
+                          "delay@critical.hold/sum:seconds=0.3"))
+        expected = sum(range(1, 41))
+
+        def program(force, me):
+            total = force.shared_counter("total")
+            for k in force.selfsched_range("loop", 1, 40):
+                with force.critical("sum"):
+                    total.value += k
+            force.barrier()
+
+        force.run(program)
+        assert force.shared_counter("total").value == expected
+        assert len(force.injected_faults()) == 1
+
+    def test_slow_producer_is_survivable(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=5.0,
+                      inject=plan(
+                          "delay@asyncvar.produce/chan:seconds=0.2"))
+
+        def program(force, me):
+            channel = force.async_var("chan")
+            sink = force.shared_counter("sink")
+            if me == 1:
+                for k in range(5):
+                    channel.produce(k)
+            else:
+                for _ in range(5):
+                    sink.value += channel.consume()
+            force.barrier()
+
+        force.run(program)
+        assert force.shared_counter("sink").value == sum(range(5))
+
+
+class TestLostWakeups:
+    def test_asyncvar_consumer_survives_a_swallowed_produce(self):
+        force = Force(2, timeout=JOIN_TIMEOUT,
+                      inject=plan("lost-wakeup@asyncvar.produce/chan"))
+
+        def program(force, me):
+            channel = force.async_var("chan")
+            sink = force.shared_counter("sink")
+            if me == 1:
+                for k in range(4):
+                    channel.produce(k + 1)
+            else:
+                for _ in range(4):
+                    sink.value += channel.consume()
+            force.barrier()
+
+        started = monotonic()
+        force.run(program)
+        # survived via revalidation (bounded wait slices), promptly
+        assert monotonic() - started < PROMPT
+        assert force.shared_counter("sink").value == 10
+        assert [r.kind for r in force.injected_faults()] == \
+            ["lost-wakeup"]
+
+    def test_askfor_waiter_survives_a_swallowed_put(self):
+        force = Force(3, timeout=JOIN_TIMEOUT,
+                      inject=plan("lost-wakeup@askfor.put/work"))
+
+        def program(force, me):
+            pool = force.askfor("work", [4])
+            count = force.shared_counter("count")
+            force.barrier()
+            for item in pool:
+                if item > 1:
+                    pool.put(item - 1)
+                    pool.put(item - 1)
+                with force.critical("count"):
+                    count.value += 1
+            force.barrier()
+
+        force.run(program)
+        assert force.shared_counter("count").value == 2 ** 4 - 1
+
+
+class TestDieFaults:
+    def test_dead_askfor_holder_is_named_not_hung(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=5.0,
+                      inject=plan("die@askfor.got/work"))
+
+        def program(force, me):
+            pool = force.askfor("work", [1])
+            force.barrier()
+            for _item in pool:
+                pass
+            force.barrier()
+
+        error, elapsed = run_expecting(force, program, ForceWorkerDied)
+        message = str(error)
+        assert "died" in message
+        assert "askfor 'work'" in message
+        assert "process" in message
+        assert elapsed < PROMPT
+
+    def test_dead_barrier_partner_hits_the_construct_deadline(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=0.5,
+                      inject=plan("die@barrier.entry:proc=2"))
+
+        def program(force, me):
+            force.barrier()
+
+        error, elapsed = run_expecting(
+            force, program, (ForceDeadlockError, ForceWorkerDied))
+        assert elapsed < PROMPT
+        if isinstance(error, ForceDeadlockError):
+            assert "barrier" in str(error)
+
+    def test_die_mid_selfsched_yields_a_structured_error(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=0.5,
+                      inject=plan("die@selfsched.chunk/loop"))
+
+        def program(force, me):
+            for _k in force.selfsched_range("loop", 1, 20):
+                pass
+            force.barrier()
+
+        error, elapsed = run_expecting(
+            force, program, (ForceDeadlockError, ForceWorkerDied))
+        assert elapsed < PROMPT
+        assert isinstance(error,
+                          (ForceDeadlockError, ForceWorkerDied))
+
+    def test_completed_run_with_a_death_is_not_trusted(self):
+        # The dying process does no further work, but its peers can
+        # finish: the force must still refuse to report success.
+        force = Force(2, timeout=JOIN_TIMEOUT,
+                      inject=plan("die@critical.hold/mark:proc=2"))
+
+        def program(force, me):
+            if me == 2:
+                with force.critical("mark"):
+                    pass
+            # no synchronisation afterwards: me=1 finishes cleanly
+
+        error, _ = run_expecting(force, program, ForceWorkerDied)
+        assert "process 2" in str(error)
+        assert "critical.hold" in str(error)
+
+
+class TestConstructDeadlines:
+    def test_parked_consumer_names_its_asyncvar(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=0.3)
+
+        def program(force, me):
+            if me == 1:
+                force.async_var("chan").consume()   # never produced
+
+        error, elapsed = run_expecting(force, program,
+                                       ForceDeadlockError)
+        assert "asyncvar 'chan'" in str(error)
+        assert elapsed < PROMPT
+
+    def test_missing_barrier_partner_names_the_barrier(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=0.3)
+
+        def program(force, me):
+            if me == 1:
+                force.barrier()
+
+        error, elapsed = run_expecting(force, program,
+                                       ForceDeadlockError)
+        assert "barrier" in str(error)
+        assert elapsed < PROMPT
+
+    def test_deadline_error_carries_structured_fields(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, construct_timeout=0.3)
+
+        def program(force, me):
+            if me == 1:
+                force.async_var("chan").consume()
+
+        error, _ = run_expecting(force, program, ForceDeadlockError)
+        assert error.timeout == pytest.approx(0.3)
+        assert "asyncvar" in (error.construct or "")
+
+
+class TestFaultTraceEvents:
+    def test_injected_faults_appear_in_the_trace(self):
+        force = Force(2, timeout=JOIN_TIMEOUT, trace=True,
+                      inject=plan("delay@barrier.entry:seconds=0.01"))
+
+        def program(force, me):
+            force.barrier()
+
+        force.run(program)
+        faults = [e for e in force.trace_events()
+                  if e.kind == "fault"]
+        assert len(faults) == 1
+        assert faults[0].op == "delay"
+        assert faults[0].name == "barrier.entry"

@@ -1,0 +1,124 @@
+"""Fault plans: spec grammar, validation, serialisation, seeding."""
+
+import pytest
+
+from repro.faults.plan import (
+    FAULT_KINDS,
+    NOTIFY_SITES,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    parse_fault_spec,
+    random_plan,
+)
+
+
+class TestSpecGrammar:
+    def test_minimal_spec(self):
+        spec = parse_fault_spec("raise@barrier.entry")
+        assert spec.kind == "raise"
+        assert spec.site == "barrier.entry"
+        assert spec.name == ""
+        assert spec.proc == 0 and spec.occurrence == 1
+
+    def test_named_construct(self):
+        spec = parse_fault_spec("die@askfor.got/jobs:proc=1")
+        assert spec.name == "jobs"
+        assert spec.proc == 1
+
+    def test_all_options(self):
+        spec = parse_fault_spec(
+            "delay@critical.hold/hot:proc=2,n=3,seconds=0.25")
+        assert (spec.proc, spec.occurrence, spec.seconds) == (2, 3, 0.25)
+
+    @pytest.mark.parametrize("bad", [
+        "raise",                          # no @SITE
+        "@barrier.entry",                 # no kind
+        "raise@",                         # no site
+        "explode@barrier.entry",          # unknown kind
+        "raise@barrier.enter",            # unknown site
+        "raise@barrier.entry:n",          # option without value
+        "raise@barrier.entry:n=soon",     # non-integer occurrence
+        "raise@barrier.entry:speed=9",    # unknown option
+        "lost-wakeup@critical.hold",      # not a notifying site
+        "raise@barrier.entry:n=0",        # occurrence < 1
+        "raise@barrier.entry:proc=-1",    # negative process
+    ])
+    def test_rejected_with_fault_spec_error(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_every_kind_and_site_is_parseable(self):
+        for kind in FAULT_KINDS:
+            sites = NOTIFY_SITES if kind == "lost-wakeup" else SITES
+            for site in sites:
+                assert parse_fault_spec(f"{kind}@{site}").site == site
+
+
+class TestSpecMatching:
+    def test_any_process_any_name(self):
+        spec = FaultSpec("raise", "critical.hold")
+        assert spec.matches("critical.hold", "sum", 3)
+        assert not spec.matches("critical.acquire", "sum", 3)
+
+    def test_pinned_process_and_name(self):
+        spec = FaultSpec("raise", "critical.hold", name="sum", proc=2)
+        assert spec.matches("critical.hold", "sum", 2)
+        assert not spec.matches("critical.hold", "sum", 1)
+        assert not spec.matches("critical.hold", "other", 2)
+
+
+class TestPlanSerialisation:
+    def test_json_roundtrip(self):
+        plan = FaultPlan.from_specs(
+            ["die@askfor.got/jobs:proc=1",
+             "delay@critical.hold:seconds=0.2,n=2"], seed=42)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_from_specs_keeps_order(self):
+        plan = FaultPlan.from_specs(
+            ["raise@barrier.entry", "die@selfsched.chunk"])
+        assert [s.kind for s in plan.faults] == ["raise", "die"]
+
+    def test_bad_json_is_a_spec_error(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_json("not json")
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_describe_names_every_fault(self):
+        plan = FaultPlan.from_specs(["raise@barrier.entry:proc=2"],
+                                    seed=7)
+        text = plan.describe()
+        assert "seed 7" in text
+        assert "raise@barrier.entry" in text
+        assert "proc=2" in text
+
+
+class TestRandomPlan:
+    def test_same_seed_same_plan(self):
+        a = random_plan(123, nproc=4)
+        b = random_plan(123, nproc=4)
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        plans = [random_plan(seed, nproc=4) for seed in range(50)]
+        assert len({p.to_json() for p in plans}) > 1
+
+    def test_every_generated_plan_is_valid(self):
+        # __post_init__ validation runs on every generated spec; a
+        # sweep of seeds must never produce an invalid combination.
+        for seed in range(200):
+            plan = random_plan(seed, nproc=4)
+            assert 1 <= len(plan.faults) <= 3
+            for spec in plan.faults:
+                assert spec.kind in FAULT_KINDS
+                assert spec.site in SITES
+
+    def test_site_targeting(self):
+        plan = random_plan(5, nproc=4,
+                           sites=("critical.hold", "critical.acquire"))
+        assert all(s.site.startswith("critical.")
+                   for s in plan.faults)

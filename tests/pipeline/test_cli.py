@@ -239,6 +239,58 @@ class TestErrors:
         assert main(["run", str(path)]) == 1
 
 
+class TestExitCodeTaxonomy:
+    """The documented exit statuses: 0 ok, 1 program error, 2 usage,
+    3 deadlock/timeout — so scripts can tell "the program is wrong"
+    from "it hung"."""
+
+    @pytest.fixture()
+    def deadlocking_file(self, tmp_path):
+        # Only process 1 reaches the barrier: the force can never
+        # complete and the simulator reports a deadlock.
+        path = tmp_path / "stuck.frc"
+        path.write_text(strip_margin("""
+            Force STUCK of NP ident ME
+            End declarations
+                  IF (ME .EQ. 1) THEN
+            Barrier
+            End barrier
+                  END IF
+            Join
+                  END
+        """), encoding="utf-8")
+        return str(path)
+
+    def test_success_is_zero(self, source_file):
+        assert main(["run", source_file]) == 0
+
+    def test_deadlock_is_three(self, deadlocking_file, capsys):
+        assert main(["run", deadlocking_file, "--nproc", "3"]) == 3
+        err = capsys.readouterr().err
+        assert "force: deadlock:" in err
+        assert "deadlock" in err
+
+    def test_program_error_is_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.frc"
+        path.write_text("      THIS IS NOT FORCE\n", encoding="utf-8")
+        assert main(["run", str(path)]) == 1
+        assert "force: error:" in capsys.readouterr().err
+
+    def test_usage_error_is_two(self, source_file):
+        assert main(["run", source_file, "--nproc", "0"]) == 2
+
+    def test_deadline_flag_accepted(self, source_file, capsys):
+        assert main(["run", source_file, "--deadline", "30"]) == 0
+        assert "TOTAL" in capsys.readouterr().out
+
+    def test_deadline_must_be_positive(self, source_file, capsys):
+        assert main(["run", source_file, "--deadline", "0"]) == 2
+        assert "positive number of seconds" in capsys.readouterr().err
+
+    def test_deadline_must_be_a_number(self, source_file, capsys):
+        assert main(["run", source_file, "--deadline", "soon"]) == 2
+
+
 class TestArgumentValidation:
     """Bad flag values die at the parser with exit 2 and a clear
     `force … error:` message, before any file or runtime is touched."""

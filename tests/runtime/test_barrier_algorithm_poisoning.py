@@ -1,0 +1,150 @@
+"""Cancel-token poisoning through the log-depth barrier algorithms.
+
+The central-counter and sense-reversing barriers funnel every arrival
+through one condition variable, so poisoning them is structurally
+easy.  Dissemination and tournament barriers instead park processes on
+*per-process, per-round* flags — a death mid-round strands a partner
+waiting on a signal that will never come.  These tests pin the faults
+to specific processes and rounds and assert the poison (or the
+construct deadline) still wins, at power-of-two and ragged widths.
+"""
+
+import time
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.runtime import (
+    Force,
+    ForceDeadlockError,
+    ForceProgramError,
+    ForceWorkerDied,
+)
+
+PROMPT = 2.5
+LOG_BARRIERS = ("dissemination", "tournament")
+STRUCTURED = (ForceProgramError, ForceDeadlockError, ForceWorkerDied)
+
+
+def run_and_time(force, program, *exc_types):
+    started = time.monotonic()
+    with pytest.raises(exc_types or STRUCTURED) as info:
+        force.run(program)
+    return info.value, time.monotonic() - started
+
+
+class TestRaiseBeforeEntry:
+    @pytest.mark.parametrize("algorithm", LOG_BARRIERS)
+    @pytest.mark.parametrize("nproc", [4, 5, 7, 8])
+    def test_late_peer_failure_poisons_parked_rounds(self, algorithm,
+                                                     nproc):
+        force = Force(nproc=nproc, timeout=60,
+                      barrier_algorithm=algorithm)
+
+        def program(force, me):
+            if me == nproc:
+                time.sleep(0.05)   # peers park in their signal rounds
+                raise ValueError("boom")
+            force.barrier()
+
+        error, elapsed = run_and_time(force, program,
+                                      ForceProgramError)
+        assert elapsed < PROMPT
+        assert error.me == nproc
+        assert isinstance(error.original, ValueError)
+
+
+class TestDeathMidSequence:
+    """An abrupt death (no cleanup, no poison raised by the dying
+    frame) with peers already parked on the dead process's flags."""
+
+    @pytest.mark.parametrize("algorithm", LOG_BARRIERS)
+    @pytest.mark.parametrize("nproc", [4, 5])
+    def test_partner_dies_between_episodes(self, algorithm, nproc):
+        # Process 2 survives the first barrier, then dies entering the
+        # second: its partners park on round signals it will never
+        # send, with the parity/sense state already flipped by
+        # episode 1.
+        force = Force(nproc=nproc, timeout=60, construct_timeout=0.5,
+                      barrier_algorithm=algorithm,
+                      inject=FaultPlan.from_specs(
+                          ["die@barrier.entry:proc=2,n=2"]))
+
+        def program(force, me):
+            force.barrier()
+            force.barrier()
+
+        error, elapsed = run_and_time(force, program)
+        assert elapsed < PROMPT
+        if isinstance(error, ForceDeadlockError):
+            assert "barrier" in (error.construct or "")
+
+    @pytest.mark.parametrize("algorithm", LOG_BARRIERS)
+    def test_partner_dies_at_entry_on_a_ragged_width(self, algorithm):
+        # nproc=5: the tournament pairing tree and dissemination
+        # distance table are both irregular; a death at entry must
+        # still surface as a structured error, never a hang.
+        force = Force(nproc=5, timeout=60, construct_timeout=0.5,
+                      barrier_algorithm=algorithm,
+                      inject=FaultPlan.from_specs(
+                          ["die@barrier.entry:proc=5"]))
+
+        def program(force, me):
+            force.barrier()
+
+        _error, elapsed = run_and_time(force, program)
+        assert elapsed < PROMPT
+
+    @pytest.mark.parametrize("algorithm", LOG_BARRIERS)
+    def test_releaser_dies_after_the_episode(self, algorithm):
+        # barrier.episode fires only in the process that completed
+        # the episode, after the wait returned: its peers can finish
+        # the program, but the force must not report success.
+        force = Force(nproc=4, timeout=60, construct_timeout=0.5,
+                      barrier_algorithm=algorithm,
+                      inject=FaultPlan.from_specs(
+                          ["die@barrier.episode"]))
+
+        def program(force, me):
+            force.barrier()
+
+        error, elapsed = run_and_time(force, program,
+                                      ForceWorkerDied,
+                                      ForceDeadlockError)
+        assert elapsed < PROMPT
+        if isinstance(error, ForceWorkerDied):
+            assert "died" in str(error)
+
+
+class TestRecoveryAfterPoison:
+    @pytest.mark.parametrize("algorithm", LOG_BARRIERS)
+    def test_force_is_reusable_after_a_poisoned_barrier(self,
+                                                        algorithm):
+        force = Force(nproc=4, timeout=60, construct_timeout=0.5,
+                      barrier_algorithm=algorithm,
+                      inject=FaultPlan.from_specs(
+                          ["raise@barrier.entry:proc=1"]))
+
+        def program(force, me):
+            force.barrier()
+
+        with pytest.raises(ForceProgramError):
+            force.run(program)
+
+        # A fresh force with the same algorithm and no faults works:
+        # nothing about the poisoned episode leaked into class state.
+        clean = Force(nproc=4, timeout=60,
+                      barrier_algorithm=algorithm)
+        counter_box = []
+
+        def clean_program(force, me):
+            total = force.shared_counter("total")
+            force.barrier()
+            with force.critical("sum"):
+                total.value += me
+            force.barrier()
+            if me == 1:
+                counter_box.append(total.value)
+
+        clean.run(clean_program)
+        assert counter_box == [sum(range(1, 5))]

@@ -104,8 +104,10 @@ class TestSelfschedEarlyExit:
 
 class TestAskforBookkeeping:
     def test_holder_threads_initialised(self):
+        # Holders are tracked by thread *object* (ident -> Thread) so
+        # dead holders can be detected by liveness.
         monitor = AskforMonitor([1, 2])
-        assert monitor._holder_threads == set()
+        assert monitor._holder_threads == {}
 
     def test_terminated_pool_drains_remaining_items(self):
         monitor = AskforMonitor()

@@ -110,6 +110,9 @@ class TestHungForce:
     def test_poisoned_stragglers_unwind_after_timeout(self):
         import threading
 
+        # Only *this* force's threads count: earlier tests may leak
+        # uncancellable daemon sleepers that are still winding down.
+        before = set(threading.enumerate())
         force = Force(nproc=2, trace=True, timeout=0.5)
 
         def program(force, me):
@@ -118,12 +121,15 @@ class TestHungForce:
 
         with pytest.raises(ForceError):
             force.run(program)
+
+        def mine():
+            return [t for t in threading.enumerate()
+                    if t.name.startswith("force-") and t not in before]
+
         deadline = time.monotonic() + 5.0
         while time.monotonic() < deadline:
-            if not any(t.name.startswith("force-")
-                       for t in threading.enumerate()):
+            if not mine():
                 break
             time.sleep(0.01)
-        assert not any(t.name.startswith("force-")
-                       for t in threading.enumerate()), \
+        assert not mine(), \
             "stragglers still parked after the force was poisoned"
