@@ -9,24 +9,26 @@ them.
 
 Alongside each ``.txt`` table, every benchmark also records one
 *machine-readable* result through :func:`record_result` — experiment
-name, parameters, wall-clock seconds of the measured unit, and the
-headline data series.  At session end these merge (by name, newest
-wins) into ``BENCH_results.json`` at the repo root, so the perf
-trajectory of the project accumulates across runs instead of living
-only in prose.
+name, parameters, wall-clock seconds of the measured unit, the
+headline data series, and the git revision it was measured at.  At
+session end these merge (by name, newest wins) into
+``BENCH_results.json`` at the repo root — the same file and schema
+``force bench`` writes — so the perf trajectory of the project
+accumulates across runs instead of living only in prose.
 """
 
 from __future__ import annotations
 
-import json
-import time
 from pathlib import Path
 from typing import Any
 
 import pytest
 
+from repro.bench import git_revision, make_entry, merge_results
+
 _RESULTS_DIR = Path(__file__).parent / "results"
-_BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_results.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_BENCH_FILE = _REPO_ROOT / "BENCH_results.json"
 _TABLES: list[tuple[str, str]] = []
 _RESULTS: list[dict[str, Any]] = []
 
@@ -59,40 +61,16 @@ def record_result():
     def _record(name: str, *, params: dict[str, Any] | None = None,
                 wall_s: float | None = None,
                 data: Any = None) -> None:
-        _RESULTS.append({
-            "name": name,
-            "params": params or {},
-            "wall_s": wall_s,
-            "data": data,
-            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
-        })
+        _RESULTS.append(make_entry(name, params=params, wall_s=wall_s,
+                                   data=data,
+                                   revision=git_revision(_REPO_ROOT)))
 
     return _record
 
 
-def _write_bench_results() -> None:
-    merged: dict[str, dict[str, Any]] = {}
-    if _BENCH_FILE.exists():
-        try:
-            previous = json.loads(_BENCH_FILE.read_text(encoding="utf-8"))
-            for entry in previous.get("results", []):
-                if isinstance(entry, dict) and "name" in entry:
-                    merged[entry["name"]] = entry
-        except (json.JSONDecodeError, OSError):
-            pass     # a corrupt history never blocks fresh results
-    for entry in _RESULTS:
-        merged[entry["name"]] = entry
-    document = {
-        "schema": 1,
-        "results": [merged[name] for name in sorted(merged)],
-    }
-    _BENCH_FILE.write_text(json.dumps(document, indent=2, sort_keys=True)
-                           + "\n", encoding="utf-8")
-
-
 def pytest_sessionfinish(session, exitstatus):
     if _RESULTS:
-        _write_bench_results()
+        merge_results(_BENCH_FILE, _RESULTS)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

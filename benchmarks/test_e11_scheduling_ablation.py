@@ -38,13 +38,21 @@ _TEMPLATE = """
           END
 """
 
+#: scheduler name -> (loop open, loop close, selfsched policy kwargs);
+#: the last two are dispatch-policy variants of the same selfsched
+#: source, selected at translate time (force run --sched/--chunk)
 _LOOPS = {
     "cyclic": (f"Presched DO 100 I = 1, {N_ITER}",
-               "100 End presched DO"),
+               "100 End presched DO", {}),
     "blocked": (f"Blocksched DO 100 I = 1, {N_ITER}",
-                "100 End blocksched DO"),
+                "100 End blocksched DO", {}),
     "selfsched": (f"Selfsched DO 100 I = 1, {N_ITER}",
-                  "100 End Selfsched DO"),
+                  "100 End Selfsched DO", {}),
+    "chunked4": (f"Selfsched DO 100 I = 1, {N_ITER}",
+                 "100 End Selfsched DO",
+                 {"sched": "chunked", "chunk": 4}),
+    "guided": (f"Selfsched DO 100 I = 1, {N_ITER}",
+               "100 End Selfsched DO", {"sched": "guided"}),
 }
 
 _LOADS = {
@@ -61,11 +69,12 @@ _LOADS = {
 def _measure():
     spans = {}
     for load, weight_code in _LOADS.items():
-        for scheduler, (open_loop, close_loop) in _LOOPS.items():
+        for scheduler, (open_loop, close_loop, policy) in _LOOPS.items():
             source = strip_margin(_TEMPLATE).format(
                 open_loop=open_loop, close_loop=close_loop,
                 weight_code=weight_code)
-            result = force_compile_and_run(source, SEQUENT_BALANCE, NPROC)
+            result = force_compile_and_run(source, SEQUENT_BALANCE, NPROC,
+                                           **policy)
             spans[(load, scheduler)] = result.makespan
     return spans
 

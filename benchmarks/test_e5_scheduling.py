@@ -53,14 +53,28 @@ def _build(scheduling: str, heavy: int, light: int) -> str:
         stride=NPROC, heavy=heavy, light=light)
 
 
+#: selfsched dispatch-policy variants (schedule, chunk) swept by E5;
+#: chunking trades lock rounds against adaptivity, so it sits between
+#: presched and pure selfscheduling on the skewed load
+SCHEDULES = {
+    "selfsched": (None, None),
+    "chunked4": ("chunked", 4),
+    "guided": ("guided", None),
+}
+
+
 def _measure():
     results = {}
     for load, (heavy, light) in {"uniform": (100, 100),
                                  "skewed": (800, 4)}.items():
-        for scheduling in ("presched", "selfsched"):
-            source = _build(scheduling, heavy, light)
-            result = force_compile_and_run(source, SEQUENT_BALANCE, NPROC)
-            results[(load, scheduling)] = result.makespan
+        source = _build("presched", heavy, light)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, NPROC)
+        results[(load, "presched")] = result.makespan
+        self_source = _build("selfsched", heavy, light)
+        for name, (sched, chunk) in SCHEDULES.items():
+            result = force_compile_and_run(self_source, SEQUENT_BALANCE,
+                                           NPROC, sched=sched, chunk=chunk)
+            results[(load, name)] = result.makespan
     return results
 
 
@@ -68,15 +82,18 @@ def test_e5_scheduling_crossover(benchmark, record_table, record_result):
     t0 = perf_counter()
     results = benchmark.pedantic(_measure, rounds=1, iterations=1)
     wall = perf_counter() - t0
+    columns = ["presched", "selfsched", "chunked4", "guided"]
     lines = [f"E5: {N_ITER} iterations on {SEQUENT_BALANCE.name}, "
              f"nproc={NPROC}; heavy iterations recur with stride "
              f"{NPROC} (worst case for the cyclic presched map)",
-             f"{'load':9s}{'presched':>12s}{'selfsched':>12s}{'winner':>12s}"]
+             f"{'load':9s}" + "".join(f"{c:>12s}" for c in columns)
+             + f"{'winner':>12s}"]
     for load in ("uniform", "skewed"):
-        pre = results[(load, "presched")]
-        self_ = results[(load, "selfsched")]
-        winner = "presched" if pre < self_ else "selfsched"
-        lines.append(f"{load:9s}{pre:>12d}{self_:>12d}{winner:>12s}")
+        spans = {c: results[(load, c)] for c in columns}
+        winner = min(spans, key=spans.get)
+        lines.append(f"{load:9s}"
+                     + "".join(f"{spans[c]:>12d}" for c in columns)
+                     + f"{winner:>12s}")
     record_table("E5 presched vs selfsched", "\n".join(lines))
     record_result("e5_scheduling",
                   params={"nproc": NPROC, "iterations": N_ITER,

@@ -1,0 +1,365 @@
+"""The pinned performance suite behind ``force bench``.
+
+Three benchmarks establish the perf baseline the paper's claims hinge
+on, and every future change is compared against:
+
+* **jacobi_throughput** — raw Fortran statement throughput of the
+  tree-walking interpreter vs the compiled execution layer on a Jacobi
+  relaxation kernel (the hot path E5/E6 measurements sit on);
+* **selfsched_dispatch** — native-runtime selfscheduled-DOALL lock
+  traffic under the ``self``/``chunked``/``guided`` policies (one lock
+  round per chunk, so ``chunks == ceil(iters/chunk)``);
+* **sum_critical_sim** / **askfor_tree** — end-to-end pipeline and
+  native workloads whose wall-clock anchors the suite.
+
+Results merge into ``BENCH_results.json`` (same schema the experiment
+benchmarks use via ``benchmarks/conftest.py``), each entry stamped
+with the current git revision so the trajectory is attributable across
+PRs.  The suite also acts as a gate: it translates and runs the whole
+example corpus and reports any program unit the compiled layer had to
+fall back to the tree-walker on.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+SCHEMA = 1
+
+#: example programs that deliberately do not translate (analyzer demos)
+NON_RUNNABLE_EXAMPLES = {"racy_stencil.frc"}
+
+#: the Jacobi relaxation kernel — plain Fortran, interpreter-only
+JACOBI_KERNEL = """\
+      PROGRAM JACOBI
+      REAL U(66), V(66)
+      INTEGER I, IT, N
+      N = 66
+      DO 5 I = 1, N
+      U(I) = 0.0
+5     CONTINUE
+      U(1) = 100.0
+      U(N) = 100.0
+      DO 50 IT = 1, {sweeps}
+      DO 10 I = 2, N - 1
+      V(I) = 0.25 * U(I-1) + 0.5 * U(I) + 0.25 * U(I+1)
+10    CONTINUE
+      DO 20 I = 2, N - 1
+      U(I) = V(I)
+20    CONTINUE
+50    CONTINUE
+      WRITE(*,*) NINT(1000.0 * U(3))
+      END
+"""
+
+
+def git_revision(root: Path | None = None) -> str | None:
+    """The current short git revision, or None outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def make_entry(name: str, *, params: dict[str, Any] | None = None,
+               wall_s: float | None = None, data: Any = None,
+               revision: str | None = None) -> dict[str, Any]:
+    """One machine-readable benchmark result (the shared schema)."""
+    return {
+        "name": name,
+        "params": params or {},
+        "wall_s": wall_s,
+        "data": data,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_revision": revision if revision is not None else git_revision(),
+    }
+
+
+def merge_results(path: Path, entries: list[dict[str, Any]]) -> None:
+    """Merge entries into the results file by name, newest wins.
+
+    A corrupt or missing history never blocks fresh results — the perf
+    record accumulates best-effort.
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text(encoding="utf-8"))
+            for entry in previous.get("results", []):
+                if isinstance(entry, dict) and "name" in entry:
+                    merged[entry["name"]] = entry
+        except (json.JSONDecodeError, OSError):
+            pass
+    for entry in entries:
+        merged[entry["name"]] = entry
+    document = {
+        "schema": SCHEMA,
+        "results": [merged[name] for name in sorted(merged)],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+
+
+# -- the pinned suite --------------------------------------------------
+
+def _count_statements(gen) -> int:
+    """Drive an interpreter generator to completion, counting the
+    per-statement cost events (identical for both execution layers)."""
+    from repro.fortran.interp import Cost, StopSignal
+    statements = 0
+    try:
+        for event in gen:
+            if isinstance(event, Cost):
+                statements += 1
+    except StopSignal:
+        pass
+    return statements
+
+
+def _run_kernel(source: str, compiled: bool) -> tuple[int, float, str]:
+    """(statements executed, seconds, program output) for one layer."""
+    from repro.fortran.interp import Interpreter
+    from repro.fortran.parser import parse_source
+    program = parse_source(source)
+    lines: list[str] = []
+    interp = Interpreter(program, compiled=compiled,
+                         on_output=lambda text, frame: lines.append(text))
+    unit = program.unit("JACOBI")
+    start = time.perf_counter()
+    statements = _count_statements(interp.run_unit(unit, []))
+    elapsed = time.perf_counter() - start
+    return statements, elapsed, "\n".join(lines)
+
+
+def bench_jacobi_throughput(quick: bool) -> dict[str, Any]:
+    """Statement throughput: tree-walker vs compiled layer."""
+    sweeps = 80 if quick else 400
+    source = JACOBI_KERNEL.format(sweeps=sweeps)
+    tree_stmts, tree_s, tree_out = _run_kernel(source, compiled=False)
+    comp_stmts, comp_s, comp_out = _run_kernel(source, compiled=True)
+    if tree_stmts != comp_stmts or tree_out != comp_out:
+        raise AssertionError(
+            "compiled layer diverged from the tree-walker on the "
+            f"Jacobi kernel: {tree_stmts}/{tree_out!r} vs "
+            f"{comp_stmts}/{comp_out!r}")
+    speedup = (tree_s / comp_s) if comp_s else float("inf")
+    return {
+        "params": {"sweeps": sweeps, "points": 66},
+        "wall_s": comp_s,
+        "data": {
+            "statements": comp_stmts,
+            "tree_stmt_per_s": round(tree_stmts / tree_s) if tree_s else 0,
+            "compiled_stmt_per_s":
+                round(comp_stmts / comp_s) if comp_s else 0,
+            "speedup": round(speedup, 2),
+        },
+    }
+
+
+def bench_selfsched_dispatch(quick: bool) -> dict[str, Any]:
+    """Native selfsched lock traffic per dispatch policy.
+
+    ``chunks`` equals the number of index-lock acquisitions — the loop
+    claims each chunk under exactly one lock round — so the chunked
+    counts are deterministic: ``ceil(iters / chunk)``.
+    """
+    from repro.runtime import Force
+    iters = 320 if quick else 1600
+    nproc = 4
+    results: dict[str, Any] = {}
+    timings: dict[str, float] = {}
+    for label, kwargs in (("self", {}),
+                          ("chunked16", {"chunk": 16}),
+                          ("guided", {"schedule": "guided"})):
+        force = Force(nproc=nproc, timeout=60, stats=True)
+
+        def program(force: Any, me: int, kwargs=kwargs) -> None:
+            for _i in force.selfsched_range("bench", 1, iters, **kwargs):
+                pass
+
+        start = time.perf_counter()
+        force.run(program)
+        timings[label] = time.perf_counter() - start
+        results[label] = force.stats["selfsched"]["bench"]
+    expected16 = -(-iters // 16)
+    if results["chunked16"]["chunks"] != expected16:
+        raise AssertionError(
+            f"chunked dispatch not deterministic: expected {expected16} "
+            f"chunks for {iters} iters at chunk=16, got "
+            f"{results['chunked16']['chunks']}")
+    if results["self"]["chunks"] != iters:
+        raise AssertionError(
+            f"self dispatch expected {iters} chunks, got "
+            f"{results['self']['chunks']}")
+    lock_ratio = results["self"]["chunks"] / results["chunked16"]["chunks"]
+    return {
+        "params": {"iters": iters, "nproc": nproc, "chunk": 16},
+        "wall_s": timings["chunked16"],
+        "data": {
+            "policies": results,
+            "lock_acquisition_ratio_chunk16": round(lock_ratio, 2),
+        },
+    }
+
+
+def bench_sum_critical_sim(quick: bool) -> dict[str, Any]:
+    """Pipeline end-to-end: sum_critical.frc, self vs chunked."""
+    from repro.machines import get_machine
+    from repro.pipeline.compile import force_translate
+    from repro.pipeline.run import force_run
+    source = _example("sum_critical.frc")
+    machine = get_machine("sequent-balance")
+    nproc = 4
+    data: dict[str, Any] = {}
+    wall = 0.0
+    for label, kwargs in (("self", {}), ("chunked16", {"chunk": 16})):
+        translation = force_translate(source, machine, **kwargs)
+        start = time.perf_counter()
+        result = force_run(translation, nproc)
+        wall = time.perf_counter() - start
+        data[label] = {
+            "makespan": result.makespan,
+            "lock_acquisitions": result.stats.lock_acquisitions,
+            "output": result.output,
+        }
+    if data["self"]["output"] != data["chunked16"]["output"]:
+        raise AssertionError(
+            "chunked sum_critical diverged: "
+            f"{data['self']['output']} vs {data['chunked16']['output']}")
+    return {
+        "params": {"machine": machine.key, "nproc": nproc},
+        "wall_s": wall,
+        "data": data,
+    }
+
+
+def bench_askfor_tree(quick: bool) -> dict[str, Any]:
+    """Native askfor workload: dynamic tree expansion wall-clock."""
+    from repro.faults.corpus import CORPUS
+    entry = CORPUS["askfor_tree"]
+    repeats = 1 if quick else 3
+    best = float("inf")
+    stats: dict[str, Any] = {}
+    from repro.runtime import Force
+    for _ in range(repeats):
+        force = Force(nproc=entry.nproc, timeout=60, stats=True)
+        start = time.perf_counter()
+        force.run(entry.program)
+        best = min(best, time.perf_counter() - start)
+        entry.check(force)
+        stats = force.stats.get("askfor", {})
+    return {
+        "params": {"nproc": entry.nproc, "repeats": repeats},
+        "wall_s": best,
+        "data": {"askfor": stats},
+    }
+
+
+def compiled_corpus_fallbacks() -> dict[str, dict[str, str]]:
+    """Translate + run every runnable example; report any program unit
+    the compiled layer refused (empty dict == full coverage)."""
+    from repro.machines import get_machine
+    from repro.pipeline.compile import force_translate
+    from repro.pipeline.run import force_run
+    machine = get_machine("sequent-balance")
+    fallbacks: dict[str, dict[str, str]] = {}
+    for path in sorted(_examples_dir().glob("*.frc")):
+        if path.name in NON_RUNNABLE_EXAMPLES:
+            continue
+        translation = force_translate(path.read_text(encoding="utf-8"),
+                                      machine)
+        result = force_run(translation, 4)
+        if result.compile_fallbacks:
+            fallbacks[path.name] = dict(result.compile_fallbacks)
+    return fallbacks
+
+
+def _examples_dir() -> Path:
+    return Path(__file__).resolve().parents[2] / "examples"
+
+
+def _example(name: str) -> str:
+    return (_examples_dir() / name).read_text(encoding="utf-8")
+
+
+SUITE: tuple[tuple[str, Callable[[bool], dict[str, Any]]], ...] = (
+    ("bench_jacobi_throughput", bench_jacobi_throughput),
+    ("bench_selfsched_dispatch", bench_selfsched_dispatch),
+    ("bench_sum_critical_sim", bench_sum_critical_sim),
+    ("bench_askfor_tree", bench_askfor_tree),
+)
+
+
+def run_bench_suite(*, quick: bool = False,
+                    output: Path | None = None) -> dict[str, Any]:
+    """Run the pinned suite, merge results, return the report."""
+    revision = git_revision()
+    entries: list[dict[str, Any]] = []
+    for name, fn in SUITE:
+        outcome = fn(quick)
+        entries.append(make_entry(name, params=outcome["params"],
+                                  wall_s=outcome["wall_s"],
+                                  data=outcome["data"],
+                                  revision=revision))
+    fallbacks = compiled_corpus_fallbacks()
+    entries.append(make_entry("bench_compiled_coverage",
+                              params={"corpus": "examples/*.frc"},
+                              data={"fallbacks": fallbacks},
+                              revision=revision))
+    if output is None:
+        output = Path.cwd() / "BENCH_results.json"
+    merge_results(output, entries)
+    return {
+        "quick": quick,
+        "git_revision": revision,
+        "output": str(output),
+        "results": entries,
+        "fallbacks": fallbacks,
+    }
+
+
+def render_bench_report(report: dict[str, Any]) -> str:
+    """Human-readable summary of one suite run."""
+    lines = [f"force bench ({'quick' if report['quick'] else 'full'}, "
+             f"rev {report['git_revision'] or 'unknown'}) "
+             f"-> {report['output']}"]
+    by_name = {entry["name"]: entry for entry in report["results"]}
+    jac = by_name["bench_jacobi_throughput"]["data"]
+    lines.append(
+        f"jacobi throughput:   {jac['tree_stmt_per_s']:>9d} stmt/s tree, "
+        f"{jac['compiled_stmt_per_s']:>9d} stmt/s compiled "
+        f"({jac['speedup']:.2f}x)")
+    sched = by_name["bench_selfsched_dispatch"]["data"]
+    pol = sched["policies"]
+    lines.append(
+        f"selfsched dispatch:  self {pol['self']['chunks']} lock rounds, "
+        f"chunk=16 {pol['chunked16']['chunks']}, "
+        f"guided {pol['guided']['chunks']} "
+        f"({sched['lock_acquisition_ratio_chunk16']:.1f}x fewer at "
+        f"chunk=16)")
+    sim = by_name["bench_sum_critical_sim"]["data"]
+    lines.append(
+        f"sum_critical (sim):  {sim['self']['lock_acquisitions']} lock "
+        f"acq self, {sim['chunked16']['lock_acquisitions']} chunked, "
+        f"makespan {sim['self']['makespan']} vs "
+        f"{sim['chunked16']['makespan']} cycles")
+    ask = by_name["bench_askfor_tree"]
+    lines.append(
+        f"askfor tree:         {ask['wall_s'] * 1e3:.1f} ms "
+        f"(nproc {ask['params']['nproc']})")
+    if report["fallbacks"]:
+        lines.append("compiled coverage:   FALLBACKS "
+                     + json.dumps(report["fallbacks"]))
+    else:
+        lines.append("compiled coverage:   all example programs ran "
+                     "compiled (no tree-walker fallbacks)")
+    return "\n".join(lines)

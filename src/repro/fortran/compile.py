@@ -1,0 +1,1045 @@
+"""Compile-to-closures execution layer for the F77 interpreter.
+
+One pass over each program unit's AST emits pre-bound Python closures:
+statements become a flat table of ``(kind, run, cost)`` thunks with
+precomputed jump targets for GOTO/IF/DO, and expressions compile to
+closures with slot-resolved variable access — locals and COMMON members
+resolve to a frame-slot index at compile time, and the slot is bound to
+the invocation's actual :class:`~repro.fortran.interp.Cell` /
+:class:`~repro.fortran.values.FArray` object once per call.  Frame
+setup still goes through :meth:`Interpreter._make_frame`, so COMMON /
+EQUIVALENCE aliasing, dummy-argument binding and DATA initialisation
+are byte-identical to the tree-walker.
+
+The compiled unit yields exactly the same event stream as the
+tree-walker — one :class:`Cost` per executable statement (reused frozen
+objects, same cycle counts) and the same external-handler generators —
+so simulated schedules, stats and outputs are bit-identical.  The
+tree-walking interpreter remains the fallback (``--no-jit`` /
+``Interpreter(compiled=False)``) and the differential-testing oracle.
+
+A unit that uses a construct this layer cannot prove equivalent raises
+:class:`CompileUnsupported` at compile time; the interpreter records
+the reason in ``compile_fallbacks`` and tree-walks that unit instead.
+"""
+
+from __future__ import annotations
+
+from repro._util.errors import FortranError
+from repro.fortran import ast_nodes as ast
+from repro.fortran.formats import apply_format, parse_format
+from repro.fortran.intrinsics import call_intrinsic, is_intrinsic
+from repro.fortran.values import (
+    FArray,
+    FType,
+    default_type_for,
+    format_value,
+)
+
+_INT = FType.INTEGER
+_REAL = FType.REAL
+_DOUBLE = FType.DOUBLE
+
+
+class CompileUnsupported(Exception):
+    """The unit uses a construct the compiled layer does not handle."""
+
+
+# statement-table kinds
+_K_SKIP = 0     # declaration-like: no cost, no execution
+_K_RUN = 1      # run(frame) -> None | int pc | _RETURN | event generator
+_K_VJ = 2       # run(frame, via_jump) -> same (ELSE IF / ELSE)
+
+# slot kinds
+_CELL = "cell"        # provably a Cell for the whole invocation
+_ARRAY = "array"      # provably an FArray (declared bounds)
+_MAYBE = "maybe"      # dummy argument: Cell or FArray per call site
+_DYNAMIC = "dynamic"  # procedure-named: replicate dict semantics exactly
+
+_SKIP_CLASSES = (ast.Declaration, ast.DimensionDecl, ast.CommonDecl,
+                 ast.ParameterDecl, ast.DataDecl, ast.ExternalDecl,
+                 ast.FormatStmt)
+
+
+def compile_all(interp) -> dict[str, str]:
+    """Compile every unit of ``interp``'s program.
+
+    Returns the fallback map (unit name -> reason); empty means the
+    whole program runs on the compiled layer.
+    """
+    for unit in interp.program.units.values():
+        interp._compiled_unit(unit)
+    return interp.compile_fallbacks
+
+
+class CompiledProgram:
+    """Per-interpreter cache of compiled units (lazy, with fallback)."""
+
+    def __init__(self, interp) -> None:
+        self.interp = interp
+        self._units: dict[str, "CompiledUnit | None"] = {}
+        #: unit name -> reason the tree-walker is used instead
+        self.fallbacks: dict[str, str] = {}
+
+    def unit_for(self, unit) -> "CompiledUnit | None":
+        name = unit.name
+        try:
+            return self._units[name]
+        except KeyError:
+            pass
+        try:
+            compiled = CompiledUnit(unit, self.interp)
+        except CompileUnsupported as exc:
+            self.fallbacks[name] = str(exc)
+            compiled = None
+        self._units[name] = compiled
+        return compiled
+
+
+class CompiledUnit:
+    """One program unit lowered to a flat closure table."""
+
+    def __init__(self, unit, interp) -> None:
+        from repro.fortran.interp import Cost
+        self.unit = unit
+        self.interp = interp
+        self.program = interp.program
+
+        # --- static name classification -------------------------------
+        self._params = set(unit.params)
+        self._bounds_names: set[str] = set()
+        self._externals: set[str] = set()
+        for stmt in unit.statements:
+            if isinstance(stmt, (ast.Declaration, ast.DimensionDecl,
+                                 ast.CommonDecl)):
+                for name, bounds in stmt.entities:
+                    if bounds is not None:
+                        self._bounds_names.add(name)
+            elif isinstance(stmt, ast.ExternalDecl):
+                self._externals.update(stmt.names)
+
+        # --- slot table (filled on demand while compiling) ------------
+        self.slot_index: dict[str, int] = {}
+        self.slot_names: list[str] = []
+        self.slot_kinds: list[str] = []
+
+        # --- statement table ------------------------------------------
+        scale = interp.cost_scale
+        table: list[tuple] = []
+        for stmt in unit.statements:
+            if isinstance(stmt, _SKIP_CLASSES):
+                table.append((_K_SKIP, None, None))
+            else:
+                kind, run = self._stmt(stmt)
+                table.append((kind, run, Cost(stmt.weight * scale)))
+        self.table = table
+        self.count = len(table)
+
+        is_terminal = [False] * self.count
+        for stmt in unit.statements:
+            if isinstance(stmt, ast.Do) and 0 <= stmt.terminal < self.count:
+                is_terminal[stmt.terminal] = True
+        self.is_terminal = is_terminal
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, args, depth, process):
+        """Generator executing one invocation (same contract as the
+        tree-walker's ``run_unit``: StopIteration.value carries the
+        FUNCTION result)."""
+        interp = self.interp
+        if depth > interp.max_call_depth:
+            raise FortranError(
+                f"call depth exceeds {interp.max_call_depth} "
+                f"(runaway recursion?)", unit=self.unit.name)
+        frame = interp._make_frame(self.unit, args, process)
+        frame.depth = depth
+        self._bind(frame)
+        yield from self._execute(frame)
+        if self.unit.kind == "function":
+            assert frame.result_cell is not None
+            return frame.result_cell.get()
+        return None
+
+    def _bind(self, frame) -> None:
+        """Resolve each slot to this invocation's storage object.
+
+        For 1-D numeric arrays we also capture a *fast view* —
+        ``(ndarray, lower-bound, extent, is-integer)`` — so the hot
+        element-access closures can index the buffer directly instead
+        of going through :meth:`FArray.get`/``set`` tuple machinery.
+        The slow path remains the semantic reference; fast views only
+        cover cases where both agree exactly.
+        """
+        variables = frame.vars
+        slots = []
+        argrefs = []
+        fast = []
+        from repro.fortran.interp import ArrayRef, Cell, CellRef
+        for name in self.slot_names:
+            entry = variables.get(name)
+            if entry is None:
+                entry = Cell(default_type_for(name))
+                variables[name] = entry
+            slots.append(entry)
+            if entry.__class__ is FArray:
+                argrefs.append(ArrayRef(entry))
+                data = entry.data
+                if len(entry.shape) == 1 and data.dtype.kind in "if":
+                    fast.append((data, entry.lower[0], entry.shape[0],
+                                 data.dtype.kind == "i"))
+                else:
+                    fast.append(None)
+            else:
+                argrefs.append(CellRef(entry))
+                fast.append(None)
+        frame.slots = slots
+        frame.argrefs = argrefs
+        frame.fast = fast
+
+    def _execute(self, frame):
+        from repro.fortran.interp import _RETURN
+        table = self.table
+        count = self.count
+        is_terminal = self.is_terminal
+        do_stack = frame.do_stack
+        pc = 0
+        via_jump = False
+        while 0 <= pc < count:
+            kind, run, cost = table[pc]
+            if kind:
+                yield cost
+                new = run(frame) if kind == _K_RUN else run(frame, via_jump)
+                if new is not None:
+                    if new.__class__ is int:
+                        pc = new
+                        via_jump = True
+                        continue
+                    if new is _RETURN:
+                        return
+                    # an event generator from a CALL
+                    yield from new
+            via_jump = False
+            executed = pc
+            pc += 1
+            # DO terminal handling: statement at pc-1 just completed.
+            if is_terminal[executed] and do_stack:
+                while do_stack and do_stack[-1][1] == executed:
+                    entry = do_stack[-1]
+                    entry[4] -= 1
+                    cell = entry[2]
+                    # F77: the DO variable is incremented on every
+                    # pass, including the one exhausting the count.
+                    value = cell.value + entry[3]
+                    if value.__class__ is int and cell.ftype is _INT:
+                        cell.value = value
+                    else:
+                        cell.set(value)
+                    if entry[4] > 0:
+                        pc = entry[0] + 1
+                        via_jump = True
+                        break
+                    do_stack.pop()
+        raise FortranError("fell off the end of unit", unit=self.unit.name)
+
+    # ------------------------------------------------------------------
+    # name classification / slots
+    # ------------------------------------------------------------------
+    def _kind(self, name: str) -> str:
+        if name in self._params:
+            return _MAYBE
+        if name in self._bounds_names:
+            return _ARRAY
+        handler = self.interp.external
+        if name in self.program.units or name in self._externals \
+                or handler.is_external(name) \
+                or handler.is_external_function(name):
+            return _DYNAMIC
+        return _CELL
+
+    def _slot(self, name: str) -> int:
+        index = self.slot_index.get(name)
+        if index is None:
+            index = len(self.slot_names)
+            self.slot_index[name] = index
+            self.slot_names.append(name)
+            self.slot_kinds.append(self._kind(name))
+        return index
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt) -> tuple[int, "callable"]:
+        cls = stmt.__class__
+        method = _STMT_DISPATCH.get(cls)
+        if method is None:
+            raise CompileUnsupported(
+                f"statement {cls.__name__} not supported")
+        return method(self, stmt)
+
+    def _st_assign(self, stmt):
+        value = self._expr(stmt.expr)
+        target = stmt.target
+        uname = self.unit.name
+        if target.__class__ is ast.Var:
+            name = target.name
+            kind = self._kind(name)
+            if kind is _CELL:
+                i = self._slot(name)
+
+                def run(f, _i=i, _v=value):
+                    cell = f.slots[_i]
+                    v = _v(f)
+                    cls = v.__class__
+                    ftype = cell.ftype
+                    if cls is float:
+                        if ftype is _REAL or ftype is _DOUBLE:
+                            cell.value = v
+                            return
+                        if ftype is _INT:
+                            cell.value = int(v)
+                            return
+                    elif cls is int:
+                        if ftype is _INT:
+                            cell.value = v
+                            return
+                        if ftype is _REAL or ftype is _DOUBLE:
+                            cell.value = float(v)
+                            return
+                    cell.set(v)
+                return _K_RUN, run
+            if kind is _ARRAY:
+                def run(f, _v=value, _n=name, _u=uname):
+                    _v(f)
+                    raise FortranError(
+                        f"cannot assign scalar to whole array {_n}",
+                        unit=_u)
+                return _K_RUN, run
+            if kind is _MAYBE:
+                i = self._slot(name)
+
+                def run(f, _i=i, _v=value, _n=name, _u=uname):
+                    v = _v(f)
+                    entry = f.slots[_i]
+                    if entry.__class__ is FArray:
+                        raise FortranError(
+                            f"cannot assign scalar to whole array {_n}",
+                            unit=_u)
+                    entry.set(v)
+                return _K_RUN, run
+
+            def run(f, _v=value, _n=name, _u=uname):     # _DYNAMIC
+                v = _v(f)
+                entry = f.vars.get(_n)
+                if entry is not None and entry.__class__ is FArray:
+                    raise FortranError(
+                        f"cannot assign scalar to whole array {_n}",
+                        unit=_u)
+                f.get_or_create_scalar(_n).set(v)
+            return _K_RUN, run
+        if target.__class__ is ast.Apply:
+            name = target.name
+            kind = self._kind(name)
+            subs = tuple(self._expr(a) for a in target.args)
+            if kind is _ARRAY:
+                i = self._slot(name)
+                if len(subs) == 1:
+                    s0 = subs[0]
+
+                    def run(f, _i=i, _v=value, _s=s0):
+                        v = _v(f)
+                        sub = _s(f)
+                        if sub.__class__ is not int:
+                            sub = int(sub)
+                        fast = f.fast[_i]
+                        if fast is not None:
+                            data, lb, n, is_int = fast
+                            offset = sub - lb
+                            if 0 <= offset < n:
+                                if is_int:
+                                    if v.__class__ is int:
+                                        data[offset] = v
+                                        return
+                                elif v.__class__ is float \
+                                        or v.__class__ is int:
+                                    data[offset] = v
+                                    return
+                        f.slots[_i].set((sub,), v)
+                    return _K_RUN, run
+
+                def run(f, _i=i, _v=value, _s=subs):
+                    v = _v(f)
+                    f.slots[_i].set(tuple(int(c(f)) for c in _s), v)
+                return _K_RUN, run
+            if kind is _MAYBE:
+                i = self._slot(name)
+
+                def run(f, _i=i, _v=value, _s=subs, _n=name, _u=uname):
+                    v = _v(f)
+                    entry = f.slots[_i]
+                    if entry.__class__ is not FArray:
+                        raise FortranError(f"{_n} is not an array",
+                                           unit=_u)
+                    entry.set(tuple(int(c(f)) for c in _s), v)
+                return _K_RUN, run
+
+            def run(f, _v=value, _s=subs, _n=name, _u=uname):
+                # _CELL / _DYNAMIC: replicate the interpreter's lookup
+                v = _v(f)
+                entry = f.vars.get(_n)
+                if entry is None or entry.__class__ is not FArray:
+                    raise FortranError(f"{_n} is not an array", unit=_u)
+                entry.set(tuple(int(c(f)) for c in _s), v)
+            return _K_RUN, run
+        raise CompileUnsupported("bad assignment target")
+
+    def _st_continue(self, stmt):
+        return _K_RUN, _noop
+
+    def _st_goto(self, stmt):
+        def run(f, _t=stmt.target):
+            return _t
+        return _K_RUN, run
+
+    def _st_computed_goto(self, stmt):
+        selector = self._expr(stmt.selector)
+        targets = tuple(stmt.targets)
+
+        def run(f, _s=selector, _t=targets):
+            value = int(_s(f))
+            if 1 <= value <= len(_t):
+                return _t[value - 1]
+            return None
+        return _K_RUN, run
+
+    def _st_logical_if(self, stmt):
+        cond = self._expr(stmt.cond)
+        bkind, body = self._stmt(stmt.body)
+        if bkind != _K_RUN:
+            raise CompileUnsupported("IF body needs via-jump semantics")
+
+        def run(f, _c=cond, _b=body):
+            v = _c(f)
+            if v is True:
+                return _b(f)
+            if v is False:
+                return None
+            raise FortranError(f"expected LOGICAL, got {v!r}")
+        return _K_RUN, run
+
+    def _st_if_then(self, stmt):
+        cond = self._expr(stmt.cond)
+
+        def run(f, _c=cond, _ft=stmt.false_target):
+            v = _c(f)
+            if v is True:
+                return None
+            if v is False:
+                return _ft
+            raise FortranError(f"expected LOGICAL, got {v!r}")
+        return _K_RUN, run
+
+    def _st_else_if(self, stmt):
+        cond = self._expr(stmt.cond)
+
+        def run(f, via_jump, _c=cond, _ft=stmt.false_target,
+                _et=stmt.end_target):
+            if not via_jump:
+                return _et
+            v = _c(f)
+            if v is True:
+                return None
+            if v is False:
+                return _ft
+            raise FortranError(f"expected LOGICAL, got {v!r}")
+        return _K_VJ, run
+
+    def _st_else(self, stmt):
+        def run(f, via_jump, _et=stmt.end_target):
+            return None if via_jump else _et
+        return _K_VJ, run
+
+    def _st_end_if(self, stmt):
+        return _K_RUN, _noop
+
+    def _st_do(self, stmt):
+        first = self._expr(stmt.first)
+        last = self._expr(stmt.last)
+        step = self._expr(stmt.step) if stmt.step is not None else None
+        uname = self.unit.name
+        name = stmt.var
+        kind = self._kind(name)
+        if kind is _CELL:
+            i = self._slot(name)
+
+            def var_cell(f, _i=i):
+                return f.slots[_i]
+        elif kind is _DYNAMIC:
+            def var_cell(f, _n=name):
+                return f.get_or_create_scalar(_n)
+        else:
+            i = self._slot(name)
+
+            def var_cell(f, _i=i, _n=name, _u=uname):
+                entry = f.slots[_i]
+                if entry.__class__ is FArray:
+                    raise FortranError(f"{_n} is an array, not a scalar",
+                                       unit=_u)
+                return entry
+
+        def run(f, _fc=first, _lc=last, _sc=step, _vc=var_cell,
+                _idx=stmt.index, _term=stmt.terminal,
+                _after=stmt.terminal + 1, _line=stmt.line, _u=uname):
+            first = _fc(f)
+            last = _lc(f)
+            step = _sc(f) if _sc is not None else 1
+            if step == 0:
+                raise FortranError("DO step of zero", line=_line, unit=_u)
+            cell = _vc(f)
+            cell.set(first)
+            trips = int((last - first + step) // step)
+            if isinstance(first, float) or isinstance(last, float) or \
+                    isinstance(step, float):
+                trips = int((last - first + step) / step)
+            if trips <= 0:
+                return _after
+            stack = f.do_stack
+            if stack:
+                stack[:] = [e for e in stack if e[0] != _idx]
+            stack.append([_idx, _term, cell, step, trips])
+            return None
+        return _K_RUN, run
+
+    def _st_end_do(self, stmt):
+        return _K_RUN, _noop
+
+    def _st_call(self, stmt):
+        name = stmt.name
+        handler = self.interp.external
+        makers = tuple(self._argref(a) for a in stmt.args)
+        if handler.is_external(name):
+            def run(f, _n=name, _m=makers, _h=handler):
+                return _h.call(_n, [mk(f) for mk in _m], f)
+            return _K_RUN, run
+        unit = self.program.units.get(name)
+        if unit is None or unit.kind != "subroutine":
+            uname = self.unit.name
+
+            def run(f, _n=name, _line=stmt.line, _u=uname):
+                raise FortranError(f"no subroutine named {_n}",
+                                   line=_line, unit=_u)
+            return _K_RUN, run
+        interp = self.interp
+
+        def run(f, _u=unit, _m=makers, _it=interp):
+            return _it.run_unit(_u, [mk(f) for mk in _m], f.depth + 1,
+                                process=f.process)
+        return _K_RUN, run
+
+    def _st_return(self, stmt):
+        from repro.fortran.interp import _RETURN
+        if not self.unit.params:
+            def run(f, _r=_RETURN):
+                return _r
+            return _K_RUN, run
+        interp = self.interp
+
+        def run(f, _it=interp, _r=_RETURN):
+            _it._run_copy_outs(f)
+            return _r
+        return _K_RUN, run
+
+    def _st_stop(self, stmt):
+        from repro.fortran.interp import StopSignal
+
+        def run(f, _m=stmt.message, _sig=StopSignal):
+            raise _sig(_m)
+        return _K_RUN, run
+
+    def _st_write(self, stmt):
+        items = tuple(self._expr(e) for e in stmt.items)
+        interp = self.interp
+        if stmt.fmt_label is None:
+            def run(f, _i=items, _it=interp):
+                line = " ".join(format_value(c(f)) for c in _i)
+                _it.output.append(line)
+                callback = _it.on_output
+                if callback is not None:
+                    callback(line, f)
+                return None
+            return _K_RUN, run
+        edits = self._resolve_format(stmt)
+
+        def run(f, _i=items, _e=edits, _it=interp):
+            values = [c(f) for c in _i]
+            callback = _it.on_output
+            for line in apply_format(_e, values):
+                _it.output.append(line)
+                if callback is not None:
+                    callback(line, f)
+            return None
+        return _K_RUN, run
+
+    def _resolve_format(self, stmt):
+        """Resolve + parse the FORMAT at compile time (cached on the
+        statement, shared with the tree-walker).  Malformed formats
+        fall back to the tree-walker, which reports the error only if
+        the statement actually executes."""
+        if stmt.compiled_format is not None:
+            return stmt.compiled_format
+        unit = self.unit
+        index = unit.label_index.get(stmt.fmt_label)
+        if index is None:
+            raise CompileUnsupported(
+                f"no FORMAT labelled {stmt.fmt_label}")
+        fmt_stmt = unit.statements[index]
+        if not isinstance(fmt_stmt, ast.FormatStmt):
+            raise CompileUnsupported(
+                f"label {stmt.fmt_label} is not a FORMAT statement")
+        text = fmt_stmt.text.strip()
+        open_paren = text.find("(")
+        if not text.upper().startswith("FORMAT") or open_paren < 0 \
+                or not text.endswith(")"):
+            raise CompileUnsupported(f"malformed FORMAT: {text!r}")
+        try:
+            stmt.compiled_format = parse_format(text[open_paren + 1:-1])
+        except FortranError as exc:
+            raise CompileUnsupported(str(exc)) from exc
+        return stmt.compiled_format
+
+    def _st_read(self, stmt):
+        setters = tuple(self._store(t) for t in stmt.targets)
+        interp = self.interp
+
+        def run(f, _s=setters, _it=interp):
+            for setter in _s:
+                setter(f, _it._next_input(f))
+            return None
+        return _K_RUN, run
+
+    def _store(self, target):
+        """Compile an assignment target to ``store(frame, value)``."""
+        uname = self.unit.name
+        if target.__class__ is ast.Var:
+            name = target.name
+            kind = self._kind(name)
+            if kind is _CELL:
+                i = self._slot(name)
+
+                def store(f, value, _i=i):
+                    f.slots[_i].set(value)
+                return store
+            if kind is _MAYBE or kind is _ARRAY:
+                i = self._slot(name)
+
+                def store(f, value, _i=i, _n=name, _u=uname):
+                    entry = f.slots[_i]
+                    if entry.__class__ is FArray:
+                        raise FortranError(
+                            f"cannot assign scalar to whole array {_n}",
+                            unit=_u)
+                    entry.set(value)
+                return store
+
+            def store(f, value, _n=name, _u=uname):
+                entry = f.vars.get(_n)
+                if entry is not None and entry.__class__ is FArray:
+                    raise FortranError(
+                        f"cannot assign scalar to whole array {_n}",
+                        unit=_u)
+                f.get_or_create_scalar(_n).set(value)
+            return store
+        if target.__class__ is ast.Apply:
+            name = target.name
+            kind = self._kind(name)
+            subs = tuple(self._expr(a) for a in target.args)
+            if kind is _ARRAY or kind is _MAYBE:
+                i = self._slot(name)
+
+                def store(f, value, _i=i, _s=subs, _n=name, _u=uname):
+                    entry = f.slots[_i]
+                    if entry.__class__ is not FArray:
+                        raise FortranError(f"{_n} is not an array",
+                                           unit=_u)
+                    entry.set(tuple(int(c(f)) for c in _s), value)
+                return store
+
+            def store(f, value, _s=subs, _n=name, _u=uname):
+                entry = f.vars.get(_n)
+                if entry is None or entry.__class__ is not FArray:
+                    raise FortranError(f"{_n} is not an array", unit=_u)
+                entry.set(tuple(int(c(f)) for c in _s), value)
+            return store
+        raise CompileUnsupported("bad assignment target")
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _expr(self, expr):
+        cls = expr.__class__
+        if cls is ast.Num or cls is ast.Str or cls is ast.LogConst:
+            value = expr.value
+
+            def run(f, _v=value):
+                return _v
+            return run
+        if cls is ast.Var:
+            return self._var_read(expr.name)
+        if cls is ast.BinOp:
+            return self._binop(expr)
+        if cls is ast.UnaryOp:
+            return self._unary(expr)
+        if cls is ast.Apply:
+            return self._apply(expr)
+        raise CompileUnsupported(f"cannot compile {expr!r}")
+
+    def _var_read(self, name: str):
+        kind = self._kind(name)
+        uname = self.unit.name
+        if kind is _CELL:
+            i = self._slot(name)
+
+            def run(f, _i=i):
+                return f.slots[_i].value
+            return run
+        if kind is _ARRAY:
+            def run(f, _n=name, _u=uname):
+                raise FortranError(
+                    f"whole array {_n} in scalar expression", unit=_u)
+            return run
+        if kind is _MAYBE:
+            i = self._slot(name)
+
+            def run(f, _i=i, _n=name, _u=uname):
+                entry = f.slots[_i]
+                if entry.__class__ is FArray:
+                    raise FortranError(
+                        f"whole array {_n} in scalar expression", unit=_u)
+                return entry.value
+            return run
+
+        def run(f, _n=name, _u=uname):                   # _DYNAMIC
+            entry = f.vars.get(_n)
+            if entry is None:
+                return f.get_or_create_scalar(_n).value
+            if entry.__class__ is FArray:
+                raise FortranError(
+                    f"whole array {_n} in scalar expression", unit=_u)
+            return entry.value
+        return run
+
+    def _unary(self, expr):
+        operand = self._expr(expr.operand)
+        op = expr.op
+        if op == "-":
+            def run(f, _o=operand):
+                v = _o(f)
+                if isinstance(v, (bool, str)):
+                    raise FortranError(
+                        f"expected numeric operand, got {v!r}")
+                return -v
+            return run
+        if op == "+":
+            def run(f, _o=operand):
+                v = _o(f)
+                if isinstance(v, (bool, str)):
+                    raise FortranError(
+                        f"expected numeric operand, got {v!r}")
+                return v
+            return run
+        if op == ".NOT.":
+            def run(f, _o=operand):
+                v = _o(f)
+                if v is True:
+                    return False
+                if v is False:
+                    return True
+                raise FortranError(f"expected LOGICAL, got {v!r}")
+            return run
+        raise CompileUnsupported(f"unary operator {op}")
+
+    def _binop(self, expr):
+        from repro.fortran.interp import _REL_MAP
+        op = expr.op
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        if op == ".AND.":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                if a is False:
+                    return False
+                if a is not True:
+                    raise FortranError(f"expected LOGICAL, got {a!r}")
+                b = _r(f)
+                if b is True or b is False:
+                    return b
+                raise FortranError(f"expected LOGICAL, got {b!r}")
+            return run
+        if op == ".OR.":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                if a is True:
+                    return True
+                if a is not False:
+                    raise FortranError(f"expected LOGICAL, got {a!r}")
+                b = _r(f)
+                if b is True or b is False:
+                    return b
+                raise FortranError(f"expected LOGICAL, got {b!r}")
+            return run
+        if op == "//":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                b = _r(f)
+                if not isinstance(a, str) or not isinstance(b, str):
+                    raise FortranError("// requires CHARACTER operands")
+                return a + b
+            return run
+        rel = _REL_MAP.get(op)
+        if rel is not None:
+            def run(f, _l=left, _r=right, _op=rel):
+                a = _l(f)
+                b = _r(f)
+                if isinstance(a, str) != isinstance(b, str):
+                    raise FortranError(
+                        "cannot compare CHARACTER with numeric")
+                return _op(a, b)
+            return run
+        if op == "+":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                b = _r(f)
+                if isinstance(a, (bool, str)) or isinstance(b, (bool, str)):
+                    _raise_non_numeric(a, b)
+                return a + b
+            return run
+        if op == "-":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                b = _r(f)
+                if isinstance(a, (bool, str)) or isinstance(b, (bool, str)):
+                    _raise_non_numeric(a, b)
+                return a - b
+            return run
+        if op == "*":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                b = _r(f)
+                if isinstance(a, (bool, str)) or isinstance(b, (bool, str)):
+                    _raise_non_numeric(a, b)
+                return a * b
+            return run
+        if op == "/":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                b = _r(f)
+                if isinstance(a, (bool, str)) or isinstance(b, (bool, str)):
+                    _raise_non_numeric(a, b)
+                if isinstance(a, int) and isinstance(b, int):
+                    if b == 0:
+                        raise FortranError("integer division by zero")
+                    quotient = abs(a) // abs(b)
+                    return quotient if (a < 0) == (b < 0) else -quotient
+                if b == 0:
+                    raise FortranError("division by zero")
+                return a / b
+            return run
+        if op == "**":
+            def run(f, _l=left, _r=right):
+                a = _l(f)
+                b = _r(f)
+                if isinstance(a, (bool, str)) or isinstance(b, (bool, str)):
+                    _raise_non_numeric(a, b)
+                if isinstance(a, int) and isinstance(b, int):
+                    if b < 0:
+                        return 1 if a == 1 else (-1) ** b if a == -1 else 0
+                    return a ** b
+                return float(a) ** float(b)
+            return run
+        raise CompileUnsupported(f"operator {op}")
+
+    def _apply(self, expr):
+        name = expr.name
+        kind = self._kind(name)
+        subs = tuple(self._expr(a) for a in expr.args)
+        if kind is _ARRAY:
+            i = self._slot(name)
+            if len(subs) == 1:
+                s0 = subs[0]
+
+                def run(f, _i=i, _s=s0):
+                    sub = _s(f)
+                    if sub.__class__ is not int:
+                        sub = int(sub)
+                    fast = f.fast[_i]
+                    if fast is not None:
+                        data, lb, n, _ = fast
+                        offset = sub - lb
+                        if 0 <= offset < n:
+                            return data.item(offset)
+                    return f.slots[_i].get((sub,))
+                return run
+
+            def run(f, _i=i, _s=subs):
+                return f.slots[_i].get(tuple(int(c(f)) for c in _s))
+            return run
+        if kind is _MAYBE:
+            i = self._slot(name)
+            fallback = self._apply_fn(name, expr.args)
+
+            def run(f, _i=i, _s=subs, _fb=fallback):
+                entry = f.slots[_i]
+                if entry.__class__ is FArray:
+                    return entry.get(tuple(int(c(f)) for c in _s))
+                return _fb(f)
+            return run
+        if kind is _DYNAMIC:
+            fallback = self._apply_fn(name, expr.args)
+
+            def run(f, _n=name, _s=subs, _fb=fallback):
+                entry = f.vars.get(_n)
+                if entry is not None and entry.__class__ is FArray:
+                    return entry.get(tuple(int(c(f)) for c in _s))
+                return _fb(f)
+            return run
+        return self._apply_fn(name, expr.args)           # _CELL
+
+    def _apply_fn(self, name: str, arg_exprs):
+        """Function-resolution path of Apply, in the interpreter's
+        order: external function, intrinsic, user FUNCTION, error."""
+        from repro.fortran.interp import Cost
+        handler = self.interp.external
+        if handler.is_external_function(name):
+            makers = tuple(self._argref(a) for a in arg_exprs)
+
+            def run(f, _n=name, _m=makers, _h=handler):
+                return _h.call_function(_n, [mk(f) for mk in _m], f)
+            return run
+        if is_intrinsic(name):
+            argcs = tuple(self._expr(a) for a in arg_exprs)
+
+            def run(f, _n=name, _a=argcs):
+                return call_intrinsic(_n, [c(f) for c in _a])
+            return run
+        unit = self.program.units.get(name)
+        if unit is not None and unit.kind == "function":
+            makers = tuple(self._argref(a) for a in arg_exprs)
+            interp = self.interp
+
+            def run(f, _u=unit, _m=makers, _it=interp, _cost=Cost):
+                gen = _it.run_unit(_u, [mk(f) for mk in _m], 1,
+                                   process=f.process)
+                while True:
+                    try:
+                        event = next(gen)
+                    except StopIteration as stop:
+                        return stop.value
+                    if not isinstance(event, _cost):
+                        raise FortranError(
+                            f"function {_u.name} attempted a blocking "
+                            "operation (not allowed inside an expression)")
+            return run
+        uname = self.unit.name
+
+        def run(f, _n=name, _u=uname):
+            raise FortranError(
+                f"{_n} is not an array, intrinsic or function", unit=_u)
+        return run
+
+    # ------------------------------------------------------------------
+    # actual arguments (pass-by-reference)
+    # ------------------------------------------------------------------
+    def _argref(self, expr):
+        from repro.fortran.interp import (
+            ArrayRef, CellRef, ElementRef, ValueRef,
+        )
+        if expr.__class__ is ast.Var:
+            name = expr.name
+            kind = self._kind(name)
+            if kind is not _DYNAMIC:
+                i = self._slot(name)
+
+                def mk(f, _i=i):
+                    return f.argrefs[_i]
+                return mk
+            procedure = (name in self.program.units
+                         or name in self._externals
+                         or self.interp.external.is_external(name))
+            const = ValueRef(name) if procedure else None
+
+            def mk(f, _n=name, _c=const, _cr=CellRef, _ar=ArrayRef):
+                entry = f.vars.get(_n)
+                if entry is not None:
+                    if entry.__class__ is FArray:
+                        return _ar(entry)
+                    return _cr(entry)
+                if _c is not None:
+                    return _c
+                return _cr(f.get_or_create_scalar(_n))
+            return mk
+        if expr.__class__ is ast.Apply:
+            name = expr.name
+            kind = self._kind(name)
+            if kind is _ARRAY or kind is _MAYBE:
+                i = self._slot(name)
+                subs = tuple(self._expr(a) for a in expr.args)
+                value = self._expr(expr) if kind is _MAYBE else None
+
+                def mk(f, _i=i, _s=subs, _v=value, _er=ElementRef,
+                       _vr=ValueRef):
+                    entry = f.slots[_i]
+                    if entry.__class__ is FArray:
+                        return _er(entry,
+                                   tuple(int(c(f)) for c in _s))
+                    return _vr(_v(f))
+                return mk
+            if kind is _DYNAMIC:
+                subs = tuple(self._expr(a) for a in expr.args)
+                value = self._expr(expr)
+
+                def mk(f, _n=name, _s=subs, _v=value, _er=ElementRef,
+                       _vr=ValueRef):
+                    entry = f.vars.get(_n)
+                    if entry is not None and entry.__class__ is FArray:
+                        return _er(entry,
+                                   tuple(int(c(f)) for c in _s))
+                    return _vr(_v(f))
+                return mk
+        value = self._expr(expr)
+        from repro.fortran.interp import ValueRef as _VR
+
+        def mk(f, _v=value, _vr=_VR):
+            return _vr(_v(f))
+        return mk
+
+
+def _noop(f):
+    return None
+
+
+def _raise_non_numeric(a, b):
+    from repro.fortran.interp import _require_numeric
+    _require_numeric(a)
+    _require_numeric(b)
+
+
+_STMT_DISPATCH = {
+    ast.Assign: CompiledUnit._st_assign,
+    ast.Continue: CompiledUnit._st_continue,
+    ast.Goto: CompiledUnit._st_goto,
+    ast.ComputedGoto: CompiledUnit._st_computed_goto,
+    ast.LogicalIf: CompiledUnit._st_logical_if,
+    ast.IfThen: CompiledUnit._st_if_then,
+    ast.ElseIf: CompiledUnit._st_else_if,
+    ast.Else: CompiledUnit._st_else,
+    ast.EndIf: CompiledUnit._st_end_if,
+    ast.Do: CompiledUnit._st_do,
+    ast.EndDo: CompiledUnit._st_end_do,
+    ast.Call: CompiledUnit._st_call,
+    ast.Return: CompiledUnit._st_return,
+    ast.EndUnit: CompiledUnit._st_return,
+    ast.Stop: CompiledUnit._st_stop,
+    ast.Write: CompiledUnit._st_write,
+    ast.Read: CompiledUnit._st_read,
+}

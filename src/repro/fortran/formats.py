@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro._util.errors import FortranError
 from repro.fortran.values import FValue
@@ -35,12 +36,20 @@ class _Edit:
     text: str = ""
 
 
-def parse_format(text: str) -> list[_Edit]:
-    """Parse the body of a FORMAT statement (text between parens)."""
+@lru_cache(maxsize=512)
+def parse_format(text: str) -> tuple[_Edit, ...]:
+    """Parse the body of a FORMAT statement (text between parens).
+
+    Results are cached per format text: a PRINT/WRITE inside a loop
+    re-parses nothing.  The cache is safe to share because the return
+    value is an immutable tuple of frozen ``_Edit``s, keyed only on the
+    text — the values later formatted through the edits never reach the
+    cache.
+    """
     items: list[_Edit] = []
     for token in _split_top_level(text):
         items.extend(_parse_token(token))
-    return items
+    return tuple(items)
 
 
 def _split_top_level(text: str) -> list[str]:
@@ -94,8 +103,7 @@ def _parse_token(token: str) -> list[_Edit]:
     match = _GROUP.match(token)
     if match:
         repeat = int(match.group(1) or 1)
-        inner = parse_format(match.group(2))
-        return inner * repeat
+        return list(parse_format(match.group(2))) * repeat
     match = _SIMPLE.match(token)
     if match:
         repeat = int(match.group(1) or 1)
@@ -108,7 +116,8 @@ def _parse_token(token: str) -> list[_Edit]:
     raise FortranError(f"unsupported FORMAT descriptor {token!r}")
 
 
-def apply_format(edits: list[_Edit], values: list[FValue]) -> list[str]:
+def apply_format(edits: tuple[_Edit, ...] | list[_Edit],
+                 values: list[FValue]) -> list[str]:
     """Produce output lines from edit descriptors and values."""
     lines: list[str] = []
     current: list[str] = []

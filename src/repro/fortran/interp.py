@@ -16,6 +16,7 @@ the exact shared-memory model of the paper's machines.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -251,7 +252,8 @@ class Frame:
     """Activation record for one program-unit invocation."""
 
     __slots__ = ("unit", "vars", "do_stack", "process", "interpreter",
-                 "result_cell", "externals")
+                 "result_cell", "externals", "slots", "argrefs", "fast",
+                 "depth")
 
     def __init__(self, unit: ProgramUnit) -> None:
         self.unit = unit
@@ -262,6 +264,11 @@ class Frame:
         self.interpreter: Interpreter | None = None
         self.result_cell: Cell | None = None
         self.externals: set[str] = set()
+        # compiled-layer bindings (repro.fortran.compile)
+        self.slots: list | None = None
+        self.argrefs: list | None = None
+        self.fast: list | None = None
+        self.depth: int = 0
 
     def lookup(self, name: str):
         return self.vars.get(name)
@@ -295,7 +302,8 @@ class Interpreter:
                  commons: CommonProvider | None = None,
                  on_output: Callable[[str, Frame], None] | None = None,
                  cost_scale: int = 1,
-                 max_call_depth: int = 64) -> None:
+                 max_call_depth: int = 64,
+                 compiled: bool = True) -> None:
         self.program = program
         self.external = external or ExternalCallHandler()
         self.commons = commons or CommonProvider()
@@ -304,6 +312,11 @@ class Interpreter:
         self.cost_scale = cost_scale
         self.max_call_depth = max_call_depth
         self.input_data: list[FValue] = []
+        # Compiled execution layer (repro.fortran.compile): on by
+        # default, REPRO_NO_JIT=1 forces the tree-walker everywhere.
+        self.compiled_enabled = compiled and not os.environ.get(
+            "REPRO_NO_JIT")
+        self._compiled = None
 
     # ------------------------------------------------------------------
     # entry points
@@ -322,8 +335,34 @@ class Interpreter:
         """Generator executing one unit invocation.
 
         The generator's return value (StopIteration.value) is the
-        function result for FUNCTION units, else None.
+        function result for FUNCTION units, else None.  Units compile
+        to closure tables on first use (see
+        :mod:`repro.fortran.compile`); units the compiled layer cannot
+        handle fall back to the tree-walker, with the reason recorded
+        in :attr:`compile_fallbacks`.
         """
+        if self.compiled_enabled:
+            compiled = self._compiled_unit(unit)
+            if compiled is not None:
+                return compiled.run(args, depth, process)
+        return self._run_unit_tree(unit, args, depth, process)
+
+    def _compiled_unit(self, unit: ProgramUnit):
+        if self._compiled is None:
+            from repro.fortran.compile import CompiledProgram
+            self._compiled = CompiledProgram(self)
+        return self._compiled.unit_for(unit)
+
+    @property
+    def compile_fallbacks(self) -> dict[str, str]:
+        """Unit name -> reason it runs on the tree-walker (empty when
+        every executed unit uses the compiled layer)."""
+        return {} if self._compiled is None \
+            else dict(self._compiled.fallbacks)
+
+    def _run_unit_tree(self, unit: ProgramUnit, args: list[ArgRef],
+                       depth: int = 0, process=None) -> Iterator:
+        """The original tree-walking executor (fallback + oracle)."""
         if depth > self.max_call_depth:
             raise FortranError(f"call depth exceeds {self.max_call_depth} "
                                f"(runaway recursion?)", unit=unit.name)

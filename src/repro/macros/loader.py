@@ -49,8 +49,15 @@ def machindep_definitions() -> str:
     return MACHINE_INDEPENDENT_DEFS
 
 
-def build_processor(machine: MachineModel) -> M4Processor:
-    """An m4 engine ready to expand a sed-translated Force program."""
+def build_processor(machine: MachineModel,
+                    extra_definitions: str | None = None) -> M4Processor:
+    """An m4 engine ready to expand a sed-translated Force program.
+
+    ``extra_definitions`` is loaded *after* the machine-independent
+    library, so it can override tunable defaults (``ZZSCHED`` /
+    ``ZZCHUNK`` for the selfscheduled-DOALL dispatch policy) the same
+    way a site-local m4 file would in the original toolchain.
+    """
     m4 = M4Processor()
     m4.load_definitions(machdep_definitions(machine))
     missing = [name for name in MACHDEP_INTERFACE if not m4.is_defined(name)]
@@ -59,4 +66,6 @@ def build_processor(machine: MachineModel) -> M4Processor:
             f"{machine.name} machine-dependent macros incomplete: "
             f"missing {', '.join(missing)}")
     m4.load_definitions(machindep_definitions())
+    if extra_definitions:
+        m4.load_definitions(extra_definitions)
     return m4

@@ -137,6 +137,12 @@ C prescheduled loop ($1): blocked `index' distribution
       $2 = (zz_first($3)) + ZZP$1 * (zz_third($3))')dnl
 define(`end_blocksched_do', `zz_endlabel(`$1') CONTINUE`'popdef(`ZZDOL')')dnl
 dnl === selfscheduled DOALL (the paper's section 4.2 expansion) =======
+dnl ZZSCHED selects the dispatch policy: `self' (one index per lock
+dnl round, the paper's listing), `chunked' (ZZCHUNK indices per round)
+dnl or `guided' (remaining/ZZNPID, min 1).  Overridden by loading
+dnl extra definitions after this library (force translate --sched).
+define(`ZZSCHED', `self')dnl
+define(`ZZCHUNK', `1')dnl
 define(`selfsched_do', `pushdef(`ZZDOL', `$1')dnl
       INTEGER ZZI$1
       COMMON /ZZC$1/ ZZI$1
@@ -157,16 +163,35 @@ C report arrival of processes
       ELSE
       mi_unlock(`BARWIN')
       END IF
-C self scheduled loop `index' distribution
+ifelse(ZZSCHED, `self', `C self scheduled loop `index' distribution
 $1 mi_lock(`ZZL$1')
 C get next `index' value
       $2 = ZZI$1
       ZZI$1 = $2 + (zz_third($3))
       mi_unlock(`ZZL$1')
 C test for completion
-      IF (((zz_third($3)) .GT. 0 .AND. $2 .LE. (zz_second($3))) .OR. ((zz_third($3)) .LT. 0 .AND. $2 .GE. (zz_second($3)))) THEN')dnl
-define(`end_selfsched_do', `      GO TO zz_endlabel(`$1')
-      END IF
+      IF (((zz_third($3)) .GT. 0 .AND. $2 .LE. (zz_second($3))) .OR. ((zz_third($3)) .LT. 0 .AND. $2 .GE. (zz_second($3)))) THEN', `pushdef(`ZZCLB', zz_newlabel)dnl
+C self scheduled loop `index' distribution (ZZSCHED)
+      INTEGER ZZV$1, ZZH$1, ZZN$1
+$1 mi_lock(`ZZL$1')
+C claim a chunk of `index' values
+      ZZV$1 = ZZI$1
+ifelse(ZZSCHED, `guided', `      ZZH$1 = ((zz_second($3)) - ZZV$1 + (zz_third($3)))
+     & / (zz_third($3)) / ZZNPID
+      IF (ZZH$1 .LT. 1) ZZH$1 = 1', `      ZZH$1 = ZZCHUNK')
+      ZZI$1 = ZZV$1 + ZZH$1 * (zz_third($3))
+      mi_unlock(`ZZL$1')
+C test for completion
+      IF (((zz_third($3)) .GT. 0 .AND. ZZV$1 .LE. (zz_second($3))) .OR. ((zz_third($3)) .LT. 0 .AND. ZZV$1 .GE. (zz_second($3)))) THEN
+C iterate over the claimed chunk
+      DO ZZCLB ZZN$1 = 0, ZZH$1 - 1
+      $2 = ZZV$1 + ZZN$1 * (zz_third($3))
+      IF (((zz_third($3)) .GT. 0 .AND. $2 .LE. (zz_second($3))) .OR. ((zz_third($3)) .LT. 0 .AND. $2 .GE. (zz_second($3)))) THEN')')dnl
+define(`end_selfsched_do', `ifelse(ZZSCHED, `self', `      GO TO zz_endlabel(`$1')
+      END IF', `      END IF
+ZZCLB CONTINUE
+      GO TO zz_endlabel(`$1')
+      END IF`'popdef(`ZZCLB')')
 C loop exit code
       mi_lock(`BARWOT')
 C report exit of processes

@@ -72,6 +72,18 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _chunk_size(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a chunk size >= 1 (got {value})")
+    return value
+
+
 def _positive_float(text: str) -> float:
     try:
         value = float(text)
@@ -123,6 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
     translate.add_argument("--check", action="store_true",
                            help="run the static analyzer first and refuse "
                                 "to translate a program with errors")
+    translate.add_argument("--sched", choices=["self", "chunked", "guided"],
+                           default=None,
+                           help="selfscheduled-DOALL dispatch policy "
+                                "(default: the paper's one index per "
+                                "lock round)")
+    translate.add_argument("--chunk", type=_chunk_size, default=None,
+                           metavar="N",
+                           help="indices claimed per lock round for "
+                                "--sched chunked (implies it when > 1)")
     translate.set_defaults(func=_cmd_translate)
 
     run = sub.add_parser("run", help="simulate a Force program")
@@ -153,7 +174,34 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="wall-clock bound for the simulation; a run "
                           "still churning past it exits 3 with a "
                           "structured deadline error")
+    run.add_argument("--sched", choices=["self", "chunked", "guided"],
+                     default=None,
+                     help="selfscheduled-DOALL dispatch policy "
+                          "(default: the paper's one index per lock "
+                          "round)")
+    run.add_argument("--chunk", type=_chunk_size, default=None,
+                     metavar="N",
+                     help="indices claimed per lock round for "
+                          "--sched chunked (implies it when > 1)")
+    run.add_argument("--no-jit", action="store_true",
+                     help="execute on the tree-walking interpreter "
+                          "instead of the compiled execution layer "
+                          "(the differential-testing oracle)")
     run.set_defaults(func=_cmd_run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance suite and record the results")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller problem sizes and fewer repeats "
+                            "(CI smoke mode)")
+    bench.add_argument("--output", metavar="FILE", default=None,
+                       help="results file to merge into (default: "
+                            "BENCH_results.json in the current "
+                            "directory)")
+    bench.add_argument("--format", choices=["text", "json"],
+                       default="text", help="report format")
+    bench.set_defaults(func=_cmd_bench)
 
     trace = sub.add_parser(
         "trace", help="summarize a trace file written by run --trace")
@@ -239,17 +287,20 @@ def _cmd_translate(args: argparse.Namespace) -> int:
             print("force: error: static checks failed; not translating "
                   "(rerun without --check to override)", file=sys.stderr)
             return 1
-    result = force_translate(source, machine)
+    result = force_translate(source, machine,
+                             sched=args.sched, chunk=args.chunk)
     print(result.sed_output if args.stage == "sed" else result.fortran)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     machine = get_machine(args.machine)
-    translation = force_translate(_read(args.source), machine)
+    translation = force_translate(_read(args.source), machine,
+                                  sched=args.sched, chunk=args.chunk)
     result = force_run(translation, args.nproc,
                        trace=args.trace is not None,
-                       deadline=args.deadline)
+                       deadline=args.deadline,
+                       compiled=not args.no_jit)
     trace_file = None
     if args.trace is not None and args.trace != "-":
         from repro.trace.export import write_trace_file
@@ -291,6 +342,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.sim.timeline import render_utilization
         print(render_utilization(result.stats), file=sys.stderr)
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.bench import render_bench_report, run_bench_suite
+
+    output = Path(args.output) if args.output else None
+    report = run_bench_suite(quick=args.quick, output=output)
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_bench_report(report))
+    if report["fallbacks"]:
+        print("force: error: compiled layer fell back to the "
+              "tree-walker on corpus program(s): "
+              f"{', '.join(sorted(report['fallbacks']))}",
+              file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_OK
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

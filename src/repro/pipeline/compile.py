@@ -30,16 +30,53 @@ class TranslationResult:
         return "SUBROUTINE ZZSTRT" in self.fortran
 
 
-def force_translate(source: str, machine: MachineModel) -> TranslationResult:
+SCHEDULES = ("self", "chunked", "guided")
+
+
+def scheduling_definitions(sched: str | None,
+                           chunk: int | None) -> str | None:
+    """Extra m4 defines selecting the selfsched dispatch policy.
+
+    Mirrors the native runtime's normalisation: a bare ``chunk > 1``
+    implies ``chunked``; ``self`` with ``chunk > 1`` is contradictory.
+    Returns ``None`` when both are at their defaults, so the expansion
+    stays byte-identical to the paper's §4.2 listing.
+    """
+    if chunk is not None and chunk < 1:
+        raise ForceError("selfsched chunk must be >= 1")
+    if sched is None and chunk is not None and chunk > 1:
+        sched = "chunked"
+    if sched is not None and sched not in SCHEDULES:
+        raise ForceError(
+            f"unknown selfsched schedule {sched!r}: "
+            f"expected one of {', '.join(SCHEDULES)}")
+    if sched == "self" and chunk is not None and chunk > 1:
+        raise ForceError(
+            "schedule 'self' hands out one iteration at a time; "
+            "use --sched chunked with --chunk > 1")
+    lines = []
+    if sched is not None and sched != "self":
+        lines.append(f"define(`ZZSCHED', `{sched}')dnl")
+    if chunk is not None and chunk != 1:
+        lines.append(f"define(`ZZCHUNK', `{chunk}')dnl")
+    return "\n".join(lines) + "\n" if lines else None
+
+
+def force_translate(source: str, machine: MachineModel,
+                    sched: str | None = None,
+                    chunk: int | None = None) -> TranslationResult:
     """Run the full preprocessing pipeline for one machine.
 
     Returns the translated Fortran with the machine-dependent driver
     module moved to the beginning of the code (§4.3), plus the list of
     compile-time shared-memory directives found (empty on link-/run-
-    time binding machines).
+    time binding machines).  ``sched``/``chunk`` select the
+    selfscheduled-DOALL dispatch policy (see ``ZZSCHED`` in the
+    machine-independent library); the defaults reproduce the paper's
+    one-index-per-lock expansion exactly.
     """
     sed_output = translate_force_source(source)
-    m4 = build_processor(machine)
+    m4 = build_processor(machine, scheduling_definitions(sched, chunk))
     expanded = m4.process(sed_output + "\nforce_finalize()\n")
     fortran = _relocate_driver(expanded)
     directives = _DIRECTIVE.findall(fortran)

@@ -40,6 +40,9 @@ class RunResult:
     memory_plan: SharedRegionPlan | None = None
     #: (time, process, event) triples when run with ``trace=True``
     trace: list[tuple[int, str, str]] = field(default_factory=list)
+    #: program units the compiled execution layer could not handle
+    #: (unit name → reason); empty when everything ran compiled
+    compile_fallbacks: dict[str, str] = field(default_factory=dict)
 
     @property
     def makespan(self) -> int:
@@ -103,7 +106,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
               trace: bool = False,
               processors: int | None = None,
               unlimited_processors: bool = False,
-              deadline: float | None = None) -> RunResult:
+              deadline: float | None = None,
+              compiled: bool = True) -> RunResult:
     """Simulate a translated Force program with ``nproc`` processes.
 
     By default the simulation honours the machine's processor count
@@ -112,7 +116,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
     ideal CPU (algorithm-measurement mode).  ``deadline`` bounds the
     run in wall-clock seconds — exceeding it raises
     :class:`~repro._util.errors.SimDeadlockError` instead of churning
-    forever on a livelocked program.
+    forever on a livelocked program.  ``compiled=False`` forces the
+    tree-walking interpreter (the ``--no-jit`` differential oracle).
     """
     machine = translation.machine
     if nproc <= 0:
@@ -131,7 +136,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
     linker_commands: list[str] = []
     if machine.sharing_binding is SharingBinding.LINK_TIME:
         collector = _StartupCollector()
-        startup_interp = Interpreter(program, external=collector)
+        startup_interp = Interpreter(program, external=collector,
+                                     compiled=compiled)
         if "ZZSTRT" in program.units:
             drain(startup_interp.run_unit(program.unit("ZZSTRT"), []))
         for block in collector.blocks:
@@ -151,7 +157,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
         records.append((when, who, line))
 
     interp = Interpreter(program, external=runtime,
-                         commons=runtime.provider, on_output=on_output)
+                         commons=runtime.provider, on_output=on_output,
+                         compiled=compiled)
     runtime.interpreter = interp
 
     driver_holder: list = []
@@ -183,13 +190,16 @@ def force_run(translation: TranslationResult, nproc: int, *,
         linker_commands=linker_commands,
         memory_plan=memory_plan,
         trace=scheduler.trace,
+        compile_fallbacks=interp.compile_fallbacks,
     )
 
 
 def force_compile_and_run(source: str, machine: MachineModel, nproc: int,
-                          **kwargs) -> RunResult:
+                          *, sched: str | None = None,
+                          chunk: int | None = None, **kwargs) -> RunResult:
     """Convenience: translate then simulate in one call."""
-    return force_run(force_translate(source, machine), nproc, **kwargs)
+    translation = force_translate(source, machine, sched=sched, chunk=chunk)
+    return force_run(translation, nproc, **kwargs)
 
 
 def _build_memory_plan(runtime: ForceRuntime) -> SharedRegionPlan | None:

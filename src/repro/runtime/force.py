@@ -97,12 +97,16 @@ class _SelfschedLoop:
 
     def __init__(self, nproc: int, *,
                  cancel: CancelToken | None = None,
-                 on_chunk: Callable[[], None] | None = None,
+                 on_chunk: Callable[[int], None] | None = None,
                  tracer: TraceCollector | None = None,
                  injector: FaultInjector | None = None,
                  dead_check: Callable[[], list[int]] | None = None,
-                 label: str = "") -> None:
+                 label: str = "",
+                 chunk: int = 1,
+                 schedule: str = "self") -> None:
         self.nproc = nproc
+        self.chunk = chunk
+        self.schedule = schedule
         self._condition = threading.Condition()
         self._phase = "entry"
         self._inside = 0
@@ -164,20 +168,31 @@ class _SelfschedLoop:
                     if self._cancel is not None:
                         self._cancel.check()
                     value = self._next
-                    self._next = value + step
-                if (step > 0 and value <= last) or \
-                        (step < 0 and value >= last):
-                    if self._on_chunk is not None:
-                        self._on_chunk()
-                    if tracer is not None:
-                        tracer.record("selfsched", self._label, "chunk",
-                                      index=value)
-                    if self._injector is not None:
-                        self._injector.fire("selfsched.chunk",
-                                            self._label)
-                    yield value
-                else:
-                    break
+                    if step > 0:
+                        remaining = (last - value) // step + 1 \
+                            if value <= last else 0
+                    else:
+                        remaining = (last - value) // step + 1 \
+                            if value >= last else 0
+                    if remaining <= 0:
+                        break
+                    if self.schedule == "guided":
+                        size = max(1, remaining // self.nproc)
+                    else:
+                        size = self.chunk
+                    if size > remaining:
+                        size = remaining
+                    self._next = value + size * step
+                if self._on_chunk is not None:
+                    self._on_chunk(size)
+                if tracer is not None:
+                    tracer.record("selfsched", self._label, "chunk",
+                                  index=value, size=size)
+                if self._injector is not None:
+                    self._injector.fire("selfsched.chunk",
+                                        self._label)
+                for offset in range(size):
+                    yield value + offset * step
         finally:
             if isinstance(sys.exc_info()[1], InjectedDeath):
                 # Abrupt injected death: no cleanup by design.  The
@@ -523,12 +538,33 @@ class Force:
             value += stride
 
     def selfsched_range(self, label: str, first: int, last: int,
-                        step: int = 1) -> Iterator[int]:
+                        step: int = 1, *, chunk: int = 1,
+                        schedule: str | None = None) -> Iterator[int]:
         """Selfscheduled DOALL: indices handed out on demand.
 
         ``label`` identifies the loop (like the statement label in the
         Force); all processes must use the same label for one loop.
+
+        ``schedule`` picks the dispatch policy: ``"self"`` hands out one
+        iteration per critical-section acquisition (the paper's §4.2
+        expansion), ``"chunked"`` claims ``chunk`` iterations at a time,
+        and ``"guided"`` claims ``max(1, remaining // nproc)``.  When
+        ``schedule`` is omitted it defaults to ``"chunked"`` if
+        ``chunk > 1``, else ``"self"``.  All processes must agree on the
+        policy for a given label.
         """
+        if chunk < 1:
+            raise ForceError("selfsched chunk must be >= 1")
+        if schedule is None:
+            schedule = "chunked" if chunk > 1 else "self"
+        if schedule not in ("self", "chunked", "guided"):
+            raise ForceError(
+                f"unknown selfsched schedule {schedule!r}: "
+                "expected 'self', 'chunked' or 'guided'")
+        if schedule == "self" and chunk != 1:
+            raise ForceError(
+                "schedule 'self' hands out one iteration at a time; "
+                "use schedule='chunked' with chunk > 1")
         with self._registry_lock:
             loop = self._loops.get(label)
             if loop is None:
@@ -536,16 +572,23 @@ class Force:
                 if self._stats is not None:
                     stats = self._stats
 
-                    def on_chunk(label=label) -> None:
-                        stats.record_selfsched_chunk(label)
+                    def on_chunk(size: int, label=label) -> None:
+                        stats.record_selfsched_chunk(label, size)
 
                 loop = _SelfschedLoop(self.nproc, cancel=self._cancel,
                                       on_chunk=on_chunk,
                                       tracer=self._tracer,
                                       injector=self._injector,
                                       dead_check=self._dead_workers,
-                                      label=label)
+                                      label=label,
+                                      chunk=chunk,
+                                      schedule=schedule)
                 self._loops[label] = loop
+            elif loop.chunk != chunk or loop.schedule != schedule:
+                raise ForceError(
+                    f"selfsched '{label}': conflicting policy "
+                    f"(existing {loop.schedule!r} chunk={loop.chunk}, "
+                    f"requested {schedule!r} chunk={chunk})")
         return loop.iterate(first, last, step)
 
     def presched_pairs(self, me: int, outer: range,

@@ -95,7 +95,7 @@ class ForceStats:
         self.barrier_episodes = 0
         self.barrier_wait = WaitStat()
         self.criticals: dict[str, dict[str, Any]] = {}
-        self.selfsched_chunks: dict[str, int] = {}
+        self.selfsched_chunks: dict[str, dict[str, int]] = {}
         self.askfor: dict[str, dict[str, int]] = {}
         self.asyncvar: dict[str, WaitStat] = {}
 
@@ -123,10 +123,22 @@ class ForceStats:
                 entry["wait"].record(waited)
 
     # -- selfscheduled loops -------------------------------------------
-    def record_selfsched_chunk(self, label: str) -> None:
+    def record_selfsched_chunk(self, label: str, size: int = 1) -> None:
+        """One chunk dispatch of ``size`` indices.
+
+        A chunk costs one critical-section acquisition regardless of
+        its size, so ``chunks`` counts lock traffic while ``indices``
+        counts work handed out — the ratio is the dispatch granularity.
+        """
         with self._lock:
-            self.selfsched_chunks[label] = \
-                self.selfsched_chunks.get(label, 0) + 1
+            entry = self.selfsched_chunks.get(label)
+            if entry is None:
+                entry = {"chunks": 0, "indices": 0, "max_chunk": 0}
+                self.selfsched_chunks[label] = entry
+            entry["chunks"] += 1
+            entry["indices"] += size
+            if size > entry["max_chunk"]:
+                entry["max_chunk"] = size
 
     # -- askfor pools --------------------------------------------------
     def record_askfor(self, name: str, *, total_put: int, total_got: int,
@@ -164,9 +176,15 @@ class ForceStats:
                 mine["acquisitions"] += entry["acquisitions"]
                 mine["contended"] += entry["contended"]
                 mine["wait"].merge(entry["wait"])
-            for label, chunks in other.selfsched_chunks.items():
-                self.selfsched_chunks[label] = \
-                    self.selfsched_chunks.get(label, 0) + chunks
+            for label, entry in other.selfsched_chunks.items():
+                mine = self.selfsched_chunks.get(label)
+                if mine is None:
+                    mine = {"chunks": 0, "indices": 0, "max_chunk": 0}
+                    self.selfsched_chunks[label] = mine
+                mine["chunks"] += entry["chunks"]
+                mine["indices"] += entry["indices"]
+                mine["max_chunk"] = max(mine["max_chunk"],
+                                        entry["max_chunk"])
             for name, entry in other.askfor.items():
                 mine = self.askfor.get(name)
                 if mine is None:
@@ -200,7 +218,9 @@ class ForceStats:
                     }
                     for name, entry in sorted(self.criticals.items())
                 },
-                "selfsched": dict(sorted(self.selfsched_chunks.items())),
+                "selfsched": {label: dict(entry)
+                              for label, entry in
+                              sorted(self.selfsched_chunks.items())},
                 "askfor": {name: dict(v)
                            for name, v in sorted(self.askfor.items())},
                 "asyncvar": {name: stat.as_dict()
@@ -267,8 +287,16 @@ def render_stats(stats: dict[str, Any]) -> str:
     selfsched = stats.get("selfsched")
     if selfsched:
         lines.append("--- selfscheduled loops ---")
-        for label, chunks in sorted(selfsched.items()):
-            lines.append(f"{label:18s} {chunks:>8d} chunks dispatched")
+        for label, entry in sorted(selfsched.items()):
+            if isinstance(entry, int):
+                # pre-chunking stats dicts loaded back from JSON
+                lines.append(
+                    f"{label:18s} {entry:>8d} chunks dispatched")
+                continue
+            lines.append(
+                f"{label:18s} {entry['chunks']:>8d} chunks, "
+                f"{entry['indices']:>8d} indices "
+                f"(max chunk {entry['max_chunk']})")
 
     askfor = stats.get("askfor")
     if askfor:

@@ -48,6 +48,38 @@ class TestFormatParser:
             parse_format("I")
 
 
+class TestFormatCache:
+    def test_same_text_returns_equal_edits(self):
+        first = parse_format("I4, 2X, F8.3")
+        second = parse_format("I4, 2X, F8.3")
+        assert first == second
+        assert first is second      # cached, not re-parsed
+
+    def test_cached_edits_are_immutable(self):
+        edits = parse_format("3I4")
+        assert isinstance(edits, tuple)
+        with pytest.raises((TypeError, AttributeError)):
+            edits[0].width = 99
+
+    def test_values_do_not_leak_across_retyped_uses(self):
+        # The cache keys only on the format text: rendering different
+        # value types through the same cached edits must stay
+        # independent.
+        edits = parse_format("I6")
+        assert apply_format(edits, [7]) == ["     7"]
+        assert apply_format(parse_format("I6"), [123456]) == ["123456"]
+        assert apply_format(edits, [7]) == ["     7"]
+
+    def test_distinct_texts_distinct_edits(self):
+        assert parse_format("I4") != parse_format("I5")
+
+    def test_errors_are_not_cached_as_results(self):
+        with pytest.raises(FortranError):
+            parse_format("Z1")
+        with pytest.raises(FortranError):
+            parse_format("Z1")
+
+
 class TestApplyFormat:
     def test_integer_right_justified(self):
         lines = apply_format(parse_format("I5"), [42])

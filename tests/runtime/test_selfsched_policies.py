@@ -1,0 +1,211 @@
+"""Scheduling policies for the selfscheduled DOALL.
+
+``chunked`` and ``guided`` dispatch must hand out *exactly* the same
+index set as the paper's one-at-a-time protocol — each index once,
+none skipped, none duplicated — at every force width, and must compose
+with the fault-injection and cancellation machinery exactly like the
+original loop (a ``die`` mid-chunk strands the loop protocol, which
+surviving peers detect as a dead worker).
+"""
+
+import time
+
+import pytest
+
+from repro._util.errors import ForceError
+from repro.faults.plan import FaultPlan
+from repro.runtime import Force, ForceProgramError, ForceWorkerDied
+
+JOIN_TIMEOUT = 20.0
+
+
+def collect_indices(nproc, first, last, step=1, **kwargs):
+    """Run a selfsched loop; return (sorted indices, per-label stats)."""
+    force = Force(nproc=nproc, timeout=JOIN_TIMEOUT, stats=True)
+    seen = []
+
+    def program(force, me):
+        mine = [i for i in
+                force.selfsched_range("L", first, last, step, **kwargs)]
+        with force.critical("collect"):
+            seen.extend(mine)
+
+    force.run(program)
+    empty = {"chunks": 0, "indices": 0, "max_chunk": 0}
+    return sorted(seen), force.stats["selfsched"].get("L", empty)
+
+
+class TestSameResultSet:
+    @pytest.mark.parametrize("nproc", [1, 2, 4, 8])
+    @pytest.mark.parametrize("kwargs", [
+        {},
+        {"chunk": 4},
+        {"chunk": 16},
+        {"chunk": 7},                    # does not divide the range
+        {"schedule": "guided"},
+    ], ids=["self", "chunk4", "chunk16", "chunk7", "guided"])
+    def test_every_index_exactly_once(self, nproc, kwargs):
+        indices, _stats = collect_indices(nproc, 1, 100, **kwargs)
+        assert indices == list(range(1, 101))
+
+    @pytest.mark.parametrize("nproc", [1, 2, 4])
+    def test_negative_step_chunked(self, nproc):
+        indices, _stats = collect_indices(nproc, 50, 1, -3, chunk=4)
+        assert indices == sorted(range(50, 0, -3))
+
+    @pytest.mark.parametrize("nproc", [1, 2, 4])
+    def test_empty_range_chunked(self, nproc):
+        indices, stats = collect_indices(nproc, 5, 4, 1, chunk=8)
+        assert indices == []
+        assert stats["indices"] == 0
+
+    def test_chunk_larger_than_range(self):
+        indices, stats = collect_indices(4, 1, 10, chunk=64)
+        assert indices == list(range(1, 11))
+        assert stats == {"chunks": 1, "indices": 10, "max_chunk": 10}
+
+
+class TestDispatchAccounting:
+    def test_chunks_equal_lock_rounds(self):
+        # One chunk == one lock acquisition; chunked dispatch is
+        # deterministic: ceil(iters / chunk) rounds regardless of
+        # interleaving or force width.
+        for nproc in (1, 2, 4, 8):
+            _indices, stats = collect_indices(nproc, 1, 100, chunk=16)
+            assert stats["chunks"] == 7          # ceil(100 / 16)
+            assert stats["indices"] == 100
+            assert stats["max_chunk"] == 16
+
+    def test_self_policy_one_index_per_round(self):
+        _indices, stats = collect_indices(4, 1, 40)
+        assert stats == {"chunks": 40, "indices": 40, "max_chunk": 1}
+
+    def test_guided_shrinks_and_covers(self):
+        _indices, stats = collect_indices(4, 1, 100,
+                                          schedule="guided")
+        assert stats["indices"] == 100
+        assert stats["chunks"] < 100             # bigger than one each
+        assert stats["max_chunk"] >= 100 // 4 // 2
+
+    def test_trace_records_chunk_size(self):
+        force = Force(nproc=2, timeout=JOIN_TIMEOUT, trace=True)
+
+        def program(force, me):
+            for _i in force.selfsched_range("L", 1, 32, chunk=8):
+                pass
+
+        force.run(program)
+        chunks = [e for e in force.trace_events()
+                  if e.kind == "selfsched" and e.op == "chunk"]
+        assert len(chunks) == 4
+        assert all(e.args["size"] == 8 for e in chunks)
+        assert sorted(e.args["index"] for e in chunks) == [1, 9, 17, 25]
+
+
+class TestPolicyValidation:
+    def test_unknown_schedule_rejected(self):
+        force = Force(nproc=1, timeout=JOIN_TIMEOUT)
+
+        def program(force, me):
+            for _i in force.selfsched_range("L", 1, 10,
+                                            schedule="dynamic"):
+                pass
+
+        with pytest.raises(ForceProgramError) as info:
+            force.run(program)
+        assert isinstance(info.value.original, ForceError)
+
+    def test_zero_chunk_rejected(self):
+        force = Force(nproc=1, timeout=JOIN_TIMEOUT)
+
+        def program(force, me):
+            for _i in force.selfsched_range("L", 1, 10, chunk=0):
+                pass
+
+        with pytest.raises(ForceProgramError):
+            force.run(program)
+
+    def test_self_with_chunk_contradiction_rejected(self):
+        force = Force(nproc=1, timeout=JOIN_TIMEOUT)
+
+        def program(force, me):
+            for _i in force.selfsched_range("L", 1, 10, chunk=4,
+                                            schedule="self"):
+                pass
+
+        with pytest.raises(ForceProgramError):
+            force.run(program)
+
+    def test_conflicting_policies_on_one_label_rejected(self):
+        force = Force(nproc=2, timeout=JOIN_TIMEOUT)
+
+        def program(force, me):
+            kwargs = {"chunk": 16} if me == 1 else {}
+            for _i in force.selfsched_range("L", 1, 100, **kwargs):
+                pass
+
+        with pytest.raises(ForceProgramError) as info:
+            force.run(program)
+        assert "conflicting policy" in str(info.value.original)
+
+
+class TestFaultComposition:
+    def test_die_mid_chunk_is_detected_by_peers(self):
+        # The dead worker never completes the exit protocol; survivors
+        # must get a structured dead-worker verdict, not a hang.
+        force = Force(4, timeout=JOIN_TIMEOUT, construct_timeout=5.0,
+                      inject=FaultPlan.from_specs(
+                          ["die@selfsched.chunk/L"]))
+
+        def program(force, me):
+            for _i in force.selfsched_range("L", 1, 100, chunk=8):
+                pass
+
+        start = time.monotonic()
+        with pytest.raises((ForceWorkerDied, ForceProgramError)):
+            force.run(program)
+        assert time.monotonic() - start < 10.0
+        assert len(force.injected_faults()) == 1
+
+    def test_raise_mid_chunk_cancels_peers(self):
+        force = Force(4, timeout=JOIN_TIMEOUT,
+                      inject=FaultPlan.from_specs(
+                          ["raise@selfsched.chunk/L"]))
+
+        def program(force, me):
+            for _i in force.selfsched_range("L", 1, 100, chunk=8):
+                pass
+
+        with pytest.raises(ForceProgramError):
+            force.run(program)
+        assert len(force.injected_faults()) == 1
+
+    def test_peer_failure_cancels_blocked_chunked_loop(self):
+        # A process that dies before entering the loop poisons the
+        # chunked entry protocol the same way it does the original.
+        force = Force(nproc=3, timeout=JOIN_TIMEOUT)
+
+        def program(force, me):
+            if me == 3:
+                time.sleep(0.05)
+                raise RuntimeError("never joined the loop")
+            for _i in force.selfsched_range("L", 1, 10, chunk=4):
+                pass
+
+        start = time.monotonic()
+        with pytest.raises(ForceProgramError):
+            force.run(program)
+        assert time.monotonic() - start < 10.0
+
+    def test_chunked_loop_reusable_after_clean_runs(self):
+        force = Force(nproc=2, timeout=JOIN_TIMEOUT, stats=True)
+
+        def program(force, me):
+            for _round in range(3):
+                for _i in force.selfsched_range("L", 1, 20, chunk=8):
+                    pass
+
+        force.run(program)
+        stats = force.stats["selfsched"]["L"]
+        assert stats["indices"] == 60
+        assert stats["chunks"] == 9              # 3 rounds x ceil(20/8)

@@ -66,7 +66,10 @@ class TestCollection:
                 pass
 
         force.run(program)
-        assert force.stats["selfsched"] == {"sweep": 40, "tail": 7}
+        assert force.stats["selfsched"] == {
+            "sweep": {"chunks": 40, "indices": 40, "max_chunk": 1},
+            "tail": {"chunks": 7, "indices": 7, "max_chunk": 1},
+        }
 
     def test_askfor_traffic(self):
         force = Force(nproc=3, timeout=30, stats=True)
@@ -124,7 +127,8 @@ class TestRendering:
         assert "--- barriers ---" in report
         assert "--- critical sections ---" in report
         assert "--- selfscheduled loops ---" in report
-        assert "chunks dispatched" in report
+        assert "10 chunks" in report
+        assert "10 indices" in report
 
     def test_render_accepts_sim_section(self):
         report = render_stats({"sim": {
