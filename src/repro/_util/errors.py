@@ -75,6 +75,13 @@ class ForceDeadlockError(ForceError):
         self.timeout = timeout
         super().__init__(message)
 
+    def __reduce__(self):
+        # Keyword-only constructor args defeat the default
+        # (cls, self.args) pickling — spell out the rebuild so the
+        # process backend can ship this across the wire intact.
+        return (_rebuild_deadlock,
+                (str(self), self.construct, self.me, self.timeout))
+
 
 class ForceWorkerDied(ForceError):
     """A force process died abruptly and stranded a construct.
@@ -90,10 +97,22 @@ class ForceWorkerDied(ForceError):
                  detail: str = "") -> None:
         self.me = me
         self.construct = construct
+        self.detail = detail
         extra = f" ({detail})" if detail else ""
         super().__init__(
             f"process {me} died without releasing {construct}{extra}; "
             "poisoning the force instead of hanging")
+
+    def __reduce__(self):
+        # The message is derived, not a constructor arg: rebuild from
+        # the structured fields so pickling round-trips.
+        return (ForceWorkerDied, (self.me, self.construct, self.detail))
+
+
+def _rebuild_deadlock(message: str, construct, me, timeout):
+    """Pickle helper: reconstruct a :class:`ForceDeadlockError`."""
+    return ForceDeadlockError(message, construct=construct, me=me,
+                              timeout=timeout)
 
 
 class SimulationError(ForceError):

@@ -32,11 +32,16 @@ from repro.machines.catalog import (
     FLEX_32,
     HEP,
     MACHINES,
+    PYTHON_HOST,
     SEQUENT_BALANCE,
     get_machine,
     machine_names,
 )
-from repro.machines.memory import MemoryLayout, SharedRegionPlan
+from repro.machines.memory import (
+    MemoryLayout,
+    SharedArena,
+    SharedRegionPlan,
+)
 from repro._util.errors import MachineError
 
 __all__ = [
@@ -51,10 +56,12 @@ __all__ = [
     "FLEX_32",
     "HEP",
     "MACHINES",
+    "PYTHON_HOST",
     "SEQUENT_BALANCE",
     "get_machine",
     "machine_names",
     "MemoryLayout",
+    "SharedArena",
     "SharedRegionPlan",
     "MachineError",
 ]

@@ -17,7 +17,11 @@ machine-required padding, and exposes invariant checks that the tests
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
 
 from repro._util.errors import MachineError
 from repro.machines.model import MachineModel, SharingBinding
@@ -178,3 +182,147 @@ def _align(value: int, alignment: int) -> int:
         return value
     remainder = value % alignment
     return value if remainder == 0 else value + alignment - remainder
+
+
+# ----------------------------------------------------------------------
+# real shared memory: the process backend's arena
+# ----------------------------------------------------------------------
+
+#: reserved header: slot 0 is the bump-allocator cursor (bytes), the
+#: rest is free for backend-specific control state.
+ARENA_HEADER_SLOTS = 64
+ARENA_HEADER_BYTES = ARENA_HEADER_SLOTS * 8
+
+
+class SharedArena:
+    """One POSIX shared-memory segment with a bump allocator.
+
+    This is the run-time analogue of :class:`SharedRegionPlan`: where
+    the simulator *models* the shared-page address arithmetic, the
+    process backend actually places its COMMON blocks, lock words and
+    construct state in a ``multiprocessing.shared_memory`` segment and
+    hands out numpy views.
+
+    Lifecycle contract (leak-proofing is the whole point):
+
+    * the parent creates the arena (``SharedArena(size=...)``) and is
+      the only process that may :meth:`unlink` it;
+    * workers either inherit the mapping over ``fork`` or
+      :meth:`attach` by name, and must :meth:`close` on exit;
+    * ``attach`` un-registers the segment from this process's
+      ``resource_tracker`` so a dying worker can never unlink the
+      parent's segment out from under its siblings (Python 3.12's
+      tracker would otherwise do exactly that);
+    * the parent's ``close``/``unlink`` pair runs in a ``finally`` in
+      the backend, covering normal exit, injected deaths and
+      cancellation alike.
+
+    The allocator cursor itself lives *inside* the segment (header
+    slot 0), so post-fork allocations made by any process stay
+    consistent — callers serialise :meth:`alloc` under their own
+    cross-process mutex.
+    """
+
+    def __init__(self, size: int | None = None, *,
+                 name: str | None = None) -> None:
+        if size is not None:
+            if size <= ARENA_HEADER_BYTES:
+                raise MachineError(
+                    f"arena of {size} bytes cannot hold the "
+                    f"{ARENA_HEADER_BYTES}-byte header")
+            unique = name or f"force-arena-{secrets.token_hex(6)}"
+            self._shm = shared_memory.SharedMemory(
+                name=unique, create=True, size=size)
+            self._owner = True
+            header = self._header()
+            header[:] = 0
+            header[0] = ARENA_HEADER_BYTES
+        elif name is not None:
+            self._shm = shared_memory.SharedMemory(name=name)
+            # Attaching registered the segment with this process's
+            # resource tracker (no track= parameter before 3.13);
+            # undo that so only the creating process ever unlinks.
+            try:
+                resource_tracker.unregister(
+                    self._shm._name, "shared_memory")
+            except Exception:       # pragma: no cover - tracker quirk
+                pass
+            self._owner = False
+        else:
+            raise MachineError("SharedArena needs size= (create) or "
+                               "name= (attach)")
+        self._closed = False
+
+    # -- identity ------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The segment name (``/dev/shm/<name>`` on Linux)."""
+        return self._shm.name
+
+    @property
+    def size(self) -> int:
+        return self._shm.size
+
+    def _header(self) -> np.ndarray:
+        return np.ndarray((ARENA_HEADER_SLOTS,), dtype=np.int64,
+                          buffer=self._shm.buf)
+
+    # -- allocation ----------------------------------------------------
+    def alloc(self, nbytes: int, *, align: int = 8) -> int:
+        """Reserve ``nbytes`` and return the offset (caller locks)."""
+        header = self._header()
+        offset = _align(int(header[0]), align)
+        end = offset + nbytes
+        if end > self.size:
+            raise MachineError(
+                f"shared arena exhausted: need {nbytes} bytes at "
+                f"{offset}, segment is {self.size}")
+        header[0] = end
+        return offset
+
+    def view(self, offset: int, count: int, dtype=np.int64) -> np.ndarray:
+        """A numpy view of ``count`` items of ``dtype`` at ``offset``."""
+        itemsize = np.dtype(dtype).itemsize
+        if offset < 0 or offset + count * itemsize > self.size:
+            raise MachineError(
+                f"arena view [{offset}, {offset + count * itemsize}) "
+                f"outside segment of {self.size} bytes")
+        return np.ndarray((count,), dtype=dtype, buffer=self._shm.buf,
+                          offset=offset)
+
+    def alloc_view(self, count: int, dtype=np.int64,
+                   *, align: int = 8) -> np.ndarray:
+        """Allocate and return a zero-filled view in one step."""
+        itemsize = np.dtype(dtype).itemsize
+        offset = self.alloc(count * itemsize,
+                            align=max(align, itemsize))
+        view = self.view(offset, count, dtype)
+        view[:] = 0
+        return view
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:      # pragma: no cover - lingering views
+            pass
+
+    def unlink(self) -> None:
+        """Remove the segment from the system (creator only)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        self.unlink()

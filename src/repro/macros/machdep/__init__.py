@@ -13,6 +13,7 @@ from repro.macros.machdep import (
     encore,
     flex32,
     hep,
+    python_host,
     sequent,
 )
 
@@ -24,6 +25,7 @@ MACHDEP_MODULES = {
     "sequent-balance": sequent,
     "alliant-fx8": alliant,
     "cray-2": cray2,
+    "python-host": python_host,
 }
 
 __all__ = ["MACHDEP_MODULES"]

@@ -1,0 +1,42 @@
+r"""Machine-dependent macros: the Python host itself.
+
+The seventh port applies the paper's own methodology to the machine
+this reproduction runs on: a multi-core POSIX host driven from
+CPython.  Its process model is real ``fork``ed OS processes and its
+shared memory is identified at **run time** — COMMON blocks become
+views over a POSIX shared-memory segment, exactly the Encore's
+shared-page discipline with ``/dev/shm`` standing in for the shared
+pages.  Software spinlocks, run-time startup registration.
+
+The driver carries a ``C$FORCE HOST PYTHON`` marker comment so the
+generated Fortran is distinguishable from the Encore/Alliant output
+(the pipeline's directive scanner ignores it — only ``C$FORCE SHARED``
+lines bind).
+"""
+
+from repro.macros.machdep.common import (
+    environment_macro,
+    fork_driver,
+    two_lock_async_macros,
+)
+
+
+def _host_startup_registration() -> str:
+    """Run-time sharing, Encore-style, plus the host marker line."""
+    return r"""define(`mi_register_shared', `divert(3)      CALL FRCSHB("$1")
+divert(0)')dnl
+define(`mi_driver_startup', `C$FORCE HOST PYTHON
+      CALL ZZSTRT')dnl
+define(`mi_emit_startup_unit', `      SUBROUTINE ZZSTRT
+undivert(3)      CALL FRCPAG
+      END')dnl
+"""
+
+
+DEFINITIONS = (
+    "dnl --- Python host machine-dependent Force macros ----------------\n"
+    + two_lock_async_macros("SPINLK", "SPINUN")
+    + _host_startup_registration()
+    + fork_driver()
+    + environment_macro()
+)

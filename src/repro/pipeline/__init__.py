@@ -14,6 +14,7 @@ which are applied before the real run.
 """
 
 from repro.pipeline.compile import force_translate, TranslationResult
+from repro.pipeline.native import native_run, NativeRunResult
 from repro.pipeline.run import force_run, force_compile_and_run, RunResult
 
 __all__ = [
@@ -22,4 +23,6 @@ __all__ = [
     "force_run",
     "force_compile_and_run",
     "RunResult",
+    "native_run",
+    "NativeRunResult",
 ]

@@ -146,10 +146,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "--sched chunked (implies it when > 1)")
     translate.set_defaults(func=_cmd_translate)
 
-    run = sub.add_parser("run", help="simulate a Force program")
+    run = sub.add_parser("run", help="simulate a Force program "
+                                     "(or run it for real: --backend)")
     run.add_argument("source", help="Force source file")
-    run.add_argument("--machine", type=_machine_key,
-                     default="sequent-balance")
+    run.add_argument("--machine", type=_machine_key, default=None,
+                     help="machine model to simulate (default "
+                          "sequent-balance; the native backends always "
+                          "execute python-host code)")
+    run.add_argument("--backend", choices=["sim", "thread", "process"],
+                     default="sim",
+                     help="execution backend: the discrete-event "
+                          "simulator (default), or native execution on "
+                          "real OS threads / forked processes over "
+                          "shared memory")
     run.add_argument("--nproc", type=_positive_int, default=4,
                      help="number of Force processes (positive)")
     run.add_argument("--stats", action="store_true",
@@ -294,21 +303,40 @@ def _cmd_translate(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    machine = get_machine(args.machine)
+    if args.backend == "sim":
+        machine = get_machine(args.machine or "sequent-balance")
+    else:
+        if args.machine not in (None, "python-host"):
+            raise ForceError(
+                f"--backend {args.backend} executes python-host code; "
+                f"it cannot run a {args.machine} expansion (drop "
+                "--machine or pass python-host)")
+        machine = get_machine("python-host")
     translation = force_translate(_read(args.source), machine,
                                   sched=args.sched, chunk=args.chunk)
-    result = force_run(translation, args.nproc,
-                       trace=args.trace is not None,
-                       deadline=args.deadline,
-                       compiled=not args.no_jit)
+    if args.backend == "sim":
+        result = force_run(translation, args.nproc,
+                           trace=args.trace is not None,
+                           deadline=args.deadline,
+                           compiled=not args.no_jit)
+    else:
+        from repro.pipeline.native import native_run
+        result = native_run(translation, args.nproc,
+                            backend=args.backend,
+                            stats=args.stats,
+                            trace=args.trace is not None,
+                            deadline=args.deadline,
+                            compiled=not args.no_jit)
     trace_file = None
+    native = args.backend != "sim"
     if args.trace is not None and args.trace != "-":
         from repro.trace.export import write_trace_file
         format_used = write_trace_file(
             args.trace, result.trace_events(),
             format=args.trace_format,
             meta={"source": args.source, "machine": machine.key,
-                  "nproc": args.nproc, "clock": "cycles"})
+                  "nproc": args.nproc,
+                  "clock": "seconds" if native else "cycles"})
         trace_file = args.trace
         print(f"trace: {len(result.trace)} events written to "
               f"{args.trace} ({format_used})", file=sys.stderr)
@@ -317,10 +345,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         document = {
             "source": args.source,
             "machine": machine.key,
+            "backend": args.backend,
             "nproc": args.nproc,
-            "makespan": result.makespan,
             "output": result.output,
         }
+        if native:
+            document["wall_s"] = round(result.wall_s, 6)
+        else:
+            document["makespan"] = result.makespan
         if args.stats:
             document["stats"] = result.stats_dict()
         if trace_file is not None:
@@ -333,14 +365,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             from repro.runtime.stats import render_stats
             print(render_stats(result.stats_dict()), file=sys.stderr)
     if args.trace == "-":
-        from repro.sim.timeline import lock_contention_report, \
-            render_timeline
-        print(render_timeline(result.trace), file=sys.stderr)
-        print("--- lock contention ---", file=sys.stderr)
-        print(lock_contention_report(result.trace), file=sys.stderr)
+        if native:
+            print("force: note: the text timeline renders simulator "
+                  "traces; use --trace FILE with the native backends",
+                  file=sys.stderr)
+        else:
+            from repro.sim.timeline import lock_contention_report, \
+                render_timeline
+            print(render_timeline(result.trace), file=sys.stderr)
+            print("--- lock contention ---", file=sys.stderr)
+            print(lock_contention_report(result.trace), file=sys.stderr)
     if args.utilization:
-        from repro.sim.timeline import render_utilization
-        print(render_utilization(result.stats), file=sys.stderr)
+        if native:
+            print("force: note: --utilization is a simulator report; "
+                  "ignored for the native backends", file=sys.stderr)
+        else:
+            from repro.sim.timeline import render_utilization
+            print(render_utilization(result.stats), file=sys.stderr)
     return 0
 
 

@@ -7,8 +7,12 @@ constructs — barriers, critical sections, pre-/self-scheduled DOALLs,
 Pcase, Askfor, asynchronous (full/empty) variables, and Resolve (the
 paper's "yet unimplemented concept", built here as an extension).
 
-Because of CPython's GIL this runtime demonstrates *semantics*, not
-speedup — use :mod:`repro.sim` for performance-shaped experiments.
+The default ``backend="thread"`` runs under CPython's GIL and
+demonstrates *semantics*; ``Force(nproc, backend="process")`` runs the
+same program on real OS processes over POSIX shared memory for true
+multi-core execution (see :mod:`repro.runtime.procforce`), and
+:mod:`repro.sim` covers performance-shaped experiments on the paper's
+machines.
 
 Example::
 
@@ -39,6 +43,7 @@ from repro.runtime.asyncvar import AsyncVariable, AsyncArray
 from repro.runtime.cancel import CancelToken, ForceCancelled
 from repro.runtime.force import Force, ForceProgramError
 from repro.runtime.askfor import AskforMonitor
+from repro.runtime.procforce import ProcessForce
 from repro.runtime.resolve import Resolve
 from repro.runtime.stats import ForceStats, render_stats
 
@@ -60,5 +65,6 @@ __all__ = [
     "ForceStats",
     "render_stats",
     "AskforMonitor",
+    "ProcessForce",
     "Resolve",
 ]

@@ -71,6 +71,12 @@ class ForceProgramError(ForceError):
         self.original = original
         super().__init__(f"process {me} failed: {original!r}")
 
+    def __reduce__(self):
+        # BaseException's default __reduce__ would replay our derived
+        # message as the two positional args; rebuild from the real
+        # fields so the process backend can pickle failures.
+        return (ForceProgramError, (self.me, self.original))
+
 
 class SharedCounter:
     """A shared scalar cell (update it inside a critical section)."""
@@ -212,15 +218,52 @@ class _SelfschedLoop:
                     tracer.clear_parked()
 
 
+class _ChunkRecorder:
+    """Picklable ``on_chunk`` hook for selfscheduled loops.
+
+    A bound-method/closure pair would drag the whole ``Force`` (and its
+    thread locks) into any pickle of the loop state; this tiny object
+    carries only the stats sink and the label.
+    """
+
+    __slots__ = ("stats", "label")
+
+    def __init__(self, stats: ForceStats, label: str) -> None:
+        self.stats = stats
+        self.label = label
+
+    def __call__(self, size: int) -> None:
+        self.stats.record_selfsched_chunk(self.label, size)
+
+
 class Force:
     """A force of ``nproc`` processes executing one program.
 
     Process identifiers run 1..nproc, as in the Force.  All named
     shared objects (counters, arrays, async variables, queues, loops)
     are created on first use and shared by name.
+
+    ``backend`` selects the execution vehicle: ``"thread"`` (default)
+    runs the force on daemon threads in this process; ``"process"``
+    returns a :class:`~repro.runtime.procforce.ProcessForce` whose
+    members are real OS processes over POSIX shared memory — same API,
+    true multi-core execution, but programs and their arguments must be
+    picklable.
     """
 
+    def __new__(cls, nproc: int = 1, *args: Any, **kwargs: Any) -> "Force":
+        backend = kwargs.get("backend", "thread")
+        if backend not in ("thread", "process"):
+            raise ForceError(
+                f"unknown backend {backend!r}: expected 'thread' or "
+                "'process'")
+        if cls is Force and backend == "process":
+            from repro.runtime.procforce import ProcessForce
+            return object.__new__(ProcessForce)
+        return object.__new__(cls)
+
     def __init__(self, nproc: int, *,
+                 backend: str = "thread",
                  barrier_algorithm: str = "central-counter",
                  timeout: float | None = 60.0,
                  construct_timeout: float | None = None,
@@ -235,6 +278,7 @@ class Force:
         if construct_timeout is not None and construct_timeout <= 0:
             raise ForceError("construct_timeout must be positive")
         self.nproc = nproc
+        self.backend = backend
         self.timeout = timeout
         self.construct_timeout = construct_timeout
         self._barrier_algorithm = barrier_algorithm
@@ -486,7 +530,15 @@ class Force:
     def critical(self, name: str = "default"):
         """Named critical section: mutual exclusion across the force."""
         with self._registry_lock:
-            lock = self._criticals.setdefault(name, threading.Lock())
+            # Check-then-insert, NOT setdefault(name, threading.Lock()):
+            # setdefault evaluates its default eagerly, allocating (and
+            # discarding) a fresh Lock on every pass through an already
+            # -registered section — churn on the hot path, while holding
+            # the registry lock.
+            lock = self._criticals.get(name)
+            if lock is None:
+                lock = threading.Lock()
+                self._criticals[name] = lock
         stats, tracer = self._stats, self._tracer
         injector = self._injector
         if injector is not None:
@@ -570,11 +622,7 @@ class Force:
             if loop is None:
                 on_chunk = None
                 if self._stats is not None:
-                    stats = self._stats
-
-                    def on_chunk(size: int, label=label) -> None:
-                        stats.record_selfsched_chunk(label, size)
-
+                    on_chunk = _ChunkRecorder(self._stats, label)
                 loop = _SelfschedLoop(self.nproc, cancel=self._cancel,
                                       on_chunk=on_chunk,
                                       tracer=self._tracer,

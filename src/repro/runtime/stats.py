@@ -157,6 +157,40 @@ class ForceStats:
                 self.asyncvar[name] = stat
             stat.record(seconds)
 
+    # -- pickling ------------------------------------------------------
+    # The process backend ships each worker's collector back to the
+    # parent for merging; a threading.Lock cannot cross that boundary.
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ForceStats":
+        """Rebuild a collector from :meth:`as_dict` output."""
+        stats = cls(int(data.get("nproc", 1)))
+        barriers = data.get("barriers") or {}
+        stats.barrier_episodes = int(barriers.get("episodes", 0))
+        if barriers.get("wait"):
+            stats.barrier_wait = WaitStat.from_dict(barriers["wait"])
+        for name, entry in (data.get("criticals") or {}).items():
+            stats.criticals[name] = {
+                "acquisitions": int(entry["acquisitions"]),
+                "contended": int(entry["contended"]),
+                "wait": WaitStat.from_dict(entry["wait"]),
+            }
+        for label, entry in (data.get("selfsched") or {}).items():
+            stats.selfsched_chunks[label] = dict(entry)
+        for name, entry in (data.get("askfor") or {}).items():
+            stats.askfor[name] = dict(entry)
+        for name, entry in (data.get("asyncvar") or {}).items():
+            stats.asyncvar[name] = WaitStat.from_dict(entry)
+        return stats
+
     # -- merging -------------------------------------------------------
     def merge(self, other: "ForceStats") -> None:
         """Fold another collector into this one (multi-run reports).
@@ -260,6 +294,15 @@ def render_stats(stats: dict[str, Any]) -> str:
                      f"({sim['contended_acquisitions']} contended)")
         lines.append(f"spin cycles:         {sim['spin_cycles']}")
         lines.append(f"context switches:    {sim['context_switches']}")
+
+    native = stats.get("native")
+    if native:
+        lines.append("--- native execution ---")
+        lines.append(f"backend:             {native['backend']}")
+        lines.append(f"processes:           {native['nproc']}")
+        if native.get("wall_s") is not None:
+            lines.append(f"wall clock:          "
+                         f"{_fmt_s(native['wall_s'])}")
 
     barriers = stats.get("barriers")
     if barriers and barriers["wait"]["count"]:

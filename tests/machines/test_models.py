@@ -25,15 +25,19 @@ from repro.machines.model import (
 
 
 class TestCatalog:
-    def test_six_machines(self):
-        assert len(MACHINES) == 6
+    def test_seven_machines(self):
+        # the paper's six ports plus the Python host this
+        # reproduction itself runs on (the process backend's machine)
+        assert len(MACHINES) == 7
 
     def test_paper_port_list(self):
         # "implemented on the HEP, Flex/32, Encore Multimax, Sequent
-        # Balance, Alliant FX/8, and Cray-2 multiprocessors"
+        # Balance, Alliant FX/8, and Cray-2 multiprocessors" — plus
+        # our own seventh port, the Python host.
         names = {m.name for m in MACHINES.values()}
         assert names == {"HEP", "Flex/32", "Encore Multimax",
-                         "Sequent Balance", "Alliant FX/8", "Cray-2"}
+                         "Sequent Balance", "Alliant FX/8", "Cray-2",
+                         "Python Host"}
 
     def test_lookup_by_key(self):
         assert get_machine("hep") is HEP

@@ -1,0 +1,123 @@
+"""Benchmark-harness tests: git stamping, result merging, wall clock.
+
+The git-revision stamp must *degrade*, never crash: ``force bench``
+run from a tarball install (no git, no checkout) records
+``git_revision: null`` with a warning and keeps benchmarking.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+from repro import bench
+
+
+class TestGitRevision:
+    def test_stamps_current_checkout(self):
+        revision = bench.git_revision()
+        expected = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(bench.__file__).resolve().parents[2],
+            capture_output=True, text=True).stdout.strip()
+        assert revision == expected
+        assert revision     # non-empty in this checkout
+
+    def test_degrades_outside_a_repo(self, tmp_path, capsys):
+        revision = bench.git_revision(root=tmp_path)
+        assert revision is None
+        captured = capsys.readouterr()
+        assert "git_revision: null" in captured.err
+        assert "warning" in captured.err
+
+    def test_degrades_when_git_is_missing(self, monkeypatch, capsys):
+        def no_git(*args, **kwargs):
+            raise OSError("No such file or directory: 'git'")
+
+        monkeypatch.setattr(bench.subprocess, "run", no_git)
+        assert bench.git_revision() is None
+        assert "git_revision: null" in capsys.readouterr().err
+
+    def test_degrades_on_git_timeout(self, monkeypatch, capsys):
+        def hangs(cmd, **kwargs):
+            raise subprocess.TimeoutExpired(cmd, 10)
+
+        monkeypatch.setattr(bench.subprocess, "run", hangs)
+        assert bench.git_revision() is None
+        assert "git_revision: null" in capsys.readouterr().err
+
+    def test_entry_records_null_not_crash(self, monkeypatch):
+        monkeypatch.setattr(bench, "git_revision", lambda root=None: None)
+        entry = bench.make_entry("probe")
+        assert entry["git_revision"] is None
+        # and a JSON round trip keeps the null
+        assert json.loads(json.dumps(entry))["git_revision"] is None
+
+    def test_entry_uses_explicit_revision(self):
+        entry = bench.make_entry("probe", revision="abc1234")
+        assert entry["git_revision"] == "abc1234"
+
+
+class TestMergeResults:
+    def test_merge_overwrites_by_name(self, tmp_path):
+        path = tmp_path / "results.json"
+        bench.merge_results(path, [bench.make_entry(
+            "a", revision="r1"), bench.make_entry("b", revision="r1")])
+        bench.merge_results(path, [bench.make_entry("a", revision="r2")])
+        doc = json.loads(path.read_text())
+        by_name = {e["name"]: e for e in doc["results"]}
+        assert by_name["a"]["git_revision"] == "r2"
+        assert by_name["b"]["git_revision"] == "r1"
+
+    def test_corrupt_history_never_blocks(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text("{not json")
+        bench.merge_results(path, [bench.make_entry("a", revision="r")])
+        doc = json.loads(path.read_text())
+        assert [e["name"] for e in doc["results"]] == ["a"]
+
+
+class TestWallSpeedup:
+    def test_suite_includes_wall_speedup(self):
+        assert "bench_wall_speedup" in dict(bench.SUITE)
+
+    def test_quick_entry_shape(self):
+        outcome = bench.bench_wall_speedup(True)
+        assert outcome["params"]["backend"] == "process"
+        assert outcome["params"]["cpu_count"] >= 1
+        data = outcome["data"]
+        assert data["wall_1"] > 0 and data["wall_4"] > 0
+        assert data["wall_speedup"] > 0
+        # honestly derived, not asserted >= 1: a single-CPU host
+        # legitimately reports < 1.0 and cpu_count explains why
+        assert data["wall_speedup"] == round(
+            data["wall_1"] / data["wall_4"], 2)
+
+    def test_report_renders_wall_speedup_line(self):
+        report = {
+            "quick": True, "git_revision": None, "output": "x.json",
+            "fallbacks": {},
+            "results": [
+                {"name": "bench_jacobi_throughput",
+                 "data": {"tree_stmt_per_s": 1, "compiled_stmt_per_s": 2,
+                          "speedup": 2.0}},
+                {"name": "bench_selfsched_dispatch",
+                 "data": {"policies": {
+                     "self": {"chunks": 64}, "chunked16": {"chunks": 4},
+                     "guided": {"chunks": 8}},
+                     "lock_acquisition_ratio_chunk16": 16.0}},
+                {"name": "bench_sum_critical_sim",
+                 "data": {"self": {"lock_acquisitions": 9,
+                                   "makespan": 100},
+                          "chunked16": {"lock_acquisitions": 3,
+                                        "makespan": 50}}},
+                {"name": "bench_askfor_tree", "wall_s": 0.01,
+                 "params": {"nproc": 4}},
+                {"name": "bench_wall_speedup",
+                 "params": {"n": 96, "cpu_count": 1},
+                 "data": {"wall_speedup": 0.8}},
+            ],
+        }
+        text = bench.render_bench_report(report)
+        assert "wall_speedup" in text
+        assert "0.80x" in text
+        assert "1 CPU(s)" in text
