@@ -48,12 +48,15 @@ from repro.analysis.protocol import check_protocol
 from repro.analysis.races import check_races
 from repro.analysis.renderer import render_json, render_text
 from repro.analysis.scope import check_scope
+from repro.analysis.summaries import ProgramSummary, summarize
 
 __all__ = [
     "CATALOG",
     "Diagnostic",
     "ForceProgram",
+    "ProgramSummary",
     "Severity",
+    "analyze_source",
     "check_file",
     "check_source",
     "count_errors",
@@ -61,27 +64,43 @@ __all__ = [
     "parse_program",
     "render_json",
     "render_text",
+    "summarize",
 ]
 
 
-def check_source(source: str,
-                 filename: str = "<source>") -> list[Diagnostic]:
-    """Run every checker over one Force source; sorted diagnostics."""
+def analyze_source(source: str, filename: str = "<source>"
+                   ) -> tuple[list[Diagnostic], ProgramSummary | None]:
+    """Run every checker over one Force source.
+
+    Returns the sorted diagnostics together with the interprocedural
+    :class:`ProgramSummary` (``None`` when no program unit parsed) so
+    callers that also want analysis facts — the ``--facts`` emitter,
+    the compiled layer's kernel gate — reuse one summary instead of
+    re-partitioning every routine.
+    """
     diagnostics = list(check_silent_keywords(source))
     program = parse_program(source, filename)
     diagnostics.extend(program.diagnostics)
+    summary: ProgramSummary | None = None
     if not program.routines:
         diagnostics.append(error(
             "F002", 1,
             "no Force program unit found (no Force/Forcesub header)",
             "start the program with 'Force NAME of NP ident ME'"))
     else:
-        diagnostics.extend(check_races(program))
+        summary = summarize(program)
+        diagnostics.extend(check_races(program, summary))
         diagnostics.extend(check_scope(program))
         diagnostics.extend(check_protocol(program))
-        diagnostics.extend(check_lock_order(program))
+        diagnostics.extend(check_lock_order(program, summary))
     diagnostics.sort(key=lambda d: (d.line, d.code))
-    return [d.with_file(filename) for d in diagnostics]
+    return [d.with_file(filename) for d in diagnostics], summary
+
+
+def check_source(source: str,
+                 filename: str = "<source>") -> list[Diagnostic]:
+    """Run every checker over one Force source; sorted diagnostics."""
+    return analyze_source(source, filename)[0]
 
 
 def check_file(path: str) -> list[Diagnostic]:

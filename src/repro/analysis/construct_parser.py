@@ -111,6 +111,9 @@ class Construct:
     name: str = ""             #: Critical lock / Pcase on-variable / Askfor queue
     label: str = ""            #: DOALL / Askfor statement label
     index_vars: tuple[str, ...] = ()
+    #: loop-bound text per index var (``"1, N"`` / ``"1, N, 2"``).
+    bounds: tuple[str, ...] = ()
+    uid: int = 0               #: program-wide construct id, document order
     body: list["Node"] = field(default_factory=list)
 
     def statement(self) -> str:
@@ -182,6 +185,7 @@ class _Parser:
         self.program = program
         self.routine: Routine | None = None
         self.stack: list[Construct] = []
+        self.next_uid = 1
 
     # -- helpers -------------------------------------------------------
     def _report(self, diagnostic: Diagnostic) -> None:
@@ -225,7 +229,7 @@ class _Parser:
         elif name in _OPENERS:
             self._open(lineno, name, args)
         elif name in ("usect", "csect"):
-            self._section(lineno, name)
+            self._section(lineno, name, args)
         elif name in _CLOSERS:
             self._close(lineno, name, args)
         elif name in _DECLS:
@@ -284,16 +288,21 @@ class _Parser:
                 "Force construct before any Force/Forcesub header"))
             return
         kind = _OPENERS[name]
-        construct = Construct(kind=kind, line=lineno, macro=name)
+        construct = Construct(kind=kind, line=lineno, macro=name,
+                              uid=self.next_uid)
+        self.next_uid += 1
         if name == "critical":
             construct.name = args[0]
             self._record_lock_nesting(lineno, args[0])
         elif name in ("presched_do", "selfsched_do", "blocksched_do"):
             construct.label = args[0]
             construct.index_vars = (args[1],)
+            construct.bounds = (args[2],) if len(args) > 2 else ("",)
         elif name in ("presched_do2", "selfsched_do2"):
             construct.label = args[0]
             construct.index_vars = (args[1], args[3])
+            construct.bounds = (args[2] if len(args) > 2 else "",
+                                args[4] if len(args) > 4 else "")
         elif name == "pcase":
             construct.name = args[0] if args else ""
         elif name == "askfor":
@@ -305,12 +314,14 @@ class _Parser:
         self._append(construct)
         self.stack.append(construct)
 
-    def _section(self, lineno: int, name: str) -> None:
+    def _section(self, lineno: int, name: str, args: list[str]) -> None:
         if self.stack and self.stack[-1].kind == "section":
             self.stack.pop()
         if self.stack and self.stack[-1].kind == "pcase":
             construct = Construct(kind="section", line=lineno, macro=name,
-                                  name=name)
+                                  name=name, uid=self.next_uid,
+                                  label=args[0] if args else "")
+            self.next_uid += 1
             self._append(construct)
             self.stack.append(construct)
             return

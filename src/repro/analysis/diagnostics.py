@@ -39,6 +39,51 @@ CATALOG: dict[str, str] = {
 
 
 @dataclass(frozen=True)
+class WitnessSite:
+    """One side of a race witness: where, and under what context."""
+
+    routine: str
+    line: int
+    access: str                  #: "write" | "read"
+    variable: str                #: display text, e.g. ``U(IDX)``
+    phase: int
+    locks: tuple[str, ...]
+    region: str                  #: replicated | barrier | section:…
+    guard: str | None = None
+    chain: tuple[str, ...] = ()  #: Forcecall chain from the root
+
+    def to_dict(self) -> dict:
+        return {
+            "routine": self.routine,
+            "line": self.line,
+            "access": self.access,
+            "variable": self.variable,
+            "phase": self.phase,
+            "locks": list(self.locks),
+            "region": self.region,
+            "guard": self.guard,
+            "chain": list(self.chain),
+        }
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Two-sided evidence for a race pair (both sides equal for a
+    statement racing with itself across processes)."""
+
+    kind: str                    #: "write/write" | "read/write" | "self"
+    first: WitnessSite
+    second: WitnessSite
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "first": self.first.to_dict(),
+            "second": self.second.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One static-analysis finding, pointing back at user source."""
 
@@ -48,6 +93,7 @@ class Diagnostic:
     message: str
     suggestion: str = ""
     file: str = "<source>"
+    witness: Witness | None = None
 
     @property
     def is_error(self) -> bool:
@@ -64,7 +110,7 @@ class Diagnostic:
 
     def to_dict(self) -> dict:
         """JSON-ready representation (``--format json``)."""
-        return {
+        record = {
             "code": self.code,
             "severity": self.severity.value,
             "file": self.file,
@@ -73,16 +119,21 @@ class Diagnostic:
             "suggestion": self.suggestion,
             "title": CATALOG.get(self.code, ""),
         }
+        if self.witness is not None:
+            record["witness"] = self.witness.to_dict()
+        return record
 
 
-def error(code: str, line: int, message: str,
-          suggestion: str = "") -> Diagnostic:
-    return Diagnostic(code, Severity.ERROR, line, message, suggestion)
+def error(code: str, line: int, message: str, suggestion: str = "",
+          witness: Witness | None = None) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, line, message, suggestion,
+                      witness=witness)
 
 
-def warning(code: str, line: int, message: str,
-            suggestion: str = "") -> Diagnostic:
-    return Diagnostic(code, Severity.WARNING, line, message, suggestion)
+def warning(code: str, line: int, message: str, suggestion: str = "",
+            witness: Witness | None = None) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, line, message, suggestion,
+                      witness=witness)
 
 
 def count_errors(diagnostics: list[Diagnostic]) -> int:

@@ -37,6 +37,10 @@ class Assignment:
 
     name: str                   #: target identifier (original case)
     subscript: str | None       #: text inside ``NAME( ... )``, if any
+    rhs: str = ""               #: the expression after ``=``
+    #: conjunction of logical-IF conditions wrapping the assignment
+    #: (``IF (P .EQ. ME) X = 1`` parses with ``guard="P .EQ. ME"``)
+    guard: str | None = None
 
 
 def strip_label(text: str) -> str:
@@ -60,10 +64,22 @@ def _balanced(text: str, start: int) -> int:
 def parse_assignment(text: str) -> Assignment | None:
     """Recognise ``NAME = expr`` / ``NAME(subs) = expr`` statements.
 
-    ``DO`` headers, I/O statements and other keyword statements return
+    Logical-IF one-liners unwrap: ``IF (P .EQ. ME) X = 1`` parses as
+    the embedded assignment with the predicate recorded in ``guard``
+    (several nested logical IFs conjoin their conditions).  ``DO``
+    headers, I/O statements and other keyword statements return
     ``None`` — a ``DO`` loop's index update is the loop's own business.
     """
     body = strip_label(text)
+    guards: list[str] = []
+    # Unwrap logical-IF one-liners: the guarded tail may itself be an
+    # assignment (the common ME-guard idiom) or another logical IF.
+    while True:
+        form = classify_if(body)
+        if form is None or form[0] != "logical_if":
+            break
+        guards.append(form[1])
+        body = form[2]
     match = _IDENT.match(body)
     if not match:
         return None
@@ -80,7 +96,9 @@ def parse_assignment(text: str) -> Assignment | None:
         rest = rest[end:].lstrip()
     if not rest.startswith("=") or rest.startswith("=="):
         return None
-    return Assignment(name=name, subscript=subscript)
+    return Assignment(name=name, subscript=subscript,
+                      rhs=rest[1:].strip(),
+                      guard=" .AND. ".join(guards) if guards else None)
 
 
 # IF-form classification results: ("block_if", cond) | ("else_if", cond)
@@ -119,3 +137,273 @@ def mentions(identifier: str, text: str) -> bool:
     """Whole-word, case-insensitive occurrence test."""
     return re.search(rf"\b{re.escape(identifier)}\b", text,
                      re.IGNORECASE) is not None
+
+
+def substitute(text: str, mapping: dict) -> str:
+    """Whole-word replace each ``mapping`` key (case-insensitive).
+
+    Used to rewrite a Forcesub's formal parameters to the caller's
+    actual arguments inside subscripts and guard predicates.
+    """
+    if not mapping or not text:
+        return text
+    folded = {key.upper(): value for key, value in mapping.items()}
+    pattern = "|".join(re.escape(key) for key in folded)
+    return re.sub(rf"\b(?:{pattern})\b",
+                  lambda m: folded[m.group(0).upper()], text,
+                  flags=re.IGNORECASE)
+
+
+# ----------------------------------------------------------------------
+# affine subscript arithmetic
+# ----------------------------------------------------------------------
+#: key used for the constant term of an affine form.
+CONST = ""
+
+_AFFINE_TOKEN = re.compile(r"\s*(\d+|[A-Za-z]\w*|[()+\-*])")
+
+
+class _NotAffine(Exception):
+    pass
+
+
+def parse_affine(text: str) -> dict[str, int] | None:
+    """Parse an integer expression into ``{identifier: coeff}`` form.
+
+    The constant term lives under the :data:`CONST` key; identifiers
+    are upper-cased.  ``"2*I + J - 1"`` gives ``{"I": 2, "J": 1,
+    "": -1}``.  Anything non-linear (products of identifiers,
+    division, function calls) returns ``None``.
+    """
+    tokens: list[str] = []
+    pos = 0
+    text = text.strip()
+    while pos < len(text):
+        match = _AFFINE_TOKEN.match(text, pos)
+        if not match:
+            return None
+        tokens.append(match.group(1))
+        pos = match.end()
+    try:
+        form, rest = _affine_sum(tokens)
+    except _NotAffine:
+        return None
+    if rest:
+        return None
+    return form
+
+
+def _affine_sum(tokens: list[str]) -> tuple[dict[str, int], list[str]]:
+    sign = 1
+    while tokens and tokens[0] in "+-":
+        sign = -sign if tokens[0] == "-" else sign
+        tokens = tokens[1:]
+    total, tokens = _affine_term(tokens)
+    total = _affine_scale(total, sign)
+    while tokens and tokens[0] in "+-":
+        sign = 1 if tokens[0] == "+" else -1
+        term, tokens = _affine_term(tokens[1:])
+        for key, coeff in term.items():
+            total[key] = total.get(key, 0) + sign * coeff
+    return total, tokens
+
+
+def _affine_term(tokens: list[str]) -> tuple[dict[str, int], list[str]]:
+    factors: list[dict[str, int]] = []
+    factor, tokens = _affine_factor(tokens)
+    factors.append(factor)
+    while tokens and tokens[0] == "*":
+        factor, tokens = _affine_factor(tokens[1:])
+        factors.append(factor)
+    product = {CONST: 1}
+    for factor in factors:
+        # A product is linear only when at most one side carries ids.
+        if set(product) != {CONST} and set(factor) != {CONST}:
+            raise _NotAffine()
+        if set(factor) == {CONST}:
+            product = _affine_scale(product, factor[CONST])
+        else:
+            product = _affine_scale(factor, product.get(CONST, 0))
+    return product, tokens
+
+
+def _affine_factor(tokens: list[str]) -> tuple[dict[str, int], list[str]]:
+    if not tokens:
+        raise _NotAffine()
+    head, rest = tokens[0], tokens[1:]
+    if head == "-":
+        form, rest = _affine_factor(rest)
+        return _affine_scale(form, -1), rest
+    if head == "(":
+        form, rest = _affine_sum(rest)
+        if not rest or rest[0] != ")":
+            raise _NotAffine()
+        return form, rest[1:]
+    if head.isdigit():
+        return {CONST: int(head)}, rest
+    if head[0].isalpha():
+        if rest and rest[0] == "(":      # array ref / function call
+            raise _NotAffine()
+        return {head.upper(): 1}, rest
+    raise _NotAffine()
+
+
+def _affine_scale(form: dict[str, int], factor: int) -> dict[str, int]:
+    return {key: coeff * factor for key, coeff in form.items()}
+
+
+def affine_difference(a: dict[str, int],
+                      b: dict[str, int]) -> int | None:
+    """``a - b`` when it reduces to a constant, else ``None``."""
+    keys = set(a) | set(b)
+    for key in keys:
+        if key != CONST and a.get(key, 0) != b.get(key, 0):
+            return None
+    return a.get(CONST, 0) - b.get(CONST, 0)
+
+
+def split_subscript(subscript: str) -> list[str]:
+    """Split a subscript into dimension expressions (top-level commas)."""
+    dims: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in subscript:
+        if ch == "," and depth == 0:
+            dims.append("".join(current).strip())
+            current = []
+            continue
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth = max(0, depth - 1)
+        current.append(ch)
+    dims.append("".join(current).strip())
+    return dims
+
+
+# ----------------------------------------------------------------------
+# read/write access extraction
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AccessRef:
+    """One variable reference inside a statement."""
+
+    name: str                   #: identifier (original case)
+    subscript: str | None       #: text inside ``NAME( ... )``, if any
+    is_write: bool
+
+
+_STRING = re.compile(r"'[^']*'|\"[^\"]*\"")
+_DOTOP = re.compile(r"\.[A-Za-z]+\.")
+_REF = re.compile(r"([A-Za-z]\w*)\s*(\()?")
+
+_DO_HEADER = re.compile(
+    r"^DO\s+\d+\s+[A-Za-z]\w*\s*=\s*(.*)$", re.IGNORECASE)
+_WRITE_STMT = re.compile(r"^(?:WRITE|PRINT)\s*(.*)$", re.IGNORECASE)
+_READ_STMT = re.compile(r"^READ\s*(.*)$", re.IGNORECASE)
+_CALL_STMT = re.compile(r"^CALL\s+\w+\s*\((.*)\)\s*$", re.IGNORECASE)
+_IO_UNIT = re.compile(r"^\s*\([^)]*\)")
+
+#: statements that reference no user variables at all.
+_INERT = re.compile(
+    r"^(?:CONTINUE|RETURN|STOP|END(?:\s*IF|\s*DO)?|GO\s*TO\s+\d+|"
+    r"GOTO\s+\d+|FORMAT\b.*|IMPLICIT\b.*|DATA\b.*|DIMENSION\b.*|"
+    r"COMMON\b.*|INTEGER\b.*|REAL\b.*|LOGICAL\b.*|COMPLEX\b.*|"
+    r"DOUBLE\b.*|CHARACTER\b.*|PARAMETER\b.*|EXTERNAL\b.*|"
+    r"INTRINSIC\b.*|SAVE\b.*|SUBROUTINE\b.*|FUNCTION\b.*|"
+    r"PROGRAM\b.*)$", re.IGNORECASE)
+
+
+def expression_reads(expr: str) -> list[AccessRef]:
+    """Every variable reference in an expression, as read accesses.
+
+    Array references keep their subscript text (and the subscript's
+    own identifiers are reported as scalar reads too).  String
+    literals and ``.EQ.``-style operators are ignored; intrinsic
+    function "calls" surface as array-style reads and are filtered
+    out later by the symbol table (``NINT`` is never declared).
+    """
+    expr = _DOTOP.sub(" ", _STRING.sub(" ", expr))
+    reads: list[AccessRef] = []
+    pos = 0
+    while pos < len(expr):
+        match = _REF.search(expr, pos)
+        if not match:
+            break
+        name = match.group(1)
+        if match.group(2):      # NAME ( ... ) — array ref or call
+            end = _balanced(expr, match.end() - 1)
+            if end < 0:
+                subscript = expr[match.end():]
+                pos = len(expr)
+            else:
+                subscript = expr[match.end():end - 1]
+                pos = end
+            reads.append(AccessRef(name, subscript, False))
+            reads.extend(expression_reads(subscript))
+        else:
+            reads.append(AccessRef(name, None, False))
+            pos = match.end()
+    return reads
+
+
+def statement_accesses(text: str) -> tuple[list[AccessRef], str | None]:
+    """Classify one Fortran statement into variable accesses.
+
+    Returns ``(accesses, guard)`` where ``guard`` is the logical-IF
+    predicate wrapping the statement, if any.  Handles assignments
+    (including logical-IF one-liners), ``DO`` headers, ``IF``/
+    ``ELSE IF`` conditions, I/O statements and ``CALL`` argument
+    lists; declaration-like statements yield nothing.
+    """
+    body = strip_label(text)
+    accesses: list[AccessRef] = []
+
+    form = classify_if(body)
+    if form is not None:
+        if form[0] in ("end_if", "else"):
+            return [], None
+        if form[0] in ("block_if", "else_if"):
+            return expression_reads(form[1]), None
+        # logical IF: condition reads plus the guarded tail.
+        cond, tail = form[1], form[2]
+        inner, nested_guard = statement_accesses(tail)
+        guard = (f"{cond} .AND. {nested_guard}" if nested_guard
+                 else cond)
+        return expression_reads(cond) + inner, guard
+
+    if _INERT.match(body):
+        return [], None
+
+    assignment = parse_assignment(body)
+    if assignment is not None:
+        accesses.append(AccessRef(assignment.name, assignment.subscript,
+                                  True))
+        if assignment.subscript is not None:
+            accesses.extend(expression_reads(assignment.subscript))
+        accesses.extend(expression_reads(assignment.rhs))
+        return accesses, None
+
+    do_header = _DO_HEADER.match(body)
+    if do_header:
+        return expression_reads(do_header.group(1)), None
+
+    read_stmt = _READ_STMT.match(body)
+    if read_stmt:
+        items = _IO_UNIT.sub("", read_stmt.group(1))
+        return [AccessRef(ref.name, ref.subscript, True)
+                for ref in expression_reads(items)], None
+
+    write_stmt = _WRITE_STMT.match(body)
+    if write_stmt:
+        items = _IO_UNIT.sub("", write_stmt.group(1))
+        return expression_reads(items), None
+
+    call_stmt = _CALL_STMT.match(body)
+    if call_stmt:
+        # Plain CALL arguments are modelled as reads; by-reference
+        # writes through non-Force subroutines are out of scope
+        # (Forcecall argument binding is handled interprocedurally).
+        return expression_reads(call_stmt.group(1)), None
+
+    return expression_reads(body), None

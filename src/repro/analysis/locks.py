@@ -2,34 +2,67 @@
 
 If one code path takes lock A then lock B while another takes B then
 A, two processes can each hold one lock and wait on the other — the
-classic ABBA deadlock.  The construct parser records every nested
-``Critical`` pair; this pass looks for a pair seen in both orders.
-(The other half of F005 — a Critical nested inside itself — is
-reported by the parser at the nesting site.)
+classic ABBA deadlock.  The seed pass looked only at *lexically*
+nested ``Critical`` pairs inside one routine; this version works on
+the interprocedural lock acquisitions of
+:mod:`repro.analysis.summaries`, where a ``Forcecall`` made while
+holding a Critical carries the held set into the callee — so taking
+``A`` and then calling a Forcesub that takes ``B`` orders ``A -> B``
+even though the two statements sit in different routines.  (The other
+half of F005 — a Critical nested inside itself — is reported by the
+construct parser at the nesting site.)
 """
 
 from __future__ import annotations
 
 from repro.analysis.construct_parser import ForceProgram
-from repro.analysis.diagnostics import Diagnostic, warning
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Witness,
+    WitnessSite,
+    warning,
+)
+from repro.analysis.summaries import ProgramSummary, ResolvedLock, summarize
 
 
-def check_lock_order(program: ForceProgram) -> list[Diagnostic]:
-    first_seen: dict[tuple[str, str], int] = {}
+def check_lock_order(program: ForceProgram,
+                     summary: ProgramSummary | None = None
+                     ) -> list[Diagnostic]:
+    if summary is None:
+        summary = summarize(program)
+    first_seen: dict[tuple[str, str], ResolvedLock] = {}
     reported: set[frozenset[str]] = set()
     diagnostics: list[Diagnostic] = []
-    for outer, inner, line in program.lock_pairs:
-        pair = (outer, inner)
-        reverse = (inner, outer)
-        if pair not in first_seen:
-            first_seen[pair] = line
-        if reverse in first_seen and frozenset(pair) not in reported:
-            reported.add(frozenset(pair))
-            diagnostics.append(warning(
-                "F005", line,
-                f"Critical '{inner}' taken inside Critical '{outer}' "
-                f"here, but the opposite order appears at line "
-                f"{first_seen[reverse]} — two processes can deadlock "
-                "holding one lock each",
-                "acquire nested locks in one global order everywhere"))
+    for acq in summary.locks:
+        for outer in acq.held:
+            if outer == acq.lock:
+                continue        # self-nesting is the parser's half
+            pair = (outer, acq.lock)
+            reverse = (acq.lock, outer)
+            if pair not in first_seen:
+                first_seen[pair] = acq
+            other = first_seen.get(reverse)
+            if other is not None and frozenset(pair) not in reported:
+                reported.add(frozenset(pair))
+                where = ("" if acq.routine == acq.root
+                         else f" (via Forcecall chain "
+                              f"{' -> '.join(acq.chain)})")
+                diagnostics.append(warning(
+                    "F005", acq.line,
+                    f"Critical '{acq.lock}' taken inside Critical "
+                    f"'{outer}' here{where}, but the opposite order "
+                    f"appears at line {other.line} — two processes can "
+                    "deadlock holding one lock each",
+                    "acquire nested locks in one global order everywhere",
+                    witness=Witness(
+                        kind="lock-order",
+                        first=_site(acq, outer),
+                        second=_site(other, acq.lock))))
     return diagnostics
+
+
+def _site(acq: ResolvedLock, held: str) -> WitnessSite:
+    return WitnessSite(
+        routine=acq.routine, line=acq.line, access="acquire",
+        variable=acq.lock, phase=acq.phase, locks=(held,),
+        region="replicated", chain=acq.chain)

@@ -1,0 +1,83 @@
+"""The may-happen-in-parallel relation over phase-partitioned accesses.
+
+Two resolved accesses *may happen in parallel* when two different
+processes can execute them concurrently.  The rules, in the order they
+are applied:
+
+* different expansion roots never co-execute (each root is a whole
+  program run);
+* different phases never co-execute — every process crossed the
+  barrier between them;
+* a Barrier body runs on exactly one process while the rest wait, so
+  nothing in it runs in parallel with anything (including itself);
+* one Pcase section is claimed by one process, so a section never
+  runs in parallel with itself — but it *does* run in parallel with a
+  different section of the same Pcase and with replicated code in the
+  same phase, because ``End pcase`` does not synchronize;
+* two sites guarded by the *same* canonical ME-predicate are executed
+  by the same process subset selected the same way, and a guarded
+  statement does not race with itself — this inherits the seed
+  analyzer's reading of an ``IF (… ME …)`` guard as an ownership
+  claim (a range guard like ``ME .LT. 4`` is accepted too; the
+  limitation is documented in docs/LANGUAGE.md);
+* everything else in the same phase of replicated code may happen in
+  parallel across processes, including a statement with itself —
+  every process executes it.
+
+MHP is necessary but not sufficient for a race: the detector in
+:mod:`repro.analysis.races` still subtracts lockset protection and
+DOALL index-partition ownership before reporting.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.summaries import ResolvedAccess
+
+_SECTION = "section:"
+
+
+def may_happen_in_parallel(a: ResolvedAccess, b: ResolvedAccess) -> bool:
+    """True when two processes can execute ``a`` and ``b`` concurrently.
+
+    Pass the same object twice to ask whether a statement races with
+    itself across the process ensemble.
+    """
+    if a.root != b.root:
+        return False
+    if a.phase != b.phase:
+        return False
+    if a.single_process or b.single_process:
+        return False
+    a_section = a.region.startswith(_SECTION)
+    b_section = b.region.startswith(_SECTION)
+    if a_section and b_section and a.region == b.region:
+        return False        # one process claims one section
+    if a is b:
+        # Self-race: every process runs the statement — unless a
+        # section or ME-guard pins it to one of them.
+        return not (a_section or a.guard is not None)
+    if a.guard is not None and b.guard is not None and a.guard == b.guard:
+        return False
+    return True
+
+
+def no_mhp_reason(a: ResolvedAccess, b: ResolvedAccess) -> str | None:
+    """Human-readable reason the pair cannot co-execute, or ``None``."""
+    if a.root != b.root:
+        return "different program roots"
+    if a.phase != b.phase:
+        return (f"separated by a barrier: phase {a.phase} vs "
+                f"phase {b.phase}")
+    if a.single_process or b.single_process:
+        return "inside a single-process Barrier body"
+    if (a.region.startswith(_SECTION) and a.region == b.region):
+        return "same Pcase section, claimed by one process"
+    if a is b:
+        if a.region.startswith(_SECTION):
+            return "same Pcase section, claimed by one process"
+        if a.guard is not None:
+            return f"ME-guarded ({a.guard})"
+        return None
+    if a.guard is not None and a.guard == b.guard:
+        return f"both sites ME-guarded by '{a.guard}'"
+    return None

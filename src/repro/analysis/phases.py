@@ -1,0 +1,349 @@
+"""Barrier-phase partitioning of a Force routine.
+
+The Force synchronizes with barriers: every statement of a routine
+falls into a *phase* — a maximal run of the statement stream free of
+synchronization points.  Phase boundaries are the entry and exit of a
+``Barrier``/``End barrier`` body and ``Join``.  Two statements in
+different phases of the same routine can never execute concurrently
+(every process crossed the intervening barrier); two statements in the
+same phase of replicated code may — that is the raw material of the
+may-happen-in-parallel relation in :mod:`repro.analysis.mhp`.
+
+This module walks one routine and produces its ordered *event stream*:
+every Shared/private variable access, every ``Forcecall``, and every
+``Critical`` acquisition, each stamped with
+
+* the local ``phase`` ordinal,
+* the ``region`` kind (``replicated``, single-process ``barrier``
+  body, or ``section:<uid>:<n>`` for a Pcase section — ``End pcase``
+  does **not** synchronize, so sections stay inside their phase),
+* the ``locks`` tuple of enclosing Critical names,
+* the enclosing DOALL ``frames`` (construct uid, index variables and
+  loop-bound text — the partition evidence), and
+* the canonical ME-``guard`` text, when every path to the statement
+  runs under conditions naming the routine's process identifier.
+
+Known limitation, by design: phases are assigned in document order, so
+a barrier inside a sequential ``DO`` loop separates the loop's earlier
+and later statements even though iterations re-enter both sides.  The
+corpus does not write that shape; the renderer documents it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import fortranish
+from repro.analysis.construct_parser import (
+    Construct,
+    MacroStmt,
+    Node,
+    Routine,
+    Stmt,
+)
+
+#: region kinds a statement can live in.
+REPLICATED = "replicated"
+BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class DoallFrame:
+    """One enclosing DOALL loop: the index-partition evidence."""
+
+    uid: int
+    macro: str
+    label: str
+    indices: tuple[str, ...]     #: upper-cased index variables
+    bounds: tuple[str, ...]      #: raw bound text per index (``"1, N"``)
+    line: int
+
+    def lower_bound(self, index: str) -> str | None:
+        """Text of the loop's lower bound for ``index``, if recorded."""
+        for var, bound in zip(self.indices, self.bounds):
+            if var == index and bound:
+                parts = fortranish.split_subscript(bound)
+                if parts:
+                    return parts[0]
+        return None
+
+    def upper_bound(self, index: str) -> str | None:
+        for var, bound in zip(self.indices, self.bounds):
+            if var == index and bound:
+                parts = fortranish.split_subscript(bound)
+                if len(parts) > 1:
+                    return parts[1]
+        return None
+
+
+@dataclass(frozen=True)
+class Site:
+    """Shared event coordinates: where and under what context."""
+
+    line: int
+    phase: int
+    region: str                  #: replicated | barrier | section:<uid>:<n>
+    locks: tuple[str, ...]       #: enclosing Critical names, outermost first
+    guard: str | None            #: canonical ME-guard text, or None
+    frames: tuple[DoallFrame, ...] = ()
+
+    @property
+    def single_process(self) -> bool:
+        """True when at most one process executes this site."""
+        return self.region == BARRIER
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One variable reference."""
+
+    site: Site
+    name: str                    #: upper-cased variable name
+    subscript: str | None
+    is_write: bool
+    conditional: bool = False    #: under any non-ME branch condition
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One ``Forcecall NAME(args)``."""
+
+    site: Site
+    callee: str                  #: upper-cased subroutine name
+    args: tuple[str, ...]        #: actual argument expressions
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One ``Critical NAME`` acquisition; ``site.locks`` is held-before."""
+
+    site: Site
+    lock: str
+
+
+@dataclass
+class RoutinePhases:
+    """The phase-partitioned event stream of one routine."""
+
+    routine: Routine
+    accesses: list[AccessEvent] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+    lock_events: list[LockEvent] = field(default_factory=list)
+    #: all of the above interleaved in document order — the stream the
+    #: interprocedural expansion replays to compute phase shifts.
+    events: list = field(default_factory=list)
+    boundary_count: int = 0      #: barrier edges + Joins crossed
+    statement_count: int = 0     #: Fortran statements analysed
+
+    @property
+    def phase_count(self) -> int:
+        return self.boundary_count + 1
+
+
+def partition(routine: Routine) -> RoutinePhases:
+    """Slice ``routine`` into phases and extract its event stream."""
+    return _Partitioner(routine).run()
+
+
+class _Partitioner:
+    def __init__(self, routine: Routine) -> None:
+        self.routine = routine
+        self.out = RoutinePhases(routine)
+        self.phase = 0
+        self.ident = routine.ident_var.upper() if routine.ident_var else ""
+        #: (condition text, mentions ident) per open IF level.
+        self.if_stack: list[tuple[str, bool]] = []
+
+    def run(self) -> RoutinePhases:
+        self._visit(self.routine.body, locks=(), region=REPLICATED,
+                    frames=())
+        return self.out
+
+    # -- context -------------------------------------------------------
+    def _site(self, line: int, region: str, locks: tuple[str, ...],
+              frames: tuple[DoallFrame, ...]) -> Site:
+        ident_conds = [cond for cond, is_guard in self.if_stack if is_guard]
+        guard = (" .AND. ".join(_canonical(c) for c in ident_conds)
+                 if ident_conds else None)
+        return Site(line=line, phase=self.phase, region=region,
+                    locks=locks, guard=guard, frames=frames)
+
+    def _conditional(self) -> bool:
+        return any(not is_guard for _, is_guard in self.if_stack)
+
+    def _boundary(self) -> None:
+        self.phase += 1
+        self.out.boundary_count += 1
+
+    # -- emission ------------------------------------------------------
+    def _emit_access(self, event: AccessEvent) -> None:
+        self.out.accesses.append(event)
+        self.out.events.append(event)
+
+    def _emit_call(self, event: CallEvent) -> None:
+        self.out.calls.append(event)
+        self.out.events.append(event)
+
+    def _emit_lock(self, event: LockEvent) -> None:
+        self.out.lock_events.append(event)
+        self.out.events.append(event)
+
+    # -- traversal -----------------------------------------------------
+    def _visit(self, nodes: list[Node], locks: tuple[str, ...],
+               region: str, frames: tuple[DoallFrame, ...]) -> None:
+        section_ordinal = 0
+        for node in nodes:
+            if isinstance(node, Construct):
+                if node.kind == "barrier":
+                    self._boundary()
+                    self._visit(node.body, locks, BARRIER, frames)
+                    self._boundary()
+                elif node.kind == "critical":
+                    lock = node.name.upper()
+                    self._emit_lock(LockEvent(
+                        self._site(node.line, region, locks, frames), lock))
+                    self._visit(node.body, locks + (lock,), region, frames)
+                elif node.kind == "doall":
+                    frame = DoallFrame(
+                        uid=node.uid, macro=node.macro, label=node.label,
+                        indices=tuple(v.upper() for v in node.index_vars),
+                        bounds=node.bounds, line=node.line)
+                    self._bound_reads(node, region, locks, frames)
+                    self._visit(node.body, locks, region, frames + (frame,))
+                elif node.kind == "pcase":
+                    self._visit(node.body, locks, region, frames)
+                elif node.kind == "section":
+                    section_ordinal += 1
+                    if node.label:   # Csect condition, evaluated by all
+                        self._reads(node.label, node.line, region, locks,
+                                    frames)
+                    self._visit(node.body, locks,
+                                f"section:{node.uid}:{section_ordinal}",
+                                frames)
+                else:   # askfor: work items run on whichever process asks
+                    self._visit(node.body, locks, region, frames)
+            elif isinstance(node, MacroStmt):
+                self._macro(node, locks, region, frames)
+            else:
+                self._statement(node, locks, region, frames)
+
+    def _bound_reads(self, node: Construct, region: str,
+                     locks: tuple[str, ...],
+                     frames: tuple[DoallFrame, ...]) -> None:
+        for bound in node.bounds:
+            if bound:
+                self._reads(bound, node.line, region, locks, frames)
+
+    def _statement(self, stmt: Stmt, locks: tuple[str, ...],
+                   region: str, frames: tuple[DoallFrame, ...]) -> None:
+        form = fortranish.classify_if(stmt.text)
+        if form is not None and form[0] in ("block_if", "else_if",
+                                            "else", "end_if"):
+            kind = form[0]
+            if kind == "end_if":
+                if self.if_stack:
+                    self.if_stack.pop()
+                return
+            if kind in ("block_if", "else_if"):
+                cond = form[1]
+                self._reads(cond, stmt.line, region, locks, frames)
+                entry = (cond, bool(self.ident)
+                         and fortranish.mentions(self.ident, cond))
+                if kind == "block_if":
+                    self.if_stack.append(entry)
+                elif self.if_stack:
+                    self.if_stack[-1] = entry
+                self.out.statement_count += 1
+                return
+            if self.if_stack:   # bare ELSE: branch no longer ME-selected
+                self.if_stack[-1] = (self.if_stack[-1][0], False)
+            return
+        self.out.statement_count += 1
+        accesses, guard = fortranish.statement_accesses(stmt.text)
+        extra = None
+        if guard and self.ident and fortranish.mentions(self.ident, guard):
+            extra = _canonical(guard)
+        for ref in accesses:
+            site = self._site(stmt.line, region, locks, frames)
+            if extra:
+                merged = (f"{site.guard} .AND. {extra}" if site.guard
+                          else extra)
+                site = Site(site.line, site.phase, site.region, site.locks,
+                            merged, site.frames)
+            self._emit_access(AccessEvent(
+                site=site, name=ref.name.upper(), subscript=ref.subscript,
+                is_write=ref.is_write,
+                conditional=self._conditional() or (guard is not None
+                                                    and extra is None)))
+
+    def _macro(self, node: MacroStmt, locks: tuple[str, ...],
+               region: str, frames: tuple[DoallFrame, ...]) -> None:
+        self.out.statement_count += 1
+        args = node.args
+        if node.name == "join_force":
+            self._boundary()
+        elif node.name == "forcecall":
+            callee = (args[0] if args else "").upper()
+            actuals = tuple(
+                a.strip() for a in
+                fortranish.split_subscript(args[1]) if a.strip()
+            ) if len(args) > 1 and args[1] else ()
+            self._emit_call(CallEvent(
+                self._site(node.line, region, locks, frames),
+                callee, actuals))
+            for actual in actuals:
+                # A plain NAME actual passes an address — no data read.
+                # Subscripts (A(I)) and value expressions (I+1) are
+                # evaluated at the call site.
+                parsed = fortranish.parse_assignment(f"{actual} = 0")
+                if parsed is not None and parsed.subscript is None:
+                    continue
+                if parsed is not None and parsed.subscript is not None:
+                    self._reads(parsed.subscript, node.line, region, locks,
+                                frames)
+                else:
+                    self._reads(actual, node.line, region, locks, frames)
+        elif node.name == "produce" and len(args) > 1:
+            # Produce VAR = EXPR: VAR is Async (full/empty-synchronized,
+            # excluded from race analysis); EXPR reads count.
+            self._reads(args[1], node.line, region, locks, frames)
+            self._async_subscript_reads(args[0], node.line, region, locks,
+                                        frames)
+        elif node.name in ("consume", "copyasync") and len(args) > 1:
+            # ... into DEST writes DEST.
+            dest = fortranish.parse_assignment(f"{args[1]} = 0")
+            if dest is not None:
+                site = self._site(node.line, region, locks, frames)
+                self._emit_access(AccessEvent(
+                    site=site, name=dest.name.upper(),
+                    subscript=dest.subscript, is_write=True,
+                    conditional=self._conditional()))
+                if dest.subscript:
+                    self._reads(dest.subscript, node.line, region, locks,
+                                frames)
+            self._async_subscript_reads(args[0], node.line, region, locks,
+                                        frames)
+        elif node.name == "putwork" and len(args) > 1:
+            self._reads(args[1], node.line, region, locks, frames)
+
+    def _async_subscript_reads(self, target: str, line: int, region: str,
+                               locks: tuple[str, ...],
+                               frames: tuple[DoallFrame, ...]) -> None:
+        """``Produce V(I) = …``: V is Async, but I is an ordinary read."""
+        parsed = fortranish.parse_assignment(f"{target} = 0")
+        if parsed is not None and parsed.subscript:
+            self._reads(parsed.subscript, line, region, locks, frames)
+
+    def _reads(self, expr: str, line: int, region: str,
+               locks: tuple[str, ...],
+               frames: tuple[DoallFrame, ...]) -> None:
+        site = self._site(line, region, locks, frames)
+        for ref in fortranish.expression_reads(expr):
+            self._emit_access(AccessEvent(
+                site=site, name=ref.name.upper(), subscript=ref.subscript,
+                is_write=False, conditional=self._conditional()))
+
+
+def _canonical(condition: str) -> str:
+    """Canonical text of a guard condition for cross-site comparison."""
+    return " ".join(condition.upper().split())

@@ -6,20 +6,35 @@ import json
 
 from repro.analysis.diagnostics import (
     Diagnostic,
+    WitnessSite,
     count_errors,
     count_warnings,
 )
 
 
 def render_text(diagnostics: list[Diagnostic], *,
-                summary: bool = True) -> str:
-    """One finding per line, compiler style, plus a count summary."""
+                summary: bool = True, explain: bool = False) -> str:
+    """One finding per line, compiler style, plus a count summary.
+
+    With ``explain`` (the CLI's ``--explain``), findings that carry a
+    two-sided witness get an indented evidence block naming both
+    sites, their barrier phase, and the locks each holds.
+    """
     lines: list[str] = []
     for diag in diagnostics:
         lines.append(f"{diag.file}:{diag.line}: "
                      f"{diag.severity.value}[{diag.code}]: {diag.message}")
         if diag.suggestion:
             lines.append(f"    help: {diag.suggestion}")
+        if explain and diag.witness is not None:
+            witness = diag.witness
+            lines.append(f"    witness ({witness.kind}):")
+            lines.append(f"      - {_witness_line(witness.first)}")
+            if witness.second != witness.first:
+                lines.append(f"      - {_witness_line(witness.second)}")
+            else:
+                lines.append("      - the same statement on every "
+                             "other process")
     if summary:
         errors = count_errors(diagnostics)
         warnings = count_warnings(diagnostics)
@@ -28,6 +43,18 @@ def render_text(diagnostics: list[Diagnostic], *,
         else:
             lines.append("no problems found")
     return "\n".join(lines)
+
+
+def _witness_line(site: WitnessSite) -> str:
+    locks = ", ".join(site.locks)
+    parts = [f"line {site.line} in {site.routine}: "
+             f"{site.access}s {site.variable}",
+             f"phase {site.phase}", f"holding {{{locks}}}", site.region]
+    if site.guard:
+        parts.append(f"guarded by {site.guard}")
+    if len(site.chain) > 1:
+        parts.append(f"via {' -> '.join(site.chain)}")
+    return "  ".join(parts)
 
 
 def render_json(per_file: list[tuple[str, list[Diagnostic]]]) -> str:

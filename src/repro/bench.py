@@ -334,6 +334,56 @@ def bench_wall_speedup(quick: bool) -> dict[str, Any]:
     }
 
 
+def bench_analyzer_throughput(quick: bool) -> dict[str, Any]:
+    """Static-analysis throughput and the facts-driven kernel gate.
+
+    Runs the full engine (parse → barrier-phase partition →
+    interprocedural summary → race/lock passes) over every example
+    program, times repeated analyses of the largest one, and records
+    how many corpus DOALLs the facts document proves race-free — the
+    count the compiled layer's kernel-eligibility gate consumes.
+    """
+    from repro.analysis import analyze_source
+    from repro.analysis.facts import build_facts, validate_facts
+
+    corpus: list[tuple[str, Any, str]] = []
+    for path in sorted(_examples_dir().rglob("*.frc")):
+        source = path.read_text(encoding="utf-8")
+        _, summary = analyze_source(source, path.name)
+        if summary is not None:
+            corpus.append((path.name, summary, source))
+    largest_name, largest_summary, largest_source = max(
+        corpus, key=lambda item: item[1].statement_count)
+    repeats = 5 if quick else 25
+    start = time.perf_counter()
+    for _ in range(repeats):
+        analyze_source(largest_source, largest_name)
+    elapsed = time.perf_counter() - start
+    statements = largest_summary.statement_count
+
+    doc = build_facts([(name, summary) for name, summary, _ in corpus])
+    problems = validate_facts(doc)
+    if problems:
+        raise AssertionError(
+            f"facts document fails its own schema: {problems[0]}")
+    doalls = [doall for entry in doc["files"]
+              for doall in entry["doalls"]]
+    eligible = sum(1 for doall in doalls if doall["race_free"])
+    return {
+        "params": {"corpus": "examples/**/*.frc",
+                   "largest": largest_name, "repeats": repeats},
+        "wall_s": elapsed,
+        "data": {
+            "files": len(corpus),
+            "statements": statements,
+            "statements_per_s":
+                round(statements * repeats / elapsed) if elapsed else 0,
+            "doalls": len(doalls),
+            "kernel_eligible_doalls": eligible,
+        },
+    }
+
+
 def compiled_corpus_fallbacks() -> dict[str, dict[str, str]]:
     """Translate + run every runnable example; report any program unit
     the compiled layer refused (empty dict == full coverage)."""
@@ -367,6 +417,7 @@ SUITE: tuple[tuple[str, Callable[[bool], dict[str, Any]]], ...] = (
     ("bench_sum_critical_sim", bench_sum_critical_sim),
     ("bench_askfor_tree", bench_askfor_tree),
     ("bench_wall_speedup", bench_wall_speedup),
+    ("bench_analyzer_throughput", bench_analyzer_throughput),
 )
 
 
@@ -433,6 +484,11 @@ def render_bench_report(report: dict[str, Any]) -> str:
         f"(process backend, nproc 4 vs 1, jacobi "
         f"n={wall['params']['n']}, {wall['params']['cpu_count']} "
         "CPU(s))")
+    ana = by_name["bench_analyzer_throughput"]["data"]
+    lines.append(
+        f"analyzer:            {ana['statements_per_s']} stmt/s on the "
+        f"largest program; {ana['kernel_eligible_doalls']}/"
+        f"{ana['doalls']} corpus DOALLs proven race-free")
     if report["fallbacks"]:
         lines.append("compiled coverage:   FALLBACKS "
                      + json.dumps(report["fallbacks"]))

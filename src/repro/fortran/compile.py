@@ -72,6 +72,35 @@ def compile_all(interp) -> dict[str, str]:
     return interp.compile_fallbacks
 
 
+def kernel_eligible_doalls(facts) -> dict[str, set[int]]:
+    """Routine name -> DOALL labels the analyzer proved race-free.
+
+    ``facts`` is a ``force check --facts`` document (see
+    :mod:`repro.analysis.facts`).  A DOALL whose body the race engine
+    could not fault keeps its numeric label through translation (the
+    sed expansion emits ``DO <label> I = ...``), so the compiled layer
+    can find the exact loop and treat it as an array-kernel candidate:
+    its iterations touch disjoint storage, so a future lowering may run
+    them without per-iteration synchronization.  Loops absent here
+    must stay on the conservative path.
+    """
+    out: dict[str, set[int]] = {}
+    if not facts:
+        return out
+    for entry in facts.get("files", []):
+        for doall in entry.get("doalls", []):
+            if not doall.get("race_free"):
+                continue
+            try:
+                label = int(doall.get("label") or 0)
+            except (TypeError, ValueError):
+                continue
+            if label > 0:
+                out.setdefault(
+                    str(doall["routine"]).upper(), set()).add(label)
+    return out
+
+
 class CompiledProgram:
     """Per-interpreter cache of compiled units (lazy, with fallback)."""
 
@@ -80,6 +109,11 @@ class CompiledProgram:
         self._units: dict[str, "CompiledUnit | None"] = {}
         #: unit name -> reason the tree-walker is used instead
         self.fallbacks: dict[str, str] = {}
+        #: routine -> race-free DOALL labels from the analysis facts
+        self.eligible = kernel_eligible_doalls(
+            getattr(interp, "facts", None))
+        #: unit name -> labels of its kernel-eligible compiled loops
+        self.kernel_eligible: dict[str, list[int]] = {}
 
     def unit_for(self, unit) -> "CompiledUnit | None":
         name = unit.name
@@ -93,6 +127,15 @@ class CompiledProgram:
             self.fallbacks[name] = str(exc)
             compiled = None
         self._units[name] = compiled
+        if compiled is not None:
+            proven = self.eligible.get(name.upper())
+            if proven:
+                labels = sorted(
+                    stmt.term_label for stmt in unit.statements
+                    if isinstance(stmt, ast.Do)
+                    and stmt.term_label in proven)
+                if labels:
+                    self.kernel_eligible[name] = labels
         return compiled
 
 

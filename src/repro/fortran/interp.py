@@ -303,7 +303,8 @@ class Interpreter:
                  on_output: Callable[[str, Frame], None] | None = None,
                  cost_scale: int = 1,
                  max_call_depth: int = 64,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True,
+                 facts: dict | None = None) -> None:
         self.program = program
         self.external = external or ExternalCallHandler()
         self.commons = commons or CommonProvider()
@@ -312,6 +313,10 @@ class Interpreter:
         self.cost_scale = cost_scale
         self.max_call_depth = max_call_depth
         self.input_data: list[FValue] = []
+        #: ``force check --facts`` document, when the caller has one;
+        #: the compiled layer uses it to find DOALLs the static race
+        #: engine proved race-free (kernel-lowering candidates).
+        self.facts = facts
         # Compiled execution layer (repro.fortran.compile): on by
         # default, REPRO_NO_JIT=1 forces the tree-walker everywhere.
         self.compiled_enabled = compiled and not os.environ.get(
@@ -359,6 +364,14 @@ class Interpreter:
         every executed unit uses the compiled layer)."""
         return {} if self._compiled is None \
             else dict(self._compiled.fallbacks)
+
+    @property
+    def kernel_eligible(self) -> dict[str, list[int]]:
+        """Unit name -> labels of compiled DO loops the analysis facts
+        proved race-free (array-kernel candidates); empty without a
+        facts document or before any unit compiles."""
+        return {} if self._compiled is None \
+            else dict(self._compiled.kernel_eligible)
 
     def _run_unit_tree(self, unit: ProgramUnit, args: list[ArgRef],
                        depth: int = 0, process=None) -> Iterator:

@@ -196,6 +196,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="execute on the tree-walking interpreter "
                           "instead of the compiled execution layer "
                           "(the differential-testing oracle)")
+    run.add_argument("--facts", metavar="FILE", default=None,
+                     help="analysis facts written by 'force check "
+                          "--facts'; DOALLs it proves race-free are "
+                          "marked kernel-eligible in the compiled layer")
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(
@@ -227,6 +231,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="diagnostic output format")
     check.add_argument("--werror", action="store_true",
                        help="treat warnings as errors")
+    check.add_argument("--explain", action="store_true",
+                       help="attach witness evidence to race and "
+                            "lock-order findings: both sites, their "
+                            "barrier phase, and the locks each holds")
+    check.add_argument("--facts", metavar="FILE", default=None,
+                       help="write machine-readable analysis facts "
+                            "(race-free DOALLs, privatizable variables, "
+                            "Critical contention) to FILE as JSON")
     check.set_defaults(func=_cmd_check)
 
     chaos = sub.add_parser(
@@ -314,11 +326,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
         machine = get_machine("python-host")
     translation = force_translate(_read(args.source), machine,
                                   sched=args.sched, chunk=args.chunk)
+    facts = None
+    if args.facts is not None:
+        from repro.analysis.facts import load_facts
+        try:
+            facts = load_facts(args.facts)
+        except ValueError as exc:
+            raise ForceError(str(exc)) from None
+        if args.backend != "sim":
+            print("force: note: --facts gates the simulator's compiled "
+                  "layer; ignored for the native backends",
+                  file=sys.stderr)
+            facts = None
     if args.backend == "sim":
         result = force_run(translation, args.nproc,
                            trace=args.trace is not None,
                            deadline=args.deadline,
-                           compiled=not args.no_jit)
+                           compiled=not args.no_jit,
+                           facts=facts)
     else:
         from repro.pipeline.native import native_run
         result = native_run(translation, args.nproc,
@@ -353,6 +378,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             document["wall_s"] = round(result.wall_s, 6)
         else:
             document["makespan"] = result.makespan
+            if facts is not None:
+                document["kernel_eligible"] = result.kernel_eligible
         if args.stats:
             document["stats"] = result.stats_dict()
         if trace_file is not None:
@@ -364,6 +391,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.stats:
             from repro.runtime.stats import render_stats
             print(render_stats(result.stats_dict()), file=sys.stderr)
+        if facts is not None and not native:
+            count = sum(len(labels)
+                        for labels in result.kernel_eligible.values())
+            print(f"facts: {count} kernel-eligible DOALL loop(s) in "
+                  f"{len(result.kernel_eligible)} unit(s)",
+                  file=sys.stderr)
     if args.trace == "-":
         if native:
             print("force: note: the text timeline renders simulator "
@@ -417,27 +450,36 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.analysis import (
-        check_source,
+        analyze_source,
         count_errors,
         render_json,
         render_text,
     )
     per_file: list[tuple[str, list]] = []
+    summaries: list[tuple[str, object]] = []
     for path in args.sources:
-        diagnostics = check_source(_read(path), filename=path)
+        diagnostics, summary = analyze_source(_read(path), filename=path)
         if args.werror:
             diagnostics = [d.promoted() for d in diagnostics]
         per_file.append((path, diagnostics))
+        if summary is not None:
+            summaries.append((path, summary))
     if args.format == "json":
         print(render_json(per_file))
     else:
         for path, diagnostics in per_file:
             if diagnostics:
-                print(render_text(diagnostics, summary=False))
+                print(render_text(diagnostics, summary=False,
+                                  explain=args.explain))
         total_errors = sum(count_errors(d) for _, d in per_file)
         total = sum(len(d) for _, d in per_file)
         print(f"{len(per_file)} file(s) checked: {total_errors} error(s), "
               f"{total - total_errors} warning(s)")
+    if args.facts is not None:
+        from repro.analysis.facts import write_facts
+        write_facts(args.facts, summaries)
+        print(f"facts: {len(summaries)} file(s) written to {args.facts}",
+              file=sys.stderr)
     return 1 if any(count_errors(d) for _, d in per_file) else 0
 
 

@@ -43,6 +43,9 @@ class RunResult:
     #: program units the compiled execution layer could not handle
     #: (unit name → reason); empty when everything ran compiled
     compile_fallbacks: dict[str, str] = field(default_factory=dict)
+    #: unit name → labels of DO loops the analysis facts proved
+    #: race-free (kernel-lowering candidates); empty without ``facts``
+    kernel_eligible: dict[str, list[int]] = field(default_factory=dict)
 
     @property
     def makespan(self) -> int:
@@ -107,7 +110,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
               processors: int | None = None,
               unlimited_processors: bool = False,
               deadline: float | None = None,
-              compiled: bool = True) -> RunResult:
+              compiled: bool = True,
+              facts: dict | None = None) -> RunResult:
     """Simulate a translated Force program with ``nproc`` processes.
 
     By default the simulation honours the machine's processor count
@@ -118,6 +122,9 @@ def force_run(translation: TranslationResult, nproc: int, *,
     :class:`~repro._util.errors.SimDeadlockError` instead of churning
     forever on a livelocked program.  ``compiled=False`` forces the
     tree-walking interpreter (the ``--no-jit`` differential oracle).
+    ``facts`` is a ``force check --facts`` document; the compiled layer
+    uses it to mark statically race-free DOALLs as kernel candidates
+    (reported in :attr:`RunResult.kernel_eligible`).
     """
     machine = translation.machine
     if nproc <= 0:
@@ -158,7 +165,7 @@ def force_run(translation: TranslationResult, nproc: int, *,
 
     interp = Interpreter(program, external=runtime,
                          commons=runtime.provider, on_output=on_output,
-                         compiled=compiled)
+                         compiled=compiled, facts=facts)
     runtime.interpreter = interp
 
     driver_holder: list = []
@@ -191,6 +198,7 @@ def force_run(translation: TranslationResult, nproc: int, *,
         memory_plan=memory_plan,
         trace=scheduler.trace,
         compile_fallbacks=interp.compile_fallbacks,
+        kernel_eligible=interp.kernel_eligible,
     )
 
 

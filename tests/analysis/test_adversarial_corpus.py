@@ -1,0 +1,160 @@
+"""The adversarial corpus: races the seed checker missed, false
+positives it reported, and the ``--format json`` goldens locking the
+exact diagnostic payload for each program.
+
+Each program in ``examples/adversarial/`` is a minimal Force idiom the
+barrier-phase MHP engine must judge differently than the seed's
+per-assignment checker did:
+
+==================  ==================================================
+missing_barrier     DOALL write vs replicated read after ``End
+                    presched DO`` (which does not synchronize) — a
+                    read/write pair the seed never looked for
+helper_race         write under Critical in a Forcesub vs a bare read
+                    in the caller — interprocedural, lockset on one
+                    side only
+twin_writers        two differently ME-guarded writes in two distinct
+                    Forcesubs — a write/write pair across routines
+locked_helper       write in a helper protected by the Critical every
+                    call site holds — seed false positive, now
+                    suppressed by the interprocedural lockset
+owner_compute       ME-guarded logical-IF write and the ``A(ME)``
+                    slot idiom — seed false positive, now suppressed
+priv_temp           racy Shared temporary every phase writes before
+                    reading — still a race, but the facts file marks
+                    it privatizable (the mechanical fix)
+==================  ==================================================
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis import analyze_source, check_file, render_json
+from repro.analysis.facts import build_file_facts, validate_facts
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+ADVERSARIAL = REPO / "examples" / "adversarial"
+GOLDENS = pathlib.Path(__file__).parent / "goldens"
+
+PROGRAMS = ("helper_race", "locked_helper", "missing_barrier",
+            "owner_compute", "priv_temp", "twin_writers")
+
+
+def _check(name):
+    return check_file(str(ADVERSARIAL / f"{name}.frc"))
+
+
+def _facts(name):
+    path = ADVERSARIAL / f"{name}.frc"
+    _, summary = analyze_source(path.read_text(encoding="utf-8"),
+                                str(path))
+    return build_file_facts(str(path), summary)
+
+
+class TestJsonGoldens:
+    """``force check --format json`` output is pinned per program; a
+    diff here means the diagnostic payload changed shape or content."""
+
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_matches_golden(self, name):
+        rel = f"examples/adversarial/{name}.frc"
+        source = (REPO / rel).read_text(encoding="utf-8")
+        diagnostics, _ = analyze_source(source, rel)
+        payload = json.loads(render_json([(rel, diagnostics)]))
+        golden = json.loads(
+            (GOLDENS / f"{name}.json").read_text(encoding="utf-8"))
+        assert payload == golden
+
+
+class TestTrueRacesTheSeedMissed:
+    """Acceptance: at least three genuine races the seed's
+    per-assignment F001 could not see, each with a two-sided witness."""
+
+    def test_missing_barrier_doall_write_vs_later_read(self):
+        (diag,) = [d for d in _check("missing_barrier") if d.is_error]
+        assert diag.code == "F001"
+        witness = diag.witness
+        assert witness.kind == "read/write"
+        assert (witness.first.line, witness.second.line) == (15, 17)
+        assert witness.first.access == "write"
+        assert witness.second.access == "read"
+        # End presched DO does not synchronize: same phase both sides
+        assert witness.first.phase == witness.second.phase
+
+    def test_helper_race_is_interprocedural_with_one_sided_lockset(self):
+        (diag,) = [d for d in _check("helper_race") if d.is_error]
+        witness = diag.witness
+        assert witness.first.routine == "BUMP"
+        assert witness.second.routine == "HELPRC"
+        assert witness.first.locks == ("ALCK",)
+        assert witness.second.locks == ()
+        assert witness.first.chain == ("HELPRC", "BUMP")
+
+    def test_twin_writers_write_write_across_routines(self):
+        (diag,) = [d for d in _check("twin_writers") if d.is_error]
+        witness = diag.witness
+        assert witness.kind == "write/write"
+        assert {witness.first.routine, witness.second.routine} \
+            == {"ALPHA", "BETA"}
+        # the two logical-IF guards are different, so MHP holds
+        assert witness.first.guard != witness.second.guard
+
+
+class TestSeedFalsePositivesSuppressed:
+    """Acceptance: at least two accesses the seed flagged that the MHP
+    engine proves safe."""
+
+    def test_locked_helper_inherits_the_callers_critical(self):
+        assert [d for d in _check("locked_helper") if d.is_error] == []
+
+    def test_owner_compute_guard_and_ident_subscript(self):
+        assert [d for d in _check("owner_compute") if d.is_error] == []
+
+
+class TestPrivTempFacts:
+    def test_race_is_reported_and_fact_says_privatizable(self):
+        diagnostics = _check("priv_temp")
+        assert any(d.code == "F001" for d in diagnostics)
+        facts = _facts("priv_temp")
+        assert facts["privatizable"] == ["TEMP"]
+        assert "TEMP" in facts["racy_variables"]
+
+    def test_racy_doall_is_not_race_free(self):
+        facts = _facts("priv_temp")
+        (doall,) = facts["doalls"]
+        assert doall["race_free"] is False
+
+    def test_clean_programs_doalls_are_race_free(self):
+        facts = _facts("missing_barrier")
+        (doall,) = facts["doalls"]
+        # the race pairs the DOALL write with a read OUTSIDE the loop,
+        # so the loop itself is (correctly) implicated, not race-free
+        assert doall["race_free"] is False
+        clean = _facts("owner_compute")
+        assert clean["races"] == []
+        assert validate_facts({"version": 1, "generator": "t",
+                               "files": [clean]}) == []
+
+
+class TestWholeCorpusSweep:
+    """Every adversarial program parses, analyzes, and yields a
+    schema-valid facts entry (the golden-corpus sweep)."""
+
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_facts_entry_validates(self, name):
+        entry = _facts(name)
+        doc = {"version": 1, "generator": "test", "files": [entry]}
+        assert validate_facts(doc) == []
+
+    @pytest.mark.parametrize("name", PROGRAMS)
+    def test_every_race_diagnostic_has_two_sided_witness(self, name):
+        for diag in _check(name):
+            if diag.code == "F001":
+                witness = diag.witness
+                assert witness is not None
+                for site in (witness.first, witness.second):
+                    assert site.line > 0
+                    assert site.phase >= 0
+                    assert site.locks is not None

@@ -65,10 +65,13 @@ class TestRacyStencilGolden:
     EXPECTED = {
         ("F009", 12),   # Private ITER written in a barrier body
         ("F001", 14),   # SWEEPS assigned in replicated code
-        ("F001", 17),   # U(2) not owned by the DOALL index I
+        ("F001", 16),   # UNEW(I) write vs UNEW(2) read in the DOALL
+        ("F001", 17),   # U(2) not owned by the DOALL index I (self
+                        # race, plus the pair against U(I-1)/U(I+1))
         ("F003", 18),   # End presched DO label 20 vs opener label 10
         ("F011", 19),   # column-one `Critical RED` is a comment
-        ("F001", 20),   # NSIZE update unprotected (see F011 above)
+        ("F001", 20),   # NSIZE update unprotected (see F011 above),
+                        # plus the pair against the bound read at 15
         ("F002", 21),   # the End critical is now a stray closer
         ("F004", 23),   # Barrier nested inside Critical GREEN
         ("F007", 27),   # Consume TOKEN: no Produce anywhere
@@ -87,8 +90,18 @@ class TestRacyStencilGolden:
         assert len({d.code for d in diagnostics}) >= 4
 
     def test_severity_split(self, diagnostics):
-        assert count_errors(diagnostics) == 8
+        assert count_errors(diagnostics) == 11
         assert len(diagnostics) - count_errors(diagnostics) == 3
+
+    def test_pair_races_carry_two_sided_witnesses(self, diagnostics):
+        pairs = [d for d in diagnostics
+                 if d.code == "F001" and d.witness is not None
+                 and d.witness.kind != "self"]
+        assert {(p.witness.first.line, p.witness.second.line)
+                for p in pairs} == {(16, 17), (17, 16), (20, 15)}
+        for p in pairs:
+            assert p.witness.first.access == "write"
+            assert p.witness.first.phase == p.witness.second.phase == 2
 
     def test_every_diagnostic_has_a_suggestion(self, diagnostics):
         assert all(d.suggestion for d in diagnostics)

@@ -1,0 +1,219 @@
+"""Unit tests for the barrier-phase MHP engine: the phase partitioner,
+the MHP relation, and the interprocedural summaries they feed."""
+
+from repro._util.text import strip_margin
+from repro.analysis import parse_program, summarize
+from repro.analysis.mhp import may_happen_in_parallel, no_mhp_reason
+from repro.analysis.phases import BARRIER, REPLICATED, partition
+
+
+def _summary(source):
+    return summarize(parse_program(strip_margin(source), "t.frc"))
+
+
+def _accesses(summary, name):
+    return [a for a in summary.accesses if a.name == name]
+
+
+class TestPhasePartitioner:
+    SOURCE = strip_margin("""
+        Force PH of NP ident ME
+        Shared INTEGER A, B, C
+        End declarations
+              A = 1
+        Barrier
+              B = 2
+        End barrier
+              C = 3
+        Join
+              A = 4
+              END
+    """)
+
+    def test_barrier_body_gets_its_own_phase(self):
+        program = parse_program(self.SOURCE, "t.frc")
+        rp = partition(program.routines[0])
+        by_name = {(a.name, a.site.phase, a.site.region)
+                   for a in rp.accesses if a.is_write}
+        assert ("A", 0, REPLICATED) in by_name
+        assert ("B", 1, BARRIER) in by_name
+        assert ("C", 2, REPLICATED) in by_name
+        assert ("A", 3, REPLICATED) in by_name   # Join is a boundary
+        assert rp.phase_count == 4
+
+    def test_doall_frames_and_locks_are_recorded(self):
+        source = strip_margin("""
+            Force FR of NP ident ME
+            Shared INTEGER T
+            Private INTEGER I
+            End declarations
+            Presched DO 10 I = 1, 8
+                  Critical LCK
+                  T = T + I
+                  End critical
+            10 End presched DO
+            Join
+                  END
+        """)
+        program = parse_program(source, "t.frc")
+        rp = partition(program.routines[0])
+        write = next(a for a in rp.accesses
+                     if a.name == "T" and a.is_write)
+        assert write.site.locks == ("LCK",)
+        (frame,) = write.site.frames
+        assert frame.indices == ("I",)
+        assert frame.lower_bound("I") == "1"
+        assert frame.upper_bound("I") == "8"
+
+
+class TestMhpRelation:
+    SOURCE = """
+        Force MH of NP ident ME
+        Shared INTEGER A, B, C, D, E
+        End declarations
+              A = 1
+        Barrier
+              B = 2
+        End barrier
+              C = 3
+              IF (ME .EQ. 1) D = 4
+              IF (ME .EQ. 1) E = 5
+        Join
+              END
+    """
+
+    def setup_method(self):
+        self.summary = _summary(self.SOURCE)
+
+    def _write(self, name):
+        return next(a for a in _accesses(self.summary, name)
+                    if a.is_write)
+
+    def test_different_phases_never_mhp(self):
+        a, c = self._write("A"), self._write("C")
+        assert not may_happen_in_parallel(a, c)
+        assert "barrier" in no_mhp_reason(a, c)
+
+    def test_barrier_body_never_mhp_even_with_itself(self):
+        b = self._write("B")
+        assert not may_happen_in_parallel(b, b)
+        assert "single-process" in no_mhp_reason(b, b)
+
+    def test_replicated_statement_races_with_itself(self):
+        c = self._write("C")
+        assert may_happen_in_parallel(c, c)
+        assert no_mhp_reason(c, c) is None
+
+    def test_identical_guards_pin_the_same_process(self):
+        d, e = self._write("D"), self._write("E")
+        assert d.guard is not None
+        assert not may_happen_in_parallel(d, d)   # guarded self
+        assert not may_happen_in_parallel(d, e)   # same canonical guard
+
+    def test_sections_do_not_self_race_but_cross_sections_do(self):
+        source = """
+            Force SEC of NP ident ME
+            Shared INTEGER X, Y
+            End declarations
+            Pcase
+            Usect
+                  X = 1
+            Usect
+                  Y = X
+            End pcase
+            Join
+                  END
+        """
+        summary = _summary(source)
+        x = next(a for a in _accesses(summary, "X") if a.is_write)
+        y_read = next(a for a in _accesses(summary, "X")
+                      if not a.is_write)
+        assert not may_happen_in_parallel(x, x)
+        assert may_happen_in_parallel(x, y_read)   # End pcase: no sync
+
+
+class TestInterproceduralSummaries:
+    SOURCE = """
+        Force MAIN of NP ident ME
+        Shared INTEGER ACC
+        End declarations
+              ACC = 0
+        Forcecall HELPER(7)
+              ACC = 2
+        Join
+              END
+        Forcesub HELPER(X) of NP ident ME
+        Shared INTEGER ACC
+        End declarations
+        Barrier
+              ACC = X
+        End barrier
+              IF (ID .EQ. 1) ACC = 1
+              RETURN
+              END
+    """.replace("ID", "ME")
+
+    def test_callee_barriers_shift_caller_phases(self):
+        summary = _summary(self.SOURCE)
+        writes = [(a.routine, a.line, a.phase)
+                  for a in _accesses(summary, "ACC") if a.is_write]
+        first = next(p for r, l, p in writes
+                     if r == "MAIN" and l == 4)
+        inside = next(p for r, l, p in writes if r == "HELPER")
+        after = next(p for r, l, p in writes
+                     if r == "MAIN" and l == 6)
+        # HELPER consumes two boundaries (barrier open + close), so
+        # the caller's post-call write lands two phases later.
+        assert inside == first + 1
+        assert after == first + 2
+
+    def test_guard_substitutes_the_callers_ident(self):
+        summary = _summary(self.SOURCE)
+        guarded = next(a for a in _accesses(summary, "ACC")
+                       if a.guard is not None)
+        assert guarded.guard == "ME .EQ. 1"
+        assert guarded.chain == ("MAIN", "HELPER")
+
+    def test_lockset_carries_into_the_callee(self):
+        source = """
+            Force LK of NP ident ME
+            Shared INTEGER T
+            End declarations
+                  Critical OUTER
+            Forcecall SUB
+                  End critical
+            Join
+                  END
+            Forcesub SUB of NP ident ME
+            Shared INTEGER T
+            End declarations
+                  T = 1
+                  RETURN
+                  END
+        """
+        summary = _summary(source)
+        write = next(a for a in _accesses(summary, "T") if a.is_write)
+        assert write.locks == ("OUTER",)
+        assert write.routine == "SUB"
+
+    def test_recursion_is_cut_with_a_note(self):
+        source = """
+            Force RC of NP ident ME
+            Shared INTEGER T
+            End declarations
+            Forcecall LOOPY
+            Join
+                  END
+            Forcesub LOOPY of NP ident ME
+            Shared INTEGER T
+            End declarations
+                  T = 1
+            Forcecall LOOPY
+                  RETURN
+                  END
+        """
+        summary = _summary(source)
+        assert any("recursi" in note.lower() for note in summary.notes)
+        # the first expansion of the body is still analyzed
+        assert any(a.name == "T" and a.is_write
+                   for a in summary.accesses)

@@ -139,6 +139,8 @@ class TestNesting:
             Usect
                   B = 200
             End pcase
+            Barrier
+            End barrier
             Selfsched DO 100 K = 1, 10
               Critical LCK
                   A = A + 1

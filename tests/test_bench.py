@@ -115,9 +115,13 @@ class TestWallSpeedup:
                 {"name": "bench_wall_speedup",
                  "params": {"n": 96, "cpu_count": 1},
                  "data": {"wall_speedup": 0.8}},
+                {"name": "bench_analyzer_throughput",
+                 "data": {"statements_per_s": 5000, "doalls": 4,
+                          "kernel_eligible_doalls": 3}},
             ],
         }
         text = bench.render_bench_report(report)
         assert "wall_speedup" in text
         assert "0.80x" in text
         assert "1 CPU(s)" in text
+        assert "3/4 corpus DOALLs proven race-free" in text
