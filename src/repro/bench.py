@@ -384,6 +384,164 @@ def bench_analyzer_throughput(quick: bool) -> dict[str, Any]:
     }
 
 
+def _paired_overhead(bare: Callable[[], float],
+                     instrumented: Callable[[], float],
+                     rounds: int) -> dict[str, float]:
+    """Overhead of ``instrumented`` vs ``bare`` from paired rounds.
+
+    Each round times both back-to-back so host drift cancels; the
+    minimum ratio is the robust estimate (noise only inflates a
+    round's ratio, so the minimum converges onto the true overhead
+    from above).
+    """
+    ratios = []
+    for _ in range(rounds):
+        base = bare()
+        ratios.append(instrumented() / base if base else 1.0)
+    ratios.sort()
+    return {
+        "min_ratio": round(ratios[0], 4),
+        "median_ratio": round(ratios[len(ratios) // 2], 4),
+    }
+
+
+def bench_trace_overhead(quick: bool) -> dict[str, Any]:
+    """Cost of observability: tracing and metrics vs bare runs.
+
+    Two vantage points: statement-level (the simulated jacobi pipeline
+    run, single-threaded and stable) and wall-clock (the native
+    ``_wall_jacobi`` kernel on threads, noisier but end-to-end).  The
+    recorded ratios are what the tier-1 overhead guard asserts on.
+    """
+    from repro.machines import get_machine
+    from repro.pipeline.compile import force_translate
+    from repro.pipeline.run import force_run
+    from repro.runtime import Force
+    machine = get_machine("sequent-balance")
+    translation = force_translate(_example("jacobi.frc"), machine)
+    rounds = 3 if quick else 6
+
+    def sim_run(**kwargs: Any) -> Callable[[], float]:
+        def timed() -> float:
+            start = time.perf_counter()
+            force_run(translation, 4, **kwargs)
+            return time.perf_counter() - start
+        return timed
+
+    n, sweeps = (128, 8) if quick else (256, 16)
+
+    def native_run(**kwargs: Any) -> Callable[[], float]:
+        def timed() -> float:
+            force = Force(2, timeout=120, **kwargs)
+            start = time.perf_counter()
+            force.run(_wall_jacobi, n, sweeps)
+            return time.perf_counter() - start
+        return timed
+
+    sim_bare = sim_run()
+    native_bare = native_run()
+    sim_bare()          # warm caches before pairing
+    native_bare()
+    data = {
+        "sim_trace": _paired_overhead(sim_bare, sim_run(trace=True),
+                                      rounds),
+        "native_metrics": _paired_overhead(
+            native_bare, native_run(metrics=True), rounds),
+        "native_trace": _paired_overhead(
+            native_bare, native_run(trace=True), rounds),
+    }
+    wall = native_bare()
+    return {
+        "params": {"rounds": rounds, "n": n, "sweeps": sweeps,
+                   "machine": machine.key},
+        "wall_s": wall,
+        "data": data,
+    }
+
+
+#: the stride-resonant load the tune-quality entry stresses: heavy
+#: work on every NPROC-th index collapses cyclic prescheduling
+_TUNE_TEMPLATE = """\
+Force ABLA of NP ident ME
+Private INTEGER I, J, W
+Shared INTEGER SINK
+End declarations
+Barrier
+      SINK = 0
+End barrier
+{open_loop}
+      IF (MOD(I, 4) .EQ. 1) THEN
+        W = 800
+      ELSE
+        W = 4
+      END IF
+      DO 5 J = 1, W
+        SINK = SINK
+5     CONTINUE
+{close_loop}
+Join
+      END
+"""
+
+
+def bench_tune_quality(quick: bool) -> dict[str, Any]:
+    """Does ``force tune`` pick the config the sweep ranks best?
+
+    One traced selfscheduled observation run feeds the recommender;
+    the candidate configs are then actually measured and the
+    recommendation scored by *regret* — the measured makespan of the
+    recommended config over the measured best (1.0 == perfect).
+    """
+    from repro.machines import get_machine
+    from repro.obsv.tune import tune_from_events
+    from repro.pipeline.run import force_compile_and_run
+    machine = get_machine("sequent-balance")
+    nproc = 4
+    n_iter = 32 if quick else 64
+    loops = {
+        "cyclic": (f"Presched DO 100 I = 1, {n_iter}",
+                   "100 End presched DO", {}),
+        "blocked": (f"Blocksched DO 100 I = 1, {n_iter}",
+                    "100 End blocksched DO", {}),
+        "self": (f"Selfsched DO 100 I = 1, {n_iter}",
+                 "100 End Selfsched DO", {}),
+    }
+    start = time.perf_counter()
+    observed = force_compile_and_run(
+        _TUNE_TEMPLATE.format(open_loop=loops["self"][0],
+                              close_loop=loops["self"][1]),
+        machine, nproc, trace=True)
+    doc = tune_from_events(
+        observed.trace_events(), nproc=nproc,
+        candidates=(("cyclic", None), ("blocked", None),
+                    ("self", None)))
+    sched = doc["recommendations"]["sched"] or {}
+    recommended = sched.get("policy")
+    measured = {}
+    for label, (open_loop, close_loop, policy) in loops.items():
+        result = force_compile_and_run(
+            _TUNE_TEMPLATE.format(open_loop=open_loop,
+                                  close_loop=close_loop),
+            machine, nproc, **policy)
+        measured[label] = result.makespan
+    elapsed = time.perf_counter() - start
+    best = min(measured, key=measured.get)
+    regret = (measured.get(recommended, float("inf"))
+              / measured[best]) if measured[best] else float("inf")
+    return {
+        "params": {"machine": machine.key, "nproc": nproc,
+                   "n_iter": n_iter, "load": "resonant"},
+        "wall_s": elapsed,
+        "data": {
+            "recommended": recommended,
+            "measured_best": best,
+            "measured_makespans": measured,
+            "agreement": recommended == best,
+            "regret": round(regret, 4),
+        },
+    }
+
+
 def compiled_corpus_fallbacks() -> dict[str, dict[str, str]]:
     """Translate + run every runnable example; report any program unit
     the compiled layer refused (empty dict == full coverage)."""
@@ -418,6 +576,8 @@ SUITE: tuple[tuple[str, Callable[[bool], dict[str, Any]]], ...] = (
     ("bench_askfor_tree", bench_askfor_tree),
     ("bench_wall_speedup", bench_wall_speedup),
     ("bench_analyzer_throughput", bench_analyzer_throughput),
+    ("bench_trace_overhead", bench_trace_overhead),
+    ("bench_tune_quality", bench_tune_quality),
 )
 
 
@@ -489,6 +649,18 @@ def render_bench_report(report: dict[str, Any]) -> str:
         f"analyzer:            {ana['statements_per_s']} stmt/s on the "
         f"largest program; {ana['kernel_eligible_doalls']}/"
         f"{ana['doalls']} corpus DOALLs proven race-free")
+    over = by_name["bench_trace_overhead"]["data"]
+    lines.append(
+        "trace overhead:      sim trace "
+        f"{over['sim_trace']['min_ratio']:.2f}x, native metrics "
+        f"{over['native_metrics']['min_ratio']:.2f}x, native trace "
+        f"{over['native_trace']['min_ratio']:.2f}x (min paired ratio)")
+    tune = by_name["bench_tune_quality"]["data"]
+    lines.append(
+        f"tune quality:        recommended {tune['recommended']}, "
+        f"measured best {tune['measured_best']} "
+        f"({'agree' if tune['agreement'] else 'DISAGREE'}, regret "
+        f"{tune['regret']:.2f}x)")
     if report["fallbacks"]:
         lines.append("compiled coverage:   FALLBACKS "
                      + json.dumps(report["fallbacks"]))

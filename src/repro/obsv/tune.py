@@ -1,0 +1,391 @@
+"""``force tune``: turn one measured run into a policy recommendation.
+
+ROADMAP item 5d — close the measurement→policy loop.  The recommender
+replays a trace (native or simulated), recovers the *workload shape*
+the scheduler actually saw, and predicts what every dispatch policy
+would have cost on it:
+
+* **per-index costs** — native selfsched chunk instants carry
+  ``index``/``size`` args, so the time between a lane's consecutive
+  dispatches is the cost of the chunk it just ran; simulator traces
+  reconstruct dispatches from the index-lock (``ZZL<label>``) hold
+  spans, with global grant order giving index order (exact under the
+  default one-index-per-round policy the paper specifies);
+* **lock overhead** ``ell`` — the median index-lock hold (simulator)
+  or a per-dispatch floor from the dispatch-gap minimum (native);
+* **policy prediction** — static maps (``cyclic`` from the paper's
+  Presched expansion, ``blocked`` from the ablation's
+  ``((me-1)*n)//P`` split) cost the maximum per-lane sum; dynamic
+  policies (``self``/``chunked``/``guided``) run a greedy
+  list-scheduling simulation in which every dispatch round serializes
+  on the index lock for ``ell``.
+
+The result is a versioned JSON document (schema checked by
+:func:`validate_recommendation`): the cheapest predicted sched policy
+and chunk, a spin-vs-block budget from the observed critical-section
+hold-time distribution, and a backend suggestion from the measured
+compute/wait ratio against the host's core count.
+"""
+
+from __future__ import annotations
+
+import os
+from statistics import median, pstdev
+from typing import Any
+
+from repro.trace.events import TraceEvent
+
+from repro.obsv.analyze import TraceAnalysis, analyze_trace
+
+#: recommendation-document schema version
+RECOMMENDATION_SCHEMA = 1
+
+#: policies the predictor understands
+POLICIES = ("cyclic", "blocked", "self", "chunked", "guided")
+
+#: default candidate grid: (policy, chunk)
+DEFAULT_CANDIDATES = (
+    ("cyclic", None), ("blocked", None), ("self", None),
+    ("chunked", 2), ("chunked", 4), ("chunked", 8), ("guided", None),
+)
+
+#: spin-vs-block threshold on the p95 critical hold: short holds are
+#: cheaper to spin through than to park on (perfbook's rule of thumb)
+SPIN_P95_SECONDS = 1e-4
+SPIN_P95_CYCLES = 200.0
+
+
+# ----------------------------------------------------------------------
+# workload extraction
+# ----------------------------------------------------------------------
+def extract_workload(analysis: TraceAnalysis) -> dict[str, dict]:
+    """Per-label per-index costs and lock overhead from the spans."""
+    labels: dict[str, dict] = {}
+    native = _native_chunks(analysis)
+    if native:
+        return native
+    return _sim_chunks(analysis)
+
+
+def _native_chunks(analysis: TraceAnalysis) -> dict[str, dict]:
+    """Costs from native chunk instants (exact index/size args)."""
+    #: label -> lane -> [(ts, index, size)]
+    per_lane: dict[str, dict[str, list[tuple[float, int, int]]]] = {}
+    for event in analysis.meta.get("_events", []):
+        if event.kind != "selfsched" or event.op != "chunk":
+            continue
+        per_lane.setdefault(event.name, {}).setdefault(
+            event.proc, []).append(
+            (float(event.ts), int(event.args.get("index", 0)),
+             int(event.args.get("size", 1))))
+    labels: dict[str, dict] = {}
+    for label, lanes in per_lane.items():
+        indexed: dict[int, float] = {}
+        gaps: list[float] = []
+        for lane, dispatches in lanes.items():
+            dispatches.sort()
+            lane_end = analysis.lanes.get(
+                lane, {"last": 0.0})["last"]
+            for i, (ts, index, size) in enumerate(dispatches):
+                end = dispatches[i + 1][0] \
+                    if i + 1 < len(dispatches) else lane_end
+                cost = max(0.0, end - ts)
+                gaps.append(cost)
+                for offset in range(size):
+                    indexed[index + offset] = cost / max(1, size)
+        if not indexed:
+            continue
+        costs = [indexed[key] for key in sorted(indexed)]
+        labels[label] = {
+            "costs": costs,
+            "ell": min(gaps) * 0.05 if gaps else 0.0,
+            "dispatches": sum(len(d) for d in lanes.values()),
+            "observed": "native",
+        }
+    return labels
+
+
+def _sim_chunks(analysis: TraceAnalysis) -> dict[str, dict]:
+    """Costs from simulator index-lock rounds.
+
+    Per lane, the work of dispatch *k* is the gap between releasing
+    the index lock and the lane's next attempt to take it (wait start,
+    or grant when uncontended).  Tagging each gap with its grant time
+    and sorting globally recovers index order, exact under the
+    one-index-per-round policy.  The final hold per lane is the
+    done-check round and contributes no cost.
+    """
+    by_label: dict[str, dict[str, list]] = {}
+    waits_by_lane: dict[tuple[str, str], list] = {}
+    for span in analysis.spans:
+        if span.kind != "selfsched":
+            continue
+        if span.op == "hold":
+            by_label.setdefault(span.name, {}).setdefault(
+                span.lane, []).append(span)
+        else:
+            waits_by_lane.setdefault((span.name, span.lane),
+                                     []).append(span)
+    labels: dict[str, dict] = {}
+    for label, lanes in by_label.items():
+        tagged: list[tuple[float, float]] = []   # (grant_ts, cost)
+        ells: list[float] = []
+        for lane, holds in lanes.items():
+            holds.sort(key=lambda s: s.t0)
+            waits = sorted(waits_by_lane.get((label, lane), []),
+                           key=lambda s: s.t0)
+            ells.extend(h.dur for h in holds)
+            for i in range(len(holds) - 1):
+                this, after = holds[i], holds[i + 1]
+                # The next attempt starts at the wait that led to the
+                # next grant, or the grant itself when uncontended.
+                attempt = after.t0
+                for wait in waits:
+                    if abs(wait.t1 - after.t0) <= 1.5 and \
+                            wait.t0 > this.t1 - 1.5:
+                        attempt = wait.t0
+                        break
+                tagged.append((this.t0, max(0.0, attempt - this.t1)))
+        if not tagged:
+            continue
+        tagged.sort()
+        labels[label] = {
+            "costs": [cost for _, cost in tagged],
+            "ell": float(median(ells)) if ells else 0.0,
+            "dispatches": len(tagged),
+            "observed": "sim",
+        }
+    return labels
+
+
+# ----------------------------------------------------------------------
+# policy prediction
+# ----------------------------------------------------------------------
+def predict_makespan(costs: list[float], nproc: int, policy: str,
+                     chunk: int | None = None,
+                     ell: float = 0.0) -> float:
+    """Predicted loop makespan for one dispatch policy.
+
+    Static policies are exact sums over their index maps; dynamic
+    policies greedily hand the next chunk to the first free lane, each
+    dispatch serializing on the index lock for ``ell``.
+
+    Costs observed under a selfscheduled trace include each index's
+    dispatch bookkeeping (on the order of the lock round ``ell``); a
+    static distribution does not pay it, so static predictions use
+    ``max(0, cost - ell)`` per index.
+    """
+    n = len(costs)
+    if n == 0:
+        return 0.0
+    if policy == "cyclic":
+        static = [max(0.0, c - ell) for c in costs]
+        return max(sum(static[m::nproc]) for m in range(nproc))
+    if policy == "blocked":
+        static = [max(0.0, c - ell) for c in costs]
+        spans = []
+        for m in range(1, nproc + 1):
+            lo = ((m - 1) * n) // nproc
+            hi = (m * n) // nproc
+            spans.append(sum(static[lo:hi]))
+        return max(spans)
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}")
+    size_fixed = 1 if policy == "self" else (chunk or 1)
+    lane_free = [0.0] * nproc
+    lock_free = 0.0
+    next_index = 0
+    while next_index < n:
+        lane = min(range(nproc), key=lane_free.__getitem__)
+        start = max(lane_free[lane], lock_free)
+        remaining = n - next_index
+        if policy == "guided":
+            size = max(1, remaining // nproc)
+        else:
+            size = size_fixed
+        size = min(size, remaining)
+        dispatched = start + ell
+        lock_free = dispatched
+        lane_free[lane] = dispatched + sum(
+            costs[next_index:next_index + size])
+        next_index += size
+    # Every lane pays one final done-check lock round, serialized.
+    finish = sorted(lane_free)
+    for i in range(nproc):
+        lock_free = max(lock_free, finish[i]) + ell
+        finish[i] = lock_free
+    return max(finish)
+
+
+# ----------------------------------------------------------------------
+# the recommender
+# ----------------------------------------------------------------------
+def tune_from_events(events: list[TraceEvent], *,
+                     stats: dict[str, Any] | None = None,
+                     nproc: int | None = None,
+                     cpu_count: int | None = None,
+                     source: dict[str, Any] | None = None,
+                     candidates: tuple = DEFAULT_CANDIDATES
+                     ) -> dict[str, Any]:
+    """Replay a trace (+ optional stats) into a recommendation doc."""
+    analysis = analyze_trace(events)
+    analysis.meta["_events"] = events
+    if nproc is None:
+        lanes = [lane for lane in analysis.lanes if lane != "main"]
+        nproc = max(1, len(lanes))
+    if cpu_count is None:
+        cpu_count = os.cpu_count() or 1
+    workload = extract_workload(analysis)
+    unit = analysis.clock
+
+    observations: dict[str, Any] = {
+        "makespan": analysis.makespan,
+        "clock": unit,
+        "nproc": nproc,
+        "labels": {},
+    }
+    busy = sum(row["active"] - row["wait"]
+               for row in analysis.lanes.values())
+    span = nproc * analysis.makespan
+    observations["busy_fraction"] = round(busy / span, 4) if span \
+        else 0.0
+
+    sched = None
+    for label, shape in sorted(workload.items()):
+        costs = shape["costs"]
+        total = sum(costs)
+        mean = total / len(costs)
+        cv = (pstdev(costs) / mean) if mean > 0 else 0.0
+        observations["labels"][label] = {
+            "indices": len(costs),
+            "dispatches": shape["dispatches"],
+            "cost_total": round(total, 6),
+            "cost_cv": round(cv, 4),
+            "ell": round(shape["ell"], 6),
+        }
+        predictions = {}
+        for policy, chunk in candidates:
+            key = policy if chunk is None else f"{policy}{chunk}"
+            predictions[key] = round(predict_makespan(
+                costs, nproc, policy, chunk=chunk,
+                ell=shape["ell"]), 6)
+        best = min(predictions, key=predictions.get)
+        best_policy, best_chunk = next(
+            (policy, chunk) for policy, chunk in candidates
+            if (policy if chunk is None else f"{policy}{chunk}")
+            == best)
+        if sched is None:       # recommend for the dominant label
+            sched = {
+                "label": label,
+                "policy": best_policy,
+                "chunk": best_chunk,
+                "predicted_makespans": predictions,
+                "why": (f"imbalance cv={cv:.2f} over "
+                        f"{len(costs)} index(es); lock overhead "
+                        f"ell={shape['ell']:.6g} {unit}"),
+            }
+
+    spin = _spin_budget(analysis)
+    backend = _backend_recommendation(observations["busy_fraction"],
+                                      nproc, cpu_count, unit)
+    return {
+        "schema": RECOMMENDATION_SCHEMA,
+        "generated_by": "force tune",
+        "source": {"trace": source} if isinstance(source, str)
+        else dict(source or {}),
+        "observations": observations,
+        "recommendations": {
+            "sched": sched,
+            "spin_budget": spin,
+            "backend": backend,
+        },
+    }
+
+
+def _spin_budget(analysis: TraceAnalysis) -> dict[str, Any] | None:
+    """Spin-vs-block from the hottest critical's hold distribution."""
+    if not analysis.hold_histograms:
+        return None
+    name, hist = max(analysis.hold_histograms.items(),
+                     key=lambda kv: kv[1].count)
+    p95 = hist.quantile(0.95)
+    threshold = SPIN_P95_CYCLES if analysis.clock == "cycles" \
+        else SPIN_P95_SECONDS
+    if p95 <= threshold:
+        return {"mode": "spin", "budget": round(2 * p95, 9),
+                "unit": analysis.clock, "basis": name,
+                "why": (f"'{name}' p95 hold {p95:.6g} "
+                        f"{analysis.clock} is under the spin "
+                        f"threshold {threshold:g}; spinning twice "
+                        "that long beats parking")}
+    return {"mode": "block", "budget": 0,
+            "unit": analysis.clock, "basis": name,
+            "why": (f"'{name}' p95 hold {p95:.6g} {analysis.clock} "
+                    f"exceeds the spin threshold {threshold:g}; "
+                    "park waiters instead of burning cycles")}
+
+
+def _backend_recommendation(busy_fraction: float, nproc: int,
+                            cpu_count: int,
+                            unit: str) -> dict[str, Any]:
+    if busy_fraction >= 0.5 and cpu_count > 1:
+        width = min(nproc, cpu_count)
+        return {"backend": "process", "nproc": width,
+                "why": (f"compute-bound ({busy_fraction:.0%} busy): "
+                        f"forked processes use the host's "
+                        f"{cpu_count} core(s); width {width} avoids "
+                        "oversubscription")}
+    return {"backend": "thread", "nproc": nproc,
+            "why": (f"wait-dominated ({busy_fraction:.0%} busy): "
+                    "threads are cheaper than processes when lanes "
+                    "mostly block")}
+
+
+def validate_recommendation(document: Any) -> list[str]:
+    """Schema-check a recommendation document; ``[]`` means valid."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object"]
+    if document.get("schema") != RECOMMENDATION_SCHEMA:
+        errors.append(f"schema must be {RECOMMENDATION_SCHEMA}")
+    if document.get("generated_by") != "force tune":
+        errors.append("missing generated_by: 'force tune'")
+    observations = document.get("observations")
+    if not isinstance(observations, dict):
+        errors.append("'observations' must be an object")
+    else:
+        for key in ("makespan", "busy_fraction"):
+            if not isinstance(observations.get(key), (int, float)):
+                errors.append(f"observations.{key} must be a number")
+        if not isinstance(observations.get("labels"), dict):
+            errors.append("observations.labels must be an object")
+    recs = document.get("recommendations")
+    if not isinstance(recs, dict):
+        return errors + ["'recommendations' must be an object"]
+    sched = recs.get("sched")
+    if sched is not None:
+        if not isinstance(sched, dict) \
+                or sched.get("policy") not in POLICIES:
+            errors.append("recommendations.sched.policy must be one "
+                          f"of {', '.join(POLICIES)}")
+        elif sched.get("policy") == "chunked" \
+                and not isinstance(sched.get("chunk"), int):
+            errors.append("chunked recommendation needs an integer "
+                          "chunk")
+        if isinstance(sched, dict) and not isinstance(
+                sched.get("predicted_makespans"), dict):
+            errors.append("recommendations.sched needs "
+                          "predicted_makespans")
+    spin = recs.get("spin_budget")
+    if spin is not None and (not isinstance(spin, dict)
+                             or spin.get("mode") not in ("spin",
+                                                         "block")):
+        errors.append("recommendations.spin_budget.mode must be "
+                      "'spin' or 'block'")
+    backend = recs.get("backend")
+    if backend is not None and (
+            not isinstance(backend, dict)
+            or backend.get("backend") not in ("thread", "process")):
+        errors.append("recommendations.backend.backend must be "
+                      "'thread' or 'process'")
+    return errors

@@ -8,8 +8,11 @@ Examples::
     force run program.frc --machine hep --nproc 8 --stats
     force run program.frc --stats --format json  # machine-readable
     force run program.frc --trace out.json       # Chrome trace file
+    force run program.frc --metrics out.prom     # Prometheus export
     force run program.frc --deadline 30          # bound the simulation
     force trace out.json                         # per-construct summary
+    force profile out.json --folded out.folded   # forensics report
+    force tune out.json --output rec.json        # policy recommender
     force check program.frc                      # static analysis only
     force check program.frc --format json --werror
     force chaos --seed 42 --runs 200             # seeded fault sweep
@@ -173,6 +176,15 @@ def _build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="trace file format (default: chrome, or by "
                           "FILE extension: .jsonl, .txt)")
+    run.add_argument("--trace-buffer", type=_positive_int, default=65536,
+                     metavar="N",
+                     help="per-process trace ring capacity (native "
+                          "backends); overflow drops the oldest events "
+                          "and is reported (default 65536)")
+    run.add_argument("--metrics", metavar="FILE", default=None,
+                     help="collect runtime metrics and write them to "
+                          "FILE: Prometheus text exposition, or a JSON "
+                          "registry document for a .json FILE")
     run.add_argument("--format", choices=["text", "json"], default="text",
                      help="stdout format: plain program output, or one "
                           "JSON document with output and stats")
@@ -223,6 +235,42 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--format", choices=["text", "json"],
                        default="text", help="summary output format")
     trace.set_defaults(func=_cmd_trace)
+
+    profile = sub.add_parser(
+        "profile",
+        help="performance forensics over a trace file: contention "
+             "ranking, utilization timeline, critical path")
+    profile.add_argument("tracefile",
+                         help="a chrome-JSON or JSONL trace file "
+                              "written by run --trace")
+    profile.add_argument("--format", choices=["text", "json"],
+                         default="text", help="report format")
+    profile.add_argument("--folded", metavar="FILE", default=None,
+                         help="also write folded stacks to FILE "
+                              "(flamegraph.pl / speedscope input)")
+    profile.add_argument("--rows", type=_positive_int, default=12,
+                         metavar="N",
+                         help="table rows per report section "
+                              "(default 12)")
+    profile.set_defaults(func=_cmd_profile)
+
+    tune = sub.add_parser(
+        "tune",
+        help="recommend scheduling policy, spin budget and backend "
+             "from an observed trace")
+    tune.add_argument("tracefile",
+                      help="a chrome-JSON or JSONL trace file written "
+                           "by run --trace")
+    tune.add_argument("--output", metavar="FILE", default=None,
+                      help="write the recommendation document to FILE "
+                           "(default: stdout)")
+    tune.add_argument("--nproc", type=_positive_int, default=None,
+                      help="force width of the traced run (default: "
+                           "from the trace metadata or lane count)")
+    tune.add_argument("--cpus", type=_positive_int, default=None,
+                      help="host core count for the backend "
+                           "recommendation (default: os.cpu_count)")
+    tune.set_defaults(func=_cmd_tune)
 
     check = sub.add_parser(
         "check", help="statically analyze Force programs (no simulation)")
@@ -350,21 +398,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
                             backend=args.backend,
                             stats=args.stats,
                             trace=args.trace is not None,
+                            metrics=args.metrics is not None,
+                            trace_capacity=args.trace_buffer,
                             deadline=args.deadline,
                             compiled=not args.no_jit)
     trace_file = None
     native = args.backend != "sim"
+    dropped = result.trace_dropped \
+        if native and args.trace is not None else 0
+    if dropped:
+        print(f"force: warning: {dropped} trace event(s) dropped "
+              "(ring buffer overflow); re-run with a larger "
+              "--trace-buffer", file=sys.stderr)
     if args.trace is not None and args.trace != "-":
         from repro.trace.export import write_trace_file
+        meta = {"source": args.source, "machine": machine.key,
+                "nproc": args.nproc,
+                "clock": "seconds" if native else "cycles"}
+        if dropped:
+            meta["dropped_events"] = dropped
         format_used = write_trace_file(
             args.trace, result.trace_events(),
-            format=args.trace_format,
-            meta={"source": args.source, "machine": machine.key,
-                  "nproc": args.nproc,
-                  "clock": "seconds" if native else "cycles"})
+            format=args.trace_format, meta=meta)
         trace_file = args.trace
         print(f"trace: {len(result.trace)} events written to "
               f"{args.trace} ({format_used})", file=sys.stderr)
+    metrics_file = None
+    if args.metrics is not None:
+        metrics_file = _write_metrics(args, result, machine, native)
     if args.format == "json":
         import json
         document = {
@@ -384,6 +445,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             document["stats"] = result.stats_dict()
         if trace_file is not None:
             document["trace_file"] = trace_file
+        if args.trace is not None:
+            document["dropped_events"] = dropped
+        if metrics_file is not None:
+            document["metrics_file"] = metrics_file
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         for line in result.output:
@@ -418,6 +483,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_metrics(args: argparse.Namespace, result, machine,
+                   native: bool) -> str:
+    """Export the run's metrics registry to ``args.metrics``."""
+    import json
+
+    from repro.obsv.metrics import MetricsRegistry, registry_from_sim
+
+    if native:
+        registry = MetricsRegistry()
+        if result.metrics_doc:
+            registry.load_dict(result.metrics_doc)
+    else:
+        registry = registry_from_sim(
+            machine.key, args.nproc, result.stats_dict(),
+            events=result.trace_events()
+            if args.trace is not None else None)
+    path = args.metrics
+    if path.endswith(".json"):
+        text = json.dumps(registry.as_dict(), indent=2, sort_keys=True)
+    else:
+        text = registry.to_prometheus()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"metrics: registry written to {path}", file=sys.stderr)
+    return path
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -440,11 +532,70 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.trace.export import load_trace_file
+    from repro.trace.export import load_trace_document
     from repro.trace.summary import render_trace_summary, summarize_events
-    events = load_trace_file(args.tracefile)
+    events, meta = load_trace_document(args.tracefile)
+    dropped = int(meta.get("dropped_events") or 0)
     summary = summarize_events(events)
-    print(render_trace_summary(summary, as_json=args.format == "json"))
+    if args.format == "json":
+        import json
+        document = json.loads(
+            render_trace_summary(summary, as_json=True))
+        document["dropped_events"] = dropped
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        if dropped:
+            print(f"force: warning: this trace lost {dropped} "
+                  "event(s) to ring-buffer overflow; the summary is "
+                  "a lower bound (re-run with a larger "
+                  "--trace-buffer)", file=sys.stderr)
+        print(render_trace_summary(summary, as_json=False))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obsv.analyze import analyze_trace
+    from repro.obsv.profile import folded_stacks, render_profile
+    from repro.trace.export import load_trace_document
+    events, meta = load_trace_document(args.tracefile)
+    if not events:
+        raise ForceError(f"{args.tracefile}: no trace events")
+    analysis = analyze_trace(events)
+    analysis.meta.update(meta)
+    if args.folded is not None:
+        with open(args.folded, "w", encoding="utf-8") as handle:
+            handle.write(folded_stacks(analysis))
+        print(f"profile: folded stacks written to {args.folded}",
+              file=sys.stderr)
+    if args.format == "json":
+        import json
+        print(json.dumps(analysis.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_profile(analysis, max_rows=args.rows))
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obsv.tune import tune_from_events
+    from repro.trace.export import load_trace_document
+    events, meta = load_trace_document(args.tracefile)
+    if not events:
+        raise ForceError(f"{args.tracefile}: no trace events")
+    nproc = args.nproc or meta.get("nproc")
+    document = tune_from_events(events, nproc=nproc,
+                                cpu_count=args.cpus,
+                                source=meta.get("source")
+                                or args.tracefile)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"tune: recommendation written to {args.output}",
+              file=sys.stderr)
+    else:
+        print(text)
     return 0
 
 

@@ -73,6 +73,7 @@ from repro.fortran.parser import parse_source
 from repro.fortran.values import FArray, FType
 from repro.pipeline.compile import TranslationResult
 from repro.runtime.force import Force
+from repro.trace.adapter import _categorize_lock
 
 _FRCSHB = re.compile(r'CALL\s+FRCSHB\("(\w+)"\)')
 _DIRECTIVE = re.compile(r"^C\$FORCE\s+SHARED\s+(\w+)\s*$", re.MULTILINE)
@@ -330,6 +331,8 @@ class _NativeRuntime(ExternalCallHandler):
         self.joined = False
         #: async variable storage key -> (E lock ref, F lock ref)
         self._async_pairs: dict[int, tuple] = {}
+        #: storage key -> open hold (kind, label, tid, t0, waited, contended)
+        self._lock_holds: dict[int, tuple] = {}
         self._started = perf_counter()
 
     # -- dispatch ------------------------------------------------------
@@ -348,10 +351,10 @@ class _NativeRuntime(ExternalCallHandler):
                 "this program expanded for a different machine?")
         if name == "SPINLK":
             self._one_lock_arg(name, args)
-            self.sync.acquire(args[0], self._label(args[0], frame))
+            self._locked(args[0], frame)
         elif name == "SPINUN":
             self._one_lock_arg(name, args)
-            self.sync.release(args[0])
+            self._unlocked(args[0], frame)
         elif name == "FRCLKI":
             if len(args) != 2:
                 raise ForceError("FRCLKI expects (lockvar, state)")
@@ -448,6 +451,61 @@ class _NativeRuntime(ExternalCallHandler):
             e_val, f_val = e_ref.get(), f_ref.get()
         return bool(f_val) and not bool(e_val)
 
+    # -- observability over the software locks -------------------------
+    # The translated program synchronises through SPINLK/SPINUN on the
+    # macro layer's LOGICAL lock variables; the variable *names* carry
+    # the construct (BARWIN/BARWOT barrier gates, ZZL<label> selfsched
+    # index locks, anything else a critical section) — the same
+    # convention the simulator trace adapter categorises by.  When the
+    # Force collects traces or metrics, each lock round is recorded as
+    # wait/hold spans on the acquiring lane, so `force profile` and
+    # `force tune` see pipeline-native runs exactly like simulator and
+    # runtime-API runs.
+    def _locked(self, ref, frame: Frame) -> None:
+        label = self._label(ref, frame)
+        tracer = self.force._tracer
+        metrics = self.force._metrics
+        if tracer is None and metrics is None:
+            self.sync.acquire(ref, label)
+            return
+        contended = bool(ref.get())
+        started = perf_counter()
+        self.sync.acquire(ref, label)
+        waited = perf_counter() - started if contended else 0.0
+        kind = _categorize_lock(label)
+        if tracer is not None and contended:
+            tracer.record(kind, label, "wait", phase="X",
+                          ts=tracer.now() - waited, dur=waited)
+        self._lock_holds[self.sync.storage_key(ref)] = (
+            kind, label, threading.get_ident(), perf_counter(),
+            waited, contended)
+
+    def _unlocked(self, ref, frame: Frame) -> None:
+        self.sync.release(ref)
+        tracer = self.force._tracer
+        metrics = self.force._metrics
+        if tracer is None and metrics is None:
+            return
+        key = self.sync.storage_key(ref)
+        entry = self._lock_holds.get(key)
+        if entry is not None and entry[2] == threading.get_ident():
+            self._lock_holds.pop(key, None)
+            kind, label, _tid, held_from, waited, contended = entry
+            held = perf_counter() - held_from
+            if tracer is not None:
+                tracer.record(kind, label, "hold", phase="X",
+                              ts=tracer.now() - held, dur=held)
+            if metrics is not None and kind == "critical":
+                metrics.critical(label, waited, contended, held)
+            return
+        if tracer is not None:
+            # An unlock of a lock this lane never acquired — the
+            # barrier macro's out-gate open (the last arriver releases
+            # BARWOT without holding it).  Record the instant so the
+            # trace analyzer can resolve gate waiters to this lane.
+            label = self._label(ref, frame)
+            tracer.record(_categorize_lock(label), label, "release")
+
     # -- helpers -------------------------------------------------------
     @staticmethod
     def _one_lock_arg(name: str, args) -> None:
@@ -536,6 +594,8 @@ class NativeRunResult:
     wall_s: float
     force_stats: dict | None = None     #: runtime stats dict (stats=True)
     trace: list = field(default_factory=list)
+    trace_dropped: int = 0              #: ring-buffer overflow count
+    metrics_doc: dict | None = None     #: registry dict (metrics=True)
 
     def stats_dict(self) -> dict[str, Any]:
         document: dict[str, Any] = {
@@ -554,6 +614,8 @@ def native_run(translation: TranslationResult, nproc: int, *,
                backend: str = "thread",
                stats: bool = False,
                trace: bool = False,
+               metrics: bool = False,
+               trace_capacity: int = 65536,
                deadline: float | None = None,
                compiled: bool = True) -> NativeRunResult:
     """Execute a translated Force program on the host.
@@ -561,7 +623,9 @@ def native_run(translation: TranslationResult, nproc: int, *,
     ``deadline`` bounds every blocking construct (it becomes the
     Force's ``construct_timeout``), so a deadlocked program raises a
     structured :class:`~repro._util.errors.ForceDeadlockError` instead
-    of hanging.
+    of hanging.  ``trace_capacity`` sizes each member's trace ring;
+    overflow drops the oldest events and the count surfaces as
+    :attr:`NativeRunResult.trace_dropped`.
     """
     if backend not in NATIVE_BACKENDS:
         raise ForceError(f"unknown native backend {backend!r}: expected "
@@ -587,6 +651,7 @@ def native_run(translation: TranslationResult, nproc: int, *,
         "compiled": compiled,
     }
     force = Force(nproc, backend=backend, stats=stats, trace=trace,
+                  metrics=metrics, trace_capacity=trace_capacity,
                   construct_timeout=deadline)
     run_id = None
     if backend == "thread":
@@ -626,4 +691,7 @@ def native_run(translation: TranslationResult, nproc: int, *,
         wall_s=wall_s,
         force_stats=force.stats if stats else None,
         trace=list(force.trace_events()) if trace else [],
+        trace_dropped=force.trace_dropped if trace else 0,
+        metrics_doc=force.metrics_registry(wall_s=wall_s).as_dict()
+        if metrics else None,
     )

@@ -52,6 +52,7 @@ from repro._util.errors import (
 )
 from repro.faults.injector import FaultInjector, InjectedDeath
 from repro.faults.plan import FaultPlan
+from repro.obsv.metrics import ForceMetrics, MetricsRegistry
 from repro.runtime.askfor import AskforMonitor
 from repro.runtime.asyncvar import AsyncArray, AsyncVariable
 from repro.runtime.barriers import Barrier, make_barrier
@@ -226,14 +227,19 @@ class _ChunkRecorder:
     carries only the stats sink and the label.
     """
 
-    __slots__ = ("stats", "label")
+    __slots__ = ("stats", "label", "metrics")
 
-    def __init__(self, stats: ForceStats, label: str) -> None:
+    def __init__(self, stats: ForceStats | None, label: str,
+                 metrics: ForceMetrics | None = None) -> None:
         self.stats = stats
         self.label = label
+        self.metrics = metrics
 
     def __call__(self, size: int) -> None:
-        self.stats.record_selfsched_chunk(self.label, size)
+        if self.stats is not None:
+            self.stats.record_selfsched_chunk(self.label, size)
+        if self.metrics is not None:
+            self.metrics.selfsched_chunk(self.label, size)
 
 
 class Force:
@@ -268,6 +274,7 @@ class Force:
                  timeout: float | None = 60.0,
                  construct_timeout: float | None = None,
                  stats: bool = False,
+                 metrics: bool = False,
                  trace: bool = False,
                  trace_capacity: int = 65536,
                  inject: FaultPlan | None = None,
@@ -283,6 +290,7 @@ class Force:
         self.construct_timeout = construct_timeout
         self._barrier_algorithm = barrier_algorithm
         self._stats_enabled = stats
+        self._metrics_enabled = metrics
         self._trace_enabled = trace
         self._trace_capacity = trace_capacity
         self._fault_plan = inject
@@ -297,6 +305,8 @@ class Force:
             construct_timeout=self.construct_timeout)
         self._stats: ForceStats | None = \
             ForceStats(self.nproc) if self._stats_enabled else None
+        self._metrics: ForceMetrics | None = \
+            ForceMetrics() if self._metrics_enabled else None
         self._tracer: TraceCollector | None = \
             TraceCollector(self._trace_capacity) \
             if self._trace_enabled else None
@@ -472,7 +482,8 @@ class Force:
         if injector is not None:
             injector.fire("barrier.entry", "barrier", me)
         stats, tracer = self._stats, self._tracer
-        if stats is None and tracer is None:
+        metrics = self._metrics
+        if stats is None and tracer is None and metrics is None:
             released = self._barrier.wait(me)
             if injector is not None and released:
                 injector.fire("barrier.episode", "barrier", me)
@@ -492,6 +503,8 @@ class Force:
             stats.record_barrier_wait(waited)
             if released:
                 stats.record_barrier_episode()
+        if metrics is not None:
+            metrics.barrier(waited, released)
         if injector is not None and released:
             injector.fire("barrier.episode", "barrier", me)
 
@@ -503,13 +516,16 @@ class Force:
         if injector is not None:
             injector.fire("barrier.entry", "barrier", me)
         stats, tracer = self._stats, self._tracer
-        if stats is None and tracer is None:
+        metrics = self._metrics
+        if stats is None and tracer is None and metrics is None:
             self._barrier.run_section(me, section)
             return
 
         def counted() -> None:
             if stats is not None:
                 stats.record_barrier_episode()
+            if metrics is not None:
+                metrics.barrier_episode()
             if tracer is not None:
                 tracer.record("barrier", "barrier", "episode")
             section()
@@ -525,6 +541,8 @@ class Force:
                           ts=tracer.now() - waited, dur=waited)
         if stats is not None:
             stats.record_barrier_wait(waited)
+        if metrics is not None:
+            metrics.barrier_wait(waited)
 
     @contextmanager
     def critical(self, name: str = "default"):
@@ -540,11 +558,13 @@ class Force:
                 lock = threading.Lock()
                 self._criticals[name] = lock
         stats, tracer = self._stats, self._tracer
+        metrics = self._metrics
         injector = self._injector
         if injector is not None:
             injector.fire("critical.acquire", name)
         contended = False
         waited = 0.0
+        timed = tracer is not None or metrics is not None
         if not lock.acquire(blocking=False):
             contended = True
             if tracer is not None:
@@ -554,7 +574,7 @@ class Force:
             waited = monotonic() - started
             if tracer is not None:
                 tracer.clear_parked()
-        held_from = monotonic() if tracer is not None else 0.0
+        held_from = monotonic() if timed else 0.0
         try:
             if stats is not None:
                 stats.record_critical(name, waited, contended)
@@ -565,14 +585,18 @@ class Force:
             yield
         finally:
             lock.release()
-            if tracer is not None:
+            if timed:
                 held = monotonic() - held_from
-                if contended:
-                    tracer.record("critical", name, "wait", phase="X",
-                                  ts=tracer.now() - held - waited,
-                                  dur=waited)
-                tracer.record("critical", name, "hold", phase="X",
-                              ts=tracer.now() - held, dur=held)
+                if tracer is not None:
+                    if contended:
+                        tracer.record("critical", name, "wait",
+                                      phase="X",
+                                      ts=tracer.now() - held - waited,
+                                      dur=waited)
+                    tracer.record("critical", name, "hold", phase="X",
+                                  ts=tracer.now() - held, dur=held)
+                if metrics is not None:
+                    metrics.critical(name, waited, contended, held)
 
     # ------------------------------------------------------------------
     # work distribution
@@ -621,8 +645,9 @@ class Force:
             loop = self._loops.get(label)
             if loop is None:
                 on_chunk = None
-                if self._stats is not None:
-                    on_chunk = _ChunkRecorder(self._stats, label)
+                if self._stats is not None or self._metrics is not None:
+                    on_chunk = _ChunkRecorder(self._stats, label,
+                                              self._metrics)
                 loop = _SelfschedLoop(self.nproc, cancel=self._cancel,
                                       on_chunk=on_chunk,
                                       tracer=self._tracer,
@@ -707,10 +732,16 @@ class Force:
                                      name=name))
 
     def _asyncvar_hook(self, name: str) -> Callable[[float], None] | None:
-        if self._stats is None:
+        stats, metrics = self._stats, self._metrics
+        if stats is None and metrics is None:
             return None
-        stats = self._stats
-        return lambda seconds: stats.record_asyncvar_block(name, seconds)
+
+        def hook(seconds: float) -> None:
+            if stats is not None:
+                stats.record_asyncvar_block(name, seconds)
+            if metrics is not None:
+                metrics.asyncvar_block(name, seconds)
+        return hook
 
     def _get_shared(self, name: str, factory: Callable[[], Any]) -> Any:
         with self._registry_lock:
@@ -732,9 +763,18 @@ class Force:
         return self._trace_enabled
 
     @property
+    def metrics_enabled(self) -> bool:
+        return self._metrics_enabled
+
+    @property
     def trace_collector(self) -> TraceCollector | None:
         """The run's collector (None unless ``trace=True``)."""
         return self._tracer
+
+    @property
+    def trace_dropped(self) -> int:
+        """Events lost to ring-buffer overflow (0 when trace is off)."""
+        return self._tracer.dropped if self._tracer is not None else 0
 
     @property
     def fault_plan(self) -> FaultPlan | None:
@@ -779,3 +819,24 @@ class Force:
             raise ForceError(
                 "stats collection is off; create Force(..., stats=True)")
         return render_stats(snapshot)
+
+    def metrics_registry(self, *,
+                         wall_s: float | None = None) -> MetricsRegistry:
+        """The run's metrics registry, with end-of-run gauges settled.
+
+        Askfor pool gauges are sampled here (pools only know their
+        totals after the run), and ``wall_s`` — when the caller timed
+        the run — lands as ``force_run_wall_seconds``.
+        """
+        if self._metrics is None:
+            raise ForceError(
+                "metrics collection is off; create Force(..., metrics=True)")
+        with self._registry_lock:
+            pools = [(name, obj) for name, obj in self._shared.items()
+                     if isinstance(obj, AskforMonitor)]
+        for name, pool in pools:
+            self._metrics.askfor(name, total_put=pool.total_put,
+                                 total_got=pool.total_got,
+                                 max_depth=pool.max_depth)
+        self._metrics.run_info(self.nproc, wall_s=wall_s)
+        return self._metrics.registry

@@ -63,6 +63,7 @@ from repro.faults.injector import FaultInjector, InjectedDeath
 from repro.machines.memory import SharedArena
 from repro.runtime.cancel import REVALIDATE_INTERVAL, ForceCancelled
 from repro.runtime.force import Force, ForceProgramError
+from repro.obsv.metrics import ForceMetrics, MetricsRegistry
 from repro.runtime.stats import ForceStats
 from repro.trace.collector import TraceCollector
 from repro.trace.events import TraceEvent
@@ -200,7 +201,9 @@ class _ShmAsyncVariable:
         force = self._force
         tracer = force._tracer
         stats = force._stats
-        observed = stats is not None or tracer is not None
+        metrics = force._metrics
+        observed = stats is not None or tracer is not None \
+            or metrics is not None
         started = monotonic() if observed else 0.0
         if tracer is not None:
             tracer.mark_parked("asyncvar", self._name)
@@ -219,6 +222,9 @@ class _ShmAsyncVariable:
             if stats is not None:
                 stats.record_asyncvar_block(self._name,
                                             monotonic() - started)
+            if metrics is not None:
+                metrics.asyncvar_block(self._name,
+                                       monotonic() - started)
 
     def produce(self, value: Any, *,
                 timeout: float | None = None) -> None:
@@ -478,6 +484,7 @@ class _ShmSelfschedLoop:
         record = self._record
         tracer = force._tracer
         stats = force._stats
+        metrics = force._metrics
         nproc = force.nproc
         if tracer is not None:
             tracer.mark_parked("selfsched", self._label)
@@ -516,6 +523,8 @@ class _ShmSelfschedLoop:
                     record[_SL_NEXT] = value + size * step
                 if stats is not None:
                     stats.record_selfsched_chunk(self._label, size)
+                if metrics is not None:
+                    metrics.selfsched_chunk(self._label, size)
                 if tracer is not None:
                     tracer.record("selfsched", self._label, "chunk",
                                   index=value, size=size)
@@ -577,6 +586,8 @@ class ProcessForce(Force):
         self._proc_me: int | None = None
         self._merged_events: list[TraceEvent] = []
         self._merged_injected: list = []
+        self._merged_metrics: MetricsRegistry | None = None
+        self._merged_dropped = 0
         # In the parent, the thread-backend collectors built by
         # super()._reset_state() are placeholders: workers build their
         # own and the parent merges what they ship back.
@@ -588,6 +599,12 @@ class ProcessForce(Force):
         self._arena = arena
         self._bus = ctx.Condition(ctx.RLock())
         self._queue = ctx.Queue()
+        # One trace epoch for the whole force, stamped pre-fork so
+        # every worker's collector shares the parent's time origin
+        # (fork inherits this attribute; each worker would otherwise
+        # zero its clock at its own construction time and the merged
+        # spans would start from per-process origins).
+        self._trace_epoch = monotonic()
         nproc = self.nproc
         self._poison_v = arena.alloc_view(2)        # [flag, errlen]
         self._error_off = arena.alloc(_ERROR_CAPACITY)
@@ -807,7 +824,8 @@ class ProcessForce(Force):
         if injector is not None:
             injector.fire("barrier.entry", "barrier", me)
         stats, tracer = self._stats, self._tracer
-        if stats is None and tracer is None:
+        metrics = self._metrics
+        if stats is None and tracer is None and metrics is None:
             released = self._barrier_arrive(None)
             if injector is not None and released:
                 injector.fire("barrier.episode", "barrier", me)
@@ -827,6 +845,8 @@ class ProcessForce(Force):
             stats.record_barrier_wait(waited)
             if released:
                 stats.record_barrier_episode()
+        if metrics is not None:
+            metrics.barrier(waited, released)
         if injector is not None and released:
             injector.fire("barrier.episode", "barrier", me)
 
@@ -837,7 +857,8 @@ class ProcessForce(Force):
         if injector is not None:
             injector.fire("barrier.entry", "barrier", me)
         stats, tracer = self._stats, self._tracer
-        if stats is None and tracer is None:
+        metrics = self._metrics
+        if stats is None and tracer is None and metrics is None:
             self._barrier_arrive(section)
             return
 
@@ -846,6 +867,8 @@ class ProcessForce(Force):
                 stats.record_barrier_episode()
             if tracer is not None:
                 tracer.record("barrier", "barrier", "episode")
+            if metrics is not None:
+                metrics.barrier_episode()
             section()
 
         if tracer is not None:
@@ -859,6 +882,8 @@ class ProcessForce(Force):
                           ts=tracer.now() - waited, dur=waited)
         if stats is not None:
             stats.record_barrier_wait(waited)
+        if metrics is not None:
+            metrics.barrier_wait(waited)
 
     def _critical_cell(self, name: str) -> np.ndarray:
         offset = self._locate(f"k:{name}", _K_CRITICAL,
@@ -871,11 +896,13 @@ class ProcessForce(Force):
         """Named critical section over a shared lock word."""
         cell = self._critical_cell(name)
         stats, tracer = self._stats, self._tracer
+        metrics = self._metrics
         injector = self._injector
         if injector is not None:
             injector.fire("critical.acquire", name)
         contended = False
         waited = 0.0
+        timed = tracer is not None or metrics is not None
         with self._bus:
             self._check_poison()
             if cell[0]:
@@ -889,7 +916,7 @@ class ProcessForce(Force):
                 if tracer is not None:
                     tracer.clear_parked()
             cell[0] = 1
-        held_from = monotonic() if tracer is not None else 0.0
+        held_from = monotonic() if timed else 0.0
         try:
             if stats is not None:
                 stats.record_critical(name, waited, contended)
@@ -900,14 +927,18 @@ class ProcessForce(Force):
             with self._bus:
                 cell[0] = 0
                 self._bus.notify_all()
-            if tracer is not None:
+            if timed:
                 held = monotonic() - held_from
-                if contended:
-                    tracer.record("critical", name, "wait", phase="X",
-                                  ts=tracer.now() - held - waited,
-                                  dur=waited)
-                tracer.record("critical", name, "hold", phase="X",
-                              ts=tracer.now() - held, dur=held)
+                if tracer is not None:
+                    if contended:
+                        tracer.record("critical", name, "wait",
+                                      phase="X",
+                                      ts=tracer.now() - held - waited,
+                                      dur=waited)
+                    tracer.record("critical", name, "hold", phase="X",
+                                  ts=tracer.now() - held, dur=held)
+                if metrics is not None:
+                    metrics.critical(name, waited, contended, held)
 
     def selfsched_range(self, label: str, first: int, last: int,
                         step: int = 1, *, chunk: int = 1,
@@ -1157,7 +1188,8 @@ class ProcessForce(Force):
         """Merge worker stats/trace/injection payloads in the parent."""
         if self._stats_enabled:
             merged = ForceStats(self.nproc)
-            for _, stats_dict, _, _ in payloads:
+            for payload in payloads:
+                stats_dict = payload[1]
                 if stats_dict:
                     merged.merge(ForceStats.from_dict(stats_dict))
             for key, offset in self._registry_entries(_K_ASKFOR):
@@ -1168,10 +1200,26 @@ class ProcessForce(Force):
                     total_got=int(ctrl[_AF_GOT]),
                     max_depth=int(ctrl[_AF_DEPTH]))
             self._stats = merged
+        if self._metrics_enabled:
+            facade = ForceMetrics()
+            for payload in payloads:
+                metrics_doc = payload[4]
+                if metrics_doc:
+                    facade.registry.load_dict(metrics_doc)
+            # Askfor gauges live in the arena (every worker sees the
+            # same totals); settle them once, parent-side.
+            for key, offset in self._registry_entries(_K_ASKFOR):
+                ctrl = self._arena.view(offset, _AF_CTRL)
+                facade.askfor(key[2:],
+                              total_put=int(ctrl[_AF_PUT]),
+                              total_got=int(ctrl[_AF_GOT]),
+                              max_depth=int(ctrl[_AF_DEPTH]))
+            self._merged_metrics = facade.registry
+        self._merged_dropped = sum(payload[5] for payload in payloads)
         events: list[TraceEvent] = []
         injected: list = []
-        for _, _, event_dicts, records in sorted(
-                payloads, key=lambda payload: payload[0]):
+        for payload in sorted(payloads, key=lambda p: p[0]):
+            event_dicts, records = payload[2], payload[3]
             if event_dicts:
                 events.extend(TraceEvent.from_dict(data)
                               for data in event_dicts)
@@ -1192,8 +1240,11 @@ class ProcessForce(Force):
         self._loops = {}
         self._stats = ForceStats(self.nproc) \
             if self._stats_enabled else None
-        self._tracer = TraceCollector(self._trace_capacity) \
+        self._tracer = TraceCollector(self._trace_capacity,
+                                      epoch=self._trace_epoch) \
             if self._trace_enabled else None
+        self._metrics = ForceMetrics() if self._metrics_enabled \
+            else None
         self._injector = None
         if self._fault_plan is not None:
             self._injector = _SharedHitInjector(
@@ -1235,10 +1286,15 @@ class ProcessForce(Force):
         event_dicts = [event.as_dict()
                        for event in self._tracer.events()] \
             if self._tracer is not None else None
+        dropped = self._tracer.dropped \
+            if self._tracer is not None else 0
+        metrics_doc = self._metrics.registry.as_dict() \
+            if self._metrics is not None else None
         records = list(self._injector.injected) \
             if self._injector is not None else []
         try:
-            self._queue.put((me, stats_dict, event_dicts, records))
+            self._queue.put((me, stats_dict, event_dicts, records,
+                             metrics_doc, dropped))
             self._queue.close()
             self._queue.join_thread()
         except Exception:       # pragma: no cover - queue torn down
@@ -1261,6 +1317,23 @@ class ProcessForce(Force):
                 "trace collection is off; create Force(..., "
                 "trace=True)")
         return list(self._merged_events)
+
+    @property
+    def trace_dropped(self) -> int:
+        return self._merged_dropped
+
+    def metrics_registry(self, *,
+                         wall_s: float | None = None) -> MetricsRegistry:
+        if not self._metrics_enabled:
+            raise ForceError(
+                "metrics collection is off; create Force(..., "
+                "metrics=True)")
+        registry = self._merged_metrics
+        if registry is None:        # run() never happened
+            registry = MetricsRegistry()
+            self._merged_metrics = registry
+        ForceMetrics(registry).run_info(self.nproc, wall_s=wall_s)
+        return registry
 
     def injected_faults(self):
         return list(self._merged_injected)

@@ -18,6 +18,8 @@ Categorisation uses the translated programs' naming conventions:
 
 from __future__ import annotations
 
+import re
+
 from repro.trace.events import TraceEvent
 
 #: lock-verb prefixes the scheduler emits, mapped to an operation
@@ -48,7 +50,11 @@ def _categorize_key(key_text: str) -> tuple[str, str]:
         return "asyncvar", key_text
     if "'queue'" in key_text or key_text.startswith("('queue'"):
         return "askfor", key_text
-    return "sched", key_text
+    # Other scheduler keys are tuples whose tail is often a raw
+    # object id — keep only the stable leading tag ("('join', 1234)"
+    # -> "join") so downstream reports stay deterministic.
+    tag = re.match(r"\(\s*'(\w+)'", key_text)
+    return "sched", tag.group(1) if tag else key_text
 
 
 def event_from_sim_line(when: int, who: str, what: str) -> TraceEvent:

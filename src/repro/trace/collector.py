@@ -66,12 +66,16 @@ class TraceCollector:
     """
 
     def __init__(self, capacity: int = 65536, *,
-                 clock: Callable[[], float] = monotonic) -> None:
+                 clock: Callable[[], float] = monotonic,
+                 epoch: float | None = None) -> None:
         if capacity < 1:
             raise ValueError("trace capacity must be positive")
         self.capacity = capacity
         self._clock = clock
-        self.epoch = clock()
+        # Forked workers pass the parent's pre-fork epoch so all
+        # collectors share one time origin; the default (our own
+        # construction time) is only correct single-process.
+        self.epoch = clock() if epoch is None else epoch
         self._local = threading.local()
         self._rings: dict[str, _Ring] = {}
         self._rings_lock = threading.Lock()

@@ -266,6 +266,18 @@ def write_trace_file(path: str, events: list[TraceEvent], *,
 
 def load_trace_file(path: str) -> list[TraceEvent]:
     """Load a chrome or jsonl trace file back into model events."""
+    return load_trace_document(path)[0]
+
+
+def load_trace_document(path: str) -> tuple[list[TraceEvent],
+                                            dict[str, Any]]:
+    """Load a trace file with its run metadata ``(events, meta)``.
+
+    Chrome traces carry metadata in ``otherData`` (the exporter's
+    ``ts_scale``/``kinds`` bookkeeping is stripped); JSONL traces in
+    the ``{"meta": ...}`` header line.  Traces written by other tools
+    simply yield ``{}``.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         text = handle.read()
     if not text.strip():
@@ -275,11 +287,20 @@ def load_trace_file(path: str) -> list[TraceEvent]:
     except json.JSONDecodeError:
         doc = None               # not one JSON document: try JSONL
     if isinstance(doc, dict):
-        return from_chrome(doc)
+        meta = {key: value
+                for key, value in doc.get("otherData", {}).items()
+                if key not in ("ts_scale", "kinds")}
+        return from_chrome(doc), meta
     if doc is not None:
         raise ForceError(f"{path}: not a chrome-JSON or JSONL trace")
+    meta = {}
+    header = text.splitlines()[0].strip()
     try:
-        return from_jsonl(text)
+        first = json.loads(header) if header else {}
+        if isinstance(first, dict) and "meta" in first \
+                and "ts" not in first:
+            meta = first["meta"] or {}
+        return from_jsonl(text), meta
     except json.JSONDecodeError as exc:
         raise ForceError(
             f"{path}: not a chrome-JSON or JSONL trace: {exc}") from exc

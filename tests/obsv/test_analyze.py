@@ -1,0 +1,207 @@
+"""The trace analysis engine: spans, attribution, critical path."""
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.machines import SEQUENT_BALANCE
+from repro.obsv.analyze import analyze_trace, normalize_spans
+from repro.pipeline.run import force_compile_and_run
+from repro.runtime.force import Force
+from repro.trace.events import TraceEvent
+
+
+def _sim_lock_dance():
+    """Two lanes contend for L: p-1 holds 0..10, p-2 waits 2..10."""
+    return [
+        TraceEvent(ts=0, proc="p-1", kind="critical", name="L",
+                   op="acquire"),
+        TraceEvent(ts=2, proc="p-2", kind="critical", name="L",
+                   op="wait"),
+        TraceEvent(ts=10, proc="p-1", kind="critical", name="L",
+                   op="release"),
+        TraceEvent(ts=10, proc="p-2", kind="critical", name="L",
+                   op="grant"),
+        TraceEvent(ts=15, proc="p-2", kind="critical", name="L",
+                   op="release"),
+    ]
+
+
+class TestNormalizeSpans:
+    def test_sim_instants_pair_into_spans(self):
+        spans, meta = normalize_spans(_sim_lock_dance())
+        assert meta.clock == "cycles"
+        kinds = {(s.lane, s.op): (s.t0, s.t1) for s in spans}
+        assert kinds[("p-1", "hold")] == (0.0, 10.0)
+        assert kinds[("p-2", "wait")] == (2.0, 10.0)
+        assert kinds[("p-2", "hold")] == (10.0, 15.0)
+        assert meta.makespan == 15.0
+
+    def test_native_spans_pass_through(self):
+        events = [
+            TraceEvent(ts=0.1, proc="force-1", kind="critical",
+                       name="L", op="hold", phase="X", dur=0.5),
+            TraceEvent(ts=0.2, proc="force-2", kind="barrier",
+                       name="", op="wait", phase="X", dur=0.3),
+        ]
+        spans, meta = normalize_spans(events)
+        assert meta.clock == "seconds"
+        assert {(s.lane, s.op) for s in spans} == \
+            {("force-1", "hold"), ("force-2", "wait")}
+        # span end extends the lane bound past the start instant
+        assert meta.lane_bounds["force-1"][1] == pytest.approx(0.6)
+
+    def test_dangling_open_closes_at_lane_end(self):
+        events = [
+            TraceEvent(ts=0, proc="p-1", kind="sched",
+                       name="('join', 1)", op="block"),
+            TraceEvent(ts=9, proc="p-1", kind="sched", name="",
+                       op="halt"),
+        ]
+        spans, _ = normalize_spans(events)
+        assert spans[0].op == "wait"
+        assert (spans[0].t0, spans[0].t1) == (0.0, 9.0)
+
+
+class TestAttribution:
+    def test_lane_wait_hold_compute_sum_to_active(self):
+        analysis = analyze_trace(_sim_lock_dance())
+        row = analysis.lanes["p-2"]
+        assert row["wait"] == 8.0
+        assert row["hold"] == 5.0
+        assert row["compute"] == 0.0
+        assert row["active"] == 13.0
+
+    def test_contention_ranking_orders_by_wait(self):
+        events = _sim_lock_dance() + [
+            TraceEvent(ts=0, proc="p-3", kind="critical", name="M",
+                       op="acquire"),
+            TraceEvent(ts=1, proc="p-3", kind="critical", name="M",
+                   op="release"),
+        ]
+        analysis = analyze_trace(events)
+        assert analysis.constructs[0]["name"] == "L"
+        assert analysis.constructs[0]["wait_total"] == 8.0
+
+    def test_hold_histograms_cover_critical_names(self):
+        analysis = analyze_trace(_sim_lock_dance())
+        assert "L" in analysis.hold_histograms
+        assert analysis.hold_histograms["L"].count == 2
+
+
+class TestBarrierEpisodes:
+    def test_native_episode_wait_spread(self):
+        force = Force(4, trace=True)
+
+        def program(force, me):
+            if me == 1:
+                total = 0
+                for i in range(20_000):
+                    total += i
+            force.barrier()
+
+        force.run(program)
+        analysis = analyze_trace(force.trace_events())
+        assert len(analysis.barrier_episodes) == 1
+        row = analysis.barrier_episodes[0]
+        assert row["waiters"] == 4
+        # lane 1 arrives last: the spread is visible imbalance
+        assert row["spread"] >= 0.0
+        assert row["wait_max"] >= row["wait_min"]
+
+
+class TestChunkStats:
+    def test_native_chunks_per_lane(self):
+        force = Force(2, trace=True)
+
+        def program(force, me):
+            for _i in force.selfsched_range("L1", 1, 10):
+                pass
+            force.barrier()
+
+        force.run(program)
+        analysis = analyze_trace(force.trace_events())
+        row = analysis.chunks["L1"]
+        assert row["indices"] == 10
+        assert sum(row["per_lane"].values()) == 10
+
+
+_CONTENDED = strip_margin("""
+    Force CONTEND of NP ident ME
+    Private INTEGER K, J, W
+    Shared INTEGER SUM
+    End declarations
+    Barrier
+          SUM = 0
+    End barrier
+    Selfsched DO 100 K = 1, 24
+          Critical LCK
+          W = 0
+          DO 5 J = 1, 1600
+            W = W + J
+    5     CONTINUE
+          SUM = SUM + W
+          End critical
+    100 End Selfsched DO
+    Join
+          END
+""")
+
+
+class TestCriticalPath:
+    def test_contended_critical_dominates_makespan(self):
+        """The acceptance pin: a deliberately contended critical
+        section owns the critical path.
+
+        24 indices each hold LCK for ~10k cycles; the holds serialize,
+        so over half the makespan is one lane computing inside LCK
+        while everyone else queues.  The backward walk must recover
+        that — jumping driver → last summer at the join, then
+        holder-to-holder along the lock queue.
+        """
+        result = force_compile_and_run(_CONTENDED, SEQUENT_BALANCE, 4,
+                                       trace=True)
+        analysis = analyze_trace(result.trace_events())
+        path = analysis.critical_path
+        assert path["shares"].get("critical", 0.0) >= 0.5
+        assert path["by_name"]["critical:LCK"] >= 0.5
+        assert path["coverage"] >= 0.9
+
+    def test_segments_are_contiguous_oldest_first(self):
+        result = force_compile_and_run(_CONTENDED, SEQUENT_BALANCE, 4,
+                                       trace=True)
+        analysis = analyze_trace(result.trace_events())
+        segments = analysis.critical_path["segments"]
+        assert segments
+        assert segments[0][1] == analysis.t_start
+        for before, after in zip(segments, segments[1:]):
+            # each segment starts no earlier than the previous ends
+            # (small tolerance: sim wake latency between lanes)
+            assert after[1] >= before[2] - 2.0
+
+    def test_uncontended_path_is_mostly_compute(self):
+        source = strip_margin("""
+            Force FREE of NP ident ME
+            Private INTEGER K, J, W
+            End declarations
+            Presched DO 100 K = 1, 24
+                  W = 0
+                  DO 5 J = 1, 400
+                    W = W + J
+            5     CONTINUE
+            100 End presched DO
+            Join
+                  END
+        """)
+        result = force_compile_and_run(source, SEQUENT_BALANCE, 4,
+                                       trace=True)
+        analysis = analyze_trace(result.trace_events())
+        shares = analysis.critical_path["shares"]
+        assert shares.get("critical", 0.0) < 0.1
+        assert shares.get("compute", 0.0) >= 0.5
+
+    def test_as_dict_serializes_segments(self):
+        analysis = analyze_trace(_sim_lock_dance())
+        doc = analysis.as_dict()
+        assert doc["critical_path"]["segments"]
+        segment = doc["critical_path"]["segments"][0]
+        assert set(segment) == {"lane", "t0", "t1", "category", "name"}

@@ -1,0 +1,58 @@
+"""The overhead guard: observability must be near-free when off.
+
+Wall-clock ratios on a shared CI host are noisy, so the guard uses
+the bench suite's paired-rounds protocol (`repro.bench._paired_overhead`):
+each round times bare and instrumented back-to-back and the *minimum*
+ratio across rounds is asserted — noise only inflates a round's
+ratio, so the minimum converges onto the true overhead from above.
+The statement-level jacobi pipeline run is single-threaded and
+stable; a real regression (a hot-path hook that costs percent-scale
+time) raises every round's ratio and trips the bound.
+"""
+
+import time
+
+from repro.bench import _example, _paired_overhead
+from repro.machines import get_machine
+from repro.obsv.metrics import registry_from_sim, validate_metrics
+from repro.pipeline.compile import force_translate
+from repro.pipeline.run import force_run
+
+ROUNDS = 5
+MAX_RATIO = 1.02
+
+
+def _timed_run(translation, **kwargs):
+    def timed() -> float:
+        start = time.perf_counter()
+        force_run(translation, 4, **kwargs)
+        return time.perf_counter() - start
+    return timed
+
+
+class TestOverheadGuard:
+    def setup_method(self):
+        machine = get_machine("sequent-balance")
+        self.translation = force_translate(_example("jacobi.frc"),
+                                           machine)
+        _timed_run(self.translation)()      # warm caches
+
+    def test_trace_overhead_under_two_percent(self):
+        bare = _timed_run(self.translation)
+        traced = _timed_run(self.translation, trace=True)
+        ratios = _paired_overhead(bare, traced, ROUNDS)
+        assert ratios["min_ratio"] < MAX_RATIO, ratios
+
+    def test_metrics_overhead_under_two_percent(self):
+        bare = _timed_run(self.translation)
+
+        def with_metrics() -> float:
+            start = time.perf_counter()
+            result = force_run(self.translation, 4)
+            registry = registry_from_sim("sequent-balance", 4,
+                                         result.stats_dict())
+            assert validate_metrics(registry.as_dict()) == []
+            return time.perf_counter() - start
+
+        ratios = _paired_overhead(bare, with_metrics, ROUNDS)
+        assert ratios["min_ratio"] < MAX_RATIO, ratios

@@ -1,0 +1,84 @@
+"""``force profile`` views: report, timeline, folded stacks."""
+
+from repro.obsv.analyze import analyze_trace
+from repro.obsv.profile import (
+    folded_stacks,
+    render_profile,
+    utilization_timeline,
+)
+from repro.trace.events import TraceEvent
+
+
+def _contended_events():
+    """p-1 holds L for most of the run; p-2 waits for it."""
+    return [
+        TraceEvent(ts=0, proc="p-1", kind="critical", name="L",
+                   op="acquire"),
+        TraceEvent(ts=1, proc="p-2", kind="critical", name="L",
+                   op="wait"),
+        TraceEvent(ts=80, proc="p-1", kind="critical", name="L",
+                   op="release"),
+        TraceEvent(ts=80, proc="p-2", kind="critical", name="L",
+                   op="grant"),
+        TraceEvent(ts=100, proc="p-2", kind="critical", name="L",
+                   op="release"),
+    ]
+
+
+class TestTimeline:
+    def test_wait_heavy_columns_render_dots(self):
+        analysis = analyze_trace(_contended_events())
+        rows = utilization_timeline(analysis, cols=10)
+        assert set(rows) == {"p-1", "p-2"}
+        assert len(rows["p-2"]) == 10
+        # p-2 spends 1..80 waiting: its row is mostly dots
+        assert rows["p-2"].count(".") >= 6
+        # p-1 is busy holding, then its lane ends: hashes then blanks
+        assert rows["p-1"][0] == "#"
+        assert rows["p-1"].rstrip(" ").count(".") == 0
+
+
+class TestFoldedStacks:
+    def test_format_contract(self):
+        analysis = analyze_trace(_contended_events())
+        folded = folded_stacks(analysis)
+        assert folded.endswith("\n")
+        lines = folded.splitlines()
+        assert lines == sorted(lines)
+        assert "p-2;wait;critical;L 79" in lines
+        assert "p-1;hold;critical;L 80" in lines
+        for line in lines:
+            frames, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0        # flamegraph.pl requirement
+            assert frames
+
+    def test_native_weights_are_microseconds(self):
+        events = [
+            TraceEvent(ts=0.0, proc="force-1", kind="critical",
+                       name="L", op="hold", phase="X", dur=0.002),
+        ]
+        folded = folded_stacks(analyze_trace(events))
+        assert "force-1;hold;critical;L 2000" in folded
+
+
+class TestRenderProfile:
+    def test_report_sections(self):
+        analysis = analyze_trace(_contended_events())
+        report = render_profile(analysis)
+        assert "=== force profile ===" in report
+        assert "contention ranking" in report
+        assert "critical:L" in report
+        assert "utilization timeline" in report
+        assert "critical path" in report
+        assert "WARNING" not in report
+
+    def test_dropped_events_warning(self):
+        analysis = analyze_trace(_contended_events(),
+                                 meta={"dropped_events": 7})
+        report = render_profile(analysis)
+        assert "WARNING: 7 event(s) were dropped" in report
+        assert "--trace-buffer" in report
+
+    def test_empty_trace_renders(self):
+        report = render_profile(analyze_trace([]))
+        assert "no construct activity" in report

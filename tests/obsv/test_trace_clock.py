@@ -1,0 +1,69 @@
+"""Cross-process trace clocks: one epoch, monotonic merged spans.
+
+Regression suite for the fork-worker clock-skew bug: each worker used
+to stamp events against its *own* collector epoch (taken at worker
+start), so merged traces interleaved lanes measured from different
+zero points.  The fix anchors every worker's collector to an epoch the
+parent stamps immediately before forking.
+"""
+
+from time import monotonic, sleep
+
+from repro.obsv.analyze import normalize_spans
+from repro.runtime import Force
+from repro.trace.collector import TraceCollector
+
+
+class TestCollectorEpoch:
+    def test_explicit_epoch_anchors_timestamps(self):
+        anchor = monotonic() - 1.0
+        collector = TraceCollector(epoch=anchor)
+        collector.record("sched", op="tick")
+        # one second already elapsed relative to the anchor
+        assert collector.events()[0].ts >= 1.0
+
+    def test_default_epoch_is_now(self):
+        collector = TraceCollector()
+        collector.record("sched", op="tick")
+        assert 0.0 <= collector.events()[0].ts < 1.0
+
+
+def _two_phase_program(force, me):
+    with force.critical("phase1"):
+        sleep(0.002 * me)       # stagger lanes inside the phase
+    force.barrier()
+    with force.critical("phase2"):
+        pass
+    force.barrier()
+
+
+class TestProcessBackendClock:
+    def test_merged_spans_share_one_epoch(self):
+        force = Force(3, backend="process", trace=True)
+        force.run(_two_phase_program)
+        events = force.trace_events()
+        assert events
+
+        # no negative timestamps: every lane is after the parent anchor
+        assert all(event.ts >= 0.0 for event in events)
+
+        # causality across lanes: the barrier orders phase1 before
+        # phase2, so under a shared epoch every phase1 hold ends
+        # before any phase2 hold starts — on every lane pair
+        spans, _ = normalize_spans(events)
+        phase1 = [s for s in spans
+                  if s.name == "phase1" and s.op == "hold"]
+        phase2 = [s for s in spans
+                  if s.name == "phase2" and s.op == "hold"]
+        assert len(phase1) == 3
+        assert len(phase2) == 3
+        assert max(s.t1 for s in phase1) <= min(s.t0 for s in phase2)
+
+    def test_span_durations_non_negative(self):
+        force = Force(3, backend="process", trace=True)
+        force.run(_two_phase_program)
+        spans, meta = normalize_spans(force.trace_events())
+        assert spans
+        assert all(span.dur >= 0.0 for span in spans)
+        # lanes all start within the run window, not at fork-local zero
+        assert meta.t_start >= 0.0

@@ -1,0 +1,158 @@
+"""``force tune``: prediction units, schema, and E11 agreement."""
+
+import pytest
+
+from repro._util.text import strip_margin
+from repro.machines import SEQUENT_BALANCE
+from repro.obsv.tune import (
+    DEFAULT_CANDIDATES,
+    predict_makespan,
+    tune_from_events,
+    validate_recommendation,
+)
+from repro.pipeline.run import force_compile_and_run
+from repro.trace.events import TraceEvent
+
+
+class TestPredictMakespan:
+    def test_cyclic_is_max_stride_sum(self):
+        costs = [3.0, 1.0, 3.0, 1.0]
+        # lanes get [3,3] and [1,1]
+        assert predict_makespan(costs, 2, "cyclic") == 6.0
+
+    def test_blocked_is_max_block_sum(self):
+        costs = [3.0, 3.0, 1.0, 1.0]
+        assert predict_makespan(costs, 2, "blocked") == 6.0
+
+    def test_static_policies_discount_dispatch_overhead(self):
+        costs = [10.0, 10.0]
+        assert predict_makespan(costs, 2, "cyclic", ell=4.0) == 6.0
+
+    def test_self_pays_lock_rounds(self):
+        costs = [1.0] * 4
+        with_lock = predict_makespan(costs, 2, "self", ell=1.0)
+        without = predict_makespan(costs, 2, "self", ell=0.0)
+        assert with_lock > without
+
+    def test_chunked_fewer_dispatches_than_self(self):
+        costs = [1.0] * 16
+        self_t = predict_makespan(costs, 2, "self", ell=2.0)
+        chunk_t = predict_makespan(costs, 2, "chunked", chunk=4,
+                                   ell=2.0)
+        assert chunk_t < self_t
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            predict_makespan([1.0], 2, "fifo")
+
+    def test_empty_costs(self):
+        assert predict_makespan([], 4, "self") == 0.0
+
+
+class TestValidateRecommendation:
+    def test_rejects_non_object(self):
+        assert validate_recommendation([]) != []
+
+    def test_rejects_bad_policy(self):
+        doc = {"schema": 1, "generated_by": "force tune",
+               "observations": {"makespan": 1.0, "busy_fraction": 0.5,
+                                "labels": {}},
+               "recommendations": {"sched": {
+                   "policy": "fifo", "predicted_makespans": {}}}}
+        assert any("policy" in e for e in validate_recommendation(doc))
+
+    def test_chunked_needs_chunk(self):
+        doc = {"schema": 1, "generated_by": "force tune",
+               "observations": {"makespan": 1.0, "busy_fraction": 0.5,
+                                "labels": {}},
+               "recommendations": {"sched": {
+                   "policy": "chunked", "chunk": None,
+                   "predicted_makespans": {}}}}
+        assert any("chunk" in e for e in validate_recommendation(doc))
+
+
+class TestTuneDocument:
+    def test_trace_without_loops_still_validates(self):
+        events = [
+            TraceEvent(ts=0, proc="p-1", kind="critical", name="L",
+                       op="acquire"),
+            TraceEvent(ts=5, proc="p-1", kind="critical", name="L",
+                       op="release"),
+        ]
+        doc = tune_from_events(events, nproc=2, cpu_count=4,
+                               source="t.jsonl")
+        assert validate_recommendation(doc) == []
+        assert doc["recommendations"]["sched"] is None
+        assert doc["recommendations"]["spin_budget"]["mode"] in \
+            ("spin", "block")
+        assert doc["source"] == {"trace": "t.jsonl"}
+
+
+# ----------------------------------------------------------------------
+# the E11 agreement pin: the recommender must pick the config the
+# measured ablation sweep (benchmarks/test_e11_scheduling_ablation.py)
+# ranks best, from one selfscheduled observation run per load.
+# ----------------------------------------------------------------------
+NPROC = 4
+N_ITER = 64
+
+_TEMPLATE = """
+    Force ABLA of NP ident ME
+    Private INTEGER I, J, W
+    Shared INTEGER SINK
+    End declarations
+    Barrier
+          SINK = 0
+    End barrier
+    Selfsched DO 100 I = 1, {n_iter}
+          {weight_code}
+          DO 5 J = 1, W
+            SINK = SINK
+    5     CONTINUE
+    100 End Selfsched DO
+    Join
+          END
+"""
+
+_LOADS = {
+    "uniform": "W = 100",
+    "triangular": f"W = 3 * ({N_ITER} - I)",
+    "resonant": (f"IF (MOD(I, {NPROC}) .EQ. 1) THEN\n"
+                 "            W = 800\n"
+                 "          ELSE\n"
+                 "            W = 4\n"
+                 "          END IF"),
+}
+
+#: measured-best configs from the E11 sweep at NPROC=4, N_ITER=64
+#: (cyclic wins balanced loads; stride resonance collapses cyclic,
+#: blocked wins)
+_MEASURED_BEST = {
+    "uniform": ("cyclic", None),
+    "triangular": ("cyclic", None),
+    "resonant": ("blocked", None),
+}
+
+_CANDIDATES = (("cyclic", None), ("blocked", None), ("self", None),
+               ("chunked", 4), ("guided", None))
+
+
+class TestE11Agreement:
+    @pytest.mark.parametrize("load", sorted(_LOADS))
+    def test_recommender_matches_measured_sweep(self, load):
+        source = strip_margin(_TEMPLATE).format(
+            n_iter=N_ITER, weight_code=_LOADS[load])
+        result = force_compile_and_run(source, SEQUENT_BALANCE, NPROC,
+                                       trace=True)
+        doc = tune_from_events(result.trace_events(), nproc=NPROC,
+                               candidates=_CANDIDATES)
+        assert validate_recommendation(doc) == []
+        sched = doc["recommendations"]["sched"]
+        assert sched is not None
+        assert (sched["policy"], sched["chunk"]) == \
+            _MEASURED_BEST[load], \
+            f"{load}: predictions {sched['predicted_makespans']}"
+
+    def test_default_candidates_cover_all_policies(self):
+        assert {policy for policy, _ in DEFAULT_CANDIDATES} == \
+            {"cyclic", "blocked", "self", "chunked", "guided"}

@@ -118,6 +118,14 @@ class TestWallSpeedup:
                 {"name": "bench_analyzer_throughput",
                  "data": {"statements_per_s": 5000, "doalls": 4,
                           "kernel_eligible_doalls": 3}},
+                {"name": "bench_trace_overhead",
+                 "data": {"sim_trace": {"min_ratio": 1.0},
+                          "native_metrics": {"min_ratio": 1.01},
+                          "native_trace": {"min_ratio": 1.02}}},
+                {"name": "bench_tune_quality",
+                 "data": {"recommended": "blocked",
+                          "measured_best": "blocked",
+                          "agreement": True, "regret": 1.0}},
             ],
         }
         text = bench.render_bench_report(report)
@@ -125,3 +133,22 @@ class TestWallSpeedup:
         assert "0.80x" in text
         assert "1 CPU(s)" in text
         assert "3/4 corpus DOALLs proven race-free" in text
+        assert "trace overhead" in text
+        assert "recommended blocked" in text
+        assert "agree" in text
+
+
+class TestObservabilityEntries:
+    def test_suite_includes_new_entries(self):
+        names = dict(bench.SUITE)
+        assert "bench_trace_overhead" in names
+        assert "bench_tune_quality" in names
+
+    def test_tune_quality_quick_shape(self):
+        outcome = bench.bench_tune_quality(True)
+        data = outcome["data"]
+        assert data["recommended"] in ("cyclic", "blocked", "self")
+        assert data["measured_best"] in data["measured_makespans"]
+        assert data["regret"] >= 1.0
+        assert data["agreement"] == \
+            (data["recommended"] == data["measured_best"])
