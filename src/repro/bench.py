@@ -459,6 +459,69 @@ def bench_trace_overhead(quick: bool) -> dict[str, Any]:
     }
 
 
+def bench_checkpoint_overhead(quick: bool) -> dict[str, Any]:
+    """Cost of checkpointing: armed-but-idle vs every-barrier snapshots.
+
+    Two paired ratios over the native jacobi kernel.  ``idle`` arms a
+    policy at an interval the run never reaches — the cost of the hook
+    plumbing alone, a strict upper bound on the checkpoint-off cost
+    (a ``None`` policy skips even the episode count), and what the
+    tier-1 guard bounds below 2%.  ``every_barrier`` snapshots at
+    every consistent cut and is recorded honestly together with the
+    footprint of one snapshot.
+    """
+    import shutil
+    import tempfile
+    from repro.runtime import Force
+    from repro.runtime.checkpoint import (CheckpointPolicy,
+                                          latest_checkpoint)
+    n, sweeps = (96, 8) if quick else (192, 16)
+    rounds = 3 if quick else 6
+    ckdir = tempfile.mkdtemp(prefix="force-bench-ckpt-")
+    snapshot = {"bytes": 0, "count": 0}
+
+    def bare() -> float:
+        force = Force(2, timeout=120)
+        start = time.perf_counter()
+        force.run(_wall_jacobi, n, sweeps)
+        return time.perf_counter() - start
+
+    def run_with(every_n: int) -> Callable[[], float]:
+        def timed() -> float:
+            shutil.rmtree(ckdir, ignore_errors=True)
+            policy = CheckpointPolicy(every_n_barriers=every_n,
+                                      dir=ckdir)
+            force = Force(2, timeout=120, checkpoint=policy)
+            start = time.perf_counter()
+            force.run(_wall_jacobi, n, sweeps)
+            elapsed = time.perf_counter() - start
+            newest = latest_checkpoint(ckdir)
+            if newest is not None:
+                snapshot["bytes"] = os.path.getsize(newest)
+                snapshot["count"] = len(os.listdir(ckdir))
+            return elapsed
+        return timed
+
+    try:
+        bare()          # warm caches before pairing
+        data = {
+            "idle": _paired_overhead(bare, run_with(10 ** 9), rounds),
+            "every_barrier": _paired_overhead(bare, run_with(1),
+                                              rounds),
+            "snapshot_bytes": snapshot["bytes"],
+            "snapshots_per_run": snapshot["count"],
+        }
+    finally:
+        shutil.rmtree(ckdir, ignore_errors=True)
+    wall = bare()
+    return {
+        "params": {"kernel": "jacobi", "n": n, "sweeps": sweeps,
+                   "nproc": 2, "backend": "thread", "rounds": rounds},
+        "wall_s": wall,
+        "data": data,
+    }
+
+
 #: the stride-resonant load the tune-quality entry stresses: heavy
 #: work on every NPROC-th index collapses cyclic prescheduling
 _TUNE_TEMPLATE = """\
@@ -577,6 +640,7 @@ SUITE: tuple[tuple[str, Callable[[bool], dict[str, Any]]], ...] = (
     ("bench_wall_speedup", bench_wall_speedup),
     ("bench_analyzer_throughput", bench_analyzer_throughput),
     ("bench_trace_overhead", bench_trace_overhead),
+    ("bench_checkpoint_overhead", bench_checkpoint_overhead),
     ("bench_tune_quality", bench_tune_quality),
 )
 
@@ -655,6 +719,13 @@ def render_bench_report(report: dict[str, Any]) -> str:
         f"{over['sim_trace']['min_ratio']:.2f}x, native metrics "
         f"{over['native_metrics']['min_ratio']:.2f}x, native trace "
         f"{over['native_trace']['min_ratio']:.2f}x (min paired ratio)")
+    ckpt = by_name["bench_checkpoint_overhead"]["data"]
+    lines.append(
+        "checkpoint overhead: idle "
+        f"{ckpt['idle']['min_ratio']:.2f}x, every-barrier "
+        f"{ckpt['every_barrier']['min_ratio']:.2f}x "
+        f"({ckpt['snapshot_bytes']} B/snapshot, "
+        f"{ckpt['snapshots_per_run']} per run)")
     tune = by_name["bench_tune_quality"]["data"]
     lines.append(
         f"tune quality:        recommended {tune['recommended']}, "

@@ -238,18 +238,41 @@ def random_plan(seed: int, *, nproc: int,
                 max_faults: int = 2,
                 sites: tuple[str, ...] = SITES,
                 max_occurrence: int = 4,
-                delay_seconds: float = 0.1) -> FaultPlan:
+                delay_seconds: float = 0.1,
+                kinds: tuple[str, ...] | None = None) -> FaultPlan:
     """One deterministic random plan from ``seed``.
 
     The same ``(seed, nproc)`` always produces the identical plan —
     chaos sweeps iterate seeds, and a failing seed replays exactly.
+
+    ``kinds`` restricts the drawn fault kinds (e.g. ``("die",)`` for a
+    recovery sweep where every fault must be a worker death); omitted,
+    the historical mixed distribution is used, so existing seeded
+    sweeps keep their plans.
     """
+    if kinds is not None:
+        if not kinds:
+            raise FaultSpecError("kinds must name at least one kind")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise FaultSpecError(
+                    f"unknown fault kind {kind!r}; expected one of "
+                    f"{', '.join(FAULT_KINDS)}")
+        if set(kinds) == {"lost-wakeup"}:
+            sites = tuple(s for s in sites if s in NOTIFY_SITES) \
+                or NOTIFY_SITES
     rng = random.Random(seed)
     count = rng.randint(1, max(1, max_faults))
     faults = []
     for _ in range(count):
         site = rng.choice(sites)
-        if site in NOTIFY_SITES and rng.random() < 0.25:
+        if kinds is not None:
+            # Never empty: a kinds of exactly {"lost-wakeup"} already
+            # restricted sites to the notifying ones above.
+            allowed = tuple(k for k in kinds if k != "lost-wakeup"
+                            or site in NOTIFY_SITES)
+            kind = rng.choice(allowed)
+        elif site in NOTIFY_SITES and rng.random() < 0.25:
             kind = "lost-wakeup"
         else:
             kind = rng.choice(("raise", "die", "delay", "delay"))

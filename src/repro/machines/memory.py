@@ -17,6 +17,7 @@ machine-required padding, and exposes invariant checks that the tests
 
 from __future__ import annotations
 
+import os
 import secrets
 from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
@@ -188,10 +189,18 @@ def _align(value: int, alignment: int) -> int:
 # real shared memory: the process backend's arena
 # ----------------------------------------------------------------------
 
-#: reserved header: slot 0 is the bump-allocator cursor (bytes), the
-#: rest is free for backend-specific control state.
+#: reserved header: slot 0 is the bump-allocator cursor (bytes), slot
+#: 1 records the creating process's pid (the in-segment "pidfile" the
+#: stale sweep is guarded by), the rest is free for backend-specific
+#: control state.
 ARENA_HEADER_SLOTS = 64
 ARENA_HEADER_BYTES = ARENA_HEADER_SLOTS * 8
+ARENA_OWNER_SLOT = 1
+
+#: every arena segment the process backend creates is named
+#: ``force-arena-<hex>`` — the namespace :func:`sweep_stale_arenas`
+#: confines itself to
+ARENA_PREFIX = "force-arena-"
 
 
 class SharedArena:
@@ -230,13 +239,16 @@ class SharedArena:
                 raise MachineError(
                     f"arena of {size} bytes cannot hold the "
                     f"{ARENA_HEADER_BYTES}-byte header")
-            unique = name or f"force-arena-{secrets.token_hex(6)}"
+            unique = name or f"{ARENA_PREFIX}{secrets.token_hex(6)}"
             self._shm = shared_memory.SharedMemory(
                 name=unique, create=True, size=size)
             self._owner = True
             header = self._header()
             header[:] = 0
             header[0] = ARENA_HEADER_BYTES
+            # The in-segment pidfile: sweep_stale_arenas only unlinks
+            # segments whose recorded creator is no longer alive.
+            header[ARENA_OWNER_SLOT] = os.getpid()
         elif name is not None:
             self._shm = shared_memory.SharedMemory(name=name)
             # Attaching registered the segment with this process's
@@ -326,3 +338,73 @@ class SharedArena:
     def __exit__(self, *exc) -> None:
         self.close()
         self.unlink()
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is there a live process with this pid (that we may signal)?"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:      # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def sweep_stale_arenas(*, shm_dir: str = "/dev/shm",
+                       prefix: str = ARENA_PREFIX) -> list[str]:
+    """Unlink orphaned force arenas; returns the segment names removed.
+
+    The parent's ``close``/``unlink`` pair runs in a ``finally``, so
+    leaks need the parent itself to die un-catchably (``SIGKILL``, OOM
+    kill, power loss) — exactly the failures the PR 9 supervisor
+    restarts after.  This sweep makes those restarts clean: it walks
+    the ``force-arena-*`` namespace and unlinks every segment whose
+    in-header owner pid (the "pidfile" written at creation) no longer
+    names a live process.
+
+    Guard rails:
+
+    * only segments under ``prefix`` are even considered;
+    * a segment whose owner slot is zero (not yet initialised, or
+      created by an older layout) is left alone;
+    * a live owner pid — including a recycled one, the usual pidfile
+      caveat — means the segment is left alone, so a sweeping process
+      can never pull a mapped arena out from under a running force.
+
+    Safe to call at any time; the process backend runs it before
+    creating each new arena.
+    """
+    removed: list[str] = []
+    try:
+        names = sorted(os.listdir(shm_dir))
+    except OSError:
+        return removed          # no POSIX shm directory on this host
+    for segment in names:
+        if not segment.startswith(prefix):
+            continue
+        try:
+            shm = shared_memory.SharedMemory(name=segment)
+        except (FileNotFoundError, OSError):
+            continue            # raced with its owner's cleanup
+        try:
+            # Attaching registered the segment with our resource
+            # tracker (same quirk as SharedArena.attach); undo it so a
+            # *kept* segment is not unlinked at our own exit.
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:    # pragma: no cover - tracker quirk
+                pass
+            header = np.ndarray((ARENA_HEADER_SLOTS,), dtype=np.int64,
+                                buffer=shm.buf)
+            owner = int(header[ARENA_OWNER_SLOT])
+            del header          # release the buffer so close() works
+            if owner > 0 and not _pid_alive(owner):
+                try:
+                    shm.unlink()
+                except FileNotFoundError:   # pragma: no cover - race
+                    continue
+                removed.append(segment)
+        finally:
+            shm.close()
+    return removed

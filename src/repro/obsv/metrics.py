@@ -479,6 +479,11 @@ class ForceMetrics:
     ``force_asyncvar_blocked_seconds``        ``name``
     ``force_processes``                       —
     ``force_run_wall_seconds``                —
+    ``force_checkpoints_written_total``       —
+    ``force_checkpoint_bytes_total``          —
+    ``force_recoveries_total``                —
+    ``force_retries_total``                   —
+    ``force_degraded_restarts_total``         —
     ========================================  ======================
     """
 
@@ -547,6 +552,31 @@ class ForceMetrics:
             "asyncvar_blocked_seconds", {"name": name},
             help="Time blocked on a full/empty "
                  "variable").observe(seconds)
+
+    # -- recovery ------------------------------------------------------
+    def checkpoint_written(self, nbytes: int) -> None:
+        reg = self.registry
+        reg.counter("checkpoints_written_total",
+                    help="Snapshots serialized at barrier "
+                         "episodes").inc()
+        reg.counter("checkpoint_bytes_total",
+                    help="Bytes of snapshot documents "
+                         "written").inc(nbytes)
+
+    def recovery(self, *, degraded: bool) -> None:
+        reg = self.registry
+        reg.counter("recoveries_total",
+                    help="Runs resumed from a checkpoint").inc()
+        if degraded:
+            reg.counter("degraded_restarts_total",
+                        help="Elastic restarts at reduced "
+                             "nproc").inc()
+
+    def retry(self) -> None:
+        self.registry.counter(
+            "retries_total",
+            help="Supervised attempts after a transient "
+                 "failure").inc()
 
     # -- run-level -----------------------------------------------------
     def run_info(self, nproc: int, wall_s: float | None = None) -> None:

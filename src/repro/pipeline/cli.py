@@ -75,6 +75,32 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (got {value})")
+    return value
+
+
+def _fault_kinds(text: str) -> tuple:
+    from repro.faults.plan import FAULT_KINDS
+    kinds = tuple(part.strip() for part in text.split(",") if part.strip())
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise argparse.ArgumentTypeError(
+                f"unknown fault kind {kind!r}; expected a comma list "
+                f"of {', '.join(FAULT_KINDS)}")
+    if not kinds:
+        raise argparse.ArgumentTypeError(
+            "expected at least one fault kind")
+    return kinds
+
+
 def _chunk_size(text: str) -> int:
     try:
         value = int(text)
@@ -208,6 +234,27 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="execute on the tree-walking interpreter "
                           "instead of the compiled execution layer "
                           "(the differential-testing oracle)")
+    run.add_argument("--checkpoint", metavar="DIR", default=None,
+                     help="write barrier-epoch snapshots here "
+                          "(native process backend only)")
+    run.add_argument("--checkpoint-every", type=_positive_int,
+                     default=1, metavar="N",
+                     help="snapshot every N-th barrier episode "
+                          "(default 1)")
+    run.add_argument("--resume", action="store_true",
+                     help="resume the first attempt from the newest "
+                          "valid snapshot in --checkpoint DIR")
+    run.add_argument("--retries", type=_nonnegative_int, default=0,
+                     metavar="N",
+                     help="retry transient failures (worker death, "
+                          "deadlock verdicts) up to N times with "
+                          "capped backoff, resuming from the newest "
+                          "snapshot when --checkpoint is set")
+    run.add_argument("--min-nproc", type=_positive_int, default=None,
+                     metavar="M",
+                     help="allow elastic restart down to M workers "
+                          "(refused when --facts shows a non-race-free "
+                          "DOALL; default: no degradation)")
     run.add_argument("--facts", metavar="FILE", default=None,
                      help="analysis facts written by 'force check "
                           "--facts'; DOALLs it proves race-free are "
@@ -317,6 +364,35 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "dissemination", "tournament"],
                        default="central-counter",
                        help="barrier algorithm under test")
+    chaos.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="native backend for every run "
+                            "(default thread)")
+    chaos.add_argument("--max-faults", type=_positive_int, default=3,
+                       metavar="N",
+                       help="max faults per derived plan (default 3; "
+                            "recorded so artifacts replay exactly)")
+    chaos.add_argument("--fault-kinds", type=_fault_kinds,
+                       default=None, metavar="KIND[,KIND...]",
+                       help="restrict derived plans to these kinds "
+                            "(e.g. 'die' for a recovery sweep)")
+    chaos.add_argument("--supervise", action="store_true",
+                       help="run under the recovery supervisor: "
+                            "barrier-epoch checkpoints, retry with "
+                            "backoff, elastic restart; fired faults "
+                            "must classify 'recovered' with the final "
+                            "state bit-identical to a fault-free run")
+    chaos.add_argument("--min-nproc", type=_positive_int, default=None,
+                       metavar="M",
+                       help="supervised retries may degrade down to "
+                            "M workers (default: no degradation)")
+    chaos.add_argument("--retries", type=_nonnegative_int, default=3,
+                       metavar="N",
+                       help="supervised retry budget per run "
+                            "(default 3)")
+    chaos.add_argument("--checkpoints", metavar="DIR", default=None,
+                       help="keep supervised runs' snapshot dirs under "
+                            "DIR (default: per-run temp dirs, removed)")
     chaos.add_argument("--inject", action="append", default=[],
                        metavar="SPEC", type=_fault_spec,
                        help="explicit fault spec "
@@ -374,6 +450,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         machine = get_machine("python-host")
     translation = force_translate(_read(args.source), machine,
                                   sched=args.sched, chunk=args.chunk)
+    supervised = (args.retries > 0 or args.checkpoint is not None
+                  or args.resume)
+    if supervised and args.backend == "sim":
+        raise ForceError(
+            "supervision (--checkpoint/--resume/--retries/--min-nproc) "
+            "drives the native backends; rerun with --backend thread "
+            "or process")
+    if args.min_nproc is not None and not supervised:
+        raise ForceError("--min-nproc needs --retries >= 1 (elastic "
+                         "restart happens on supervised retries)")
     facts = None
     if args.facts is not None:
         from repro.analysis.facts import load_facts
@@ -381,9 +467,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             facts = load_facts(args.facts)
         except ValueError as exc:
             raise ForceError(str(exc)) from None
-        if args.backend != "sim":
+        if args.backend != "sim" and not supervised:
             print("force: note: --facts gates the simulator's compiled "
-                  "layer; ignored for the native backends",
+                  "layer; ignored for unsupervised native runs",
                   file=sys.stderr)
             facts = None
     if args.backend == "sim":
@@ -401,7 +487,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                             metrics=args.metrics is not None,
                             trace_capacity=args.trace_buffer,
                             deadline=args.deadline,
-                            compiled=not args.no_jit)
+                            compiled=not args.no_jit,
+                            retries=args.retries,
+                            min_nproc=args.min_nproc,
+                            checkpoint_dir=args.checkpoint,
+                            checkpoint_every=args.checkpoint_every,
+                            resume=args.resume,
+                            facts=facts if supervised else None)
     trace_file = None
     native = args.backend != "sim"
     dropped = result.trace_dropped \
@@ -437,6 +529,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         }
         if native:
             document["wall_s"] = round(result.wall_s, 6)
+            if result.supervision is not None:
+                document["supervision"] = result.supervision
         else:
             document["makespan"] = result.makespan
             if facts is not None:
@@ -453,6 +547,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         for line in result.output:
             print(line)
+        if native and result.supervision is not None \
+                and result.supervision["retries"]:
+            sup = result.supervision
+            print(f"force: recovered after {sup['retries']} retr"
+                  f"{'y' if sup['retries'] == 1 else 'ies'} "
+                  f"({sup['recoveries']} resume(s), "
+                  f"{sup['degraded_restarts']} degraded restart(s), "
+                  f"final nproc {sup['final_nproc']})",
+                  file=sys.stderr)
         if args.stats:
             from repro.runtime.stats import render_stats
             print(render_stats(result.stats_dict()), file=sys.stderr)
@@ -639,9 +742,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.faults.chaos import (
         ChaosReport,
+        _run_config,
         chaos_sweep,
         render_report,
         run_one,
+        run_supervised,
         write_failure_artifacts,
     )
     from repro.faults.corpus import CORPUS
@@ -670,26 +775,60 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         # One fixed plan, run against each selected program.
         runs = args.runs or 1
         outcomes = []
+        config = _run_config(
+            nproc=args.nproc, deadline=args.deadline,
+            construct_timeout=args.construct_timeout,
+            barrier_algorithm=args.barrier, backend=args.backend,
+            supervised=args.supervise, min_nproc=args.min_nproc,
+            retries=args.retries if args.supervise else None)
         for index in range(runs):
             for name in names:
-                outcome, force = run_one(
-                    CORPUS[name], explicit, nproc=args.nproc,
-                    deadline=args.deadline,
-                    construct_timeout=args.construct_timeout,
-                    barrier_algorithm=args.barrier)
+                if args.supervise:
+                    checkpoint_dir = None
+                    if args.checkpoints:
+                        import os as _os
+                        checkpoint_dir = _os.path.join(
+                            args.checkpoints,
+                            f"{name}-seed{explicit.seed}")
+                    outcome, force = run_supervised(
+                        CORPUS[name], explicit, nproc=args.nproc,
+                        min_nproc=args.min_nproc,
+                        deadline=args.deadline,
+                        construct_timeout=args.construct_timeout,
+                        barrier_algorithm=args.barrier,
+                        backend=args.backend,
+                        checkpoint_dir=checkpoint_dir,
+                        config=config)
+                else:
+                    outcome, force = run_one(
+                        CORPUS[name], explicit, nproc=args.nproc,
+                        deadline=args.deadline,
+                        construct_timeout=args.construct_timeout,
+                        barrier_algorithm=args.barrier,
+                        backend=args.backend, config=config)
                 outcomes.append(outcome)
                 if outcome.violates_invariant and args.artifacts:
                     write_failure_artifacts(args.artifacts, outcome,
                                             force)
         report = ChaosReport(seed=explicit.seed, runs=len(outcomes),
-                             nproc=args.nproc, outcomes=outcomes)
+                             nproc=args.nproc, outcomes=outcomes,
+                             deadline=args.deadline,
+                             construct_timeout=args.construct_timeout,
+                             barrier_algorithm=args.barrier,
+                             backend=args.backend,
+                             supervised=args.supervise,
+                             min_nproc=args.min_nproc)
     else:
         report = chaos_sweep(
             seed=args.seed, runs=args.runs or 20, programs=names,
             nproc=args.nproc, deadline=args.deadline,
             construct_timeout=args.construct_timeout,
             barrier_algorithm=args.barrier,
-            artifacts_dir=args.artifacts)
+            artifacts_dir=args.artifacts,
+            backend=args.backend, max_faults=args.max_faults,
+            fault_kinds=args.fault_kinds, supervise=args.supervise,
+            min_nproc=args.min_nproc, retries=args.retries,
+            checkpoint_root=args.checkpoints)
     if args.format == "json":
         print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
     else:

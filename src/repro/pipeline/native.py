@@ -72,7 +72,9 @@ from repro.fortran.interp import (
 from repro.fortran.parser import parse_source
 from repro.fortran.values import FArray, FType
 from repro.pipeline.compile import TranslationResult
+from repro.runtime.checkpoint import CheckpointPolicy
 from repro.runtime.force import Force
+from repro.runtime.supervisor import RetryPolicy, SupervisedRun
 from repro.trace.adapter import _categorize_lock
 
 _FRCSHB = re.compile(r'CALL\s+FRCSHB\("(\w+)"\)')
@@ -596,6 +598,8 @@ class NativeRunResult:
     trace: list = field(default_factory=list)
     trace_dropped: int = 0              #: ring-buffer overflow count
     metrics_doc: dict | None = None     #: registry dict (metrics=True)
+    #: the supervisor's attempt-by-attempt report (supervised runs)
+    supervision: dict | None = None
 
     def stats_dict(self) -> dict[str, Any]:
         document: dict[str, Any] = {
@@ -617,7 +621,13 @@ def native_run(translation: TranslationResult, nproc: int, *,
                metrics: bool = False,
                trace_capacity: int = 65536,
                deadline: float | None = None,
-               compiled: bool = True) -> NativeRunResult:
+               compiled: bool = True,
+               retries: int = 0,
+               min_nproc: int | None = None,
+               checkpoint_dir: str | None = None,
+               checkpoint_every: int = 1,
+               resume: bool = False,
+               facts: dict | None = None) -> NativeRunResult:
     """Execute a translated Force program on the host.
 
     ``deadline`` bounds every blocking construct (it becomes the
@@ -626,6 +636,20 @@ def native_run(translation: TranslationResult, nproc: int, *,
     of hanging.  ``trace_capacity`` sizes each member's trace ring;
     overflow drops the oldest events and the count surfaces as
     :attr:`NativeRunResult.trace_dropped`.
+
+    Supervision (PR 9): ``retries > 0`` or a ``checkpoint_dir`` routes
+    the run through a :class:`~repro.runtime.supervisor.SupervisedRun`
+    — transient failures (a worker death, a structured deadlock
+    verdict) are retried with capped backoff, restarting elastically
+    down to ``min_nproc`` when a ``facts`` document proves every DOALL
+    race-free (or no document is supplied).  Checkpointing requires
+    the process backend: there shared COMMON lives in the Force's
+    arena, inside the snapshot scope, while the thread backend keeps
+    COMMON in interpreter storage the checkpointer cannot see.  Note
+    the pipeline's own barriers are software spin-lock barriers in the
+    generated Fortran, so runtime snapshots happen at the fork/join
+    runtime barriers only — supervision of pipeline runs is chiefly
+    *retry and elastic restart*, not mid-program resume.
     """
     if backend not in NATIVE_BACKENDS:
         raise ForceError(f"unknown native backend {backend!r}: expected "
@@ -643,6 +667,19 @@ def native_run(translation: TranslationResult, nproc: int, *,
                          "(is this a Force program?)")
     main_name = spawn.group(1)
     shared = shared_block_names(fortran)
+    supervised = retries > 0 or checkpoint_dir is not None or resume
+    policy = None
+    if checkpoint_dir is not None:
+        if backend != "process":
+            raise ForceError(
+                "checkpointing a pipeline run needs the process "
+                "backend (thread-backend COMMON lives in interpreter "
+                "storage, outside the snapshot scope); rerun with "
+                "--backend process or drop --checkpoint")
+        policy = CheckpointPolicy(checkpoint_every, checkpoint_dir)
+    elif resume:
+        raise ForceError("--resume needs --checkpoint DIR to resume "
+                         "from")
     outdir = tempfile.mkdtemp(prefix="force-native-")
     spec: dict[str, Any] = {
         "backend": backend,
@@ -650,30 +687,54 @@ def native_run(translation: TranslationResult, nproc: int, *,
         "outdir": outdir,
         "compiled": compiled,
     }
-    force = Force(nproc, backend=backend, stats=stats, trace=trace,
-                  metrics=metrics, trace_capacity=trace_capacity,
-                  construct_timeout=deadline)
     run_id = None
     if backend == "thread":
         run_id = next(_RUN_IDS)
-        program = parse_source(fortran)
-        runtime = _NativeRuntime(force, _ThreadSync(force), program,
-                                 main_name)
-        _THREAD_RUNS[run_id] = {
-            "program": program,
-            "runtime": runtime,
-            "commons": _ThreadCommons(shared),
-        }
         spec["run_id"] = run_id
     else:
         spec["fortran"] = fortran
         spec["shared"] = sorted(shared)
+
+    def build_force(width: int, restore=None) -> Force:
+        """One attempt's force plus its fresh interpreter state."""
+        force = Force(width, backend=backend, stats=stats, trace=trace,
+                      metrics=metrics, trace_capacity=trace_capacity,
+                      construct_timeout=deadline, checkpoint=policy,
+                      restore=restore)
+        for name in os.listdir(outdir):    # drop a prior attempt's output
+            os.unlink(os.path.join(outdir, name))
+        if backend == "thread":
+            program = parse_source(fortran)
+            _THREAD_RUNS[run_id] = {
+                "program": program,
+                "runtime": _NativeRuntime(force, _ThreadSync(force),
+                                          program, main_name),
+                "commons": _ThreadCommons(shared),
+            }
+        return force
+
     started = perf_counter()
+    supervision_doc = None
     try:
-        force.run(_native_worker, spec)
+        if supervised:
+            run = SupervisedRun(
+                _native_worker, (spec,), nproc=nproc, backend=backend,
+                checkpoint=policy, min_nproc=min_nproc,
+                retry=RetryPolicy(retries=retries), facts=facts,
+                resume=resume,
+                force_factory=lambda width, restore, inject:
+                    build_force(width, restore))
+            outcome = run.run()
+            force = outcome.force
+            final_nproc = outcome.final_nproc
+            supervision_doc = outcome.as_dict()
+        else:
+            force = build_force(nproc)
+            force.run(_native_worker, spec)
+            final_nproc = nproc
         wall_s = perf_counter() - started
         output: list[str] = []
-        for me in range(1, nproc + 1):
+        for me in range(1, final_nproc + 1):
             path = os.path.join(outdir, f"out-{me}.txt")
             if os.path.exists(path):
                 with open(path, encoding="utf-8") as handle:
@@ -694,4 +755,5 @@ def native_run(translation: TranslationResult, nproc: int, *,
         trace_dropped=force.trace_dropped if trace else 0,
         metrics_doc=force.metrics_registry(wall_s=wall_s).as_dict()
         if metrics else None,
+        supervision=supervision_doc,
     )

@@ -32,7 +32,16 @@ POLL_INTERVAL = 0.02
 #: revalidation slice for condition waits: waiters wake this often to
 #: re-check their predicate even if the wakeup that should have freed
 #: them was lost, and to run hazard checks (dead-worker detection).
+#: The default initial slice of :class:`CancelToken` waits; override
+#: per force with ``Force(..., revalidate_interval=)``.
 REVALIDATE_INTERVAL = 0.05
+
+#: long parks back off: each consecutive slice of one wait doubles …
+REVALIDATE_GROWTH = 2.0
+#: … up to this multiple of the initial slice, so an idle waiter costs
+#: a bounded number of wakeups per second instead of a fixed 20/s,
+#: while lost-wakeup and dead-partner detection latency stays bounded.
+REVALIDATE_CAP_FACTOR = 8.0
 
 
 class ForceCancelled(ForceError):
@@ -57,9 +66,12 @@ class CancelToken:
     """
 
     __slots__ = ("_lock", "_flag", "_conditions", "error",
-                 "construct_timeout")
+                 "construct_timeout", "revalidate_interval")
 
-    def __init__(self, *, construct_timeout: float | None = None) -> None:
+    def __init__(self, *, construct_timeout: float | None = None,
+                 revalidate_interval: float = REVALIDATE_INTERVAL) -> None:
+        if revalidate_interval <= 0:
+            raise ForceError("revalidate_interval must be positive")
         self._lock = threading.Lock()
         self._flag = threading.Event()
         self._conditions: list[threading.Condition] = []
@@ -69,6 +81,10 @@ class CancelToken:
         #: the construct (and poisons the force), instead of hanging
         #: until the global join timeout.
         self.construct_timeout = construct_timeout
+        #: initial revalidation slice; long parks back off from here
+        #: (×:data:`REVALIDATE_GROWTH` per slice, capped at
+        #: ×:data:`REVALIDATE_CAP_FACTOR`).
+        self.revalidate_interval = revalidate_interval
 
     @property
     def cancelled(self) -> bool:
@@ -135,15 +151,22 @@ class CancelToken:
         waiting.  The condition must have been :meth:`register`-ed so
         that ``cancel`` wakes it.
 
-        Waiting happens in bounded slices (:data:`REVALIDATE_INTERVAL`)
-        so a waiter whose wakeup was lost still revalidates its
-        predicate, and the optional ``hazard`` check runs periodically:
-        if it returns an error (e.g. a dead partner was detected) the
-        token is cancelled with it and it is raised here.  Without an
-        explicit ``timeout``, the token's ``construct_timeout`` bounds
-        the wait with a :class:`ForceDeadlockError` naming ``what``.
+        Waiting happens in bounded slices (starting at the token's
+        ``revalidate_interval``) so a waiter whose wakeup was lost
+        still revalidates its predicate, and the optional ``hazard``
+        check runs periodically: if it returns an error (e.g. a dead
+        partner was detected) the token is cancelled with it and it is
+        raised here.  Consecutive slices of one park grow by
+        :data:`REVALIDATE_GROWTH` up to :data:`REVALIDATE_CAP_FACTOR`
+        × the interval, so a long park costs a bounded wakeup rate.
+        Without an explicit ``timeout``, the token's
+        ``construct_timeout`` bounds the wait with a
+        :class:`ForceDeadlockError` naming ``what``.
         """
         deadline, is_construct = self._construct_deadline(timeout)
+        interval = self.revalidate_interval
+        cap = interval * REVALIDATE_CAP_FACTOR
+        next_slice = interval
         while True:
             self.check()
             if predicate():
@@ -153,7 +176,8 @@ class CancelToken:
                 if error is not None:
                     self.cancel(error)
                     raise error
-            slice_ = REVALIDATE_INTERVAL
+            slice_ = next_slice
+            next_slice = min(cap, next_slice * REVALIDATE_GROWTH)
             if deadline is not None:
                 remaining = deadline - _monotonic()
                 if remaining <= 0:

@@ -1,0 +1,327 @@
+"""Barrier-epoch checkpointing: snapshots at the consistent cut.
+
+The paper's barrier quiesces *all* shared state: every process of the
+force is parked inside the episode while the single-process barrier
+body runs, so that body sees COMMON storage, work pools and full/empty
+variables with no write in flight — a consistent global cut.  And
+because a Force program never names specific processes, the state at
+that cut is **independent of NPROC**: a snapshot taken there can be
+re-materialized later under a different worker count (the elastic
+restart of :mod:`repro.runtime.supervisor`).
+
+``Force(..., checkpoint=CheckpointPolicy(every_n_barriers=k, dir=d))``
+arms the hook on both backends: every k-th completed barrier episode,
+the process that runs the (empty or user) barrier section serializes
+every shared construct — shared counters and arrays, askfor monitor
+state, full/empty variables, plus the barrier epoch itself — into a
+versioned, integrity-hashed JSON document under ``d``.  Array payloads
+are raw little-endian bytes (base64), so a restored array is
+**bit-identical** to the captured one; the SHA-256 over the canonical
+payload both guards the file against corruption and doubles as a state
+digest for differential oracles (two runs whose final states hash
+equal are bitwise equal).
+
+The recoverable-program contract: a program that wants to resume from
+a snapshot (rather than merely restart) must keep *all* cross-phase
+state — including its own progress counters — in shared constructs,
+and each barrier-delimited phase must be a deterministic function of
+the state at its opening barrier.  Then re-running the program over a
+restored snapshot simply fast-forwards through completed phases (their
+guards read the restored progress) and recomputes the interrupted
+phase from its last consistent cut.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import re
+import tempfile
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro._util.errors import ForceError
+
+#: bump when the document layout changes; ``validate_checkpoint``
+#: rejects every other value.
+CHECKPOINT_SCHEMA = 1
+
+#: construct kinds a snapshot can carry
+CONSTRUCT_KINDS = ("counter", "array", "asyncvar", "asyncarray",
+                   "askfor")
+
+_FILENAME = re.compile(r"^ckpt-(\d{8})\.json$")
+
+#: JSON-serializable scalar types allowed in counters, async values
+#: and askfor items (numpy scalars are normalized on capture)
+_SCALARS = (bool, int, float, str, type(None))
+
+
+class CheckpointError(ForceError):
+    """A snapshot could not be captured, written, read or applied."""
+
+
+@dataclass(frozen=True)
+class CheckpointPolicy:
+    """When and where to checkpoint: every n-th barrier episode.
+
+    ``every_n_barriers=1`` snapshots at every episode (maximum
+    recoverability, maximum overhead); larger values trade replayed
+    work on recovery for cheaper fault-free runs.
+    """
+
+    every_n_barriers: int
+    dir: str
+
+    def __post_init__(self) -> None:
+        if self.every_n_barriers < 1:
+            raise CheckpointError(
+                "CheckpointPolicy.every_n_barriers must be >= 1")
+        if not self.dir:
+            raise CheckpointError("CheckpointPolicy.dir must be set")
+
+
+# ----------------------------------------------------------------------
+# scalar / array normalization
+# ----------------------------------------------------------------------
+def _json_scalar(value: Any, where: str) -> Any:
+    """Normalize ``value`` to a JSON scalar (or fail with context)."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, _SCALARS):
+        return value
+    raise CheckpointError(
+        f"{where} holds {type(value).__name__!r}, which a checkpoint "
+        "cannot serialize (shared scalars must be JSON scalars)")
+
+
+def array_entry(name: str, array: np.ndarray) -> dict[str, Any]:
+    """A shared array as a snapshot construct (bit-exact payload)."""
+    contiguous = np.ascontiguousarray(array)
+    return {
+        "name": name,
+        "kind": "array",
+        "dtype": str(contiguous.dtype),
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def counter_entry(name: str, value: Any) -> dict[str, Any]:
+    return {"name": name, "kind": "counter",
+            "value": _json_scalar(value, f"shared counter '{name}'")}
+
+
+def asyncvar_entry(name: str, full: bool, value: Any) -> dict[str, Any]:
+    return {"name": name, "kind": "asyncvar", "full": bool(full),
+            "value": _json_scalar(value, f"asyncvar '{name}'")
+            if full else None}
+
+
+def asyncarray_entry(name: str,
+                     cells: list[tuple[bool, Any]]) -> dict[str, Any]:
+    return {"name": name, "kind": "asyncarray",
+            "cells": [[bool(full),
+                       _json_scalar(value, f"asyncarray '{name}'")
+                       if full else None]
+                      for full, value in cells]}
+
+
+def askfor_entry(name: str, items: list, *, total_put: int,
+                 total_got: int, max_depth: int,
+                 done: bool) -> dict[str, Any]:
+    return {
+        "name": name, "kind": "askfor",
+        "items": [_json_scalar(item, f"askfor '{name}' item")
+                  for item in items],
+        "total_put": int(total_put), "total_got": int(total_got),
+        "max_depth": int(max_depth), "done": bool(done),
+    }
+
+
+def decode_array(entry: dict[str, Any]) -> np.ndarray:
+    """Re-materialize an array construct, bit-identical."""
+    raw = base64.b64decode(entry["data"].encode("ascii"))
+    array = np.frombuffer(raw, dtype=np.dtype(entry["dtype"]))
+    return array.reshape(entry["shape"]).copy()
+
+
+# ----------------------------------------------------------------------
+# the document
+# ----------------------------------------------------------------------
+def _payload_bytes(payload: dict[str, Any]) -> bytes:
+    """Canonical encoding the integrity hash is computed over."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def build_checkpoint(*, epoch: int, nproc: int, backend: str,
+                     constructs: list[dict[str, Any]]) -> dict[str, Any]:
+    """Assemble a versioned, integrity-hashed snapshot document."""
+    payload = {"constructs": sorted(constructs,
+                                    key=lambda e: e["name"])}
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "kind": "force-checkpoint",
+        "epoch": int(epoch),
+        "nproc": int(nproc),
+        "backend": backend,
+        "payload": payload,
+        "sha256": hashlib.sha256(_payload_bytes(payload)).hexdigest(),
+    }
+
+
+def state_digest(doc: dict[str, Any]) -> str:
+    """The snapshot's state hash — equal digests ⇔ bitwise-equal state.
+
+    The digest covers only the construct payload (not epoch, nproc or
+    backend), so it is exactly the differential-oracle comparator: a
+    recovered run and the fault-free run agree iff their final-state
+    digests agree.
+    """
+    return hashlib.sha256(_payload_bytes(doc["payload"])).hexdigest()
+
+
+def validate_checkpoint(doc: Any) -> list[str]:
+    """Schema-check a snapshot document; [] when it is well-formed."""
+    problems: list[str] = []
+
+    def expect(ok: bool, message: str) -> None:
+        if not ok:
+            problems.append(message)
+
+    if not isinstance(doc, dict):
+        return ["checkpoint is not an object"]
+    expect(doc.get("schema") == CHECKPOINT_SCHEMA,
+           f"schema is {doc.get('schema')!r}, "
+           f"expected {CHECKPOINT_SCHEMA}")
+    expect(doc.get("kind") == "force-checkpoint",
+           "kind is not 'force-checkpoint'")
+    expect(isinstance(doc.get("epoch"), int) and doc.get("epoch", -1) >= 0,
+           "epoch is not a non-negative integer")
+    expect(isinstance(doc.get("nproc"), int) and doc.get("nproc", 0) >= 1,
+           "nproc is not a positive integer")
+    expect(isinstance(doc.get("backend"), str), "backend is not a string")
+    expect(isinstance(doc.get("sha256"), str), "sha256 is not a string")
+    payload = doc.get("payload")
+    if not isinstance(payload, dict) or \
+            not isinstance(payload.get("constructs"), list):
+        problems.append("payload.constructs is not a list")
+        return problems
+    seen: set[str] = set()
+    for index, entry in enumerate(payload["constructs"]):
+        where = f"constructs[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        name = entry.get("name")
+        expect(isinstance(name, str) and name != "",
+               f"{where} has no name")
+        if name in seen:
+            problems.append(f"{where} duplicates name {name!r}")
+        seen.add(name)
+        kind = entry.get("kind")
+        if kind not in CONSTRUCT_KINDS:
+            problems.append(f"{where} has unknown kind {kind!r}")
+            continue
+        if kind == "array":
+            expect(isinstance(entry.get("dtype"), str),
+                   f"{where} array has no dtype")
+            expect(isinstance(entry.get("shape"), list),
+                   f"{where} array has no shape")
+            expect(isinstance(entry.get("data"), str),
+                   f"{where} array has no data")
+        elif kind == "asyncarray":
+            expect(isinstance(entry.get("cells"), list),
+                   f"{where} asyncarray has no cells")
+        elif kind == "askfor":
+            expect(isinstance(entry.get("items"), list),
+                   f"{where} askfor has no items")
+            for field in ("total_put", "total_got", "max_depth"):
+                expect(isinstance(entry.get(field), int),
+                       f"{where} askfor {field} is not an integer")
+            expect(isinstance(entry.get("done"), bool),
+                   f"{where} askfor done is not a bool")
+        elif kind == "asyncvar":
+            expect(isinstance(entry.get("full"), bool),
+                   f"{where} asyncvar full is not a bool")
+    if not problems and doc["sha256"] != state_digest(doc):
+        problems.append("sha256 does not match the payload "
+                        "(corrupt or tampered snapshot)")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# files
+# ----------------------------------------------------------------------
+def checkpoint_filename(epoch: int) -> str:
+    return f"ckpt-{epoch:08d}.json"
+
+
+def write_checkpoint(directory: str, doc: dict[str, Any]) -> str:
+    """Atomically write ``doc`` under ``directory``; returns the path.
+
+    Write-then-rename keeps a reader (or a crash mid-write) from ever
+    observing a torn snapshot: the file either exists complete or not
+    at all — and a torn rename survivor fails the integrity hash.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, checkpoint_filename(doc["epoch"]))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_checkpoint(path: str) -> dict[str, Any]:
+    """Load one snapshot, verifying schema and integrity hash."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") \
+            from exc
+    problems = validate_checkpoint(doc)
+    if problems:
+        raise CheckpointError(
+            f"{path} is not a valid checkpoint: {problems[0]}")
+    return doc
+
+
+def latest_checkpoint(directory: str) -> str | None:
+    """Path of the newest *valid* snapshot in ``directory`` (or None).
+
+    Corrupt or torn files are skipped, not fatal: recovery falls back
+    to the newest snapshot that still verifies, and to a from-scratch
+    restart when none does.
+    """
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return None
+    epochs: list[tuple[int, str]] = []
+    for name in names:
+        match = _FILENAME.match(name)
+        if match:
+            epochs.append((int(match.group(1)),
+                           os.path.join(directory, name)))
+    for _epoch, path in sorted(epochs, reverse=True):
+        try:
+            load_checkpoint(path)
+        except CheckpointError:
+            continue
+        return path
+    return None

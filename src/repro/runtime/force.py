@@ -37,6 +37,7 @@ naming the dead process and the stranded construct.
 
 from __future__ import annotations
 
+import os
 import sys
 import threading
 from contextlib import contextmanager
@@ -56,7 +57,25 @@ from repro.obsv.metrics import ForceMetrics, MetricsRegistry
 from repro.runtime.askfor import AskforMonitor
 from repro.runtime.asyncvar import AsyncArray, AsyncVariable
 from repro.runtime.barriers import Barrier, make_barrier
-from repro.runtime.cancel import CancelToken, ForceCancelled
+from repro.runtime.cancel import (
+    REVALIDATE_INTERVAL,
+    CancelToken,
+    ForceCancelled,
+)
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    array_entry,
+    askfor_entry,
+    asyncarray_entry,
+    asyncvar_entry,
+    build_checkpoint,
+    counter_entry,
+    decode_array,
+    load_checkpoint,
+    validate_checkpoint,
+    write_checkpoint,
+)
 from repro.runtime.resolve import Resolve
 from repro.runtime.stats import ForceStats, render_stats
 from repro.trace.collector import TraceCollector
@@ -279,15 +298,21 @@ class Force:
                  trace_capacity: int = 65536,
                  inject: FaultPlan | None = None,
                  watchdog_interval: float | None = None,
-                 watchdog_sink: Callable[[str], None] | None = None) -> None:
+                 watchdog_sink: Callable[[str], None] | None = None,
+                 checkpoint: CheckpointPolicy | None = None,
+                 restore: dict | str | None = None,
+                 revalidate_interval: float = REVALIDATE_INTERVAL) -> None:
         if nproc < 1:
             raise ForceError("a force needs at least one process")
         if construct_timeout is not None and construct_timeout <= 0:
             raise ForceError("construct_timeout must be positive")
+        if revalidate_interval <= 0:
+            raise ForceError("revalidate_interval must be positive")
         self.nproc = nproc
         self.backend = backend
         self.timeout = timeout
         self.construct_timeout = construct_timeout
+        self.revalidate_interval = revalidate_interval
         self._barrier_algorithm = barrier_algorithm
         self._stats_enabled = stats
         self._metrics_enabled = metrics
@@ -296,13 +321,23 @@ class Force:
         self._fault_plan = inject
         self._watchdog_interval = watchdog_interval
         self._watchdog_sink = watchdog_sink
+        self._checkpoint = checkpoint
+        if isinstance(restore, str):
+            restore = load_checkpoint(restore)
+        elif restore is not None:
+            problems = validate_checkpoint(restore)
+            if problems:
+                raise CheckpointError(
+                    f"restore document is invalid: {problems[0]}")
+        self._restore_doc = restore
         self._registry_lock = threading.Lock()
         self._local = threading.local()
         self._reset_state()
 
     def _reset_state(self) -> None:
         self._cancel = CancelToken(
-            construct_timeout=self.construct_timeout)
+            construct_timeout=self.construct_timeout,
+            revalidate_interval=self.revalidate_interval)
         self._stats: ForceStats | None = \
             ForceStats(self.nproc) if self._stats_enabled else None
         self._metrics: ForceMetrics | None = \
@@ -323,6 +358,28 @@ class Force:
         self._threads: dict[int, threading.Thread] = {}
         #: me -> site of an (injected) abrupt death, no cleanup done
         self._deaths: dict[int, str] = {}
+        #: completed barrier episodes (counted only while a checkpoint
+        #: policy is armed); a restored run continues the snapshot's
+        #: numbering so every-n scheduling stays aligned across resume
+        self._barrier_epoch = int(self._restore_doc["epoch"]) \
+            if self._restore_doc is not None else 0
+        if self._restore_doc is not None:
+            self._apply_restore()
+
+    def _apply_restore(self) -> None:
+        """Re-materialize the restore snapshot into this run's state.
+
+        Called from :meth:`_reset_state` on the thread backend (the
+        heap registry exists immediately); the process backend defers
+        this until its shared-memory arena is set up.
+        """
+        self._materialize_shared(self._restore_doc)
+        if self._tracer is not None:
+            self._tracer.record(
+                "recover", "checkpoint", "restore",
+                epoch=self._barrier_epoch,
+                snapshot_nproc=int(self._restore_doc["nproc"]),
+                nproc=self.nproc)
 
     # ------------------------------------------------------------------
     # running a program
@@ -470,6 +527,152 @@ class Force:
         raise ForceError(
             "barrier() called outside a force process; pass me explicitly")
 
+    # -- checkpointing at the consistent cut ---------------------------
+    def _episode_hook(self, user_section: Callable[[], None] | None = None
+                      ) -> Callable[[], None] | None:
+        """The single-process body run inside each barrier episode.
+
+        With a checkpoint policy armed, the body counts the episode
+        and — every n-th one — serializes the shared state right
+        there, while every peer is still parked in the episode (the
+        quiescent cut).  Returns None when nothing needs to run, so
+        the plain ``wait`` path stays section-free.
+        """
+        if user_section is None and self._checkpoint is None:
+            return None
+
+        def section() -> None:
+            if user_section is not None:
+                user_section()
+            policy = self._checkpoint
+            if policy is not None:
+                self._barrier_epoch += 1
+                if self._barrier_epoch % policy.every_n_barriers == 0:
+                    self._write_checkpoint(self._barrier_epoch)
+        return section
+
+    def _run_episode(self, me: int, section: Callable[[], None]) -> bool:
+        """Arrive with a section; True iff *this* process ran it.
+
+        ``Barrier.run_section`` implementations disagree on their
+        return value, so releasing is detected through the per-caller
+        closure: the section runs in exactly one process, inside that
+        process's own call frame.
+        """
+        ran: list[bool] = []
+
+        def wrapped() -> None:
+            section()
+            ran.append(True)
+
+        self._barrier.run_section(me, wrapped)
+        return bool(ran)
+
+    def _write_checkpoint(self, epoch: int) -> None:
+        """Serialize shared state (caller is inside the episode)."""
+        doc = build_checkpoint(epoch=epoch, nproc=self.nproc,
+                               backend=self.backend,
+                               constructs=self._capture_shared())
+        path = write_checkpoint(self._checkpoint.dir, doc)
+        nbytes = os.path.getsize(path)
+        if self._tracer is not None:
+            self._tracer.record("checkpoint", os.path.basename(path),
+                                "write", epoch=epoch, bytes=nbytes)
+        if self._metrics is not None:
+            self._metrics.checkpoint_written(nbytes)
+
+    @property
+    def checkpoint_policy(self) -> CheckpointPolicy | None:
+        return self._checkpoint
+
+    @property
+    def barrier_epoch(self) -> int:
+        """Completed barrier episodes (counted while checkpointing)."""
+        return self._barrier_epoch
+
+    def capture_state(self) -> dict[str, Any]:
+        """Snapshot the current shared state as a checkpoint document.
+
+        Meaningful at quiescence only — before :meth:`run`, after it
+        returned, or inside a barrier section.  This is the
+        differential-oracle entry point: two runs whose captured
+        ``sha256`` digests agree have bitwise-identical shared state.
+        """
+        return build_checkpoint(epoch=self._barrier_epoch,
+                                nproc=self.nproc, backend=self.backend,
+                                constructs=self._capture_shared())
+
+    def _capture_shared(self) -> list[dict[str, Any]]:
+        entries: list[dict[str, Any]] = []
+        with self._registry_lock:
+            shared = dict(self._shared)
+        for name, obj in shared.items():
+            if isinstance(obj, SharedCounter):
+                entries.append(counter_entry(name, obj.value))
+            elif isinstance(obj, np.ndarray):
+                entries.append(array_entry(name, obj))
+            elif isinstance(obj, AsyncVariable):
+                entries.append(asyncvar_entry(name, obj._full,
+                                              obj._value))
+            elif isinstance(obj, AsyncArray):
+                entries.append(asyncarray_entry(
+                    name, [(cell._full, cell._value)
+                           for cell in obj._cells]))
+            elif isinstance(obj, AskforMonitor):
+                entries.append(askfor_entry(
+                    name, list(obj._items),
+                    total_put=obj.total_put,
+                    total_got=obj.total_got,
+                    max_depth=obj.max_depth,
+                    done=obj._done))
+            else:
+                raise CheckpointError(
+                    f"shared object {name!r} "
+                    f"({type(obj).__name__}) cannot be checkpointed")
+        return entries
+
+    def _materialize_shared(self, doc: dict[str, Any]) -> None:
+        """Rebuild the heap registry from a snapshot (any nproc)."""
+        for entry in doc["payload"]["constructs"]:
+            name, kind = entry["name"], entry["kind"]
+            obj: Any
+            if kind == "counter":
+                obj = SharedCounter(entry["value"])
+            elif kind == "array":
+                obj = decode_array(entry)
+            elif kind == "asyncvar":
+                obj = AsyncVariable(entry["value"],
+                                    full=entry["full"],
+                                    cancel=self._cancel,
+                                    on_block=self._asyncvar_hook(name),
+                                    tracer=self._tracer,
+                                    injector=self._injector,
+                                    name=name)
+            elif kind == "asyncarray":
+                cells = entry["cells"]
+                obj = AsyncArray(len(cells), cancel=self._cancel,
+                                 on_block=self._asyncvar_hook(name),
+                                 tracer=self._tracer,
+                                 injector=self._injector, name=name)
+                for cell, (full, value) in zip(obj._cells, cells):
+                    cell._full = bool(full)
+                    cell._value = value
+            elif kind == "askfor":
+                obj = AskforMonitor(list(entry["items"]),
+                                    cancel=self._cancel,
+                                    tracer=self._tracer,
+                                    injector=self._injector,
+                                    name=name)
+                obj.total_put = int(entry["total_put"])
+                obj.total_got = int(entry["total_got"])
+                obj.max_depth = int(entry["max_depth"])
+                obj._done = bool(entry["done"])
+            else:   # pragma: no cover - gated by validate_checkpoint
+                raise CheckpointError(
+                    f"unknown construct kind {kind!r}")
+            with self._registry_lock:
+                self._shared[name] = obj
+
     def barrier(self, me: int | None = None) -> None:
         """Wait for the whole force (§3.4).
 
@@ -481,17 +684,20 @@ class Force:
         injector = self._injector
         if injector is not None:
             injector.fire("barrier.entry", "barrier", me)
+        hook = self._episode_hook()
         stats, tracer = self._stats, self._tracer
         metrics = self._metrics
         if stats is None and tracer is None and metrics is None:
-            released = self._barrier.wait(me)
+            released = self._barrier.wait(me) if hook is None \
+                else self._run_episode(me, hook)
             if injector is not None and released:
                 injector.fire("barrier.episode", "barrier", me)
             return
         if tracer is not None:
             tracer.mark_parked("barrier", "barrier")
         started = monotonic()
-        released = self._barrier.wait(me)
+        released = self._barrier.wait(me) if hook is None \
+            else self._run_episode(me, hook)
         waited = monotonic() - started
         if tracer is not None:
             tracer.clear_parked()
@@ -515,10 +721,11 @@ class Force:
         injector = self._injector
         if injector is not None:
             injector.fire("barrier.entry", "barrier", me)
+        hook = self._episode_hook(section)
         stats, tracer = self._stats, self._tracer
         metrics = self._metrics
         if stats is None and tracer is None and metrics is None:
-            self._barrier.run_section(me, section)
+            self._barrier.run_section(me, hook)
             return
 
         def counted() -> None:
@@ -528,7 +735,7 @@ class Force:
                 metrics.barrier_episode()
             if tracer is not None:
                 tracer.record("barrier", "barrier", "episode")
-            section()
+            hook()
 
         if tracer is not None:
             tracer.mark_parked("barrier", "barrier")

@@ -60,8 +60,22 @@ from repro._util.errors import (
     ForceWorkerDied,
 )
 from repro.faults.injector import FaultInjector, InjectedDeath
-from repro.machines.memory import SharedArena
-from repro.runtime.cancel import REVALIDATE_INTERVAL, ForceCancelled
+from repro.machines.memory import SharedArena, sweep_stale_arenas
+from repro.runtime.cancel import (
+    REVALIDATE_CAP_FACTOR,
+    REVALIDATE_GROWTH,
+    ForceCancelled,
+)
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    array_entry,
+    askfor_entry,
+    asyncarray_entry,
+    asyncvar_entry,
+    build_checkpoint,
+    counter_entry,
+    decode_array,
+)
 from repro.runtime.force import Force, ForceProgramError
 from repro.obsv.metrics import ForceMetrics, MetricsRegistry
 from repro.runtime.stats import ForceStats
@@ -588,6 +602,12 @@ class ProcessForce(Force):
         self._merged_injected: list = []
         self._merged_metrics: MetricsRegistry | None = None
         self._merged_dropped = 0
+        #: events recorded parent-side (e.g. the restore instant);
+        #: merged with the workers' streams in _absorb
+        self._parent_events: list[TraceEvent] = []
+        #: final-state snapshot captured just before the arena is
+        #: unlinked (the arena does not outlive run())
+        self._final_state_doc: dict[str, Any] | None = None
         # In the parent, the thread-backend collectors built by
         # super()._reset_state() are placeholders: workers build their
         # own and the parent merges what they ship back.
@@ -609,6 +629,8 @@ class ProcessForce(Force):
         self._poison_v = arena.alloc_view(2)        # [flag, errlen]
         self._error_off = arena.alloc(_ERROR_CAPACITY)
         self._barrier_v = arena.alloc_view(2)       # [count, sense]
+        self._epoch_v = arena.alloc_view(1)         # barrier epoch
+        self._epoch_v[0] = self._barrier_epoch
         self._pids_v = arena.alloc_view(nproc)
         self._shipped_v = arena.alloc_view(1)
         deaths_off = arena.alloc(nproc * _SITE_BYTES)
@@ -683,6 +705,9 @@ class ProcessForce(Force):
             is_construct = True
         else:
             deadline, is_construct = None, False
+        interval = self.revalidate_interval
+        cap = interval * REVALIDATE_CAP_FACTOR
+        next_slice = interval
         while True:
             self._check_poison()
             if predicate():
@@ -692,7 +717,8 @@ class ProcessForce(Force):
                 if error is not None:
                     self._poison_locked(error)
                     raise error
-            slice_ = REVALIDATE_INTERVAL
+            slice_ = next_slice
+            next_slice = min(cap, next_slice * REVALIDATE_GROWTH)
             if deadline is not None:
                 remaining = deadline - monotonic()
                 if remaining <= 0:
@@ -802,6 +828,14 @@ class ProcessForce(Force):
             if bar[0] == self.nproc:
                 if section is not None:
                     section()
+                policy = self._checkpoint
+                if policy is not None:
+                    # Every peer is parked on the bus: the quiescent
+                    # cut.  Count the episode; snapshot every n-th.
+                    self._epoch_v[0] += 1
+                    epoch = int(self._epoch_v[0])
+                    if epoch % policy.every_n_barriers == 0:
+                        self._write_checkpoint(epoch)
                 bar[0] = 0
                 bar[1] = 1 - sense
                 self._bus.notify_all()
@@ -809,6 +843,152 @@ class ProcessForce(Force):
             self._await(lambda: int(bar[1]) != sense, "barrier",
                         hazard=self._barrier_hazard)
             return False
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore (over the arena)
+    # ------------------------------------------------------------------
+    def _apply_restore(self) -> None:
+        """Deferred: the arena does not exist at ``_reset_state`` time.
+
+        :meth:`run` applies the restore right after ``_setup_shared``
+        (pre-fork, so every worker inherits the restored arena).
+        """
+
+    def _apply_restore_arena(self) -> None:
+        self._materialize_shared(self._restore_doc)
+        if self._trace_enabled:
+            self._parent_events.append(TraceEvent(
+                ts=0.0, proc="main", kind="recover",
+                name="checkpoint", op="restore",
+                args={"epoch": self._barrier_epoch,
+                      "snapshot_nproc": int(self._restore_doc["nproc"]),
+                      "nproc": self.nproc}))
+
+    @property
+    def barrier_epoch(self) -> int:
+        if self._arena is not None:
+            return int(self._epoch_v[0])
+        return self._barrier_epoch
+
+    def capture_state(self) -> dict[str, Any]:
+        """Snapshot the arena (live) or the final-state doc (post-run).
+
+        The arena does not outlive :meth:`run`, so after a completed
+        run this returns the snapshot captured just before unlink —
+        available whenever a checkpoint policy was armed.
+        """
+        if self._arena is None:
+            if self._final_state_doc is not None:
+                return self._final_state_doc
+            raise CheckpointError(
+                "no state to capture: the process backend's arena "
+                "exists only inside run() (arm a checkpoint policy "
+                "to keep the final state)")
+        return build_checkpoint(epoch=self.barrier_epoch,
+                                nproc=self.nproc, backend=self.backend,
+                                constructs=self._capture_shared())
+
+    def _capture_shared(self) -> list[dict[str, Any]]:
+        """Serialize every registered arena construct.
+
+        Callers hold the bus or run at quiescence (barrier episode,
+        post-join parent): registry and payloads are stable.
+        """
+        if self._arena is None:
+            raise CheckpointError(
+                "process-backend shared state exists only inside "
+                "run()")
+        arena = self._arena
+        entries: list[dict[str, Any]] = []
+        for key, offset in self._registry_entries(_K_COUNTER):
+            cell = arena.view(offset, 1, np.float64)
+            entries.append(counter_entry(key[2:], cell[0].item()))
+        for key, offset in self._registry_entries(_K_ARRAY):
+            header = arena.view(offset, 6)
+            dtype = np.dtype(_DTYPES[int(header[0])])
+            shape = tuple(int(header[2 + axis])
+                          for axis in range(int(header[1])))
+            count = int(np.prod(shape)) if shape else 1
+            data = arena.view(offset + 6 * 8, count, dtype)
+            entries.append(array_entry(key[2:], data.reshape(shape)))
+        for key, offset in self._registry_entries(_K_ASYNC):
+            full = bool(arena.view(offset, 1)[0])
+            value = arena.view(offset + 8, 1, np.float64)[0].item() \
+                if full else None
+            entries.append(asyncvar_entry(key[2:], full, value))
+        for key, offset in self._registry_entries(_K_ASYNC_ARRAY):
+            size = int(arena.view(offset, 1)[0])
+            cells = []
+            for index in range(size):
+                base = offset + 8 + 16 * index
+                full = bool(arena.view(base, 1)[0])
+                cells.append((full,
+                              arena.view(base + 8, 1,
+                                         np.float64)[0].item()
+                              if full else None))
+            entries.append(asyncarray_entry(key[2:], cells))
+        for key, ctrl_off in self._registry_entries(_K_ASKFOR):
+            ctrl = arena.view(ctrl_off, _AF_CTRL)
+            ring_off = ctrl_off + (_AF_CTRL + self.nproc) * 8
+            ring = arena.view(ring_off, _ASKFOR_RING, np.float64)
+            items = [ring[index % _ASKFOR_RING].item()
+                     for index in range(int(ctrl[_AF_HEAD]),
+                                        int(ctrl[_AF_TAIL]))]
+            entries.append(askfor_entry(
+                key[2:], items,
+                total_put=int(ctrl[_AF_PUT]),
+                total_got=int(ctrl[_AF_GOT]),
+                max_depth=int(ctrl[_AF_DEPTH]),
+                done=bool(ctrl[_AF_DONE])))
+        # Criticals are free and selfsched loops are between uses at
+        # a quiescent cut: nothing of theirs needs snapshotting.
+        return entries
+
+    def _materialize_shared(self, doc: dict[str, Any]) -> None:
+        """Rebuild arena constructs from a snapshot (any nproc).
+
+        Runs parent-side through the public creators, so the registry
+        and allocation order are exactly what a fresh run would build.
+        """
+        for entry in doc["payload"]["constructs"]:
+            name, kind = entry["name"], entry["kind"]
+            try:
+                self._materialize_one(name, kind, entry)
+            except (ForceError, TypeError, ValueError) as exc:
+                raise CheckpointError(
+                    f"cannot restore {kind} {name!r} into the "
+                    f"process backend: {exc}") from exc
+
+    def _materialize_one(self, name: str, kind: str,
+                         entry: dict[str, Any]) -> None:
+        if kind == "counter":
+            self.shared_counter(name, initial=entry["value"])
+        elif kind == "array":
+            array = decode_array(entry)
+            view = self.shared_array(name, array.shape,
+                                     dtype=array.dtype)
+            np.copyto(view, array)
+        elif kind == "asyncvar":
+            var = self.async_var(name)
+            if entry["full"]:
+                var._value[0] = entry["value"]
+                var._flag[0] = 1
+        elif kind == "asyncarray":
+            cells = entry["cells"]
+            shadow = self.async_array(name, len(cells))
+            for cell, (full, value) in zip(shadow._cells, cells):
+                if full:
+                    cell._value[0] = value
+                    cell._flag[0] = 1
+        elif kind == "askfor":
+            pool = self.askfor(name, initial=list(entry["items"]))
+            ctrl = pool._ctrl
+            ctrl[_AF_PUT] = int(entry["total_put"])
+            ctrl[_AF_GOT] = int(entry["total_got"])
+            ctrl[_AF_DEPTH] = int(entry["max_depth"])
+            ctrl[_AF_DONE] = 1 if entry["done"] else 0
+        else:   # pragma: no cover - gated by validate_checkpoint
+            raise CheckpointError(f"unknown construct kind {kind!r}")
 
     def _barrier_hazard(self) -> ForceWorkerDied | None:
         dead = self._dead_workers()
@@ -1072,16 +1252,24 @@ class ProcessForce(Force):
             raise ForceError("AsyncArray size must be positive")
 
         def create() -> int:
-            offset = self._arena.alloc(16 * size)
-            self._arena.view(offset, 2 * size)[:] = 0
+            # Word 0 records the cell count so a checkpoint capture
+            # can walk the cells from the registry offset alone.
+            offset = self._arena.alloc(8 + 16 * size)
+            self._arena.view(offset, 1)[0] = size
+            self._arena.view(offset + 8, 2 * size)[:] = 0
             return offset
 
         offset = self._locate(f"s:{name}", _K_ASYNC_ARRAY, create)
+        stored = int(self._arena.view(offset, 1)[0])
+        if stored != size:
+            raise ForceError(
+                f"async_array '{name}' already exists with "
+                f"{stored} cells, not {size}")
         cells = [
             _ShmAsyncVariable(
                 self, f"{name}[{index}]",
-                self._arena.view(offset + 16 * index, 1),
-                self._arena.view(offset + 16 * index + 8, 1,
+                self._arena.view(offset + 8 + 16 * index, 1),
+                self._arena.view(offset + 8 + 16 * index + 8, 1,
                                  np.float64))
             for index in range(size)
         ]
@@ -1108,7 +1296,12 @@ class ProcessForce(Force):
                 f"and arguments: {exc}") from exc
         self._reset_state()
         ctx = multiprocessing.get_context("fork")
+        # Reclaim arenas orphaned by a killed parent before allocating
+        # a fresh one; the owner-pid guard keeps live forces safe.
+        sweep_stale_arenas()
         self._setup_shared(ctx)
+        if self._restore_doc is not None:
+            self._apply_restore_arena()
         procs = [ctx.Process(target=self._worker,
                              args=(me, program, args),
                              name=f"force-{me}", daemon=True)
@@ -1161,6 +1354,14 @@ class ProcessForce(Force):
                     raise ForceWorkerDied(
                         me, "worker process",
                         detail=f"exit status {proc.exitcode}")
+            # Run completed clean: keep the final state past the
+            # arena's lifetime (the differential oracle compares it).
+            self._barrier_epoch = int(self._epoch_v[0])
+            if self._checkpoint is not None:
+                self._final_state_doc = build_checkpoint(
+                    epoch=self._barrier_epoch, nproc=self.nproc,
+                    backend=self.backend,
+                    constructs=self._capture_shared())
         finally:
             for proc in procs:
                 if proc.is_alive():
@@ -1216,7 +1417,7 @@ class ProcessForce(Force):
                               max_depth=int(ctrl[_AF_DEPTH]))
             self._merged_metrics = facade.registry
         self._merged_dropped = sum(payload[5] for payload in payloads)
-        events: list[TraceEvent] = []
+        events: list[TraceEvent] = list(self._parent_events)
         injected: list = []
         for payload in sorted(payloads, key=lambda p: p[0]):
             event_dicts, records = payload[2], payload[3]

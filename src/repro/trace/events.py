@@ -34,9 +34,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: the construct categories every consumer understands ("fault" marks
-#: events emitted by the deterministic fault injector)
+#: events emitted by the deterministic fault injector; "checkpoint"
+#: and "recover" mark the recovery layer's snapshot writes and
+#: restore-from-snapshot instants)
 KINDS = ("barrier", "critical", "selfsched", "askfor", "asyncvar",
-         "sched", "fault")
+         "sched", "fault", "checkpoint", "recover")
 
 
 @dataclass(frozen=True, slots=True)

@@ -105,3 +105,39 @@ class TestJsonOutput:
             [o["plan"] for o in second["outcomes"]]
         assert [o["program"] for o in first["outcomes"]] == \
             [o["program"] for o in second["outcomes"]]
+
+
+class TestSupervisedChaos:
+    def test_supervised_die_sweep_recovers_bit_identical(self, capsys,
+                                                         tmp_path):
+        code = main(["chaos", "--seed", "77", "--runs", "2",
+                     "--deadline", "12", "--construct-timeout", "3",
+                     "--fault-kinds", "die", "--supervise",
+                     "--min-nproc", "3", "--checkpoints",
+                     str(tmp_path), "--format", "json",
+                     "sum_critical"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["config"]["supervised"] is True
+        assert report["config"]["fault_kinds"] == ["die"]
+        assert report["violations"] == []
+        for outcome in report["outcomes"]:
+            assert outcome["status"] in ("ok", "recovered")
+            assert outcome["state_digest"] == outcome["oracle_digest"]
+            assert outcome["supervision"] is not None
+
+    def test_text_report_names_the_pinned_config(self, capsys):
+        code = main(["chaos", "--seed", "5", "--runs", "1",
+                     "--deadline", "8", "--construct-timeout", "1.5",
+                     "--fault-kinds", "die", "--supervise",
+                     "sections"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "construct-timeout=1.5s" in out
+        assert "supervised" in out
+
+    def test_unknown_fault_kind_is_a_usage_error(self, capsys):
+        code = main(["chaos", "--fault-kinds", "die,meteor",
+                     "sum_critical"])
+        assert code == 2
+        assert "meteor" in capsys.readouterr().err

@@ -1,0 +1,166 @@
+"""The recovery differential oracle: die, resume, compare bit-for-bit.
+
+A supervised chaos sweep is the tentpole's acceptance harness: every
+seeded die-fault run must either finish clean (the plan never fired)
+or *recover* — result oracle passing AND final shared-state digest
+bit-identical to a fault-free run of the same program on the same
+backend.  Anything else (corrupt, hang, unrecovered death) is an
+invariant violation.
+
+Also covered here: the failure-artifact contract (revision + exact
+replay command in every outcome document) and the pinned
+``construct_timeout`` recorded through report and outcome configs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.chaos import (
+    INVARIANT_OK,
+    ChaosOutcome,
+    chaos_sweep,
+    oracle_digest,
+    replay_command,
+    run_supervised,
+    write_failure_artifacts,
+)
+from repro.faults.corpus import CORPUS
+from repro.faults.plan import FaultPlan, FaultSpec, random_plan
+from repro.runtime.supervisor import RetryPolicy
+
+DEADLINE = 12.0
+CONSTRUCT_TIMEOUT = 3.0
+
+
+class TestSupervisedSweep:
+    def test_die_sweep_recovers_bit_identical(self):
+        # One run per corpus program plus change; kinds pinned to
+        # "die" so every fired plan exercises death recovery.
+        report = chaos_sweep(
+            seed=77, runs=8, nproc=4, min_nproc=3,
+            deadline=DEADLINE, construct_timeout=CONSTRUCT_TIMEOUT,
+            fault_kinds=("die",), supervise=True, retries=3)
+        assert report.violations == [], \
+            "\n".join(o.describe() for o in report.violations)
+        fired = [o for o in report.outcomes if o.injected]
+        recovered = [o for o in fired if o.status == "recovered"]
+        assert fired, "no plan fired; the sweep proved nothing"
+        assert len(recovered) / len(fired) >= 0.9
+        # the differential oracle itself: every completed run's final
+        # state hashes equal to the fault-free reference
+        for outcome in report.outcomes:
+            assert outcome.status in ("ok", "recovered")
+            assert outcome.state_digest == outcome.oracle_digest != ""
+
+    def test_supervised_report_carries_the_pinned_config(self):
+        report = chaos_sweep(
+            seed=5, runs=1, nproc=3, deadline=DEADLINE,
+            construct_timeout=1.25, fault_kinds=("die",),
+            supervise=True, min_nproc=2)
+        assert report.construct_timeout == 1.25
+        assert report.config["construct_timeout"] == 1.25
+        assert report.config["supervised"] is True
+        assert report.config["fault_kinds"] == ["die"]
+        outcome = report.outcomes[0]
+        assert outcome.config["construct_timeout"] == 1.25
+        assert outcome.as_dict()["config"]["supervised"] is True
+
+    def test_checkpoint_root_keeps_snapshots_per_run(self, tmp_path):
+        report = chaos_sweep(
+            seed=101, runs=2, nproc=4, min_nproc=3,
+            programs=["sum_critical"],
+            deadline=DEADLINE, construct_timeout=CONSTRUCT_TIMEOUT,
+            fault_kinds=("die",), supervise=True,
+            checkpoint_root=str(tmp_path))
+        assert report.violations == []
+        roots = sorted(os.listdir(tmp_path))
+        assert roots == ["sum_critical-seed101", "sum_critical-seed102"]
+
+
+class TestElasticRecovery:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_degraded_restart_matches_the_oracle(self, backend,
+                                                 tmp_path):
+        # die on the very first critical acquisition; degrade_after=1
+        # forces the retry down to three workers — the recovered state
+        # must still hash equal to the full-width fault-free run.
+        entry = CORPUS["sum_critical"]
+        plan = FaultPlan(seed=3, faults=(
+            FaultSpec(kind="die", site="critical.acquire",
+                      occurrence=2),))
+        outcome, _force = run_supervised(
+            entry, plan, nproc=4, min_nproc=3,
+            deadline=DEADLINE, construct_timeout=CONSTRUCT_TIMEOUT,
+            backend=backend, checkpoint_dir=str(tmp_path),
+            retry=RetryPolicy(retries=2, degrade_after=1,
+                              base_delay=0.0, max_delay=0.0, seed=3))
+        assert outcome.status == "recovered", outcome.describe()
+        assert outcome.supervision["degraded_restarts"] >= 1
+        assert outcome.supervision["final_nproc"] == 3
+        assert outcome.state_digest == outcome.oracle_digest
+
+    def test_unfired_plan_is_plain_ok(self, tmp_path):
+        entry = CORPUS["sections"]
+        plan = FaultPlan(seed=1, faults=(
+            FaultSpec(kind="die", site="critical.acquire",
+                      name="no_such_lock"),))
+        outcome, _force = run_supervised(
+            entry, plan, nproc=3, deadline=DEADLINE,
+            construct_timeout=CONSTRUCT_TIMEOUT,
+            checkpoint_dir=str(tmp_path),
+            retry=RetryPolicy(retries=1, base_delay=0.0,
+                              max_delay=0.0))
+        assert outcome.status == "ok"
+        assert outcome.supervision["retries"] == 0
+
+
+class TestArtifacts:
+    def _outcome(self):
+        entry = CORPUS["sum_critical"]
+        plan = random_plan(9, nproc=4, max_faults=2, kinds=("die",))
+        return ChaosOutcome(
+            program=entry.name, seed=9, status="corrupt", elapsed=0.1,
+            error="wrong answer", plan=plan,
+            config={"nproc": 4, "deadline": 6.0,
+                    "construct_timeout": 1.5,
+                    "barrier_algorithm": "central-counter",
+                    "backend": "process", "supervised": True,
+                    "min_nproc": 2, "retries": 3,
+                    "fault_kinds": ["die"], "max_faults": 2})
+
+    def test_replay_command_is_exact(self):
+        assert replay_command(self._outcome()) == (
+            "force chaos --seed 9 --runs 1 --nproc 4 --deadline 6 "
+            "--construct-timeout 1.5 --barrier central-counter "
+            "--backend process --max-faults 2 --fault-kinds die "
+            "--supervise --min-nproc 2 --retries 3 sum_critical")
+
+    def test_artifacts_carry_revision_and_replay(self, tmp_path):
+        outcome = self._outcome()
+        written = write_failure_artifacts(str(tmp_path), outcome, None)
+        outcome_path = [p for p in written
+                        if p.endswith(".outcome.json")][0]
+        document = json.loads(open(outcome_path).read())
+        assert "git_revision" in document     # str or null, never absent
+        assert document["git_revision"] is None \
+            or isinstance(document["git_revision"], str)
+        assert document["replay"] == replay_command(outcome)
+        assert document["config"]["construct_timeout"] == 1.5
+        plan_path = [p for p in written if p.endswith(".plan.json")][0]
+        assert json.loads(open(plan_path).read())["seed"] == 9
+
+    def test_recovered_is_an_invariant_keeping_status(self):
+        assert "recovered" in INVARIANT_OK
+
+
+class TestOracleDigest:
+    def test_oracle_is_deterministic_per_backend(self):
+        entry = CORPUS["jacobi"]
+        kwargs = dict(nproc=4, deadline=DEADLINE,
+                      construct_timeout=CONSTRUCT_TIMEOUT,
+                      barrier_algorithm="central-counter",
+                      backend="thread")
+        assert oracle_digest(entry, **kwargs) \
+            == oracle_digest(entry, **kwargs)

@@ -9,6 +9,7 @@ clean afterwards.
 
 import glob
 import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -16,7 +17,9 @@ import pytest
 from repro._util.errors import MachineError
 from repro.machines.memory import (
     ARENA_HEADER_BYTES,
+    ARENA_OWNER_SLOT,
     SharedArena,
+    sweep_stale_arenas,
 )
 
 
@@ -126,3 +129,69 @@ class TestLifecycle:
         arena.close()
         arena.unlink()
         arena.unlink()              # FileNotFoundError swallowed
+
+
+def _orphan_arena(conn):
+    """Create an arena and die without any cleanup (a killed parent).
+
+    A Pipe (not a Queue) ships the name out: ``send`` writes the fd
+    synchronously, so the abrupt ``os._exit`` cannot swallow it.
+    """
+    arena = SharedArena(size=1 << 16)
+    conn.send(arena.name)
+    os._exit(0)                     # no close, no unlink, no atexit
+
+
+def _spawn_orphan():
+    ctx = multiprocessing.get_context("fork")
+    ours, theirs = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=_orphan_arena, args=(theirs,))
+    proc.start()
+    theirs.close()
+    assert ours.poll(10), "orphan child never reported its arena"
+    orphan = ours.recv()
+    proc.join(10)
+    ours.close()
+    return orphan
+
+
+class TestStaleSweep:
+    def test_creator_stamps_its_pid_into_the_header(self):
+        with SharedArena(size=1 << 16) as arena:
+            header = arena.view(0, ARENA_OWNER_SLOT + 1)
+            assert int(header[ARENA_OWNER_SLOT]) == os.getpid()
+
+    def test_sweep_reclaims_a_dead_owners_segment(self):
+        orphan = _spawn_orphan()
+        assert f"/dev/shm/{orphan}" in _segments(), \
+            "the orphan should have leaked (that is the scenario)"
+
+        with SharedArena(size=1 << 16) as live:
+            removed = sweep_stale_arenas()
+            assert orphan in removed
+            assert f"/dev/shm/{orphan}" not in _segments()
+            # a segment whose owner is alive is never touched
+            assert live.name not in removed
+            assert f"/dev/shm/{live.name}" in _segments()
+
+    def test_process_backend_run_starts_from_a_clean_shm(self):
+        # The runtime hook: a leaked segment from a killed run is
+        # swept before the next ProcessForce allocates its arena.
+        from repro.runtime import Force
+        orphan = _spawn_orphan()
+
+        force = Force(2, backend="process", timeout=30.0)
+        force.run(_touch_shared)
+        assert f"/dev/shm/{orphan}" not in _segments()
+        assert _segments() == set()     # and the run's own is gone too
+
+    def test_sweep_of_an_empty_directory_is_quiet(self, tmp_path):
+        assert sweep_stale_arenas(shm_dir=str(tmp_path)) == []
+        assert sweep_stale_arenas(shm_dir=str(tmp_path / "no")) == []
+
+
+def _touch_shared(force, me):
+    counter = force.shared_counter("touched")
+    with force.critical("bump"):
+        counter.value += 1
+    force.barrier()

@@ -508,3 +508,66 @@ class TestTraceBufferDrops:
         captured = capsys.readouterr()
         assert json.loads(captured.out)["dropped_events"] == 0
         assert "dropped" not in captured.err
+
+
+class TestSupervisedRunFlags:
+    """`force run --checkpoint/--resume/--retries/--min-nproc`."""
+
+    @pytest.fixture()
+    def example(self):
+        import os
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        return os.path.join(root, "examples", "sum_critical.frc")
+
+    def test_sim_backend_refuses_supervision(self, source_file, capsys):
+        assert main(["run", source_file, "--retries", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "supervision" in err and "native backends" in err
+
+    def test_checkpoint_needs_the_process_backend(self, example,
+                                                  tmp_path, capsys):
+        assert main(["run", example, "--backend", "thread",
+                     "--checkpoint", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "process" in err and "COMMON" in err
+
+    def test_resume_needs_a_checkpoint_dir(self, example, capsys):
+        assert main(["run", example, "--backend", "process",
+                     "--resume"]) == 1
+        assert "--resume needs --checkpoint" in capsys.readouterr().err
+
+    def test_min_nproc_needs_supervision(self, example, capsys):
+        assert main(["run", example, "--backend", "thread",
+                     "--min-nproc", "2"]) == 1
+        assert "--min-nproc needs --retries" in capsys.readouterr().err
+
+    def test_negative_retries_is_a_usage_error(self, example, capsys):
+        assert main(["run", example, "--backend", "thread",
+                     "--retries", "-1"]) == 2
+        assert "force run: error:" in capsys.readouterr().err
+
+    def test_checkpointed_process_run_writes_snapshots(self, example,
+                                                       tmp_path,
+                                                       capsys):
+        import json
+        import os
+        ckpt = tmp_path / "snaps"
+        assert main(["run", example, "--backend", "process",
+                     "--nproc", "2", "--checkpoint", str(ckpt),
+                     "--retries", "1", "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert "TOTAL 1275" in "".join(document["output"])
+        assert document["supervision"]["retries"] == 0
+        assert any(name.startswith("ckpt-")
+                   for name in os.listdir(ckpt))
+
+    def test_retries_alone_supervise_the_thread_backend(self, example,
+                                                        capsys):
+        import json
+        assert main(["run", example, "--backend", "thread",
+                     "--nproc", "2", "--retries", "2",
+                     "--format", "json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["supervision"]["ok"] is True
+        assert document["supervision"]["final_nproc"] == 2

@@ -237,3 +237,74 @@ class TestCancelToken:
         token.cancel(ValueError("x"))
         with pytest.raises(ForceCancelled):
             token.wait_event(event)
+
+
+class TestRevalidateBackoff:
+    """Long parks back off: slices double up to a bounded cap.
+
+    The regression this pins: an idle waiter used to wake a fixed 20
+    times a second forever.  Slices must start at the configured
+    ``revalidate_interval``, double per consecutive slice of one park
+    (``REVALIDATE_GROWTH``) and stop growing at
+    ``REVALIDATE_CAP_FACTOR`` times the interval — bounded wakeup rate,
+    bounded detection latency, both asserted exactly.
+    """
+
+    class _Recording(threading.Condition):
+        def __init__(self):
+            super().__init__()
+            self.slices = []
+
+        def wait(self, timeout=None):
+            self.slices.append(timeout)
+            return False
+
+    def _park(self, token, rounds):
+        condition = self._Recording()
+        token.register(condition)
+        seen = []
+
+        def predicate():
+            seen.append(1)
+            return len(seen) > rounds
+
+        with condition:
+            assert token.wait_for(condition, predicate)
+        return condition.slices
+
+    def test_slices_double_then_cap(self):
+        from repro.runtime.cancel import (
+            REVALIDATE_CAP_FACTOR,
+            REVALIDATE_GROWTH,
+        )
+        assert REVALIDATE_GROWTH == 2.0
+        assert REVALIDATE_CAP_FACTOR == 8.0
+        slices = self._park(CancelToken(revalidate_interval=0.01), 7)
+        assert slices == pytest.approx(
+            [0.01, 0.02, 0.04, 0.08, 0.08, 0.08, 0.08])
+
+    def test_each_park_restarts_the_backoff(self):
+        token = CancelToken(revalidate_interval=0.01)
+        first = self._park(token, 5)
+        second = self._park(token, 5)
+        assert first == second          # no state leaks across parks
+        assert second[0] == pytest.approx(0.01)
+
+    def test_explicit_timeouts_clamp_the_slice(self):
+        token = CancelToken(revalidate_interval=0.05)
+        condition = self._Recording()
+        token.register(condition)
+        with condition:
+            assert not token.wait_for(condition, lambda: False,
+                                      timeout=0.02)
+        assert all(s <= 0.02 + 1e-9 for s in condition.slices if s)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ForceError):
+            CancelToken(revalidate_interval=0.0)
+        with pytest.raises(ForceError):
+            Force(2, revalidate_interval=-1.0)
+
+    def test_force_plumbs_the_knob_to_its_token(self):
+        force = Force(2, revalidate_interval=0.125)
+        assert force.revalidate_interval == 0.125

@@ -1,0 +1,215 @@
+"""Barrier-epoch checkpointing: documents, files, elastic restore.
+
+The contract under test (see :mod:`repro.runtime.checkpoint`):
+snapshots are versioned and integrity-hashed; corrupt files are
+skipped, never fatal; and because a snapshot is taken at the barrier's
+consistent cut — where no write is in flight and no process is named —
+it re-materializes under an *arbitrary* worker count and the resumed
+run finishes bit-identical to an uninterrupted one.
+
+The corpus programs of :mod:`repro.faults.corpus` double as the
+recovery corpus here: they follow the recoverable-program contract
+(progress in shared constructs, phases idempotent from their opening
+cut), so restoring any snapshot and re-running from the top must
+reproduce the exact fault-free final state.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.faults.corpus import CORPUS
+from repro.runtime import Force
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointPolicy,
+    array_entry,
+    build_checkpoint,
+    checkpoint_filename,
+    counter_entry,
+    decode_array,
+    latest_checkpoint,
+    load_checkpoint,
+    state_digest,
+    validate_checkpoint,
+    write_checkpoint,
+)
+
+np = pytest.importorskip("numpy")
+
+JOIN_TIMEOUT = 30.0
+
+
+def _force(nproc, backend="thread", **kwargs):
+    kwargs.setdefault("timeout", JOIN_TIMEOUT)
+    kwargs.setdefault("construct_timeout", 10.0)
+    return Force(nproc, backend=backend, **kwargs)
+
+
+def _doc(constructs=None, epoch=1, nproc=4):
+    return build_checkpoint(epoch=epoch, nproc=nproc, backend="thread",
+                            constructs=constructs
+                            or [counter_entry("total", 7)])
+
+
+class TestDocument:
+    def test_arrays_round_trip_bit_identical(self):
+        array = np.array([0.1, -0.0, 1e-300, np.pi, -7.5])
+        entry = array_entry("u", array)
+        restored = decode_array(entry)
+        assert restored.dtype == array.dtype
+        assert restored.tobytes() == array.tobytes()   # bit-for-bit
+
+    def test_valid_document_validates_clean(self):
+        assert validate_checkpoint(_doc()) == []
+
+    def test_tampered_payload_fails_the_hash(self):
+        doc = _doc()
+        doc["payload"]["constructs"][0]["value"] = 8
+        problems = validate_checkpoint(doc)
+        assert any("sha256" in p for p in problems)
+
+    def test_schema_and_shape_problems_are_reported(self):
+        doc = _doc()
+        doc["schema"] = 99
+        assert any("schema" in p for p in validate_checkpoint(doc))
+        doc = _doc([counter_entry("x", 1), counter_entry("x", 2)])
+        assert any("duplicates" in p for p in validate_checkpoint(doc))
+        doc = _doc()
+        doc["payload"]["constructs"][0]["kind"] = "mystery"
+        assert any("unknown kind" in p for p in validate_checkpoint(doc))
+        assert validate_checkpoint("not a dict") \
+            == ["checkpoint is not an object"]
+
+    def test_digest_covers_state_not_provenance(self):
+        # Same constructs captured at a different epoch under a
+        # different nproc: same digest (the differential comparator).
+        one = _doc(epoch=3, nproc=2)
+        two = _doc(epoch=9, nproc=5)
+        assert state_digest(one) == state_digest(two)
+        assert state_digest(one) != state_digest(
+            _doc([counter_entry("total", 8)]))
+
+
+class TestFiles:
+    def test_write_then_load_round_trips(self, tmp_path):
+        doc = _doc(epoch=7)
+        path = write_checkpoint(str(tmp_path), doc)
+        assert os.path.basename(path) == checkpoint_filename(7)
+        assert load_checkpoint(path) == doc
+
+    def test_load_rejects_corruption(self, tmp_path):
+        path = write_checkpoint(str(tmp_path), _doc())
+        text = open(path).read().replace('"value": 7', '"value": 9')
+        open(path, "w").write(text)
+        with pytest.raises(CheckpointError, match="sha256"):
+            load_checkpoint(path)
+
+    def test_latest_skips_a_corrupt_newest(self, tmp_path):
+        older = write_checkpoint(str(tmp_path), _doc(epoch=1))
+        newest = write_checkpoint(str(tmp_path), _doc(epoch=2))
+        open(newest, "w").write("{torn")
+        assert latest_checkpoint(str(tmp_path)) == older
+        open(older, "w").write("also torn")
+        assert latest_checkpoint(str(tmp_path)) is None
+
+    def test_latest_of_a_missing_directory_is_none(self, tmp_path):
+        assert latest_checkpoint(str(tmp_path / "nowhere")) is None
+
+
+class TestNativeCheckpointing:
+    def test_every_barrier_episode_writes_a_valid_snapshot(
+            self, tmp_path):
+        entry = CORPUS["sum_critical"]
+        force = _force(3, checkpoint=CheckpointPolicy(1, str(tmp_path)))
+        force.run(entry.program)
+        entry.check(force)
+        names = sorted(os.listdir(tmp_path))
+        assert names, "no snapshots written"
+        for name in names:
+            doc = load_checkpoint(str(tmp_path / name))
+            assert doc["nproc"] == 3
+
+    def test_every_n_thins_the_snapshot_stream(self, tmp_path):
+        entry = CORPUS["jacobi"]
+        force = _force(3, checkpoint=CheckpointPolicy(3, str(tmp_path)))
+        force.run(entry.program)
+        epochs = [load_checkpoint(str(tmp_path / name))["epoch"]
+                  for name in sorted(os.listdir(tmp_path))]
+        assert epochs and all(epoch % 3 == 0 for epoch in epochs)
+
+    def test_restore_resumes_to_the_fault_free_state(self, tmp_path):
+        entry = CORPUS["jacobi"]
+        reference = _force(4)
+        reference.run(entry.program)
+        oracle = state_digest(reference.capture_state())
+
+        checkpointed = _force(4, checkpoint=CheckpointPolicy(
+            1, str(tmp_path)))
+        checkpointed.run(entry.program)
+        snapshots = sorted(os.listdir(tmp_path))
+        # resume from a mid-run cut, not the final one
+        middle = str(tmp_path / snapshots[len(snapshots) // 2])
+        resumed = _force(4, restore=middle)
+        resumed.run(entry.program)
+        entry.check(resumed)
+        assert state_digest(resumed.capture_state()) == oracle
+
+    @pytest.mark.parametrize("width", [1, 2, 5])
+    def test_restore_is_nproc_independent(self, width, tmp_path):
+        # A snapshot from a 4-wide run resumes under any width and
+        # still lands on the fault-free answer, bit-for-bit.
+        entry = CORPUS["sum_critical"]
+        reference = _force(4)
+        reference.run(entry.program)
+        oracle = state_digest(reference.capture_state())
+
+        checkpointed = _force(4, checkpoint=CheckpointPolicy(
+            1, str(tmp_path)))
+        checkpointed.run(entry.program)
+        middle = str(tmp_path / sorted(os.listdir(tmp_path))[0])
+        resumed = _force(width, restore=middle)
+        resumed.run(entry.program)
+        entry.check(resumed)
+        assert state_digest(resumed.capture_state()) == oracle
+
+    def test_restored_run_continues_the_epoch_count(self, tmp_path):
+        entry = CORPUS["sum_critical"]
+        first = _force(3, checkpoint=CheckpointPolicy(1, str(tmp_path)))
+        first.run(entry.program)
+        newest = latest_checkpoint(str(tmp_path))
+        resumed = _force(3, restore=newest,
+                         checkpoint=CheckpointPolicy(1, str(tmp_path)))
+        resumed.run(entry.program)
+        top = load_checkpoint(latest_checkpoint(str(tmp_path)))
+        assert top["epoch"] >= load_checkpoint(newest)["epoch"]
+
+    def test_restore_rejects_an_invalid_document(self):
+        with pytest.raises(CheckpointError, match="invalid"):
+            _force(2, restore={"schema": 0})
+
+    def test_policy_validation(self):
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(0, "/tmp/x")
+        with pytest.raises(CheckpointError):
+            CheckpointPolicy(1, "")
+
+
+class TestProcessCheckpointing:
+    def test_process_backend_round_trips_bit_identical(self, tmp_path):
+        entry = CORPUS["sum_critical"]
+        first = _force(3, backend="process",
+                       checkpoint=CheckpointPolicy(1, str(tmp_path)))
+        first.run(entry.program)
+        oracle = state_digest(first.capture_state())
+        newest = latest_checkpoint(str(tmp_path))
+        assert newest is not None
+
+        resume_dir = tmp_path / "resumed"
+        resumed = _force(2, backend="process", restore=newest,
+                         checkpoint=CheckpointPolicy(1, str(resume_dir)))
+        resumed.run(entry.program)
+        assert state_digest(resumed.capture_state()) == oracle
+        # post-run reads go through a restore view (the arena is gone)
+        entry.check(Force(2, restore=resumed.capture_state()))

@@ -1,0 +1,44 @@
+"""The overhead guard: checkpointing must be near-free when off.
+
+Same paired-rounds protocol as the observability guard
+(``tests/obsv/test_overhead.py``): each round times a bare run and an
+instrumented run back-to-back, and the *minimum* ratio across rounds
+is asserted — host noise only inflates a round's ratio, so the minimum
+converges onto the true overhead from above.
+
+The instrumented run arms a checkpoint policy at an interval the run
+never reaches.  That is a strict upper bound on the checkpoint-off
+cost (a ``None`` policy skips even the per-episode counting the armed
+hook does), so bounding it below 2% bounds the off cost too.  The
+cost of actually *writing* snapshots is deliberately not bounded
+here — it is measured honestly by ``bench_checkpoint_overhead``.
+"""
+
+import time
+
+from repro.bench import _paired_overhead, _wall_jacobi
+from repro.runtime import Force
+from repro.runtime.checkpoint import CheckpointPolicy
+
+ROUNDS = 5
+MAX_RATIO = 1.02
+N, SWEEPS = 96, 8
+
+
+def _timed_run(checkpoint=None):
+    def timed() -> float:
+        force = Force(2, timeout=120, checkpoint=checkpoint)
+        start = time.perf_counter()
+        force.run(_wall_jacobi, N, SWEEPS)
+        return time.perf_counter() - start
+    return timed
+
+
+class TestCheckpointOverheadGuard:
+    def test_armed_idle_hook_under_two_percent(self, tmp_path):
+        bare = _timed_run()
+        bare()                          # warm caches
+        idle = _timed_run(CheckpointPolicy(10 ** 9, str(tmp_path)))
+        ratios = _paired_overhead(bare, idle, ROUNDS)
+        assert ratios["min_ratio"] < MAX_RATIO, ratios
+        assert list(tmp_path.iterdir()) == []   # truly never fired

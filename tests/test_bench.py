@@ -122,6 +122,11 @@ class TestWallSpeedup:
                  "data": {"sim_trace": {"min_ratio": 1.0},
                           "native_metrics": {"min_ratio": 1.01},
                           "native_trace": {"min_ratio": 1.02}}},
+                {"name": "bench_checkpoint_overhead",
+                 "data": {"idle": {"min_ratio": 0.99},
+                          "every_barrier": {"min_ratio": 9.5},
+                          "snapshot_bytes": 196971,
+                          "snapshots_per_run": 17}},
                 {"name": "bench_tune_quality",
                  "data": {"recommended": "blocked",
                           "measured_best": "blocked",
@@ -133,6 +138,8 @@ class TestWallSpeedup:
         assert "0.80x" in text
         assert "1 CPU(s)" in text
         assert "3/4 corpus DOALLs proven race-free" in text
+        assert "checkpoint overhead: idle 0.99x" in text
+        assert "196971 B/snapshot" in text
         assert "trace overhead" in text
         assert "recommended blocked" in text
         assert "agree" in text
