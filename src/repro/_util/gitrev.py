@@ -1,0 +1,42 @@
+"""Shared git-revision stamping.
+
+Facts documents and benchmark results both record the revision they
+were produced at so consumers can detect staleness: ``force run
+--facts`` refuses a facts file whose ``git_revision`` no longer
+matches the checkout (the race verdicts were computed for different
+source), and BENCH_results.json entries are comparable only within a
+revision.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+
+def git_revision(root: Path | None = None, *,
+                 warn: bool = True) -> str | None:
+    """The current short git revision, or None (optionally warning).
+
+    ``root`` defaults to the checkout this package lives in — running
+    from an unrelated directory must not stamp that directory's
+    revision.  When ``git rev-parse`` is unavailable or fails
+    (tarball install, missing git, corrupt checkout), the result
+    degrades to ``None`` instead of crashing.
+    """
+    if root is None:
+        root = Path(__file__).resolve().parents[2]
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=root, capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        if warn:
+            print(f"warning: cannot stamp git revision ({exc})")
+        return None
+    if proc.returncode != 0:
+        if warn:
+            print("warning: cannot stamp git revision "
+                  f"(git rev-parse failed: {proc.stderr.strip()})")
+        return None
+    return proc.stdout.strip() or None

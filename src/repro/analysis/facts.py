@@ -80,10 +80,18 @@ def build_file_facts(filename: str, summary: ProgramSummary,
 
 
 def build_facts(per_file: list[tuple[str, ProgramSummary]]) -> dict:
-    """The whole ``--facts`` document for one ``force check`` run."""
+    """The whole ``--facts`` document for one ``force check`` run.
+
+    The document is stamped with the checkout's git revision so
+    consumers (``force run --facts``) can refuse stale verdicts —
+    race-freedom proven against different source must not gate kernel
+    lowering.  ``git_revision`` is ``None`` outside a git checkout.
+    """
+    from repro._util.gitrev import git_revision
     return {
         "version": FACTS_VERSION,
         "generator": "force check",
+        "git_revision": git_revision(warn=False),
         "files": [build_file_facts(filename, summary)
                   for filename, summary in per_file],
     }

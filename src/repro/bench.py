@@ -128,56 +128,166 @@ def merge_results(path: Path, entries: list[dict[str, Any]]) -> None:
 
 # -- the pinned suite --------------------------------------------------
 
-def _count_statements(gen) -> int:
-    """Drive an interpreter generator to completion, counting the
-    per-statement cost events (identical for both execution layers)."""
+def _count_events(gen) -> tuple[int, int]:
+    """Drive an interpreter generator to completion; return the
+    (statements, cycles) totals of its cost events.  Every tier must
+    agree on both even though the codegen tier batches straight-line
+    runs and vectorized kernels into aggregate events."""
     from repro.fortran.interp import Cost, StopSignal
     statements = 0
+    cycles = 0
     try:
         for event in gen:
             if isinstance(event, Cost):
-                statements += 1
+                statements += event.statements
+                cycles += event.cycles
     except StopSignal:
         pass
-    return statements
+    return statements, cycles
 
 
-def _run_kernel(source: str, compiled: bool) -> tuple[int, float, str]:
-    """(statements executed, seconds, program output) for one layer."""
+def _jacobi_facts() -> dict[str, Any]:
+    """A minimal facts document proving both inner Jacobi sweeps
+    race-free, so the codegen tier may vectorize them.  Hand-written
+    (not ``force check`` output) because the benchmark kernel is the
+    already-expanded Fortran, and correct by inspection: disjoint
+    element writes, and the benchmark runs single-process anyway."""
+    return {"version": 1, "generator": "force bench", "files": [{
+        "doalls": [
+            {"routine": "JACOBI", "label": 10, "race_free": True},
+            {"routine": "JACOBI", "label": 20, "race_free": True},
+        ],
+    }]}
+
+
+def _run_kernel(source: str, tier: str,
+                facts: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Warm steady-state measurement of one execution tier.
+
+    The first (untimed) run pays one-time costs — source generation,
+    ``compile()``, closure building — so the timed second run measures
+    what a long simulation's hot loop actually sees.  The cold wall
+    time is recorded separately for transparency.
+    """
     from repro.fortran.interp import Interpreter
     from repro.fortran.parser import parse_source
     program = parse_source(source)
     lines: list[str] = []
-    interp = Interpreter(program, compiled=compiled,
+    interp = Interpreter(program, compiled=tier != "interp",
+                         codegen=tier, facts=facts,
                          on_output=lambda text, frame: lines.append(text))
     unit = program.unit("JACOBI")
     start = time.perf_counter()
-    statements = _count_statements(interp.run_unit(unit, []))
+    _count_events(interp.run_unit(unit, []))
+    cold_s = time.perf_counter() - start
+    lines.clear()
+    start = time.perf_counter()
+    statements, cycles = _count_events(interp.run_unit(unit, []))
     elapsed = time.perf_counter() - start
-    return statements, elapsed, "\n".join(lines)
+    return {
+        "statements": statements,
+        "cycles": cycles,
+        "seconds": elapsed,
+        "cold_seconds": cold_s,
+        "output": "\n".join(lines),
+        "kernelized": dict(interp.codegen_kernelized),
+        "fallbacks": dict(interp.compile_fallbacks),
+    }
+
+
+def _assert_tiers_agree(runs: dict[str, dict[str, Any]]) -> None:
+    """Every tier must be bit-identical on output and cost totals."""
+    baseline = runs["interp"]
+    for tier, run in runs.items():
+        if (run["statements"], run["cycles"], run["output"]) != \
+                (baseline["statements"], baseline["cycles"],
+                 baseline["output"]):
+            raise AssertionError(
+                f"{tier} tier diverged from the tree-walker on the "
+                f"Jacobi kernel: {run['statements']}/{run['cycles']}/"
+                f"{run['output']!r} vs {baseline['statements']}/"
+                f"{baseline['cycles']}/{baseline['output']!r}")
 
 
 def bench_jacobi_throughput(quick: bool) -> dict[str, Any]:
-    """Statement throughput: tree-walker vs compiled layer."""
+    """Statement throughput: tree-walker vs the codegen tier.
+
+    The facts document proves the two inner sweeps race-free, so the
+    generated code lowers them to numpy slice kernels; the benchmark
+    asserts that actually happened (kernelized DOALLs > 0, no
+    fallbacks) — a silent fallback would record an honest but
+    uninteresting number and mask a regression.
+    """
     sweeps = 80 if quick else 400
     source = JACOBI_KERNEL.format(sweeps=sweeps)
-    tree_stmts, tree_s, tree_out = _run_kernel(source, compiled=False)
-    comp_stmts, comp_s, comp_out = _run_kernel(source, compiled=True)
-    if tree_stmts != comp_stmts or tree_out != comp_out:
+    tree = _run_kernel(source, "interp")
+    comp = _run_kernel(source, "source", facts=_jacobi_facts())
+    _assert_tiers_agree({"interp": tree, "source": comp})
+    if comp["fallbacks"]:
         raise AssertionError(
-            "compiled layer diverged from the tree-walker on the "
-            f"Jacobi kernel: {tree_stmts}/{tree_out!r} vs "
-            f"{comp_stmts}/{comp_out!r}")
-    speedup = (tree_s / comp_s) if comp_s else float("inf")
+            f"codegen tier fell back on the Jacobi kernel: "
+            f"{comp['fallbacks']}")
+    kernelized = sum(len(labels)
+                     for labels in comp["kernelized"].values())
+    if not kernelized:
+        raise AssertionError(
+            "codegen tier lowered no Jacobi DOALLs to numpy kernels")
+    speedup = (tree["seconds"] / comp["seconds"]) \
+        if comp["seconds"] else float("inf")
     return {
         "params": {"sweeps": sweeps, "points": 66},
-        "wall_s": comp_s,
+        "wall_s": comp["seconds"],
         "data": {
-            "statements": comp_stmts,
-            "tree_stmt_per_s": round(tree_stmts / tree_s) if tree_s else 0,
-            "compiled_stmt_per_s":
-                round(comp_stmts / comp_s) if comp_s else 0,
+            "statements": comp["statements"],
+            "tree_stmt_per_s": round(tree["statements"]
+                                     / tree["seconds"])
+            if tree["seconds"] else 0,
+            "compiled_stmt_per_s": round(comp["statements"]
+                                         / comp["seconds"])
+            if comp["seconds"] else 0,
             "speedup": round(speedup, 2),
+            "kernelized_doalls": kernelized,
+            "codegen_cold_s": round(comp["cold_seconds"], 4),
+        },
+    }
+
+
+def bench_codegen_throughput(quick: bool) -> dict[str, Any]:
+    """Per-tier statement throughput (interp / closure / source).
+
+    The CI perf-smoke gate reads this entry: it fails the build when
+    the source tier fell back on the Jacobi kernel or vectorized no
+    DOALLs, so a codegen regression cannot land silently.
+    """
+    sweeps = 80 if quick else 400
+    source = JACOBI_KERNEL.format(sweeps=sweeps)
+    facts = _jacobi_facts()
+    runs = {tier: _run_kernel(
+                source, tier,
+                facts=facts if tier == "source" else None)
+            for tier in ("interp", "closure", "source")}
+    _assert_tiers_agree(runs)
+    base_s = runs["interp"]["seconds"]
+    tiers = {}
+    for tier, run in runs.items():
+        tiers[tier] = {
+            "stmt_per_s": round(run["statements"] / run["seconds"])
+            if run["seconds"] else 0,
+            "speedup_vs_interp": round(base_s / run["seconds"], 2)
+            if run["seconds"] else float("inf"),
+            "cold_s": round(run["cold_seconds"], 4),
+        }
+    kernelized = sum(len(labels)
+                     for labels in runs["source"]["kernelized"].values())
+    return {
+        "params": {"sweeps": sweeps, "points": 66},
+        "wall_s": runs["source"]["seconds"],
+        "data": {
+            "tiers": tiers,
+            "statements": runs["source"]["statements"],
+            "kernelized_doalls": kernelized,
+            "codegen_fell_back": bool(runs["source"]["fallbacks"]),
+            "fallbacks": runs["source"]["fallbacks"],
         },
     }
 
@@ -634,6 +744,7 @@ def _example(name: str) -> str:
 
 SUITE: tuple[tuple[str, Callable[[bool], dict[str, Any]]], ...] = (
     ("bench_jacobi_throughput", bench_jacobi_throughput),
+    ("bench_codegen_throughput", bench_codegen_throughput),
     ("bench_selfsched_dispatch", bench_selfsched_dispatch),
     ("bench_sum_critical_sim", bench_sum_critical_sim),
     ("bench_askfor_tree", bench_askfor_tree),
@@ -683,7 +794,21 @@ def render_bench_report(report: dict[str, Any]) -> str:
     lines.append(
         f"jacobi throughput:   {jac['tree_stmt_per_s']:>9d} stmt/s tree, "
         f"{jac['compiled_stmt_per_s']:>9d} stmt/s compiled "
-        f"({jac['speedup']:.2f}x)")
+        f"({jac['speedup']:.2f}x, "
+        f"{jac.get('kernelized_doalls', 0)} DOALL(s) vectorized)")
+    cg = by_name.get("bench_codegen_throughput")
+    if cg is not None:
+        tiers = cg["data"]["tiers"]
+        lines.append(
+            "codegen tiers:       "
+            f"interp {tiers['interp']['stmt_per_s']} stmt/s, "
+            f"closure {tiers['closure']['stmt_per_s']} "
+            f"({tiers['closure']['speedup_vs_interp']:.1f}x), "
+            f"source {tiers['source']['stmt_per_s']} "
+            f"({tiers['source']['speedup_vs_interp']:.1f}x), "
+            f"{cg['data']['kernelized_doalls']} kernel(s)"
+            + (" [FELL BACK]" if cg["data"]["codegen_fell_back"]
+               else ""))
     sched = by_name["bench_selfsched_dispatch"]["data"]
     pol = sched["policies"]
     lines.append(

@@ -39,8 +39,18 @@ from repro.fortran.values import (
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class Cost:
-    """Charge ``cycles`` of simulated time to the executing process."""
+    """Charge ``cycles`` of simulated time to the executing process.
+
+    ``statements`` is the number of source statements the event
+    accounts for: the tree-walker and closure tiers emit one event per
+    statement (``statements == 1``), while the source-codegen tier
+    batches straight-line runs and vectorized DOALL kernels into
+    aggregate events carrying the exact statement count the tree
+    walker would have produced.  Clock accounting only reads
+    ``cycles``; ``statements`` feeds throughput benchmarks.
+    """
     cycles: int
+    statements: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -304,7 +314,8 @@ class Interpreter:
                  cost_scale: int = 1,
                  max_call_depth: int = 64,
                  compiled: bool = True,
-                 facts: dict | None = None) -> None:
+                 facts: dict | None = None,
+                 codegen: str | None = None) -> None:
         self.program = program
         self.external = external or ExternalCallHandler()
         self.commons = commons or CommonProvider()
@@ -317,11 +328,23 @@ class Interpreter:
         #: the compiled layer uses it to find DOALLs the static race
         #: engine proved race-free (kernel-lowering candidates).
         self.facts = facts
-        # Compiled execution layer (repro.fortran.compile): on by
-        # default, REPRO_NO_JIT=1 forces the tree-walker everywhere.
+        # Compiled execution layers: on by default, REPRO_NO_JIT=1
+        # forces the tree-walker everywhere.  ``codegen`` picks the
+        # tier: "source" (repro.fortran.codegen, the default), or
+        # "closure" (repro.fortran.compile), or "interp" (tree-walk).
         self.compiled_enabled = compiled and not os.environ.get(
             "REPRO_NO_JIT")
+        tier = codegen if codegen is not None \
+            else os.environ.get("REPRO_CODEGEN") or "source"
+        if tier not in ("source", "closure", "interp"):
+            raise FortranError(
+                f"unknown codegen tier {tier!r} "
+                "(expected source, closure or interp)")
+        if not self.compiled_enabled:
+            tier = "interp"
+        self.codegen_tier = tier
         self._compiled = None
+        self._codegen = None
 
     # ------------------------------------------------------------------
     # entry points
@@ -346,7 +369,12 @@ class Interpreter:
         handle fall back to the tree-walker, with the reason recorded
         in :attr:`compile_fallbacks`.
         """
-        if self.compiled_enabled:
+        tier = self.codegen_tier
+        if tier != "interp" and self.compiled_enabled:
+            if tier == "source":
+                generated = self._codegen_unit(unit)
+                if generated is not None:
+                    return generated.run(args, depth, process)
             compiled = self._compiled_unit(unit)
             if compiled is not None:
                 return compiled.run(args, depth, process)
@@ -358,20 +386,58 @@ class Interpreter:
             self._compiled = CompiledProgram(self)
         return self._compiled.unit_for(unit)
 
+    def _codegen_unit(self, unit: ProgramUnit):
+        if self._codegen is None:
+            from repro.fortran.codegen import CodegenProgram
+            self._codegen = CodegenProgram(self)
+        return self._codegen.unit_for(unit)
+
     @property
     def compile_fallbacks(self) -> dict[str, str]:
-        """Unit name -> reason it runs on the tree-walker (empty when
-        every executed unit uses the compiled layer)."""
-        return {} if self._compiled is None \
-            else dict(self._compiled.fallbacks)
+        """Unit name -> reason a faster tier was skipped (empty when
+        every executed unit ran on the best enabled tier).
+
+        With the source-codegen tier a unit may fall back twice —
+        codegen -> closures -> tree-walker; the recorded reason then
+        carries both stages."""
+        out: dict[str, str] = {}
+        if self._codegen is not None:
+            for name, reason in self._codegen.fallbacks.items():
+                out[name] = f"codegen: {reason}"
+        if self._compiled is not None:
+            for name, reason in self._compiled.fallbacks.items():
+                prev = out.get(name)
+                out[name] = f"{prev}; closures: {reason}" if prev \
+                    else reason
+        return out
 
     @property
     def kernel_eligible(self) -> dict[str, list[int]]:
         """Unit name -> labels of compiled DO loops the analysis facts
         proved race-free (array-kernel candidates); empty without a
         facts document or before any unit compiles."""
-        return {} if self._compiled is None \
-            else dict(self._compiled.kernel_eligible)
+        out: dict[str, list[int]] = {}
+        if self._compiled is not None:
+            out.update(self._compiled.kernel_eligible)
+        if self._codegen is not None:
+            out.update(self._codegen.kernel_eligible)
+        return out
+
+    @property
+    def codegen_kernelized(self) -> dict[str, list[int]]:
+        """Unit name -> labels of DOALLs the source-codegen tier
+        actually lowered to numpy slice kernels (a subset of
+        :attr:`kernel_eligible`; empty off the source tier)."""
+        return {} if self._codegen is None \
+            else dict(self._codegen.kernelized)
+
+    def codegen_sources(self) -> dict[str, str]:
+        """Unit name -> generated Python source (source tier only;
+        units are emitted on demand, so only units that ran — or were
+        force-compiled via :func:`repro.fortran.codegen.compile_all`
+        — appear)."""
+        return {} if self._codegen is None \
+            else dict(self._codegen.sources)
 
     def _run_unit_tree(self, unit: ProgramUnit, args: list[ArgRef],
                        depth: int = 0, process=None) -> Iterator:

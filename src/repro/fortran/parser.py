@@ -16,7 +16,7 @@ from repro.fortran.values import FType, parse_type_name
 # ----------------------------------------------------------------------
 # program containers
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(eq=False)     # identity semantics: hashable + weakref cache key
 class ProgramUnit:
     """One PROGRAM / SUBROUTINE / FUNCTION."""
 

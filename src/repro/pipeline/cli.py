@@ -173,6 +173,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="indices claimed per lock round for "
                                 "--sched chunked (implies it when > 1)")
+    translate.add_argument("--emit-python", metavar="FILE", default=None,
+                           help="also write the source-codegen tier's "
+                                "generated Python for every unit (with "
+                                "per-line Fortran provenance comments) "
+                                "to FILE")
     translate.set_defaults(func=_cmd_translate)
 
     run = sub.add_parser("run", help="simulate a Force program "
@@ -258,7 +263,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--facts", metavar="FILE", default=None,
                      help="analysis facts written by 'force check "
                           "--facts'; DOALLs it proves race-free are "
-                          "marked kernel-eligible in the compiled layer")
+                          "marked kernel-eligible in the compiled layer "
+                          "(and lowered to numpy kernels on the source "
+                          "tier); stale-revision facts are refused")
+    run.add_argument("--codegen",
+                     choices=["source", "closure", "interp"],
+                     default=None,
+                     help="execution tier: generated Python source "
+                          "(default), pre-bound closures, or the "
+                          "tree-walking interpreter")
+    run.add_argument("--dump-codegen", metavar="DIR", default=None,
+                     help="write each unit's generated Python source "
+                          "(per-line Fortran provenance comments) "
+                          "into DIR (simulator, source tier only)")
     run.set_defaults(func=_cmd_run)
 
     bench = sub.add_parser(
@@ -435,7 +452,79 @@ def _cmd_translate(args: argparse.Namespace) -> int:
     result = force_translate(source, machine,
                              sched=args.sched, chunk=args.chunk)
     print(result.sed_output if args.stage == "sed" else result.fortran)
+    if args.emit_python is not None:
+        _emit_python(args.emit_python, result)
     return 0
+
+
+def _emit_python(path: str, translation) -> int:
+    """``force translate --emit-python``: write the codegen tier's
+    generated source (with Fortran provenance comments) for every unit."""
+    from repro.fortran.interp import Interpreter
+    from repro.fortran.codegen import compile_all
+    from repro.fortran.parser import parse_source
+
+    program = parse_source(translation.fortran)
+    interp = Interpreter(program)
+    compile_all(interp)
+    sources = interp.codegen_sources()
+    chunks = []
+    for name in sorted(sources):
+        chunks.append(f"# ===== unit {name} =====\n" + sources[name])
+    skipped = sorted(set(program.units) - set(sources))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# Generated by force translate --emit-python.\n"
+                     "# Line comments map each statement back to the "
+                     "expanded Fortran line.\n\n")
+        handle.write("\n".join(chunks) or "# (no units compiled)\n")
+        if skipped:
+            handle.write("\n# units that fell back to slower tiers: "
+                         + ", ".join(skipped) + "\n")
+    print(f"codegen: {len(sources)} unit(s) written to {path}"
+          + (f" ({len(skipped)} fell back)" if skipped else ""),
+          file=sys.stderr)
+    return 0
+
+
+def _fresh_facts(facts: dict, path: str) -> dict | None:
+    """Refuse a facts document proven against a different revision.
+
+    Race verdicts gate numpy kernel lowering, so verdicts computed for
+    other source must not be trusted.  Facts without a stamp (older
+    generators) and checkouts without git are accepted as-is.
+    """
+    from repro._util.gitrev import git_revision
+    stamped = facts.get("git_revision")
+    current = git_revision(warn=False)
+    if stamped is None or current is None or stamped == current:
+        return facts
+    print(f"force: warning: {path} was generated at revision {stamped} "
+          f"but the checkout is at {current}; ignoring stale facts "
+          "(rerun force check --facts to refresh)", file=sys.stderr)
+    return None
+
+
+def _dump_codegen(outdir: str, result, backend: str) -> None:
+    """``force run --dump-codegen DIR``: one .py file per unit."""
+    import os
+    sources = getattr(result, "codegen_sources", {}) or {}
+    if backend != "sim":
+        print("force: note: --dump-codegen captures the simulator's "
+              "generated source; nothing dumped for native backends",
+              file=sys.stderr)
+        return
+    os.makedirs(outdir, exist_ok=True)
+    for name, text in sorted(sources.items()):
+        with open(os.path.join(outdir, f"{name}.py"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(text)
+    if sources:
+        print(f"codegen: {len(sources)} unit(s) dumped to {outdir}",
+              file=sys.stderr)
+    else:
+        print("force: note: no generated source to dump (units fell "
+              "back, or the run used --codegen closure/interp)",
+              file=sys.stderr)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -467,7 +556,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             facts = load_facts(args.facts)
         except ValueError as exc:
             raise ForceError(str(exc)) from None
-        if args.backend != "sim" and not supervised:
+        facts = _fresh_facts(facts, args.facts)
+        if facts is not None and args.backend != "sim" and not supervised:
             print("force: note: --facts gates the simulator's compiled "
                   "layer; ignored for unsupervised native runs",
                   file=sys.stderr)
@@ -477,7 +567,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                            trace=args.trace is not None,
                            deadline=args.deadline,
                            compiled=not args.no_jit,
-                           facts=facts)
+                           facts=facts,
+                           codegen=args.codegen)
     else:
         from repro.pipeline.native import native_run
         result = native_run(translation, args.nproc,
@@ -488,12 +579,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
                             trace_capacity=args.trace_buffer,
                             deadline=args.deadline,
                             compiled=not args.no_jit,
+                            codegen=args.codegen,
                             retries=args.retries,
                             min_nproc=args.min_nproc,
                             checkpoint_dir=args.checkpoint,
                             checkpoint_every=args.checkpoint_every,
                             resume=args.resume,
                             facts=facts if supervised else None)
+    if args.dump_codegen is not None:
+        _dump_codegen(args.dump_codegen, result, args.backend)
     trace_file = None
     native = args.backend != "sim"
     dropped = result.trace_dropped \
@@ -535,6 +629,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             document["makespan"] = result.makespan
             if facts is not None:
                 document["kernel_eligible"] = result.kernel_eligible
+                document["kernelized_doalls"] = result.kernelized_doalls
         if args.stats:
             document["stats"] = result.stats_dict()
         if trace_file is not None:
@@ -562,8 +657,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if facts is not None and not native:
             count = sum(len(labels)
                         for labels in result.kernel_eligible.values())
+            lowered = sum(len(labels)
+                          for labels in result.kernelized_doalls.values())
             print(f"facts: {count} kernel-eligible DOALL loop(s) in "
-                  f"{len(result.kernel_eligible)} unit(s)",
+                  f"{len(result.kernel_eligible)} unit(s); "
+                  f"{lowered} lowered to numpy kernels",
                   file=sys.stderr)
     if args.trace == "-":
         if native:

@@ -556,7 +556,8 @@ def _native_worker(force, me: int, spec: dict) -> None:
     lines: list[str] = []
     interp = Interpreter(program, external=runtime, commons=commons,
                          on_output=lambda line, frame: lines.append(line),
-                         compiled=spec["compiled"])
+                         compiled=spec["compiled"],
+                         codegen=spec.get("codegen"))
     try:
         if me == 1:
             try:
@@ -622,6 +623,7 @@ def native_run(translation: TranslationResult, nproc: int, *,
                trace_capacity: int = 65536,
                deadline: float | None = None,
                compiled: bool = True,
+               codegen: str | None = None,
                retries: int = 0,
                min_nproc: int | None = None,
                checkpoint_dir: str | None = None,
@@ -686,6 +688,7 @@ def native_run(translation: TranslationResult, nproc: int, *,
         "main": main_name,
         "outdir": outdir,
         "compiled": compiled,
+        "codegen": codegen,
     }
     run_id = None
     if backend == "thread":

@@ -46,6 +46,12 @@ class RunResult:
     #: unit name → labels of DO loops the analysis facts proved
     #: race-free (kernel-lowering candidates); empty without ``facts``
     kernel_eligible: dict[str, list[int]] = field(default_factory=dict)
+    #: unit name → labels of DOALLs the source-codegen tier actually
+    #: lowered to numpy slice kernels (subset of ``kernel_eligible``)
+    kernelized_doalls: dict[str, list[int]] = field(default_factory=dict)
+    #: unit name → generated Python source (source tier only), for
+    #: ``force run --dump-codegen``
+    codegen_sources: dict[str, str] = field(default_factory=dict)
 
     @property
     def makespan(self) -> int:
@@ -111,7 +117,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
               unlimited_processors: bool = False,
               deadline: float | None = None,
               compiled: bool = True,
-              facts: dict | None = None) -> RunResult:
+              facts: dict | None = None,
+              codegen: str | None = None) -> RunResult:
     """Simulate a translated Force program with ``nproc`` processes.
 
     By default the simulation honours the machine's processor count
@@ -124,7 +131,11 @@ def force_run(translation: TranslationResult, nproc: int, *,
     tree-walking interpreter (the ``--no-jit`` differential oracle).
     ``facts`` is a ``force check --facts`` document; the compiled layer
     uses it to mark statically race-free DOALLs as kernel candidates
-    (reported in :attr:`RunResult.kernel_eligible`).
+    (reported in :attr:`RunResult.kernel_eligible`) and — on the
+    source-codegen tier — to lower them to numpy slice kernels
+    (reported in :attr:`RunResult.kernelized_doalls`).  ``codegen``
+    picks the execution tier (``"source"``/``"closure"``/``"interp"``,
+    default ``"source"``).
     """
     machine = translation.machine
     if nproc <= 0:
@@ -144,7 +155,7 @@ def force_run(translation: TranslationResult, nproc: int, *,
     if machine.sharing_binding is SharingBinding.LINK_TIME:
         collector = _StartupCollector()
         startup_interp = Interpreter(program, external=collector,
-                                     compiled=compiled)
+                                     compiled=compiled, codegen=codegen)
         if "ZZSTRT" in program.units:
             drain(startup_interp.run_unit(program.unit("ZZSTRT"), []))
         for block in collector.blocks:
@@ -165,7 +176,7 @@ def force_run(translation: TranslationResult, nproc: int, *,
 
     interp = Interpreter(program, external=runtime,
                          commons=runtime.provider, on_output=on_output,
-                         compiled=compiled, facts=facts)
+                         compiled=compiled, facts=facts, codegen=codegen)
     runtime.interpreter = interp
 
     driver_holder: list = []
@@ -199,6 +210,8 @@ def force_run(translation: TranslationResult, nproc: int, *,
         trace=scheduler.trace,
         compile_fallbacks=interp.compile_fallbacks,
         kernel_eligible=interp.kernel_eligible,
+        kernelized_doalls=interp.codegen_kernelized,
+        codegen_sources=interp.codegen_sources(),
     )
 
 

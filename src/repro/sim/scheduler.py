@@ -75,6 +75,9 @@ class SimStats:
 
     makespan: int = 0
     total_busy: int = 0
+    #: source statements executed (Cost events carry exact counts even
+    #: when the codegen tier batches straight-line runs and kernels)
+    statements: int = 0
     spin_cycles: int = 0
     context_switches: int = 0
     lock_acquisitions: int = 0
@@ -260,6 +263,7 @@ class Scheduler:
         if type(event) is Cost:
             proc.clock += event.cycles
             proc.busy_cycles += event.cycles
+            self.stats.statements += event.statements
             self._push(proc)
         elif type(event) is AcquireLock:
             self._acquire(proc, event.lock)

@@ -1,20 +1,27 @@
-"""Differential harness: compiled execution layer vs the tree-walker.
+"""Differential harness: the faster execution tiers vs the tree-walker.
 
-The compiled layer (``fortran/compile.py``) must be *bit-identical* to
-the tree-walking interpreter it replaces: same output lines, same
-simulated schedules (cost events feed the discrete-event scheduler, so
-makespan and lock statistics are part of the contract), same final
-COMMON storage, and same errors on bad programs.  The tree-walker is
-the oracle; any divergence here is a compiler bug by definition.
+Both compiled tiers — the closure compiler (``fortran/compile.py``)
+and the source-codegen tier (``fortran/codegen.py``) — must be
+*bit-identical* to the tree-walking interpreter they replace: same
+output lines, same simulated schedules (cost events feed the
+discrete-event scheduler, so makespan and lock statistics are part of
+the contract), same final COMMON storage, and same errors on bad
+programs.  The tree-walker is the oracle; any divergence here is a
+compiler bug by definition.
+
+The seeded mini-fuzzer at the bottom generates straight-line units
+(assignment soup over scalars and arrays, then WRITE everything) so
+tier agreement is checked beyond the hand-picked corpus.
 """
 
+import random
 from pathlib import Path
 
 import pytest
 
 from repro._util.errors import FortranError
 from repro._util.text import strip_margin
-from repro.fortran.interp import Cell, Interpreter, drain
+from repro.fortran.interp import Cell, Cost, Interpreter, drain
 from repro.fortran.parser import parse_source
 from repro.machines import get_machine
 from repro.pipeline.compile import force_translate
@@ -28,18 +35,39 @@ NON_RUNNABLE = {"racy_stencil.frc"}
 RUNNABLE = sorted(p.name for p in EXAMPLES.glob("*.frc")
                   if p.name not in NON_RUNNABLE)
 
+#: the three execution tiers, oracle first
+TIERS = ("interp", "closure", "source")
 
-def run_both(source, input_data=None):
-    """Run one Fortran program under both layers; return the interps."""
+
+def run_tiers(source, input_data=None, tiers=TIERS):
+    """Run one Fortran program on each tier; return the interpreters.
+
+    The cost totals (statements, cycles) are attached to each
+    interpreter as ``cost_totals`` — the codegen tier batches events,
+    so per-event comparison is meaningless but the totals are part of
+    the bit-identical contract.
+    """
     interps = []
-    for compiled in (False, True):
+    for tier in tiers:
         program = parse_source(strip_margin(source))
-        interp = Interpreter(program, compiled=compiled)
+        interp = Interpreter(program, compiled=tier != "interp",
+                             codegen=tier)
         if input_data is not None:
             interp.set_input(input_data)
-        drain(interp.run_program())
+        statements = cycles = 0
+        for event in interp.run_program():
+            if isinstance(event, Cost):
+                statements += event.statements
+                cycles += event.cycles
+        interp.cost_totals = (statements, cycles)
         interps.append(interp)
     return interps
+
+
+def run_both(source, input_data=None):
+    """Back-compat wrapper: (tree-walker, best compiled tier)."""
+    tree, _, comp = run_tiers(source, input_data)
+    return tree, comp
 
 
 def common_state(interp):
@@ -64,25 +92,30 @@ class TestExamplesBitIdentical:
         source = (EXAMPLES / example).read_text(encoding="utf-8")
         translation = force_translate(source, get_machine(machine_key))
         tree = force_run(translation, nproc, compiled=False)
-        comp = force_run(translation, nproc, compiled=True)
-        assert comp.output == tree.output
-        assert comp.output_records == tree.output_records
-        assert comp.makespan == tree.makespan
-        assert comp.stats.lock_acquisitions == tree.stats.lock_acquisitions
-        assert comp.stats.contended_acquisitions == \
-            tree.stats.contended_acquisitions
-        assert comp.stats.spin_cycles == tree.stats.spin_cycles
-        assert comp.stats.context_switches == tree.stats.context_switches
-        assert comp.compile_fallbacks == {}
+        for tier in ("closure", "source"):
+            comp = force_run(translation, nproc, codegen=tier)
+            assert comp.output == tree.output, tier
+            assert comp.output_records == tree.output_records, tier
+            assert comp.makespan == tree.makespan, tier
+            assert comp.stats.statements == tree.stats.statements, tier
+            assert comp.stats.lock_acquisitions == \
+                tree.stats.lock_acquisitions, tier
+            assert comp.stats.contended_acquisitions == \
+                tree.stats.contended_acquisitions, tier
+            assert comp.stats.spin_cycles == tree.stats.spin_cycles, tier
+            assert comp.stats.context_switches == \
+                tree.stats.context_switches, tier
+            assert comp.compile_fallbacks == {}, tier
 
     @pytest.mark.parametrize("example", RUNNABLE)
-    def test_example_identical_under_chunked_sched(self, example):
+    @pytest.mark.parametrize("tier", ["closure", "source"])
+    def test_example_identical_under_chunked_sched(self, example, tier):
         source = (EXAMPLES / example).read_text(encoding="utf-8")
         machine = get_machine("sequent-balance")
         translation = force_translate(source, machine,
                                       sched="chunked", chunk=8)
         tree = force_run(translation, 4, compiled=False)
-        comp = force_run(translation, 4, compiled=True)
+        comp = force_run(translation, 4, codegen=tier)
         assert comp.output == tree.output
         assert comp.makespan == tree.makespan
         assert comp.compile_fallbacks == {}
@@ -200,10 +233,13 @@ FEATURE_INPUT = {"read_into_array": "4 5 6\n"}
 class TestFeatureProgramsIdentical:
     @pytest.mark.parametrize("name", sorted(FEATURE_PROGRAMS))
     def test_feature_identical(self, name):
-        tree, comp = run_both(FEATURE_PROGRAMS[name],
-                              input_data=FEATURE_INPUT.get(name))
-        assert comp.output == tree.output
-        assert common_state(comp) == common_state(tree)
+        tree, closure, source = run_tiers(
+            FEATURE_PROGRAMS[name],
+            input_data=FEATURE_INPUT.get(name))
+        for tier, comp in (("closure", closure), ("source", source)):
+            assert comp.output == tree.output, tier
+            assert common_state(comp) == common_state(tree), tier
+            assert comp.cost_totals == tree.cost_totals, tier
 
 
 ERROR_PROGRAMS = {
@@ -231,22 +267,23 @@ ERROR_PROGRAMS = {
 
 class TestErrorsIdentical:
     @pytest.mark.parametrize("name", sorted(ERROR_PROGRAMS))
-    def test_same_error_both_layers(self, name):
+    def test_same_error_on_every_tier(self, name):
         source = ERROR_PROGRAMS[name]
         messages = []
-        for compiled in (False, True):
+        for tier in TIERS:
             program = parse_source(strip_margin(source))
-            interp = Interpreter(program, compiled=compiled)
+            interp = Interpreter(program, compiled=tier != "interp",
+                                 codegen=tier)
             if name == "fell_off_the_end":
                 # this one terminates normally on END; skip the error
-                # comparison and just check both complete identically
+                # comparison and just check all tiers complete alike
                 drain(interp.run_program())
                 messages.append("completed")
                 continue
             with pytest.raises(FortranError) as excinfo:
                 drain(interp.run_program())
             messages.append(str(excinfo.value))
-        assert messages[0] == messages[1]
+        assert len(set(messages)) == 1, messages
 
 
 class TestFallbackControls:
@@ -271,3 +308,110 @@ class TestFallbackControls:
         interp = Interpreter(program, compiled=False)
         assert not interp.compiled_enabled
         assert interp.compile_fallbacks == {}
+
+
+# ----------------------------------------------------------------------
+# seeded mini-fuzzer: straight-line assignment soup
+# ----------------------------------------------------------------------
+#: integer scalars the fuzzer may assign; ``I`` is reserved as the
+#: (never reassigned) in-bounds array index
+_FUZZ_INTS = ("J", "K", "L")
+_FUZZ_REALS = ("X", "Y", "Z")
+
+
+def _fuzz_leaf(rng, kind):
+    if kind == "int":
+        choices = [str(rng.randint(-9, 9)),
+                   rng.choice(_FUZZ_INTS), "I",
+                   f"A({rng.randint(1, 5)})", "A(I)"]
+    else:
+        choices = [f"{rng.randint(-9, 9)}.{rng.randint(0, 99):02d}",
+                   rng.choice(_FUZZ_REALS),
+                   f"B({rng.randint(1, 5)})", "B(I)"]
+    return rng.choice(choices)
+
+
+def _fuzz_expr(rng, kind, depth):
+    if depth <= 0 or rng.random() < 0.35:
+        return _fuzz_leaf(rng, kind)
+    roll = rng.random()
+    a = _fuzz_expr(rng, kind, depth - 1)
+    if roll < 0.15:
+        return f"(-({a}))"
+    b = _fuzz_expr(rng, kind, depth - 1)
+    if roll < 0.70:
+        op = rng.choice("+-*")
+        return f"({a} {op} {b})"
+    if kind == "int":
+        return rng.choice([f"MOD({a}, 7)", f"MAX({a}, {b})",
+                           f"MIN({a}, {b})", f"({a} / 3)"])
+    return rng.choice([f"ABS({a})", f"MAX({a}, {b})",
+                       f"MIN({a}, {b})", f"({a} / 4.0)"])
+
+
+def _fuzz_program(rng):
+    """One straight-line unit: init everything, mutate, WRITE it all.
+
+    Integer assignments are wrapped in MOD so chained multiplies
+    cannot explode into huge bignums; ``I`` stays fixed so ``A(I)``
+    subscripts are always in bounds.  Divisions only ever use nonzero
+    literals.  Any remaining float corner (inf propagation, negative
+    zero) must simply agree across the three tiers.
+    """
+    lines = ["      PROGRAM FUZZ",
+             "      INTEGER I, J, K, L, A(5)",
+             "      REAL X, Y, Z, B(5)",
+             f"      I = {rng.randint(1, 5)}"]
+    for n, var in enumerate(_FUZZ_INTS):
+        lines.append(f"      {var} = {n + 2}")
+    for n, var in enumerate(_FUZZ_REALS):
+        lines.append(f"      {var} = {n}.5")
+    for slot in range(1, 6):
+        lines.append(f"      A({slot}) = {rng.randint(-9, 9)}")
+        lines.append(f"      B({slot}) = {rng.randint(-9, 9)}.25")
+    for _ in range(rng.randint(8, 18)):
+        if rng.random() < 0.5:
+            target = rng.choice(_FUZZ_INTS + (f"A({rng.randint(1, 5)})",
+                                              "A(I)"))
+            rhs = f"MOD({_fuzz_expr(rng, 'int', 2)}, 9973)"
+        else:
+            target = rng.choice(_FUZZ_REALS + (f"B({rng.randint(1, 5)})",
+                                               "B(I)"))
+            rhs = _fuzz_expr(rng, "real", 2)
+        lines.append(f"      {target} = {rhs}")
+    lines.append("      WRITE(*,*) I, J, K, L")
+    lines.append("      WRITE(*,*) X, Y, Z")
+    lines.append("      WRITE(*,*) A(1), A(2), A(3), A(4), A(5)")
+    lines.append("      WRITE(*,*) B(1), B(2), B(3), B(4), B(5)")
+    lines.append("      END")
+    return "\n".join(lines) + "\n"
+
+
+class TestStraightLineFuzz:
+    """~50 generated units; every tier must agree bit-for-bit."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_tiers_agree(self, seed):
+        source = _fuzz_program(random.Random(20260809 + seed))
+        results = []
+        for tier in TIERS:
+            program = parse_source(source)
+            interp = Interpreter(program, compiled=tier != "interp",
+                                 codegen=tier)
+            statements = cycles = 0
+            error = None
+            try:
+                for event in interp.run_program():
+                    if isinstance(event, Cost):
+                        statements += event.statements
+                        cycles += event.cycles
+            except FortranError as exc:
+                error = str(exc)
+            results.append((tier, interp.output, statements, cycles,
+                            error))
+            if tier != "interp":
+                assert interp.compile_fallbacks == {}, \
+                    (tier, interp.compile_fallbacks, source)
+        baseline = results[0][1:]
+        for tier, *rest in results[1:]:
+            assert tuple(rest) == baseline, (tier, source)
